@@ -1,0 +1,115 @@
+//! Bootstrap confidence intervals.
+//!
+//! The region-size distributions are heavy-tailed (see
+//! `exp_region_distribution`), so normal-theory intervals on E[M] can be
+//! optimistic; the experiment harnesses use percentile bootstrap
+//! intervals for the headline numbers.
+
+use seg_grid::rng::Xoshiro256pp;
+
+/// A percentile bootstrap confidence interval for the mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (the sample mean).
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap resamples used.
+    pub resamples: u32,
+}
+
+/// Percentile bootstrap CI for the mean of `xs` at the given confidence
+/// level (e.g. `0.95`).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, `resamples == 0`, or `level` is not in
+/// `(0, 1)`.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    level: f64,
+    resamples: u32,
+    rng: &mut Xoshiro256pp,
+) -> BootstrapCi {
+    assert!(!xs.is_empty(), "cannot bootstrap an empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let mut means = Vec::with_capacity(resamples as usize);
+    for _ in 0..resamples {
+        let mut total = 0.0;
+        for _ in 0..n {
+            total += xs[rng.next_below(n as u64) as usize];
+        }
+        means.push(total / n as f64);
+    }
+    means.sort_by(|a, b| a.total_cmp(b));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f64| {
+        (((resamples as f64 - 1.0) * q).round() as usize).min(resamples as usize - 1)
+    };
+    BootstrapCi {
+        mean,
+        lo: means[idx(alpha)],
+        hi: means[idx(1.0 - alpha)],
+        resamples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_mean() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 10) as f64).collect();
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let ci = bootstrap_mean_ci(&xs, 0.95, 500, &mut rng);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!((ci.mean - 4.5).abs() < 1e-12);
+        // sanity width: std ≈ 2.87, se ≈ 0.203, 95% ≈ ±0.40
+        assert!(ci.hi - ci.lo < 1.2, "width = {}", ci.hi - ci.lo);
+        assert!(ci.hi - ci.lo > 0.2);
+    }
+
+    #[test]
+    fn degenerate_sample_zero_width() {
+        let xs = vec![7.0; 50];
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let ci = bootstrap_mean_ci(&xs, 0.9, 100, &mut rng);
+        assert_eq!(ci.lo, 7.0);
+        assert_eq!(ci.hi, 7.0);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut r1 = Xoshiro256pp::seed_from_u64(3);
+        let mut r2 = Xoshiro256pp::seed_from_u64(3);
+        let narrow = bootstrap_mean_ci(&xs, 0.5, 400, &mut r1);
+        let wide = bootstrap_mean_ci(&xs, 0.99, 400, &mut r2);
+        assert!(wide.hi - wide.lo > narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn heavy_tail_interval_asymmetric() {
+        // one huge outlier drags the upper bound, not the lower
+        let mut xs = vec![1.0; 99];
+        xs.push(1000.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let ci = bootstrap_mean_ci(&xs, 0.9, 800, &mut rng);
+        let up = ci.hi - ci.mean;
+        let down = ci.mean - ci.lo;
+        assert!(up > down, "up = {up}, down = {down}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        let _ = bootstrap_mean_ci(&[], 0.9, 10, &mut rng);
+    }
+}

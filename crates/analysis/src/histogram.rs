@@ -1,0 +1,158 @@
+//! Fixed-width histograms for experiment outputs.
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
+/// overflow counters.
+///
+/// # Example
+///
+/// ```
+/// use seg_analysis::histogram::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [1.0, 2.5, 2.6, 9.9, -1.0, 10.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.count(1), 2); // bin [2,4): 2.5 and 2.6
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `[lo, hi)` with `bins` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` or bounds are not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let f = (x - self.lo) / (self.hi - self.lo);
+            let i = ((f * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Adds every observation of an iterator.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Renders an ASCII bar chart (one row per bin).
+    pub fn render(&self, max_width: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_edges(i);
+            let bar = "#".repeat(((c as f64 / peak as f64) * max_width as f64) as usize);
+            out.push_str(&format!("[{a:>9.3}, {b:>9.3})  {c:>8}  {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_observations() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.extend([0.0, 0.24, 0.25, 0.5, 0.75, 0.99]);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([-0.1, 1.0, 1.5, 0.5]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn edges_are_uniform() {
+        let h = Histogram::new(2.0, 6.0, 4);
+        assert_eq!(h.bin_edges(0), (2.0, 3.0));
+        assert_eq!(h.bin_edges(3), (5.0, 6.0));
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.extend([0.1, 0.1, 0.9]);
+        let s = h.render(10);
+        assert!(s.contains('#'));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Parallel parameter sweeps over seeds, with scoped threads only (no
+//! extra dependencies).
+//!
+//! The experiment harnesses sweep independent seeds/parameters; this
+//! helper fans the work across available cores and returns results in
+//! input order, keeping every run's seed explicit so determinism is
+//! preserved per-task.
+
+/// Runs `job(i)` for `i ∈ 0..tasks` across at most `threads` worker
+/// threads, returning results in index order.
+///
+/// `job` must be `Sync` because multiple workers call it concurrently
+/// (each with distinct indices).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the first panicking job.
+pub fn parallel_map<T: Send>(
+    tasks: usize,
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    assert!(threads > 0, "need at least one thread");
+    if tasks == 0 {
+        return Vec::new();
+    }
+    let threads = threads.min(tasks);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+    let slot_ptrs: Vec<std::sync::Mutex<&mut Option<T>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                let value = job(i);
+                **slot_ptrs[i].lock().expect("slot poisoned") = Some(value);
+            });
+        }
+    });
+    drop(slot_ptrs);
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// The number of worker threads to use by default: the parallelism
+/// reported by the OS, capped at 8 (the sweeps are memory-light but the
+/// benches should not be starved).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order() {
+        let out = parallel_map(32, 4, |i| i * i);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let out = parallel_map(5, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn more_threads_than_tasks() {
+        let out = parallel_map(2, 16, |i| i);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_tasks_empty() {
+        let out: Vec<u32> = parallel_map(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_concurrent_when_possible() {
+        // all tasks wait on a barrier sized to the thread count: this only
+        // completes if the workers run concurrently
+        let threads = 4;
+        let barrier = std::sync::Barrier::new(threads);
+        let out = parallel_map(threads, threads, |i| {
+            barrier.wait();
+            i
+        });
+        assert_eq!(out.len(), threads);
+    }
+
+    #[test]
+    fn deterministic_with_seeded_jobs() {
+        let run = || {
+            parallel_map(16, 4, |i| {
+                let mut rng = seg_grid::rng::Xoshiro256pp::seed_from_u64(i as u64);
+                rng.next_u64()
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = parallel_map(1, 0, |i| i);
+    }
+}

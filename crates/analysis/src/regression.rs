@@ -1,0 +1,158 @@
+//! Least-squares fits for extracting empirical growth exponents.
+
+/// An ordinary-least-squares line `y = slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y ≈ slope·x + intercept` by OLS.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are given, the lengths differ, any
+/// value is non-finite, or all `x` are identical.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    assert!(
+        xs.iter().chain(ys.iter()).all(|v| v.is_finite()),
+        "non-finite data"
+    );
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "all x values identical");
+    let sxy: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+    LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    }
+}
+
+/// An exponential fit `y = amplitude · 2^(rate·x)` obtained by OLS on
+/// `log2 y`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExponentialFit {
+    /// Base-2 growth rate (the empirical analogue of the paper's `a(τ)`
+    /// exponent when `x = N`).
+    pub rate: f64,
+    /// Amplitude at `x = 0`.
+    pub amplitude: f64,
+    /// R² of the underlying log-linear fit.
+    pub r_squared: f64,
+}
+
+impl ExponentialFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.amplitude * (self.rate * x).exp2()
+    }
+}
+
+/// Fits `y = amplitude·2^{rate·x}` by OLS on `log2 y`.
+///
+/// # Panics
+///
+/// Panics under [`linear_fit`]'s conditions or when any `y ≤ 0`.
+pub fn exponential_fit(xs: &[f64], ys: &[f64]) -> ExponentialFit {
+    assert!(ys.iter().all(|y| *y > 0.0), "exponential fit needs y > 0");
+    let logs: Vec<f64> = ys.iter().map(|y| y.log2()).collect();
+    let lf = linear_fit(xs, &logs);
+    ExponentialFit {
+        rate: lf.slope,
+        amplitude: lf.intercept.exp2(),
+        r_squared: lf.r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x - 2.0 + if (*x as i64) % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = linear_fit(&xs, &ys);
+        assert!((f.slope - 3.0).abs() < 0.05);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn exponential_recovery() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * f64::exp2(0.7 * x)).collect();
+        let f = exponential_fit(&xs, &ys);
+        assert!((f.rate - 0.7).abs() < 1e-10);
+        assert!((f.amplitude - 3.0).abs() < 1e-9);
+        assert!((f.predict(6.0) - 3.0 * 4.2f64.exp2()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_data_r2_is_one() {
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]);
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "y > 0")]
+    fn exponential_rejects_nonpositive() {
+        let _ = exponential_fit(&[1.0, 2.0], &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_rejected() {
+        let _ = linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Parameter sweeps and aligned-table printing for the experiment
+//! harnesses.
+
+use std::fmt::Write as _;
+
+/// A rectangular table of experiment results that renders with aligned
+/// columns — the harness binaries print these as the paper-style "rows".
+///
+/// # Example
+///
+/// ```
+/// use seg_analysis::series::Table;
+/// let mut t = Table::new(vec!["tau".into(), "E[M]".into()]);
+/// t.push_row(vec!["0.45".into(), "1.2e3".into()]);
+/// let s = t.render();
+/// assert!(s.contains("tau"));
+/// assert!(s.contains("1.2e3"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Table {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with space-aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (c, h) in self.header.iter().enumerate() {
+            width[c] = width[c].max(h.len());
+        }
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                width[c] = width[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}", cell, w = width[c]);
+                if c + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let sep: Vec<String> = width.iter().map(|w| "-".repeat(*w)).collect();
+        write_row(&mut out, &sep);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Evenly spaced sample points of the open interval `(lo, hi)` —
+/// endpoints excluded, which is what the paper's τ-ranges need.
+///
+/// # Panics
+///
+/// Panics if `steps == 0` or `lo >= hi`.
+pub fn open_interval_grid(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps > 0, "need at least one step");
+    assert!(lo < hi, "empty interval");
+    (1..=steps)
+        .map(|i| lo + (hi - lo) * i as f64 / (steps as f64 + 1.0))
+        .collect()
+}
+
+/// Geometrically spaced integer values from `lo` to `hi` inclusive,
+/// deduplicated — used for horizon/N sweeps.
+///
+/// # Panics
+///
+/// Panics if `lo == 0`, `lo > hi`, or `points == 0`.
+pub fn geometric_grid(lo: u64, hi: u64, points: usize) -> Vec<u64> {
+    assert!(lo > 0 && lo <= hi && points > 0, "bad geometric grid");
+    let mut out: Vec<u64> = (0..points)
+        .map(|i| {
+            let f = i as f64 / (points.max(2) - 1) as f64;
+            ((lo as f64) * ((hi as f64 / lo as f64).powf(f))).round() as u64
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a".into(), "value".into()]);
+        t.push_row(vec!["1".into(), "10".into()]);
+        t.push_row(vec!["22".into(), "3".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same display width
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn open_grid_excludes_endpoints() {
+        let g = open_interval_grid(0.0, 1.0, 9);
+        assert_eq!(g.len(), 9);
+        assert!(g[0] > 0.0 && g[8] < 1.0);
+        assert!((g[4] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_grid_spans_range() {
+        let g = geometric_grid(1, 100, 5);
+        assert_eq!(*g.first().unwrap(), 1);
+        assert_eq!(*g.last().unwrap(), 100);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn geometric_grid_single_point() {
+        assert_eq!(geometric_grid(7, 7, 3), vec![7]);
+    }
+}

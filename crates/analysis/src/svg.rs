@@ -1,0 +1,302 @@
+//! Minimal SVG line charts for experiment outputs.
+//!
+//! The harness binaries print tables; for the figures that are genuinely
+//! curves (Figure 3's exponents, Figure 6's trigger threshold, interface
+//! decay), [`LineChart`] renders a self-contained SVG with axes, ticks
+//! and multiple series — no dependencies, viewable in any browser.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke color (any CSS color).
+    pub color: String,
+}
+
+impl Series {
+    /// Builds a series with a default palette color chosen by `index`.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>, index: usize) -> Self {
+        const PALETTE: [&str; 6] = [
+            "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+        ];
+        Series {
+            label: label.into(),
+            points,
+            color: PALETTE[index % PALETTE.len()].to_string(),
+        }
+    }
+}
+
+/// A simple line chart.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    width: u32,
+    height: u32,
+}
+
+impl LineChart {
+    /// Starts a chart with the given labels, default 800×500 canvas.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 800,
+            height: 500,
+        }
+    }
+
+    /// Adds a series (chainable).
+    pub fn series(&mut self, s: Series) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Data bounds across all series, or `None` if there are no points.
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut it = self.series.iter().flat_map(|s| s.points.iter());
+        let first = it.next()?;
+        let (mut x0, mut x1, mut y0, mut y1) = (first.0, first.0, first.1, first.1);
+        for (x, y) in it {
+            x0 = x0.min(*x);
+            x1 = x1.max(*x);
+            y0 = y0.min(*y);
+            y1 = y1.max(*y);
+        }
+        if x0 == x1 {
+            x1 = x0 + 1.0;
+        }
+        if y0 == y1 {
+            y1 = y0 + 1.0;
+        }
+        Some((x0, x1, y0, y1))
+    }
+
+    /// Renders the SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chart has no data points (nothing to scale to).
+    pub fn render(&self) -> String {
+        let (x0, x1, y0, y1) = self.bounds().expect("chart needs at least one point");
+        let (w, h) = (self.width as f64, self.height as f64);
+        let (ml, mr, mt, mb) = (70.0, 140.0, 40.0, 55.0); // margins
+        let px = |x: f64| ml + (x - x0) / (x1 - x0) * (w - ml - mr);
+        let py = |y: f64| h - mb - (y - y0) / (y1 - y0) * (h - mt - mb);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+        );
+        let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+            w / 2.0,
+            xml_escape(&self.title)
+        );
+        // axes
+        let _ = writeln!(
+            out,
+            r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+            h - mb,
+            w - mr,
+            h - mb
+        );
+        let _ = writeln!(
+            out,
+            r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+            h - mb
+        );
+        // ticks: 5 per axis
+        for i in 0..=5 {
+            let fx = x0 + (x1 - x0) * i as f64 / 5.0;
+            let fy = y0 + (y1 - y0) * i as f64 / 5.0;
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+                px(fx),
+                h - mb + 18.0,
+                format_tick(fx)
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{}</text>"#,
+                ml - 6.0,
+                py(fy) + 4.0,
+                format_tick(fy)
+            );
+            let _ = writeln!(
+                out,
+                r##"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="#ddd"/>"##,
+                ml,
+                py(fy),
+                w - mr,
+                py(fy)
+            );
+        }
+        // axis labels
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle">{}</text>"#,
+            (ml + w - mr) / 2.0,
+            h - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="18" y="{}" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+            (mt + h - mb) / 2.0,
+            (mt + h - mb) / 2.0,
+            xml_escape(&self.y_label)
+        );
+        // series
+        for (i, s) in self.series.iter().enumerate() {
+            if s.points.is_empty() {
+                continue;
+            }
+            let mut d = String::new();
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                let cmd = if j == 0 { 'M' } else { 'L' };
+                let _ = write!(d, "{cmd}{:.2},{:.2} ", px(*x), py(*y));
+            }
+            let _ = writeln!(
+                out,
+                r#"<path d="{d}" fill="none" stroke="{}" stroke-width="2"/>"#,
+                s.color
+            );
+            // legend
+            let ly = mt + 20.0 * i as f64;
+            let _ = writeln!(
+                out,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{}" stroke-width="3"/>"#,
+                w - mr + 10.0,
+                w - mr + 34.0,
+                s.color
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12">{}</text>"#,
+                w - mr + 40.0,
+                ly + 4.0,
+                xml_escape(&s.label)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Writes the SVG to a file.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.01 {
+        format!("{v:.1e}")
+    } else {
+        format!("{v:.3}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> LineChart {
+        let mut c = LineChart::new("test", "x", "y");
+        c.series(Series::new("a", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)], 0));
+        c.series(Series::new("b", vec![(0.0, 1.0), (2.0, 3.0)], 1));
+        c
+    }
+
+    #[test]
+    fn render_is_wellformed_svg() {
+        let svg = sample_chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains(">a<") && svg.contains(">b<"));
+    }
+
+    #[test]
+    fn escaping_title() {
+        let mut c = LineChart::new("a < b & c", "x", "y");
+        c.series(Series::new("s", vec![(0.0, 0.0), (1.0, 1.0)], 0));
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(!svg.contains("a < b & c"));
+    }
+
+    #[test]
+    fn points_mapped_inside_canvas() {
+        let svg = sample_chart().render();
+        // crude: every path coordinate within [0, 800] × [0, 500]
+        for cap in svg.lines().filter(|l| l.starts_with("<path")) {
+            let d_start = cap.find("d=\"").unwrap() + 3;
+            let d_end = cap[d_start..].find('"').unwrap() + d_start;
+            for tok in cap[d_start..d_end].split(&['M', 'L', ' '][..]) {
+                if tok.is_empty() {
+                    continue;
+                }
+                let (x, y) = tok.split_once(',').unwrap();
+                let x: f64 = x.parse().unwrap();
+                let y: f64 = y.parse().unwrap();
+                assert!((0.0..=800.0).contains(&x));
+                assert!((0.0..=500.0).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_handled() {
+        let mut c = LineChart::new("flat", "x", "y");
+        c.series(Series::new("s", vec![(1.0, 5.0), (1.0, 5.0)], 0));
+        let svg = c.render(); // must not divide by zero
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_chart_panics() {
+        let _ = LineChart::new("e", "x", "y").render();
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(0.5), "0.5");
+        assert!(format_tick(12345.0).contains('e'));
+        assert!(format_tick(0.0001).contains('e'));
+    }
+}

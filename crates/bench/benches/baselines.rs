@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the baseline and extension models.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seg_core::multi::MultiSim;
+use seg_core::ring::RingSim;
+use seg_core::variants::{UpdateRule, VariantSim};
+use seg_core::Intolerance;
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::{Torus, TypeField};
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    for w in [4u32, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("steps_w", w), &w, |b, &w| {
+            b.iter_batched(
+                || RingSim::random(10_000, w, 0.45, 0.5, 1),
+                |mut sim| {
+                    for _ in 0..200 {
+                        if sim.step().is_none() {
+                            break;
+                        }
+                    }
+                    sim
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_multi(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multi");
+    for k in [2u8, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("steps_k", k), &k, |b, &k| {
+            b.iter_batched(
+                || MultiSim::random(128, 2, k, 0.3 / (k as f64 / 2.0), 3),
+                |mut sim| {
+                    for _ in 0..200 {
+                        if sim.step().is_none() {
+                            break;
+                        }
+                    }
+                    sim
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_variant(c: &mut Criterion) {
+    c.bench_function("variant_noise_steps", |b| {
+        b.iter_batched(
+            || {
+                let torus = Torus::new(128);
+                let mut rng = Xoshiro256pp::seed_from_u64(5);
+                let field = TypeField::random(torus, 0.5, &mut rng);
+                VariantSim::from_field(
+                    field,
+                    2,
+                    Intolerance::new(25, 0.44),
+                    UpdateRule::Noise(0.01),
+                    rng,
+                )
+            },
+            |mut sim| {
+                sim.run(200);
+                sim
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_ring, bench_multi, bench_variant);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the dynamics hot path: per-flip cost across
+//! horizons, run-to-stable throughput, and initial-configuration setup.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use seg_core::ModelConfig;
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamics_step");
+    for w in [1u32, 3, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("flip_w", w), &w, |b, &w| {
+            b.iter_batched(
+                || ModelConfig::new(256, w, 0.45).seed(1).build(),
+                |mut sim| {
+                    for _ in 0..100 {
+                        if sim.step().is_none() {
+                            break;
+                        }
+                    }
+                    sim
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_run_to_stable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("run_to_stable");
+    g.sample_size(10);
+    for n in [64u32, 128, 192] {
+        g.bench_with_input(BenchmarkId::new("side", n), &n, |b, &n| {
+            b.iter_batched(
+                || ModelConfig::new(n, 2, 0.45).seed(7).build(),
+                |mut sim| {
+                    sim.run_to_stable(u64::MAX);
+                    sim
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    c.bench_function("build_256_w5", |b| {
+        b.iter(|| ModelConfig::new(256, 5, 0.45).seed(3).build())
+    });
+}
+
+criterion_group!(benches, bench_step, bench_run_to_stable, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the percolation substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seg_grid::rng::Xoshiro256pp;
+use seg_percolation::chemical::ChemicalDistances;
+use seg_percolation::fpp::{FppLattice, PassageTimeDistribution};
+use seg_percolation::site::SiteLattice;
+
+fn bench_clusters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("percolation");
+    for p in [0.4f64, 0.6, 0.8] {
+        g.bench_with_input(
+            BenchmarkId::new("clusters_256_p", format!("{p}")),
+            &p,
+            |b, &p| {
+                let mut rng = Xoshiro256pp::seed_from_u64(1);
+                let lat = SiteLattice::random(256, 256, p, &mut rng);
+                b.iter(|| lat.clusters());
+            },
+        );
+    }
+    g.bench_function("spanning_256", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let lat = SiteLattice::random(256, 256, 0.6, &mut rng);
+        b.iter(|| lat.spans_horizontally());
+    });
+    g.finish();
+}
+
+fn bench_chemical_and_fpp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paths");
+    g.bench_function("chemical_bfs_256", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let lat = SiteLattice::random(256, 256, 0.8, &mut rng);
+        b.iter(|| ChemicalDistances::from_source(&lat, 128, 128));
+    });
+    g.bench_function("fpp_dijkstra_128", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let lat = FppLattice::random(
+            128,
+            128,
+            PassageTimeDistribution::Exponential { rate: 1.0 },
+            &mut rng,
+        );
+        b.iter(|| lat.passage_time((0, 64), (127, 64)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_clusters, bench_chemical_and_fpp);
+criterion_main!(benches);

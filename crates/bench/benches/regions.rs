@@ -1,0 +1,50 @@
+//! Criterion benchmarks for region analysis and the window substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seg_core::regions::{almost_monochromatic_region, monochromatic_region};
+use seg_core::ModelConfig;
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::{PrefixSums, Torus, TypeField, WindowCounts};
+
+fn bench_regions(c: &mut Criterion) {
+    // a segregated field so regions are non-trivial
+    let mut sim = ModelConfig::new(192, 3, 0.45).seed(5).build();
+    sim.run_to_stable(u64::MAX);
+    let ps = PrefixSums::new(sim.field());
+    let t = sim.torus();
+    let mut g = c.benchmark_group("regions");
+    g.bench_function("monochromatic_region", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % t.len();
+            monochromatic_region(sim.field(), &ps, t.from_index(i))
+        });
+    });
+    g.bench_function("almost_monochromatic_region_cap32", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7919) % t.len();
+            almost_monochromatic_region(sim.field(), &ps, t.from_index(i), 0.01, 32)
+        });
+    });
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let torus = Torus::new(512);
+    let mut rng = Xoshiro256pp::seed_from_u64(2);
+    let field = TypeField::random(torus, 0.5, &mut rng);
+    let mut g = c.benchmark_group("window");
+    for w in [2u32, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("build_512_w", w), &w, |b, &w| {
+            b.iter(|| WindowCounts::new(&field, w));
+        });
+    }
+    g.bench_function("prefix_sums_build_512", |b| {
+        b.iter(|| PrefixSums::new(&field));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_regions, bench_window);
+criterion_main!(benches);

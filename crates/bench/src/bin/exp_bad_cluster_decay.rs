@@ -1,0 +1,59 @@
+//! E11 — Lemma 14 via Grimmett's Theorem 5: below criticality, the radius
+//! of the open (bad-block) cluster at the origin has an exponential tail —
+//! so the interior of a chemical firewall contains no large bad clusters
+//! and becomes *almost* monochromatic.
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_bad_cluster_decay
+//! ```
+
+use seg_analysis::regression::exponential_fit;
+use seg_analysis::series::Table;
+use seg_bench::{banner, BASE_SEED};
+use seg_grid::rng::Xoshiro256pp;
+use seg_percolation::cluster::{empirical_radius_tail, origin_radius_tail};
+
+fn main() {
+    banner(
+        "E11 exp_bad_cluster_decay",
+        "Lemma 14 via Theorem 5 (Grimmett: exponential radius decay, p < pc)",
+        "origin-cluster radius tails at p ∈ {0.15, 0.30, 0.45}, 4000 trials",
+    );
+
+    for p in [0.15, 0.30, 0.45] {
+        let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED + (p * 100.0) as u64);
+        let samples = origin_radius_tail(30, p, 4000, &mut rng);
+        let k_max = 14;
+        let tail = empirical_radius_tail(&samples, k_max);
+        let mut table = Table::new(vec![
+            "k".into(),
+            "P(radius >= k)".into(),
+        ]);
+        let mut ks = Vec::new();
+        let mut ps_pos = Vec::new();
+        for (k, pr) in tail.iter().enumerate() {
+            table.push_row(vec![format!("{k}"), format!("{pr:.4}")]);
+            if *pr > 0.0 && k >= 1 {
+                ks.push(k as f64);
+                ps_pos.push(*pr);
+            }
+        }
+        println!("p = {p}:");
+        println!("{}", table.render());
+        if ks.len() >= 3 {
+            let fit = exponential_fit(&ks, &ps_pos);
+            println!(
+                "  exponential fit: P(radius ≥ k) ≈ {:.3}·2^({:.3}·k), ψ ≈ {:.3} nats\n  (R² = {:.3})\n",
+                fit.amplitude,
+                fit.rate,
+                -fit.rate * std::f64::consts::LN_2,
+                fit.r_squared
+            );
+        }
+    }
+    println!(
+        "paper shape check (Thm 5): the decay rate ψ(p) > 0 for every p < pc and\n\
+         shrinks as p → pc — exactly the bad-block control Lemma 14 needs inside\n\
+         an exponentially large neighborhood."
+    );
+}

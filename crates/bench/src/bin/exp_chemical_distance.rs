@@ -1,0 +1,60 @@
+//! E10 — Lemma 13 via Garet–Marchand's Theorem 4: in supercritical site
+//! percolation the chemical distance D(0, x) is proportional to ‖x‖₁,
+//! which makes the chemical firewall's length linear in its radius.
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_chemical_distance
+//! ```
+
+use seg_analysis::series::Table;
+use seg_analysis::stats::{quantile, Summary};
+use seg_bench::{banner, BASE_SEED};
+use seg_grid::rng::Xoshiro256pp;
+use seg_percolation::chemical::{stretch_exceedance, stretch_samples};
+
+fn main() {
+    banner(
+        "E10 exp_chemical_distance",
+        "Lemma 13 via Theorem 4 (Garet–Marchand, chemical distance ∝ ‖x‖₁)",
+        "stretch D(0,x)/‖x‖₁ at p ∈ {0.70, 0.80, 0.95}, k = 16..96, 80 trials",
+    );
+
+    for p in [0.70, 0.80, 0.95] {
+        println!("p = {p}:");
+        let mut table = Table::new(vec![
+            "k".into(),
+            "connected %".into(),
+            "mean stretch".into(),
+            "q95 stretch".into(),
+            "P(stretch > 1.25)".into(),
+        ]);
+        let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED ^ (p * 1000.0) as u64);
+        for k in [16u32, 32, 64, 96] {
+            let samples = stretch_samples(k, p, 80, &mut rng);
+            let connected: Vec<f64> = samples
+                .iter()
+                .filter(|s| s.connected)
+                .map(|s| s.stretch)
+                .collect();
+            if connected.is_empty() {
+                table.push_row(vec![format!("{k}"), "0".into(), "-".into(), "-".into(), "-".into()]);
+                continue;
+            }
+            let s = Summary::from_slice(&connected);
+            table.push_row(vec![
+                format!("{k}"),
+                format!("{:.0}", 100.0 * connected.len() as f64 / samples.len() as f64),
+                format!("{:.4}", s.mean),
+                format!("{:.4}", quantile(&connected, 0.95)),
+                format!("{:.3}", stretch_exceedance(&samples, 0.25)),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "paper shape check (Thm 4): at p well above p_c ≈ 0.593 the stretch\n\
+         concentrates near a constant; P(stretch > 1+α) falls with k (the\n\
+         exponential decay the chemical-firewall length argument needs), and the\n\
+         constant approaches 1 as p → 1."
+    );
+}

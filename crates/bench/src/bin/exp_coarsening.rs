@@ -1,0 +1,68 @@
+//! E19 — ablation: interface coarsening over continuous time.
+//!
+//! The paper's model at τ near 1/2 is a zero-temperature kinetic Ising
+//! model, whose domain growth classically follows the curvature-driven
+//! `L(t) ~ t^{1/2}` law (interface length ~ t^{-1/2}) until pinning.
+//! This ablation traces the interface decay at several τ, locating where
+//! the dynamics departs from Ising-like coarsening (flip-iff-improves
+//! pins earlier for smaller τ).
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_coarsening
+//! ```
+
+use seg_analysis::regression::linear_fit;
+use seg_analysis::series::Table;
+use seg_bench::{banner, BASE_SEED};
+use seg_core::trace::trace_run;
+use seg_core::ModelConfig;
+
+fn main() {
+    banner(
+        "E19 exp_coarsening",
+        "ablation: interface decay vs time (kinetic-Ising comparison)",
+        "192², w = 2, τ ∈ {0.40, 0.44, 0.48}; log-log slope of interface(t)",
+    );
+
+    for tau in [0.40, 0.44, 0.48] {
+        let mut sim = ModelConfig::new(192, 2, tau).seed(BASE_SEED).build();
+        let trace = trace_run(&mut sim, 2_000, u64::MAX);
+        let mut table = Table::new(vec![
+            "flips".into(),
+            "time".into(),
+            "interface".into(),
+            "unhappy".into(),
+        ]);
+        let mut log_t = Vec::new();
+        let mut log_if = Vec::new();
+        for p in &trace {
+            table.push_row(vec![
+                format!("{}", p.flips),
+                format!("{:.2}", p.time),
+                format!("{}", p.stats.interface_length),
+                format!("{}", p.stats.unhappy),
+            ]);
+            if p.time > 0.05 && p.stats.unhappy > 0 {
+                log_t.push(p.time.ln());
+                log_if.push((p.stats.interface_length as f64).ln());
+            }
+        }
+        println!("τ = {tau}:");
+        println!("{}", table.render());
+        if log_t.len() >= 3 {
+            let fit = linear_fit(&log_t, &log_if);
+            println!(
+                "  power-law fit while active: interface ~ t^{:.2}  (R² = {:.2})\n",
+                fit.slope, fit.r_squared
+            );
+        } else {
+            println!("  (too few active samples for a power-law fit)\n");
+        }
+    }
+    println!(
+        "paper context: the proofs never need the coarsening exponent, but the\n\
+         decay-then-pin shape explains the finite-size ceiling visible in\n\
+         exp_theorem1_scaling — domains stop growing when all agents are happy,\n\
+         earlier for smaller τ."
+    );
+}

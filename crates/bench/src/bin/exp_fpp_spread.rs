@@ -1,0 +1,59 @@
+//! E9 — Lemma 7 / Kesten's Theorem 3: first-passage percolation passage
+//! times grow linearly with concentration at the √k scale, which is what
+//! bounds the spread speed of unhappiness around a forming firewall.
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_fpp_spread
+//! ```
+
+use seg_analysis::regression::linear_fit;
+use seg_analysis::series::Table;
+use seg_analysis::stats::Summary;
+use seg_bench::{banner, BASE_SEED};
+use seg_grid::rng::Xoshiro256pp;
+use seg_percolation::fpp::{sample_tk, PassageTimeDistribution};
+
+fn main() {
+    banner(
+        "E9 exp_fpp_spread",
+        "Lemma 7 via Kesten's Theorem 3 (T_k linear growth, √k fluctuations)",
+        "site FPP, Exp(1) passage times, k = 8..64, 120 trials per k",
+    );
+
+    let dist = PassageTimeDistribution::Exponential { rate: 1.0 };
+    let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED);
+    let trials = 120;
+    let mut table = Table::new(vec![
+        "k".into(),
+        "mean T_k".into(),
+        "T_k/k".into(),
+        "std".into(),
+        "std/sqrt(k)".into(),
+    ]);
+    let mut ks = Vec::new();
+    let mut means = Vec::new();
+    for k in [8u32, 12, 16, 24, 32, 48, 64] {
+        let samples = sample_tk(k, dist, trials, &mut rng);
+        let s = Summary::from_slice(&samples);
+        ks.push(k as f64);
+        means.push(s.mean);
+        table.push_row(vec![
+            format!("{k}"),
+            format!("{:.3}", s.mean),
+            format!("{:.4}", s.mean / k as f64),
+            format!("{:.3}", s.std_dev()),
+            format!("{:.4}", s.std_dev() / (k as f64).sqrt()),
+        ]);
+    }
+    println!("{}", table.render());
+    let fit = linear_fit(&ks, &means);
+    println!(
+        "time constant: T_k ≈ {:.4}·k + {:.3}  (R² = {:.4}) — μ ≈ {:.4}",
+        fit.slope, fit.intercept, fit.r_squared, fit.slope
+    );
+    println!(
+        "paper shape check (Thm 3): T_k/k settles to a constant μ and the\n\
+         normalized fluctuation std/√k stays bounded (no diffusive blow-up) —\n\
+         the concentration Lemma 7 uses to bound T(ρ/2) from below."
+    );
+}

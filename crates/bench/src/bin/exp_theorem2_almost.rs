@@ -1,0 +1,77 @@
+//! E6 — Theorem 2: almost-monochromatic regions for τ ∈ (τ2, τ1], where
+//! strict monochromatic growth fails but regions with vanishing minority
+//! ratio are still exponential in expectation.
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_theorem2_almost
+//! ```
+
+use seg_analysis::series::Table;
+use seg_analysis::stats::Summary;
+use seg_bench::{banner, fmt_g, BASE_SEED};
+use seg_core::regions::{
+    almost_monochromatic_region, monochromatic_region, paper_ratio_bound,
+};
+use seg_core::ModelConfig;
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::PrefixSums;
+use seg_theory::constants::{tau1, tau2};
+
+fn main() {
+    banner(
+        "E6 exp_theorem2_almost",
+        "Theorem 2 (E[M'] exponential on (τ2, τ1])",
+        "τ sweep across (τ2, τ1], w = 4, 256² grid, ratio bound e^{−εN}, ε = 0.02",
+    );
+    println!("(τ2, τ1] = ({:.4}, {:.4}]\n", tau2(), tau1());
+
+    let n = 256;
+    let w = 4;
+    let nsize = (2 * w + 1) * (2 * w + 1);
+    let eps = 0.02;
+    let bound = paper_ratio_bound(nsize, eps);
+    let seeds = [BASE_SEED, BASE_SEED + 1, BASE_SEED + 2];
+
+    let mut table = Table::new(vec![
+        "tau".into(),
+        "E[M] strict".into(),
+        "E[M'] almost".into(),
+        "ratio bound".into(),
+        "M'/M".into(),
+    ]);
+    for tau in [0.36, 0.38, 0.40, 0.42, tau1()] {
+        let mut strict = Vec::new();
+        let mut almost = Vec::new();
+        for &seed in &seeds {
+            let mut sim = ModelConfig::new(n, w, tau).seed(seed).build();
+            sim.run_to_stable(u64::MAX);
+            let ps = PrefixSums::new(sim.field());
+            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x66);
+            for _ in 0..40 {
+                let u = sim
+                    .torus()
+                    .from_index(rng.next_below(sim.torus().len() as u64) as usize);
+                strict.push(monochromatic_region(sim.field(), &ps, u).size as f64);
+                almost.push(
+                    almost_monochromatic_region(sim.field(), &ps, u, bound, (n - 1) / 2).size
+                        as f64,
+                );
+            }
+        }
+        let s = Summary::from_slice(&strict);
+        let a = Summary::from_slice(&almost);
+        table.push_row(vec![
+            format!("{tau:.4}"),
+            fmt_g(s.mean),
+            fmt_g(a.mean),
+            format!("{bound:.2e}"),
+            format!("{:.1}", a.mean / s.mean),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "paper shape check: on (τ2, τ1] the almost-monochromatic region M' is\n\
+         consistently (much) larger than the strict M — the minority clusters that\n\
+         survive inside chemical firewalls are tolerated by M' but clip M."
+    );
+}

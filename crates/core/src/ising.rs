@@ -1,0 +1,153 @@
+//! The zero-temperature Ising correspondence (§I-A).
+//!
+//! The paper notes that at `τ = 1/2` the model "corresponds to spontaneous
+//! magnetization in the Ising model with zero temperature, where spins
+//! align along the direction of the local field". This module makes the
+//! correspondence executable: the Hamiltonian
+//!
+//! ```text
+//! H(σ) = −Σ_{u, v ∈ N(u), v ≠ u} σ(u)·σ(v)
+//! ```
+//!
+//! (each window pair counted from both ends) relates to the Lyapunov
+//! potential `Φ = Σ_u S(u)` by `H = −(2Φ − n²(N+1)) = n²(N+1) − 2Φ`, so
+//! every legal flip strictly *decreases* the energy — the dynamics is a
+//! zero-temperature (greedy) Glauber quench, and at `τ = 1/2` a flip is
+//! legal exactly when the spin is anti-aligned with its local field.
+
+use crate::lyapunov::potential;
+use crate::sim::Simulation;
+use seg_grid::Point;
+
+/// The extended-Moore Ising energy `H(σ)` of the current configuration.
+///
+/// O(n²) given the simulation's incremental counts.
+pub fn energy(sim: &Simulation) -> i64 {
+    // Σ_u σ(u)·(local field of u) where field = S_others − O_others
+    //   = Σ_u [ (S(u)−1) − (N−S(u)) ] = 2Φ − n²(N+1)
+    // and H = −that.
+    let n2 = sim.torus().len() as i64;
+    let nsize = sim.intolerance().neighborhood_size() as i64;
+    n2 * (nsize + 1) - 2 * potential(sim) as i64
+}
+
+/// The local field at `u`: the sum of the spins of the *other* agents in
+/// `N(u)` (positive means `+1`-majority).
+pub fn local_field(sim: &Simulation, u: Point) -> i64 {
+    let s_others = sim.same_count(u) as i64 - 1;
+    let o_others = sim.intolerance().neighborhood_size() as i64 - s_others - 1;
+    match sim.field().get(u) {
+        seg_grid::AgentType::Plus => s_others - o_others,
+        seg_grid::AgentType::Minus => o_others - s_others,
+    }
+}
+
+/// Whether `u`'s spin is aligned with its local field (ties count as
+/// aligned: a zero field never flips at zero temperature under the
+/// flip-iff-improves rule).
+pub fn is_aligned(sim: &Simulation, u: Point) -> bool {
+    let field = local_field(sim, u);
+    let spin = sim.field().get(u).spin() as i64;
+    spin * field >= 0
+}
+
+/// The energy change a flip at `u` would cause: `ΔH = 4·σ(u)·field(u)`
+/// — each unordered window pair appears twice in `H` (once from each
+/// endpoint), and the flip negates `u`'s contribution, hence the 4.
+/// Positive when the spin was aligned; such flips never happen.
+pub fn flip_energy_delta(sim: &Simulation, u: Point) -> i64 {
+    4 * (sim.field().get(u).spin() as i64) * field_times_spin_sign(sim, u)
+}
+
+fn field_times_spin_sign(sim: &Simulation, u: Point) -> i64 {
+    // field expressed in the +1/−1 basis independent of u's own type
+    let plus = sim.counts().plus_count(u) as i64;
+    let nsize = sim.intolerance().neighborhood_size() as i64;
+    let own = sim.field().get(u).spin() as i64;
+    // others' spin sum = (plus − own_plus_contribution) − (minus − own_minus_contribution)
+    (2 * plus - nsize) - own
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn energy_matches_brute_force() {
+        let sim = ModelConfig::new(24, 1, 0.5).seed(3).build();
+        let t = sim.torus();
+        let mut brute = 0i64;
+        for u in t.points() {
+            let su = sim.field().get(u).spin() as i64;
+            let ball = seg_grid::Neighborhood::new(t, u, sim.horizon());
+            for v in ball.points() {
+                if v != u {
+                    brute -= su * sim.field().get(v).spin() as i64;
+                }
+            }
+        }
+        assert_eq!(energy(&sim), brute);
+    }
+
+    #[test]
+    fn every_flip_decreases_energy() {
+        let mut sim = ModelConfig::new(32, 2, 0.5).seed(5).build();
+        let mut e = energy(&sim);
+        for _ in 0..200 {
+            let before = sim.clone();
+            match sim.step() {
+                Some(ev) => {
+                    let predicted = flip_energy_delta(&before, ev.at);
+                    let new_e = energy(&sim);
+                    assert!(new_e < e, "zero-temperature quench must descend");
+                    assert_eq!(new_e - e, predicted, "ΔH formula at {:?}", ev.at);
+                    e = new_e;
+                }
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn at_tau_half_flippable_iff_antialigned() {
+        // τ = 1/2 (threshold ⌈N/2⌉): the Schelling rule is exactly
+        // "flip iff strictly anti-aligned with the local field".
+        let sim = ModelConfig::new(24, 1, 0.5).seed(7).build();
+        let t = sim.torus();
+        for u in t.points() {
+            let s = sim.same_count(u);
+            let flippable = sim.intolerance().is_flippable(s);
+            let anti = !is_aligned(&sim, u);
+            assert_eq!(
+                flippable, anti,
+                "at {:?}: S = {s}, field = {}",
+                u,
+                local_field(&sim, u)
+            );
+        }
+    }
+
+    #[test]
+    fn local_field_sign_convention() {
+        // all-plus sea: a plus agent has maximal positive field
+        let sim = ModelConfig::new(16, 1, 0.5).initial_density(1.0).build();
+        let u = sim.torus().point(4, 4);
+        assert_eq!(local_field(&sim, u), 8); // N−1 aligned others
+        assert!(is_aligned(&sim, u));
+    }
+
+    #[test]
+    fn stable_states_are_local_energy_minima_at_half() {
+        let mut sim = ModelConfig::new(24, 1, 0.5).seed(11).build();
+        sim.run_to_stable(1_000_000);
+        assert!(sim.is_stable());
+        // no single flip can decrease the energy strictly
+        for u in sim.torus().points() {
+            assert!(
+                flip_energy_delta(&sim, u) >= 0,
+                "descent direction left at {u:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The termination potential (§II-A, "Termination").
+//!
+//! The paper argues termination through the Lyapunov function
+//! `Φ(σ) = Σ_u S(u)`: the sum over all agents of the same-type count in
+//! their neighborhood. Each legal flip strictly increases `Φ` (the flip
+//! makes the flipper happy, so its alignment strictly improves, and the
+//! improvement is mirrored by every neighbor), and `Φ ≤ n²·N`, so the
+//! process stops after finitely many flips.
+
+use crate::sim::Simulation;
+
+/// Evaluates `Φ = Σ_u S(u)` over the current configuration. O(n²).
+///
+/// # Example
+///
+/// ```
+/// use seg_core::{ModelConfig, lyapunov::potential};
+/// let mut sim = ModelConfig::new(48, 2, 0.45).seed(1).build();
+/// let before = potential(&sim);
+/// if sim.step().is_some() {
+///     assert!(potential(&sim) > before); // strict increase per flip
+/// }
+/// ```
+pub fn potential(sim: &Simulation) -> u64 {
+    let t = sim.torus();
+    (0..t.len())
+        .map(|i| {
+            sim.counts()
+                .same_count_index(i, sim.field().get_index(i)) as u64
+        })
+        .sum()
+}
+
+/// The a-priori upper bound `n²·N` on the potential.
+pub fn potential_max(sim: &Simulation) -> u64 {
+    sim.torus().len() as u64 * sim.intolerance().neighborhood_size() as u64
+}
+
+/// The exact increment of `Φ` caused by flipping an agent whose same-type
+/// count (self included) is `same_count`, in a neighborhood of size `n_size`:
+/// `ΔΦ = 2·(N − 2S + 1)`.
+///
+/// For every flip the paper's rule permits, this is strictly positive —
+/// see the crate docs of this module. Exposed so tests and the
+/// termination audit can check the algebra.
+pub fn flip_increment(n_size: u32, same_count: u32) -> i64 {
+    2 * (n_size as i64 - 2 * same_count as i64 + 1)
+}
+
+/// An upper bound on the number of flips until termination from the
+/// current state: remaining potential over the minimum per-flip increment.
+pub fn max_remaining_flips(sim: &Simulation) -> u64 {
+    (potential_max(sim) - potential(sim)) / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn potential_bounds() {
+        let sim = ModelConfig::new(32, 2, 0.45).seed(2).build();
+        let phi = potential(&sim);
+        assert!(phi <= potential_max(&sim));
+        // random field: Φ ≈ n²·N/2
+        let expect = potential_max(&sim) / 2;
+        let slack = potential_max(&sim) / 10;
+        assert!(
+            phi > expect - slack && phi < expect + slack,
+            "phi = {phi}, expected ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn uniform_field_reaches_maximum() {
+        let sim = ModelConfig::new(32, 2, 0.45)
+            .initial_density(1.0)
+            .build();
+        assert_eq!(potential(&sim), potential_max(&sim));
+    }
+
+    #[test]
+    fn every_flip_strictly_increases_potential() {
+        let mut sim = ModelConfig::new(48, 2, 0.42).seed(7).build();
+        let mut phi = potential(&sim);
+        for _ in 0..200 {
+            let before = sim.clone();
+            match sim.step() {
+                Some(ev) => {
+                    let s = before.same_count(ev.at);
+                    let predicted =
+                        flip_increment(sim.intolerance().neighborhood_size(), s);
+                    let new_phi = potential(&sim);
+                    assert!(predicted > 0, "legal flip must increase Φ");
+                    assert_eq!(
+                        new_phi as i64 - phi as i64,
+                        predicted,
+                        "increment formula mismatch at {:?}",
+                        ev.at
+                    );
+                    phi = new_phi;
+                }
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn increment_formula_signs() {
+        // S below (N+1)/2 ⇒ positive increment
+        assert!(flip_increment(25, 10) > 0);
+        assert_eq!(flip_increment(25, 13), 0); // S = (N+1)/2
+        assert!(flip_increment(25, 20) < 0);
+    }
+
+    #[test]
+    fn remaining_flips_bound_holds() {
+        let mut sim = ModelConfig::new(32, 2, 0.4).seed(3).build();
+        let bound = max_remaining_flips(&sim);
+        let report = sim.run_to_stable(u64::MAX);
+        assert!(report.terminated);
+        assert!(
+            report.flips <= bound,
+            "flips {} exceeded Lyapunov bound {}",
+            report.flips,
+            bound
+        );
+    }
+
+    #[test]
+    fn potential_nondecreasing_above_half_too() {
+        let mut sim = ModelConfig::new(32, 2, 0.55).seed(4).build();
+        let mut phi = potential(&sim);
+        for _ in 0..500 {
+            if sim.step().is_none() {
+                break;
+            }
+            let new_phi = potential(&sim);
+            assert!(new_phi > phi, "Φ must strictly increase (τ > 1/2 case)");
+            phi = new_phi;
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Configuration-level segregation metrics.
+
+use crate::sim::Simulation;
+use seg_grid::{AgentType, TypeField};
+use seg_percolation::union_find::UnionFind;
+
+/// Snapshot statistics of a configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfigStats {
+    /// Number of `+1` agents.
+    pub plus: usize,
+    /// Number of `-1` agents.
+    pub minus: usize,
+    /// Number of unhappy agents.
+    pub unhappy: usize,
+    /// Number of flippable agents (unhappy and improvable).
+    pub flippable: usize,
+    /// Fraction of happy agents in `[0, 1]`.
+    pub happy_fraction: f64,
+    /// Number of von-Neumann-adjacent opposite-type pairs (the interface
+    /// length; complete segregation into two half-planes minimizes it).
+    pub interface_length: usize,
+    /// Size of the largest same-type 4-connected cluster.
+    pub largest_cluster: usize,
+}
+
+/// Computes all [`ConfigStats`] for the current simulation state.
+pub fn config_stats(sim: &Simulation) -> ConfigStats {
+    let field = sim.field();
+    let plus = field.plus_total();
+    let n = field.torus().len();
+    let unhappy = sim.unhappy_count();
+    ConfigStats {
+        plus,
+        minus: n - plus,
+        unhappy,
+        flippable: sim.flippable_count(),
+        happy_fraction: 1.0 - unhappy as f64 / n as f64,
+        interface_length: interface_length(field),
+        largest_cluster: largest_same_type_cluster(field),
+    }
+}
+
+/// Number of von-Neumann-adjacent opposite-type pairs on the torus.
+pub fn interface_length(field: &TypeField) -> usize {
+    let t = field.torus();
+    let n = t.side() as i64;
+    let mut count = 0usize;
+    for p in t.points() {
+        let here = field.get(p);
+        // count right and down edges only, so each pair once (wraps included)
+        let right = t.offset(p, 1, 0);
+        let down = t.offset(p, 0, 1);
+        if n > 1 {
+            if field.get(right) != here {
+                count += 1;
+            }
+            if field.get(down) != here {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Size of the largest 4-connected same-type cluster.
+pub fn largest_same_type_cluster(field: &TypeField) -> usize {
+    let t = field.torus();
+    let n = t.side() as usize;
+    let mut uf = UnionFind::new(t.len());
+    for y in 0..n {
+        for x in 0..n {
+            let i = y * n + x;
+            let here = field.get_index(i);
+            let right = y * n + (x + 1) % n;
+            let down = ((y + 1) % n) * n + x;
+            if field.get_index(right) == here {
+                uf.union(i, right);
+            }
+            if field.get_index(down) == here {
+                uf.union(i, down);
+            }
+        }
+    }
+    (0..t.len())
+        .map(|i| uf.component_size(i))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Sizes of all 4-connected same-type clusters of a given type, largest
+/// first.
+pub fn cluster_sizes_of_type(field: &TypeField, ty: AgentType) -> Vec<usize> {
+    let t = field.torus();
+    let n = t.side() as usize;
+    let mut uf = UnionFind::new(t.len());
+    for y in 0..n {
+        for x in 0..n {
+            let i = y * n + x;
+            if field.get_index(i) != ty {
+                continue;
+            }
+            let right = y * n + (x + 1) % n;
+            let down = ((y + 1) % n) * n + x;
+            if field.get_index(right) == ty {
+                uf.union(i, right);
+            }
+            if field.get_index(down) == ty {
+                uf.union(i, down);
+            }
+        }
+    }
+    let mut seen = std::collections::HashMap::new();
+    for i in 0..t.len() {
+        if field.get_index(i) == ty {
+            let root = uf.find(i);
+            *seen.entry(root).or_insert(0usize) += 1;
+        }
+    }
+    let mut sizes: Vec<usize> = seen.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Whether the configuration is completely segregated: one type covers the
+/// whole torus (§V, the Fontes-et-al. regime).
+pub fn is_completely_segregated(field: &TypeField) -> bool {
+    field.is_monochromatic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use seg_grid::{Torus, TypeField};
+
+    #[test]
+    fn interface_of_uniform_field_is_zero() {
+        let t = Torus::new(16);
+        let f = TypeField::uniform(t, AgentType::Plus);
+        assert_eq!(interface_length(&f), 0);
+        assert!(is_completely_segregated(&f));
+        assert_eq!(largest_same_type_cluster(&f), 256);
+    }
+
+    #[test]
+    fn interface_of_checkerboard_is_maximal() {
+        let t = Torus::new(16);
+        let f = TypeField::from_fn(t, |p| {
+            if (p.x + p.y) % 2 == 0 {
+                AgentType::Plus
+            } else {
+                AgentType::Minus
+            }
+        });
+        // every edge is an interface edge: 2 edges per site
+        assert_eq!(interface_length(&f), 2 * 256);
+        assert_eq!(largest_same_type_cluster(&f), 1);
+    }
+
+    #[test]
+    fn halves_have_two_interfaces_on_torus() {
+        let t = Torus::new(16);
+        let f = TypeField::from_fn(t, |p| {
+            if p.x < 8 {
+                AgentType::Plus
+            } else {
+                AgentType::Minus
+            }
+        });
+        // two vertical seams of length 16 each (x = 7→8 and wrap 15→0)
+        assert_eq!(interface_length(&f), 32);
+        assert_eq!(largest_same_type_cluster(&f), 128);
+        let sizes = cluster_sizes_of_type(&f, AgentType::Plus);
+        assert_eq!(sizes, vec![128]);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let sim = ModelConfig::new(32, 2, 0.45).seed(5).build();
+        let s = config_stats(&sim);
+        assert_eq!(s.plus + s.minus, 1024);
+        assert!(s.flippable <= s.unhappy, "flippable ⊆ unhappy for τ < 1/2");
+        assert!((0.0..=1.0).contains(&s.happy_fraction));
+        assert!(s.largest_cluster >= 1);
+    }
+
+    #[test]
+    fn dynamics_reduces_interface() {
+        let mut sim = ModelConfig::new(64, 2, 0.45).seed(8).build();
+        let before = interface_length(sim.field());
+        sim.run_to_stable(1_000_000);
+        let after = interface_length(sim.field());
+        assert!(
+            after < before,
+            "segregation dynamics must coarsen: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_type_total() {
+        let sim = ModelConfig::new(48, 2, 0.4).seed(2).build();
+        let f = sim.field();
+        let sizes = cluster_sizes_of_type(f, AgentType::Plus);
+        assert_eq!(sizes.iter().sum::<usize>(), f.plus_total());
+        // sorted descending
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+}

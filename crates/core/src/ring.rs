@@ -1,0 +1,391 @@
+//! One-dimensional ring baselines (Brandt et al. [23], Barmpalias et
+//! al. [24]), which the paper's introduction builds on.
+//!
+//! Agents sit on a cycle of length `n`; the neighborhood of an agent is
+//! the window of `2w + 1` agents centered at it (self included). The
+//! Glauber variant flips an unhappy agent iff the flip makes it happy; the
+//! Kawasaki variant swaps two unhappy agents of opposite types iff both
+//! become happy. Known behavior, reproduced by `exp_ring_baseline`:
+//! static below `τ* ≈ 0.35`, run lengths exponential in `2w+1` for
+//! `τ* < τ < 1/2`, polynomial at `τ = 1/2`.
+
+use crate::intolerance::Intolerance;
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::AgentType;
+
+/// The 1-D Glauber model on a ring.
+#[derive(Clone, Debug)]
+pub struct RingSim {
+    types: Vec<AgentType>,
+    /// same-type count (self included) per agent
+    same: Vec<u32>,
+    horizon: u32,
+    intol: Intolerance,
+    rng: Xoshiro256pp,
+    flips: u64,
+}
+
+impl RingSim {
+    /// Samples a Bernoulli(p) ring of length `n` with window radius `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window `2w+1` exceeds `n`, or `p`/`τ̃` are not
+    /// probabilities.
+    pub fn random(n: usize, w: u32, tau_tilde: f64, p: f64, seed: u64) -> Self {
+        assert!(2 * (w as usize) < n, "window exceeds ring length");
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let types: Vec<AgentType> = (0..n)
+            .map(|_| {
+                if rng.next_bool(p) {
+                    AgentType::Plus
+                } else {
+                    AgentType::Minus
+                }
+            })
+            .collect();
+        let intol = Intolerance::new(2 * w + 1, tau_tilde);
+        let mut sim = RingSim {
+            same: vec![0; n],
+            types,
+            horizon: w,
+            intol,
+            rng,
+            flips: 0,
+        };
+        sim.rebuild_counts();
+        sim
+    }
+
+    /// Builds from an explicit type vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the ring length.
+    pub fn from_types(types: Vec<AgentType>, w: u32, tau_tilde: f64, seed: u64) -> Self {
+        assert!(2 * (w as usize) < types.len(), "window exceeds ring length");
+        let intol = Intolerance::new(2 * w + 1, tau_tilde);
+        let mut sim = RingSim {
+            same: vec![0; types.len()],
+            types,
+            horizon: w,
+            intol,
+            rng: Xoshiro256pp::seed_from_u64(seed),
+            flips: 0,
+        };
+        sim.rebuild_counts();
+        sim
+    }
+
+    fn rebuild_counts(&mut self) {
+        let n = self.types.len();
+        let w = self.horizon as usize;
+        for i in 0..n {
+            let me = self.types[i];
+            let mut s = 0u32;
+            for d in 0..=(2 * w) {
+                let j = (i + n + d - w) % n;
+                s += u32::from(self.types[j] == me);
+            }
+            self.same[i] = s;
+        }
+    }
+
+    /// Ring length.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the ring is empty (never; constructors require a window).
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// The agent types.
+    pub fn types(&self) -> &[AgentType] {
+        &self.types
+    }
+
+    /// Total flips so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// The intolerance in use.
+    pub fn intolerance(&self) -> Intolerance {
+        self.intol
+    }
+
+    /// Whether agent `i` is happy.
+    pub fn is_happy(&self, i: usize) -> bool {
+        self.intol.is_happy(self.same[i])
+    }
+
+    /// Indices of currently flippable agents.
+    pub fn flippable(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|i| self.intol.is_flippable(self.same[*i]))
+            .collect()
+    }
+
+    fn flip(&mut self, i: usize) {
+        let n = self.len();
+        let w = self.horizon as usize;
+        let old = self.types[i];
+        self.types[i] = old.flipped();
+        self.flips += 1;
+        // update same counts in the window around i
+        for d in 0..=(2 * w) {
+            let j = (i + n + d - w) % n;
+            if j == i {
+                // the agent itself: recount fully (cheap)
+                let me = self.types[i];
+                let mut s = 0u32;
+                for e in 0..=(2 * w) {
+                    let k = (i + n + e - w) % n;
+                    s += u32::from(self.types[k] == me);
+                }
+                self.same[i] = s;
+            } else {
+                // neighbor j: one member of its window changed type
+                if self.types[j] == old {
+                    self.same[j] -= 1;
+                } else {
+                    self.same[j] += 1;
+                }
+            }
+        }
+    }
+
+    /// One Glauber step: flips a uniformly chosen flippable agent.
+    /// Returns the flipped index, or `None` when stable.
+    pub fn step(&mut self) -> Option<usize> {
+        let f = self.flippable();
+        if f.is_empty() {
+            return None;
+        }
+        let i = f[self.rng.next_below(f.len() as u64) as usize];
+        self.flip(i);
+        Some(i)
+    }
+
+    /// Runs to stability or the flip cap; returns `true` on stability.
+    pub fn run_to_stable(&mut self, max_flips: u64) -> bool {
+        for _ in 0..max_flips {
+            if self.step().is_none() {
+                return true;
+            }
+        }
+        self.flippable().is_empty()
+    }
+
+    /// Lengths of maximal same-type runs around the ring (the 1-D
+    /// analogue of monochromatic regions).
+    pub fn run_lengths(&self) -> Vec<usize> {
+        let n = self.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.types.iter().all(|t| *t == self.types[0]) {
+            return vec![n];
+        }
+        // rotate to start at a boundary
+        let start = (0..n)
+            .find(|i| self.types[*i] != self.types[(i + n - 1) % n])
+            .expect("non-uniform ring has a boundary");
+        let mut runs = Vec::new();
+        let mut len = 0usize;
+        let mut cur = self.types[start];
+        for k in 0..n {
+            let t = self.types[(start + k) % n];
+            if t == cur {
+                len += 1;
+            } else {
+                runs.push(len);
+                cur = t;
+                len = 1;
+            }
+        }
+        runs.push(len);
+        runs
+    }
+
+    /// Mean run length (the quantity whose scaling in `2w+1` separates the
+    /// static, exponential and polynomial regimes).
+    pub fn mean_run_length(&self) -> f64 {
+        let runs = self.run_lengths();
+        runs.iter().sum::<usize>() as f64 / runs.len() as f64
+    }
+}
+
+/// The 1-D Kawasaki (swap) model of Brandt et al.: unhappy agents of
+/// opposite types swap iff the swap makes both happy.
+#[derive(Clone, Debug)]
+pub struct RingKawasaki {
+    inner: RingSim,
+    swaps: u64,
+}
+
+impl RingKawasaki {
+    /// Wraps a [`RingSim`] (its Glauber stepper is not used).
+    pub fn new(inner: RingSim) -> Self {
+        RingKawasaki { inner, swaps: 0 }
+    }
+
+    /// Access the ring state.
+    pub fn ring(&self) -> &RingSim {
+        &self.inner
+    }
+
+    /// Completed swaps.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Attempts one swap of a uniformly chosen unhappy (+1)/(-1) pair.
+    /// `Some(true)` on success, `Some(false)` on rejection, `None` when no
+    /// opposite-type unhappy pair exists.
+    pub fn try_swap(&mut self) -> Option<bool> {
+        let unhappy_plus: Vec<usize> = (0..self.inner.len())
+            .filter(|i| {
+                self.inner.types[*i] == AgentType::Plus && !self.inner.is_happy(*i)
+            })
+            .collect();
+        let unhappy_minus: Vec<usize> = (0..self.inner.len())
+            .filter(|i| {
+                self.inner.types[*i] == AgentType::Minus && !self.inner.is_happy(*i)
+            })
+            .collect();
+        if unhappy_plus.is_empty() || unhappy_minus.is_empty() {
+            return None;
+        }
+        let a = unhappy_plus
+            [self.inner.rng.next_below(unhappy_plus.len() as u64) as usize];
+        let b = unhappy_minus
+            [self.inner.rng.next_below(unhappy_minus.len() as u64) as usize];
+        self.inner.flip(a);
+        self.inner.flip(b);
+        if self.inner.is_happy(a) && self.inner.is_happy(b) {
+            self.swaps += 1;
+            Some(true)
+        } else {
+            self.inner.flip(a);
+            self.inner.flip(b);
+            Some(false)
+        }
+    }
+
+    /// Runs for up to `max_attempts`; returns successful swaps.
+    pub fn run(&mut self, max_attempts: u64) -> u64 {
+        let s0 = self.swaps;
+        for _ in 0..max_attempts {
+            if self.try_swap().is_none() {
+                break;
+            }
+        }
+        self.swaps - s0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_brute_force_after_flips() {
+        let mut sim = RingSim::random(200, 3, 0.45, 0.5, 7);
+        for _ in 0..100 {
+            if sim.step().is_none() {
+                break;
+            }
+        }
+        let snapshot = sim.same.clone();
+        sim.rebuild_counts();
+        assert_eq!(snapshot, sim.same, "incremental counts diverged");
+    }
+
+    #[test]
+    fn static_below_tau_star() {
+        // Effective τ = ⌈τ̃(2w+1)⌉/(2w+1): pick τ̃ so it stays below
+        // τ* ≈ 0.35 after the ceiling (w = 8 ⇒ 5/17 ≈ 0.294).
+        let mut low = RingSim::random(2_000, 8, 0.26, 0.5, 1);
+        assert!(low.run_to_stable(1_000_000));
+        let low_flips = low.flips();
+        let mut high = RingSim::random(2_000, 8, 0.45, 0.5, 1);
+        assert!(high.run_to_stable(10_000_000));
+        assert!(
+            low_flips * 10 < high.flips(),
+            "below τ* nearly static ({low_flips}) vs segregating ({})",
+            high.flips()
+        );
+        assert!(low_flips < 150, "flips = {low_flips}");
+    }
+
+    #[test]
+    fn segregation_above_tau_star() {
+        let before = RingSim::random(2_000, 8, 0.45, 0.5, 2).mean_run_length();
+        let mut sim = RingSim::random(2_000, 8, 0.45, 0.5, 2);
+        sim.run_to_stable(10_000_000);
+        let after = sim.mean_run_length();
+        assert!(
+            after > 3.0 * before,
+            "τ* < τ < 1/2 must coarsen: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn run_lengths_partition_ring() {
+        let sim = RingSim::random(500, 4, 0.4, 0.5, 3);
+        let runs = sim.run_lengths();
+        assert_eq!(runs.iter().sum::<usize>(), 500);
+        assert!(runs.iter().all(|r| *r >= 1));
+    }
+
+    #[test]
+    fn uniform_ring_single_run() {
+        let sim = RingSim::from_types(vec![AgentType::Plus; 100], 2, 0.4, 0);
+        assert_eq!(sim.run_lengths(), vec![100]);
+        assert!(sim.flippable().is_empty());
+    }
+
+    #[test]
+    fn alternating_ring_runs_of_one() {
+        let types: Vec<AgentType> = (0..100)
+            .map(|i| {
+                if i % 2 == 0 {
+                    AgentType::Plus
+                } else {
+                    AgentType::Minus
+                }
+            })
+            .collect();
+        let sim = RingSim::from_types(types, 2, 0.4, 0);
+        assert_eq!(sim.run_lengths().len(), 100);
+    }
+
+    #[test]
+    fn kawasaki_conserves_counts() {
+        let inner = RingSim::random(500, 4, 0.45, 0.5, 5);
+        let plus_before = inner
+            .types()
+            .iter()
+            .filter(|t| **t == AgentType::Plus)
+            .count();
+        let mut k = RingKawasaki::new(inner);
+        k.run(2_000);
+        let plus_after = k
+            .ring()
+            .types()
+            .iter()
+            .filter(|t| **t == AgentType::Plus)
+            .count();
+        assert_eq!(plus_before, plus_after);
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds")]
+    fn window_larger_than_ring_panics() {
+        let _ = RingSim::random(5, 3, 0.4, 0.5, 0);
+    }
+}

@@ -1,0 +1,510 @@
+//! The exact event-driven Glauber dynamics (§II-A).
+
+use crate::intolerance::Intolerance;
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::{AgentType, Point, Torus, TypeField, WindowCounts};
+
+/// A set of cell indices with O(1) insert, remove and uniform sampling —
+/// the *flippable* agents (unhappy, and made happy by a flip).
+#[derive(Clone, Debug)]
+pub(crate) struct IndexedSet {
+    items: Vec<u32>,
+    /// position of each cell in `items`, or `u32::MAX` when absent.
+    pos: Vec<u32>,
+}
+
+impl IndexedSet {
+    pub(crate) fn new(capacity: usize) -> Self {
+        IndexedSet {
+            items: Vec::new(),
+            pos: vec![u32::MAX; capacity],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.pos[i] != u32::MAX
+    }
+
+    #[inline]
+    pub(crate) fn insert(&mut self, i: usize) {
+        if self.pos[i] == u32::MAX {
+            self.pos[i] = self.items.len() as u32;
+            self.items.push(i as u32);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn remove(&mut self, i: usize) {
+        let p = self.pos[i];
+        if p == u32::MAX {
+            return;
+        }
+        let last = *self.items.last().expect("non-empty when pos is set");
+        self.items[p as usize] = last;
+        self.pos[last as usize] = p;
+        self.items.pop();
+        self.pos[i] = u32::MAX;
+    }
+
+    #[inline]
+    pub(crate) fn sample(&self, rng: &mut Xoshiro256pp) -> Option<usize> {
+        if self.items.is_empty() {
+            None
+        } else {
+            Some(self.items[rng.next_below(self.items.len() as u64) as usize] as usize)
+        }
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.items.iter().map(|i| *i as usize)
+    }
+}
+
+/// Summary of a [`Simulation::run_to_stable`] call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RunReport {
+    /// Number of flips performed during this call.
+    pub flips: u64,
+    /// Whether the process reached a stable state (no flippable agents).
+    pub terminated: bool,
+    /// Continuous time elapsed during this call.
+    pub elapsed_time: f64,
+}
+
+/// A single flip event, as recorded by [`Simulation::step`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlipEvent {
+    /// The agent that flipped.
+    pub at: Point,
+    /// Its type after the flip.
+    pub new_type: AgentType,
+    /// Continuous time of the event.
+    pub time: f64,
+}
+
+/// The paper's process, simulated exactly.
+///
+/// Every agent carries a rate-1 Poisson clock; a ring flips the agent iff
+/// it is unhappy and the flip makes it happy. Rings of non-flippable
+/// agents change nothing, so the simulation integrates them out: with `F`
+/// flippable agents the time to the next effective event is `Exp(F)` and
+/// the flipping agent is uniform over the flippable set — exactly the law
+/// of the embedded jump chain of the paper's continuous-time process.
+///
+/// A flip touches the `(2w+1)²` neighborhoods containing it; each step is
+/// O(N).
+///
+/// # Example
+///
+/// ```
+/// use seg_core::ModelConfig;
+/// let mut sim = ModelConfig::new(64, 2, 0.4).seed(11).build();
+/// let before = sim.unhappy_count();
+/// sim.run_to_stable(100_000);
+/// assert_eq!(sim.flippable_count(), 0);
+/// let after = sim.unhappy_count();
+/// assert!(after <= before);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    field: TypeField,
+    counts: WindowCounts,
+    intol: Intolerance,
+    flippable: IndexedSet,
+    rng: Xoshiro256pp,
+    time: f64,
+    flips: u64,
+}
+
+impl Simulation {
+    /// Builds a simulation from an explicit initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit the torus (see
+    /// [`WindowCounts::new`]).
+    pub fn from_field(
+        field: TypeField,
+        horizon: u32,
+        intol: Intolerance,
+        rng: Xoshiro256pp,
+    ) -> Self {
+        let counts = WindowCounts::new(&field, horizon);
+        assert_eq!(
+            intol.neighborhood_size(),
+            counts.neighborhood_size(),
+            "intolerance sized for N = {}, window has N = {}",
+            intol.neighborhood_size(),
+            counts.neighborhood_size()
+        );
+        let torus = field.torus();
+        let mut flippable = IndexedSet::new(torus.len());
+        for i in 0..torus.len() {
+            let s = counts.same_count_index(i, field.get_index(i));
+            if intol.is_flippable(s) {
+                flippable.insert(i);
+            }
+        }
+        Simulation {
+            field,
+            counts,
+            intol,
+            flippable,
+            rng,
+            time: 0.0,
+            flips: 0,
+        }
+    }
+
+    /// The torus.
+    #[inline]
+    pub fn torus(&self) -> Torus {
+        self.field.torus()
+    }
+
+    /// The horizon `w`.
+    #[inline]
+    pub fn horizon(&self) -> u32 {
+        self.counts.horizon()
+    }
+
+    /// The intolerance.
+    #[inline]
+    pub fn intolerance(&self) -> Intolerance {
+        self.intol
+    }
+
+    /// The current configuration.
+    #[inline]
+    pub fn field(&self) -> &TypeField {
+        &self.field
+    }
+
+    /// The per-agent neighborhood counts.
+    #[inline]
+    pub fn counts(&self) -> &WindowCounts {
+        &self.counts
+    }
+
+    /// Continuous time elapsed since the initial configuration.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Total flips since the initial configuration.
+    #[inline]
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Same-type count `S(u)` of the agent at `u`.
+    #[inline]
+    pub fn same_count(&self, u: Point) -> u32 {
+        self.counts.same_count(u, self.field.get(u))
+    }
+
+    /// Whether the agent at `u` is happy.
+    #[inline]
+    pub fn is_happy(&self, u: Point) -> bool {
+        self.intol.is_happy(self.same_count(u))
+    }
+
+    /// Number of currently unhappy agents.
+    pub fn unhappy_count(&self) -> usize {
+        let t = self.torus();
+        (0..t.len())
+            .filter(|i| {
+                let s = self.counts.same_count_index(*i, self.field.get_index(*i));
+                !self.intol.is_happy(s)
+            })
+            .count()
+    }
+
+    /// Number of currently flippable agents (unhappy and improvable). The
+    /// process is stable iff this is zero.
+    #[inline]
+    pub fn flippable_count(&self) -> usize {
+        self.flippable.len()
+    }
+
+    /// Whether the process has reached a stable state.
+    #[inline]
+    pub fn is_stable(&self) -> bool {
+        self.flippable.len() == 0
+    }
+
+    /// Performs one effective event: advances the exponential clock, flips
+    /// a uniformly chosen flippable agent, and updates all affected
+    /// bookkeeping. Returns `None` when stable.
+    pub fn step(&mut self) -> Option<FlipEvent> {
+        let f = self.flippable.len();
+        let i = self.flippable.sample(&mut self.rng)?;
+        self.time += self.rng.next_exponential(f as f64);
+        let at = self.torus().from_index(i);
+        Some(self.force_flip_at(at))
+    }
+
+    /// Flips the agent at `at` unconditionally and repairs all bookkeeping.
+    ///
+    /// Exposed for the baseline variants and for constructing the paper's
+    /// geometric scenarios (e.g. the flip schedules of Lemma 5); the
+    /// paper's own dynamics only ever flips flippable agents via
+    /// [`Simulation::step`].
+    pub fn force_flip_at(&mut self, at: Point) -> FlipEvent {
+        let new_type = self.field.flip(at);
+        self.counts.apply_flip(at, new_type);
+        self.flips += 1;
+        // Re-evaluate every agent whose neighborhood contains `at`.
+        let w = self.horizon() as i64;
+        let t = self.torus();
+        for dy in -w..=w {
+            for dx in -w..=w {
+                let v = t.offset(at, dx, dy);
+                let vi = t.index(v);
+                let s = self.counts.same_count_index(vi, self.field.get_index(vi));
+                if self.intol.is_flippable(s) {
+                    self.flippable.insert(vi);
+                } else {
+                    self.flippable.remove(vi);
+                }
+            }
+        }
+        FlipEvent {
+            at,
+            new_type,
+            time: self.time,
+        }
+    }
+
+    /// Runs until stable or until `max_flips` more flips have occurred.
+    pub fn run_to_stable(&mut self, max_flips: u64) -> RunReport {
+        let t0 = self.time;
+        let f0 = self.flips;
+        while self.flips - f0 < max_flips {
+            if self.step().is_none() {
+                return RunReport {
+                    flips: self.flips - f0,
+                    terminated: true,
+                    elapsed_time: self.time - t0,
+                };
+            }
+        }
+        RunReport {
+            flips: self.flips - f0,
+            terminated: self.is_stable(),
+            elapsed_time: self.time - t0,
+        }
+    }
+
+    /// Runs until continuous time reaches `t_end` or the process is
+    /// stable, whichever comes first.
+    pub fn run_until_time(&mut self, t_end: f64) -> RunReport {
+        let t0 = self.time;
+        let f0 = self.flips;
+        loop {
+            if self.time >= t_end || self.step().is_none() {
+                return RunReport {
+                    flips: self.flips - f0,
+                    terminated: self.is_stable(),
+                    elapsed_time: self.time - t0,
+                };
+            }
+        }
+    }
+
+    /// Full consistency audit: recomputes counts and the flippable set
+    /// from scratch and compares. O(n²·N); for tests and debugging.
+    pub fn audit(&self) -> bool {
+        if !self.counts.verify_against(&self.field) {
+            return false;
+        }
+        let t = self.torus();
+        for i in 0..t.len() {
+            let s = self.counts.same_count_index(i, self.field.get_index(i));
+            if self.intol.is_flippable(s) != self.flippable.contains(i) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates the currently flippable agents (arbitrary order).
+    pub fn flippable_agents(&self) -> impl Iterator<Item = Point> + '_ {
+        let t = self.torus();
+        self.flippable.iter().map(move |i| t.from_index(i))
+    }
+
+    /// Mutable access to the RNG (for variants layered on top).
+    pub(crate) fn rng_mut(&mut self) -> &mut Xoshiro256pp {
+        &mut self.rng
+    }
+
+    /// Replaces the intolerance mid-run and rebuilds the flippable set —
+    /// the "time-varying intolerance" variant mentioned in §I-A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new intolerance is sized for a different `N`.
+    pub fn set_intolerance(&mut self, intol: Intolerance) {
+        assert_eq!(
+            intol.neighborhood_size(),
+            self.counts.neighborhood_size(),
+            "intolerance must match the window size"
+        );
+        self.intol = intol;
+        let t = self.torus();
+        for i in 0..t.len() {
+            let s = self.counts.same_count_index(i, self.field.get_index(i));
+            if self.intol.is_flippable(s) {
+                self.flippable.insert(i);
+            } else {
+                self.flippable.remove(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn indexed_set_basic_ops() {
+        let mut s = IndexedSet::new(10);
+        assert_eq!(s.len(), 0);
+        s.insert(3);
+        s.insert(7);
+        s.insert(3); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(7));
+        s.remove(3);
+        assert!(!s.contains(3));
+        s.remove(3); // idempotent
+        assert_eq!(s.len(), 1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        assert_eq!(s.sample(&mut rng), Some(7));
+    }
+
+    #[test]
+    fn uniform_field_is_immediately_stable() {
+        let mut sim = ModelConfig::new(32, 2, 0.45)
+            .initial_density(1.0)
+            .seed(3)
+            .build();
+        assert!(sim.is_stable());
+        let r = sim.run_to_stable(100);
+        assert!(r.terminated);
+        assert_eq!(r.flips, 0);
+    }
+
+    #[test]
+    fn step_decreases_or_preserves_flippable_invariants() {
+        let mut sim = ModelConfig::new(48, 2, 0.45).seed(5).build();
+        for _ in 0..200 {
+            if sim.step().is_none() {
+                break;
+            }
+        }
+        assert!(sim.audit(), "bookkeeping diverged");
+    }
+
+    #[test]
+    fn run_to_stable_terminates_below_half() {
+        let mut sim = ModelConfig::new(48, 2, 0.4).seed(9).build();
+        let r = sim.run_to_stable(1_000_000);
+        assert!(r.terminated, "τ < 1/2 must terminate");
+        assert_eq!(sim.unhappy_count(), 0, "all agents happy for τ < 1/2");
+        assert!(sim.audit());
+    }
+
+    #[test]
+    fn run_to_stable_terminates_above_half() {
+        let mut sim = ModelConfig::new(48, 2, 0.55).seed(10).build();
+        let r = sim.run_to_stable(5_000_000);
+        assert!(r.terminated, "flippable set must empty out");
+        // For τ > 1/2 unhappy-but-unimprovable agents may persist.
+        assert!(sim.flippable_count() == 0);
+        assert!(sim.audit());
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut sim = ModelConfig::new(48, 2, 0.45).seed(6).build();
+        let mut last = 0.0;
+        for _ in 0..100 {
+            match sim.step() {
+                Some(ev) => {
+                    assert!(ev.time >= last);
+                    last = ev.time;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(sim.time(), last);
+    }
+
+    #[test]
+    fn flips_only_make_flippers_happy() {
+        let mut sim = ModelConfig::new(48, 3, 0.42).seed(12).build();
+        for _ in 0..300 {
+            let before = sim.clone();
+            match sim.step() {
+                Some(ev) => {
+                    assert!(
+                        !before.is_happy(ev.at),
+                        "flipped agent must have been unhappy"
+                    );
+                    assert!(sim.is_happy(ev.at), "flip must make the agent happy");
+                }
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sim = ModelConfig::new(32, 2, 0.44).seed(seed).build();
+            sim.run_to_stable(100_000);
+            (sim.flips(), sim.field().plus_total())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn set_intolerance_rebuilds_flippable_set() {
+        // anneal: start tolerant (static), then raise τ into the
+        // segregation window — activity must ignite.
+        let mut sim = ModelConfig::new(48, 2, 0.2).seed(21).build();
+        sim.run_to_stable(1_000);
+        assert!(sim.is_stable());
+        sim.set_intolerance(crate::intolerance::Intolerance::new(25, 0.44));
+        assert!(sim.flippable_count() > 0, "raised τ must create work");
+        assert!(sim.audit());
+        let r = sim.run_to_stable(10_000_000);
+        assert!(r.terminated && r.flips > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "match the window size")]
+    fn set_intolerance_rejects_wrong_n() {
+        let mut sim = ModelConfig::new(48, 2, 0.4).seed(0).build();
+        sim.set_intolerance(crate::intolerance::Intolerance::new(49, 0.4));
+    }
+
+    #[test]
+    fn run_until_time_respects_deadline() {
+        let mut sim = ModelConfig::new(64, 3, 0.45).seed(14).build();
+        sim.run_until_time(0.05);
+        assert!(sim.time() >= 0.05 || sim.is_stable());
+    }
+}

@@ -1,0 +1,90 @@
+//! Time-series tracing of a running simulation (the data behind
+//! Figure 1's evolution panels).
+
+use crate::metrics::{config_stats, ConfigStats};
+use crate::sim::Simulation;
+
+/// One sampled point of a dynamics trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TracePoint {
+    /// Total flips at the sample.
+    pub flips: u64,
+    /// Continuous time at the sample.
+    pub time: f64,
+    /// Full configuration statistics.
+    pub stats: ConfigStats,
+}
+
+/// Runs the simulation to stability (or the flip cap), sampling
+/// [`ConfigStats`] every `sample_every` flips. The initial state and the
+/// final state are always included.
+///
+/// # Panics
+///
+/// Panics if `sample_every == 0`.
+pub fn trace_run(sim: &mut Simulation, sample_every: u64, max_flips: u64) -> Vec<TracePoint> {
+    assert!(sample_every > 0, "sampling interval must be positive");
+    let mut out = vec![TracePoint {
+        flips: sim.flips(),
+        time: sim.time(),
+        stats: config_stats(sim),
+    }];
+    let start = sim.flips();
+    while sim.flips() - start < max_flips {
+        let chunk = sample_every.min(max_flips - (sim.flips() - start));
+        let report = sim.run_to_stable(chunk);
+        out.push(TracePoint {
+            flips: sim.flips(),
+            time: sim.time(),
+            stats: config_stats(sim),
+        });
+        if report.terminated {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn trace_has_endpoints_and_monotone_axes() {
+        let mut sim = ModelConfig::new(64, 2, 0.45).seed(6).build();
+        let trace = trace_run(&mut sim, 500, u64::MAX);
+        assert!(trace.len() >= 2);
+        assert_eq!(trace[0].flips, 0);
+        assert!(sim.is_stable());
+        for w in trace.windows(2) {
+            assert!(w[1].flips > w[0].flips);
+            assert!(w[1].time >= w[0].time);
+        }
+        assert_eq!(trace.last().unwrap().stats.unhappy, 0);
+    }
+
+    #[test]
+    fn unhappy_trend_is_downward_overall() {
+        let mut sim = ModelConfig::new(96, 2, 0.44).seed(3).build();
+        let trace = trace_run(&mut sim, 1_000, u64::MAX);
+        let first = trace.first().unwrap().stats.unhappy;
+        let last = trace.last().unwrap().stats.unhappy;
+        assert!(last < first);
+    }
+
+    #[test]
+    fn flip_cap_respected() {
+        let mut sim = ModelConfig::new(96, 2, 0.45).seed(4).build();
+        let trace = trace_run(&mut sim, 100, 350);
+        assert!(sim.flips() <= 350);
+        assert!(trace.len() <= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval")]
+    fn zero_interval_panics() {
+        let mut sim = ModelConfig::new(32, 1, 0.4).seed(0).build();
+        let _ = trace_run(&mut sim, 0, 10);
+    }
+}

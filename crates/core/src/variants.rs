@@ -1,0 +1,342 @@
+//! Model variants and baselines (§I-A's discussion).
+//!
+//! The paper assumes Glauber dynamics with flips that only happen when
+//! they make the flipper happy. §I-A lists the nearby variants studied in
+//! the literature; this module implements them as baselines:
+//!
+//! - [`UpdateRule::FlipIfImproves`] — the paper's rule;
+//! - [`UpdateRule::FlipWhenUnhappy`] — unhappy agents flip regardless of
+//!   the outcome ("swap (or flip) regardless");
+//! - [`UpdateRule::Noise`] — with probability ε an acting agent ignores
+//!   the rule and flips unconditionally ("a small probability of acting
+//!   differently than what the general rule prescribes");
+//! - [`KawasakiSim`] — the closed-system swap dynamics (2-D analogue of
+//!   the Kawasaki ring model of Brandt et al.).
+
+use crate::intolerance::Intolerance;
+use crate::sim::{IndexedSet, Simulation};
+use seg_grid::rng::Xoshiro256pp;
+use seg_grid::{AgentType, Point, TypeField, WindowCounts};
+
+/// The local update rule of a [`VariantSim`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum UpdateRule {
+    /// Flip iff unhappy and the flip makes the agent happy (the paper).
+    FlipIfImproves,
+    /// Flip whenever unhappy.
+    FlipWhenUnhappy,
+    /// Like `FlipIfImproves`, but each acting agent deviates (flips
+    /// unconditionally) with probability ε.
+    Noise(f64),
+}
+
+/// A Glauber-type simulation under a configurable [`UpdateRule`].
+///
+/// For `FlipIfImproves` this coincides with [`Simulation`] (which should
+/// be preferred — it is the paper's process); the other rules exist for
+/// the variant comparisons of `exp_variants`.
+#[derive(Clone, Debug)]
+pub struct VariantSim {
+    field: TypeField,
+    counts: WindowCounts,
+    intol: Intolerance,
+    /// Agents currently eligible to act (unhappy).
+    active: IndexedSet,
+    rule: UpdateRule,
+    rng: Xoshiro256pp,
+    flips: u64,
+}
+
+impl VariantSim {
+    /// Builds the variant simulation over an explicit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ε is outside `[0, 1]` for [`UpdateRule::Noise`], or on
+    /// window/intolerance mismatches as in [`Simulation::from_field`].
+    pub fn from_field(
+        field: TypeField,
+        horizon: u32,
+        intol: Intolerance,
+        rule: UpdateRule,
+        rng: Xoshiro256pp,
+    ) -> Self {
+        if let UpdateRule::Noise(eps) = rule {
+            assert!((0.0..=1.0).contains(&eps), "noise ε must lie in [0, 1]");
+        }
+        let counts = WindowCounts::new(&field, horizon);
+        assert_eq!(intol.neighborhood_size(), counts.neighborhood_size());
+        let torus = field.torus();
+        let mut active = IndexedSet::new(torus.len());
+        for i in 0..torus.len() {
+            let s = counts.same_count_index(i, field.get_index(i));
+            if !intol.is_happy(s) {
+                active.insert(i);
+            }
+        }
+        VariantSim {
+            field,
+            counts,
+            intol,
+            active,
+            rule,
+            rng,
+            flips: 0,
+        }
+    }
+
+    /// The current configuration.
+    pub fn field(&self) -> &TypeField {
+        &self.field
+    }
+
+    /// Total flips so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Number of currently unhappy agents.
+    pub fn unhappy_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn refresh_around(&mut self, at: Point) {
+        let w = self.counts.horizon() as i64;
+        let t = self.field.torus();
+        for dy in -w..=w {
+            for dx in -w..=w {
+                let v = t.offset(at, dx, dy);
+                let vi = t.index(v);
+                let s = self
+                    .counts
+                    .same_count_index(vi, self.field.get_index(vi));
+                if self.intol.is_happy(s) {
+                    self.active.remove(vi);
+                } else {
+                    self.active.insert(vi);
+                }
+            }
+        }
+    }
+
+    fn flip(&mut self, at: Point) {
+        let new_type = self.field.flip(at);
+        self.counts.apply_flip(at, new_type);
+        self.flips += 1;
+        self.refresh_around(at);
+    }
+
+    /// One ring of an unhappy agent's clock: acts per the rule. Returns
+    /// the acted-on agent, or `None` if no agent is unhappy.
+    ///
+    /// Note that under `FlipIfImproves` a ring may be a no-op (the chosen
+    /// unhappy agent cannot improve) — exactly the paper's discrete-time
+    /// description, no-ops included.
+    pub fn step(&mut self) -> Option<Point> {
+        let i = self.active.sample(&mut self.rng)?;
+        let at = self.field.torus().from_index(i);
+        let s = self
+            .counts
+            .same_count_index(i, self.field.get_index(i));
+        let flip = match self.rule {
+            UpdateRule::FlipIfImproves => self.intol.flip_makes_happy(s),
+            UpdateRule::FlipWhenUnhappy => true,
+            UpdateRule::Noise(eps) => {
+                // Test the rule first so that ε = 0 consumes exactly the
+                // same random stream as FlipIfImproves.
+                self.intol.flip_makes_happy(s) || self.rng.next_bool(eps)
+            }
+        };
+        if flip {
+            self.flip(at);
+        }
+        Some(at)
+    }
+
+    /// Runs for at most `max_steps` rings; returns the number of *flips*
+    /// performed. Under `FlipWhenUnhappy` and `Noise` the process may
+    /// never stabilize — the step cap is the only terminator.
+    pub fn run(&mut self, max_steps: u64) -> u64 {
+        let f0 = self.flips;
+        for _ in 0..max_steps {
+            if self.step().is_none() {
+                break;
+            }
+        }
+        self.flips - f0
+    }
+}
+
+/// The closed-system Kawasaki swap dynamics: two unhappy agents of
+/// opposite types exchange positions iff the swap makes both happy. The
+/// total count of each type is conserved (§I-A's "closed" model).
+#[derive(Clone, Debug)]
+pub struct KawasakiSim {
+    sim: Simulation,
+    swaps: u64,
+    failed_attempts: u64,
+}
+
+impl KawasakiSim {
+    /// Wraps a [`Simulation`] (its Glauber stepper is not used).
+    pub fn new(sim: Simulation) -> Self {
+        KawasakiSim {
+            sim,
+            swaps: 0,
+            failed_attempts: 0,
+        }
+    }
+
+    /// The inner state.
+    pub fn field(&self) -> &TypeField {
+        self.sim.field()
+    }
+
+    /// Completed swaps.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Rejected swap attempts.
+    pub fn failed_attempts(&self) -> u64 {
+        self.failed_attempts
+    }
+
+    /// Unhappy agents of the given type, freshly scanned.
+    fn unhappy_of(&self, ty: AgentType) -> Vec<Point> {
+        let t = self.sim.torus();
+        t.points()
+            .filter(|p| self.sim.field().get(*p) == ty && !self.sim.is_happy(*p))
+            .collect()
+    }
+
+    /// Attempts one swap: samples an unhappy agent of each type uniformly
+    /// and swaps iff both become happy. Returns `Some(true)` on a swap,
+    /// `Some(false)` on a rejected attempt, `None` when one side has no
+    /// unhappy agents (the process is stuck/stable).
+    pub fn try_swap(&mut self) -> Option<bool> {
+        let plus = self.unhappy_of(AgentType::Plus);
+        let minus = self.unhappy_of(AgentType::Minus);
+        if plus.is_empty() || minus.is_empty() {
+            return None;
+        }
+        let rng = self.sim.rng_mut();
+        let a = plus[rng.next_below(plus.len() as u64) as usize];
+        let b = minus[rng.next_below(minus.len() as u64) as usize];
+        // swapping opposite types == flipping both
+        self.sim.force_flip_at(a);
+        self.sim.force_flip_at(b);
+        if self.sim.is_happy(a) && self.sim.is_happy(b) {
+            self.swaps += 1;
+            Some(true)
+        } else {
+            // revert
+            self.sim.force_flip_at(a);
+            self.sim.force_flip_at(b);
+            self.failed_attempts += 1;
+            Some(false)
+        }
+    }
+
+    /// Runs until `max_attempts` attempts have been made or no opposite
+    /// unhappy pair exists. Returns the number of successful swaps.
+    pub fn run(&mut self, max_attempts: u64) -> u64 {
+        let s0 = self.swaps;
+        for _ in 0..max_attempts {
+            if self.try_swap().is_none() {
+                break;
+            }
+        }
+        self.swaps - s0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use seg_grid::Torus;
+
+    fn variant(n: u32, w: u32, tau: f64, rule: UpdateRule, seed: u64) -> VariantSim {
+        let torus = Torus::new(n);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let field = TypeField::random(torus, 0.5, &mut rng);
+        let intol = Intolerance::new((2 * w + 1) * (2 * w + 1), tau);
+        VariantSim::from_field(field, w, intol, rule, rng)
+    }
+
+    #[test]
+    fn flip_if_improves_matches_paper_semantics() {
+        let mut v = variant(48, 2, 0.45, UpdateRule::FlipIfImproves, 3);
+        let flips = v.run(50_000);
+        assert!(flips > 0);
+        assert_eq!(v.unhappy_count(), 0, "τ < 1/2 stabilizes with all happy");
+    }
+
+    #[test]
+    fn flip_when_unhappy_keeps_churning_above_half() {
+        // at τ > 1/2 unconditional flips can cycle; the run cap terminates
+        let mut v = variant(32, 2, 0.6, UpdateRule::FlipWhenUnhappy, 4);
+        let flips = v.run(20_000);
+        assert!(flips > 0, "unconditional rule must flip");
+    }
+
+    #[test]
+    fn noise_zero_equals_paper_rule_flipcount_statistics() {
+        let mut a = variant(32, 2, 0.45, UpdateRule::Noise(0.0), 5);
+        let mut b = variant(32, 2, 0.45, UpdateRule::FlipIfImproves, 5);
+        // same seed, same rule semantics at ε = 0... but Noise draws an
+        // extra random number per step only when flip_makes_happy fails;
+        // at τ<1/2 that never happens, so the streams coincide.
+        let fa = a.run(10_000);
+        let fb = b.run(10_000);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn noise_injects_disorder() {
+        let mut quiet = variant(32, 2, 0.45, UpdateRule::Noise(0.0), 6);
+        quiet.run(100_000);
+        assert_eq!(quiet.unhappy_count(), 0);
+        let mut noisy = variant(32, 2, 0.45, UpdateRule::Noise(0.5), 6);
+        noisy.run(100_000);
+        // noise keeps producing unhappy agents; extremely unlikely to be 0
+        assert!(noisy.flips() >= quiet.flips());
+    }
+
+    #[test]
+    fn kawasaki_conserves_type_counts() {
+        let sim = ModelConfig::new(48, 2, 0.45).seed(9).build();
+        let plus_before = sim.field().plus_total();
+        let mut k = KawasakiSim::new(sim);
+        k.run(2_000);
+        assert_eq!(
+            k.field().plus_total(),
+            plus_before,
+            "Kawasaki dynamics is closed"
+        );
+    }
+
+    #[test]
+    fn kawasaki_swaps_make_both_happy() {
+        let sim = ModelConfig::new(48, 2, 0.4).seed(11).build();
+        let mut k = KawasakiSim::new(sim);
+        let mut checked = 0;
+        for _ in 0..500 {
+            match k.try_swap() {
+                Some(true) => checked += 1,
+                Some(false) => {}
+                None => break,
+            }
+        }
+        // sanity: some swaps happened and the invariant held throughout
+        // (violations would have been caught inside try_swap's revert)
+        assert!(checked > 0 || k.failed_attempts() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise ε")]
+    fn variant_rejects_bad_noise() {
+        let _ = variant(16, 1, 0.4, UpdateRule::Noise(1.5), 0);
+    }
+}

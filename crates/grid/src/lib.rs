@@ -1,0 +1,59 @@
+//! Torus lattice substrate for the self-organized segregation model.
+//!
+//! This crate provides the geometric and bookkeeping layers that the
+//! segregation dynamics of Omidvar & Franceschetti, *Self-organized
+//! Segregation on the Grid* (PODC 2017), are built on:
+//!
+//! - [`Torus`] — the `n × n` grid embedded on a torus, with wrap-around
+//!   coordinate algebra and the l∞ / l1 / Euclidean metrics used throughout
+//!   the paper;
+//! - [`Neighborhood`] — l∞ balls ("neighborhoods of radius ρ", §II-A);
+//! - [`TypeField`] — the ±1 agent-type field with Bernoulli(p) sampling;
+//! - [`PrefixSums`] — wrap-aware 2-D prefix sums giving O(1) counts of `+1`
+//!   agents in any rectangle or l∞ ball;
+//! - [`WindowCounts`] — incremental per-agent neighborhood counts, updated in
+//!   O((2w+1)²) per flip — the hot path of the dynamics;
+//! - [`BlockGrid`] — the renormalization into `m`-blocks used by the paper's
+//!   good/bad-block percolation arguments (§IV-B);
+//! - [`Annulus`] — the annular firewall geometry of Lemma 9;
+//! - [`rng`] — a small deterministic xoshiro256++ generator so that every
+//!   stochastic component of the reproduction is seedable and reproducible
+//!   without external dependencies.
+//!
+//! # Example
+//!
+//! ```
+//! use seg_grid::{Torus, TypeField, WindowCounts, rng::Xoshiro256pp};
+//!
+//! let torus = Torus::new(64);
+//! let mut rng = Xoshiro256pp::seed_from_u64(7);
+//! let field = TypeField::random(torus, 0.5, &mut rng);
+//! let counts = WindowCounts::new(&field, 2); // horizon w = 2, N = 25
+//! let u = torus.point(10, 20);
+//! assert_eq!(
+//!     counts.plus_count(u) + counts.minus_count(u),
+//!     counts.neighborhood_size()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annulus;
+mod block;
+mod field;
+mod neighborhood;
+pub mod path;
+mod prefix;
+pub mod rng;
+mod torus;
+mod window;
+
+pub use annulus::Annulus;
+pub use block::{BlockCoord, BlockGrid};
+pub use field::{AgentType, TypeField};
+pub use neighborhood::Neighborhood;
+pub use path::{shortest_block_path, BlockPath};
+pub use prefix::PrefixSums;
+pub use torus::{Point, Torus};
+pub use window::WindowCounts;

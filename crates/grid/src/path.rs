@@ -1,0 +1,232 @@
+//! m-paths and m-cycles on the renormalized block lattice (§IV-B).
+//!
+//! The paper defines an *m-path* as an ordered set of m-blocks with
+//! consecutive blocks horizontally or vertically adjacent and no repeats,
+//! and an *m-cycle* as a closed m-path. This module provides those
+//! objects over a [`BlockGrid`], plus BFS shortest paths restricted to a
+//! predicate (e.g. "good blocks only") — the primitive behind the
+//! r-chemical path.
+
+use crate::block::{BlockCoord, BlockGrid};
+use std::collections::VecDeque;
+
+/// An ordered, repeat-free sequence of 4-adjacent blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockPath {
+    blocks: Vec<BlockCoord>,
+}
+
+impl BlockPath {
+    /// Validates and wraps an ordered block sequence.
+    ///
+    /// Returns `None` if the sequence is empty, repeats a block, or has a
+    /// non-adjacent consecutive pair.
+    pub fn new(grid: &BlockGrid, blocks: Vec<BlockCoord>) -> Option<Self> {
+        if blocks.is_empty() {
+            return None;
+        }
+        let mut seen = std::collections::HashSet::new();
+        for b in &blocks {
+            if !seen.insert(*b) {
+                return None;
+            }
+        }
+        for pair in blocks.windows(2) {
+            if !grid.adjacent(pair[0]).contains(&pair[1]) {
+                return None;
+            }
+        }
+        Some(BlockPath { blocks })
+    }
+
+    /// The paper's *length*: the number of m-blocks in the path.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the path has no blocks (never; `new` rejects empties).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The blocks in order.
+    pub fn blocks(&self) -> &[BlockCoord] {
+        &self.blocks
+    }
+
+    /// Whether the path closes into an m-cycle (last adjacent to first,
+    /// and at least 4 blocks).
+    pub fn is_cycle(&self, grid: &BlockGrid) -> bool {
+        self.blocks.len() >= 4
+            && grid
+                .adjacent(*self.blocks.last().expect("non-empty"))
+                .contains(&self.blocks[0])
+    }
+}
+
+/// BFS shortest m-path between two blocks through blocks satisfying
+/// `allowed` (both endpoints must satisfy it). Returns the path
+/// (inclusive of both endpoints), or `None` if disconnected.
+pub fn shortest_block_path(
+    grid: &BlockGrid,
+    from: BlockCoord,
+    to: BlockCoord,
+    mut allowed: impl FnMut(BlockCoord) -> bool,
+) -> Option<BlockPath> {
+    if !allowed(from) || !allowed(to) {
+        return None;
+    }
+    if from == to {
+        return BlockPath::new(grid, vec![from]);
+    }
+    let mut prev: std::collections::HashMap<BlockCoord, BlockCoord> =
+        std::collections::HashMap::new();
+    let mut queue = VecDeque::from([from]);
+    prev.insert(from, from);
+    while let Some(b) = queue.pop_front() {
+        for nb in grid.adjacent(b) {
+            if prev.contains_key(&nb) || !allowed(nb) {
+                continue;
+            }
+            prev.insert(nb, b);
+            if nb == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = prev[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return BlockPath::new(grid, path);
+            }
+            queue.push_back(nb);
+        }
+    }
+    None
+}
+
+/// The chemical stretch of the block lattice: the ratio between the BFS
+/// m-path length (in blocks, counting both endpoints) and the l1 block
+/// distance plus one — `1.0` exactly when a monotone staircase path
+/// exists through allowed blocks.
+pub fn block_stretch(
+    grid: &BlockGrid,
+    from: BlockCoord,
+    to: BlockCoord,
+    allowed: impl FnMut(BlockCoord) -> bool,
+) -> Option<f64> {
+    let path = shortest_block_path(grid, from, to, allowed)?;
+    let m = grid.blocks_per_side() as i64;
+    let circle = |a: u32, b: u32| {
+        let d = (a as i64 - b as i64).abs() % m;
+        d.min(m - d)
+    };
+    let l1 = circle(from.bx, to.bx) + circle(from.by, to.by);
+    Some(path.len() as f64 / (l1 as f64 + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Torus;
+
+    fn grid10() -> BlockGrid {
+        BlockGrid::new(Torus::new(100), 10)
+    }
+
+    #[test]
+    fn path_validation() {
+        let g = grid10();
+        let a = BlockCoord { bx: 0, by: 0 };
+        let b = BlockCoord { bx: 1, by: 0 };
+        let c = BlockCoord { bx: 1, by: 1 };
+        assert!(BlockPath::new(&g, vec![a, b, c]).is_some());
+        // diagonal jump is invalid
+        assert!(BlockPath::new(&g, vec![a, c]).is_none());
+        // repeats are invalid
+        assert!(BlockPath::new(&g, vec![a, b, a]).is_none());
+        // empty is invalid
+        assert!(BlockPath::new(&g, vec![]).is_none());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let g = grid10();
+        let square = vec![
+            BlockCoord { bx: 0, by: 0 },
+            BlockCoord { bx: 1, by: 0 },
+            BlockCoord { bx: 1, by: 1 },
+            BlockCoord { bx: 0, by: 1 },
+        ];
+        let p = BlockPath::new(&g, square).unwrap();
+        assert!(p.is_cycle(&g));
+        let line = BlockPath::new(
+            &g,
+            vec![
+                BlockCoord { bx: 0, by: 0 },
+                BlockCoord { bx: 1, by: 0 },
+                BlockCoord { bx: 2, by: 0 },
+            ],
+        )
+        .unwrap();
+        assert!(!line.is_cycle(&g));
+    }
+
+    #[test]
+    fn shortest_path_is_l1_when_unobstructed() {
+        let g = grid10();
+        let from = BlockCoord { bx: 2, by: 2 };
+        let to = BlockCoord { bx: 6, by: 5 };
+        let p = shortest_block_path(&g, from, to, |_| true).unwrap();
+        assert_eq!(p.len(), 4 + 3 + 1); // l1 + 1 blocks
+        assert_eq!(p.blocks()[0], from);
+        assert_eq!(*p.blocks().last().unwrap(), to);
+        assert_eq!(block_stretch(&g, from, to, |_| true), Some(1.0));
+    }
+
+    #[test]
+    fn shortest_path_wraps_torus() {
+        let g = grid10();
+        let from = BlockCoord { bx: 0, by: 0 };
+        let to = BlockCoord { bx: 9, by: 0 };
+        let p = shortest_block_path(&g, from, to, |_| true).unwrap();
+        assert_eq!(p.len(), 2, "adjacent across the wrap");
+    }
+
+    #[test]
+    fn wall_forces_detour() {
+        let g = grid10();
+        // forbid the column bx == 5 except at by == 9
+        let allowed = |b: BlockCoord| b.bx != 5 || b.by == 9;
+        let from = BlockCoord { bx: 3, by: 0 };
+        let to = BlockCoord { bx: 7, by: 0 };
+        let direct = shortest_block_path(&g, from, to, |_| true).unwrap();
+        let detour = shortest_block_path(&g, from, to, allowed).unwrap();
+        // the torus wrap lets the path go around the back; either way it
+        // must be at least as long as the unobstructed one
+        assert!(detour.len() >= direct.len());
+        assert!(detour.blocks().iter().all(|b| b.bx != 5 || b.by == 9));
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let g = grid10();
+        // full ring of forbidden blocks around the target
+        let target = BlockCoord { bx: 5, by: 5 };
+        let allowed = |b: BlockCoord| {
+            let dx = (b.bx as i64 - 5).abs();
+            let dy = (b.by as i64 - 5).abs();
+            dx.max(dy) != 1 // the 8 surrounding blocks are forbidden
+        };
+        let from = BlockCoord { bx: 0, by: 0 };
+        assert!(shortest_block_path(&g, from, target, allowed).is_none());
+    }
+
+    #[test]
+    fn same_block_trivial_path() {
+        let g = grid10();
+        let b = BlockCoord { bx: 4, by: 4 };
+        let p = shortest_block_path(&g, b, b, |_| true).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Wrap-aware 2-D prefix sums for O(1) rectangle and ball counts.
+
+use crate::{AgentType, Neighborhood, Point, TypeField, Torus};
+
+/// Two-dimensional prefix sums of the `+1` indicator of a [`TypeField`],
+/// supporting O(1) counts of `+1` agents in any axis-aligned rectangle on
+/// the torus (wrap-around rectangles are split into at most four
+/// non-wrapping parts).
+///
+/// Region analysis (`seg-core::regions`) probes millions of candidate balls;
+/// this structure makes each probe O(1) after an O(n²) build.
+///
+/// # Example
+///
+/// ```
+/// use seg_grid::{Torus, TypeField, AgentType, PrefixSums, Neighborhood};
+/// let t = Torus::new(16);
+/// let f = TypeField::uniform(t, AgentType::Plus);
+/// let ps = PrefixSums::new(&f);
+/// let ball = Neighborhood::new(t, t.point(0, 0), 2);
+/// assert_eq!(ps.plus_in(&ball), 25);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefixSums {
+    torus: Torus,
+    /// `acc[(y+1) * (n+1) + (x+1)]` = number of `+1` in `[0..=x] × [0..=y]`.
+    acc: Vec<u64>,
+}
+
+impl PrefixSums {
+    /// Builds prefix sums of the `+1` indicator in O(n²).
+    pub fn new(field: &TypeField) -> Self {
+        let torus = field.torus();
+        let n = torus.side() as usize;
+        let stride = n + 1;
+        let mut acc = vec![0u64; stride * stride];
+        for y in 0..n {
+            let mut row = 0u64;
+            for x in 0..n {
+                let v = field.get_index(y * n + x);
+                row += u64::from(v == AgentType::Plus);
+                acc[(y + 1) * stride + (x + 1)] = acc[y * stride + (x + 1)] + row;
+            }
+        }
+        PrefixSums { torus, acc }
+    }
+
+    /// The underlying torus.
+    #[inline]
+    pub fn torus(&self) -> Torus {
+        self.torus
+    }
+
+    /// Count of `+1` in the *non-wrapping* rectangle
+    /// `[x0, x1] × [y0, y1]` (inclusive), `x1 < n`, `y1 < n`.
+    #[inline]
+    fn plus_in_flat(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> u64 {
+        let stride = self.torus.side() as usize + 1;
+        debug_assert!(x0 <= x1 && y0 <= y1 && x1 < stride - 1 && y1 < stride - 1);
+        self.acc[(y1 + 1) * stride + (x1 + 1)] + self.acc[y0 * stride + x0]
+            - self.acc[y0 * stride + (x1 + 1)]
+            - self.acc[(y1 + 1) * stride + x0]
+    }
+
+    /// Count of `+1` agents in the torus rectangle starting at `origin`,
+    /// spanning `width × height` cells (wrapping as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` exceeds the torus side or is zero.
+    pub fn plus_in_rect(&self, origin: Point, width: u32, height: u32) -> u64 {
+        let n = self.torus.side();
+        assert!(
+            (1..=n).contains(&width) && (1..=n).contains(&height),
+            "rectangle {width}x{height} does not fit torus of side {n}"
+        );
+        let n = n as usize;
+        let (x0, y0) = (origin.x as usize, origin.y as usize);
+        let (w, h) = (width as usize, height as usize);
+        // Split each axis into the in-range part and the wrapped part.
+        let x_parts: [(usize, usize); 2] = if x0 + w <= n {
+            [(x0, x0 + w - 1), (usize::MAX, 0)]
+        } else {
+            [(x0, n - 1), (0, (x0 + w) % n - 1)]
+        };
+        let y_parts: [(usize, usize); 2] = if y0 + h <= n {
+            [(y0, y0 + h - 1), (usize::MAX, 0)]
+        } else {
+            [(y0, n - 1), (0, (y0 + h) % n - 1)]
+        };
+        let mut total = 0u64;
+        for &(xa, xb) in &x_parts {
+            if xa == usize::MAX {
+                continue;
+            }
+            for &(ya, yb) in &y_parts {
+                if ya == usize::MAX {
+                    continue;
+                }
+                total += self.plus_in_flat(xa, ya, xb, yb);
+            }
+        }
+        total
+    }
+
+    /// Count of `+1` agents in an l∞ ball.
+    pub fn plus_in(&self, ball: &Neighborhood) -> u64 {
+        debug_assert_eq!(ball.torus(), self.torus);
+        let side = ball.side();
+        let half = (side / 2) as i64;
+        let origin = self
+            .torus
+            .offset(ball.center(), -half, -half);
+        self.plus_in_rect(origin, side, side)
+    }
+
+    /// Count of `-1` agents in an l∞ ball.
+    pub fn minus_in(&self, ball: &Neighborhood) -> u64 {
+        ball.len() as u64 - self.plus_in(ball)
+    }
+
+    /// Whether the ball is monochromatic (all `+1` or all `-1`).
+    pub fn is_monochromatic(&self, ball: &Neighborhood) -> bool {
+        let plus = self.plus_in(ball);
+        plus == 0 || plus == ball.len() as u64
+    }
+
+    /// Minority/majority count ratio inside the ball, in `[0, 1]`;
+    /// `0` for a monochromatic ball. This is the "almost monochromatic"
+    /// criterion of §II-A (ratio bounded by `e^{−εN}`).
+    pub fn minority_ratio(&self, ball: &Neighborhood) -> f64 {
+        let plus = self.plus_in(ball);
+        let minus = ball.len() as u64 - plus;
+        let (lo, hi) = (plus.min(minus), plus.max(minus));
+        if hi == 0 {
+            0.0
+        } else {
+            lo as f64 / hi as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    fn brute_plus(field: &TypeField, ball: &Neighborhood) -> u64 {
+        ball.points()
+            .filter(|p| field.get(*p) == AgentType::Plus)
+            .count() as u64
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_field() {
+        let t = Torus::new(29);
+        let mut rng = Xoshiro256pp::seed_from_u64(8);
+        let f = TypeField::random(t, 0.5, &mut rng);
+        let ps = PrefixSums::new(&f);
+        for &(x, y, r) in &[
+            (0i64, 0i64, 0u32),
+            (0, 0, 3),
+            (28, 28, 4),
+            (14, 14, 10),
+            (1, 27, 7),
+            (5, 5, 14), // covers whole torus
+        ] {
+            let ball = Neighborhood::new(t, t.point(x, y), r);
+            assert_eq!(
+                ps.plus_in(&ball),
+                brute_plus(&f, &ball),
+                "ball at ({x},{y}) radius {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn rect_wrapping_equals_non_wrapping_translation() {
+        let t = Torus::new(12);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let f = TypeField::random(t, 0.4, &mut rng);
+        let ps = PrefixSums::new(&f);
+        // total over any full cover equals plus_total
+        assert_eq!(
+            ps.plus_in_rect(t.point(7, 9), 12, 12),
+            f.plus_total() as u64
+        );
+    }
+
+    #[test]
+    fn monochromatic_detection() {
+        let t = Torus::new(16);
+        let mut f = TypeField::uniform(t, AgentType::Plus);
+        f.set(t.point(8, 8), AgentType::Minus);
+        let ps = PrefixSums::new(&f);
+        let clean = Neighborhood::new(t, t.point(2, 2), 2);
+        let dirty = Neighborhood::new(t, t.point(8, 8), 2);
+        assert!(ps.is_monochromatic(&clean));
+        assert!(!ps.is_monochromatic(&dirty));
+    }
+
+    #[test]
+    fn minority_ratio_values() {
+        let t = Torus::new(16);
+        let mut f = TypeField::uniform(t, AgentType::Plus);
+        let ps0 = PrefixSums::new(&f);
+        let ball = Neighborhood::new(t, t.point(5, 5), 1);
+        assert_eq!(ps0.minority_ratio(&ball), 0.0);
+        f.set(t.point(5, 5), AgentType::Minus);
+        let ps1 = PrefixSums::new(&f);
+        assert!((ps1.minority_ratio(&ball) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_rect_panics() {
+        let t = Torus::new(8);
+        let f = TypeField::uniform(t, AgentType::Plus);
+        let ps = PrefixSums::new(&f);
+        let _ = ps.plus_in_rect(t.point(0, 0), 9, 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Incremental per-agent neighborhood counts — the dynamics hot path.
+
+use crate::{AgentType, Point, TypeField, Torus};
+
+/// For every agent `u`, the number of `+1` agents in its neighborhood
+/// `N(u)` (the l∞ ball of radius `w` centered at `u`, self included).
+///
+/// Built in O(n²) with a separable box filter, and updated in O((2w+1)²)
+/// when an agent flips: exactly the balls containing the flipped site are
+/// touched. The same-type count `S(u)` of §II-A follows as
+/// [`WindowCounts::same_count`].
+///
+/// # Example
+///
+/// ```
+/// use seg_grid::{Torus, TypeField, AgentType, WindowCounts};
+/// let t = Torus::new(32);
+/// let mut f = TypeField::uniform(t, AgentType::Plus);
+/// let mut wc = WindowCounts::new(&f, 3); // N = 49
+/// let u = t.point(4, 4);
+/// assert_eq!(wc.plus_count(u), 49);
+/// // flip the center and propagate
+/// f.flip(u);
+/// wc.apply_flip(u, AgentType::Minus);
+/// assert_eq!(wc.plus_count(u), 48);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowCounts {
+    torus: Torus,
+    horizon: u32,
+    /// plus[i] = number of `+1` agents in the ball of radius `horizon`
+    /// centered at the i-th cell.
+    plus: Vec<u32>,
+}
+
+impl WindowCounts {
+    /// Builds the counts for the given field and horizon `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window diameter `2w + 1` exceeds the torus side (the
+    /// paper takes `w ∈ O(√log n)`, far below that).
+    pub fn new(field: &TypeField, horizon: u32) -> Self {
+        let torus = field.torus();
+        let n = torus.side() as usize;
+        assert!(
+            2 * horizon < torus.side(),
+            "window diameter {} exceeds torus side {}",
+            2 * horizon + 1,
+            torus.side()
+        );
+        let w = horizon as usize;
+        // Separable box filter with wrap-around: first horizontal, then
+        // vertical sliding sums.
+        let mut horiz = vec![0u32; n * n];
+        for y in 0..n {
+            let row = y * n;
+            let mut s = 0u32;
+            for dx in 0..(2 * w + 1) {
+                let x = (dx + n - w) % n;
+                s += u32::from(field.get_index(row + x) == AgentType::Plus);
+            }
+            horiz[row] = s;
+            for x in 1..n {
+                let enter = (x + w) % n;
+                let leave = (x + n - w - 1) % n;
+                s += u32::from(field.get_index(row + enter) == AgentType::Plus);
+                s -= u32::from(field.get_index(row + leave) == AgentType::Plus);
+                horiz[row + x] = s;
+            }
+        }
+        let mut plus = vec![0u32; n * n];
+        for x in 0..n {
+            let mut s = 0u32;
+            for dy in 0..(2 * w + 1) {
+                let y = (dy + n - w) % n;
+                s += horiz[y * n + x];
+            }
+            plus[x] = s;
+            for y in 1..n {
+                let enter = (y + w) % n;
+                let leave = (y + n - w - 1) % n;
+                s += horiz[enter * n + x];
+                s -= horiz[leave * n + x];
+                plus[y * n + x] = s;
+            }
+        }
+        WindowCounts {
+            torus,
+            horizon,
+            plus,
+        }
+    }
+
+    /// The horizon `w`.
+    #[inline]
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The neighborhood size `N = (2w + 1)²`.
+    #[inline]
+    pub fn neighborhood_size(&self) -> u32 {
+        let d = 2 * self.horizon + 1;
+        d * d
+    }
+
+    /// The underlying torus.
+    #[inline]
+    pub fn torus(&self) -> Torus {
+        self.torus
+    }
+
+    /// Number of `+1` agents in `N(u)`.
+    #[inline]
+    pub fn plus_count(&self, u: Point) -> u32 {
+        self.plus[self.torus.index(u)]
+    }
+
+    /// Number of `+1` agents in the neighborhood of the i-th cell.
+    #[inline]
+    pub fn plus_count_index(&self, i: usize) -> u32 {
+        self.plus[i]
+    }
+
+    /// Number of `-1` agents in `N(u)`.
+    #[inline]
+    pub fn minus_count(&self, u: Point) -> u32 {
+        self.neighborhood_size() - self.plus_count(u)
+    }
+
+    /// Same-type count `S(u)` for an agent of type `t` at `u` (§II-A's
+    /// numerator of `s(u)`; includes the agent itself).
+    #[inline]
+    pub fn same_count(&self, u: Point, t: AgentType) -> u32 {
+        match t {
+            AgentType::Plus => self.plus_count(u),
+            AgentType::Minus => self.minus_count(u),
+        }
+    }
+
+    /// Same-type count by linear index.
+    #[inline]
+    pub fn same_count_index(&self, i: usize, t: AgentType) -> u32 {
+        match t {
+            AgentType::Plus => self.plus[i],
+            AgentType::Minus => self.neighborhood_size() - self.plus[i],
+        }
+    }
+
+    /// Propagates a flip of the agent at `z` to the counts.
+    ///
+    /// `new_type` is the type of the agent *after* the flip. Exactly the
+    /// `(2w+1)²` cells whose ball contains `z` are updated.
+    pub fn apply_flip(&mut self, z: Point, new_type: AgentType) {
+        let w = self.horizon as i64;
+        let delta: i64 = match new_type {
+            AgentType::Plus => 1,
+            AgentType::Minus => -1,
+        };
+        let n = self.torus.side() as usize;
+        for dy in -w..=w {
+            let y = self.torus.wrap(z.y as i64 + dy) as usize;
+            let row = y * n;
+            for dx in -w..=w {
+                let x = self.torus.wrap(z.x as i64 + dx) as usize;
+                let cell = &mut self.plus[row + x];
+                *cell = (*cell as i64 + delta) as u32;
+            }
+        }
+    }
+
+    /// Recomputes from scratch and asserts agreement — a debugging aid used
+    /// by tests and the simulation's `audit` mode.
+    pub fn verify_against(&self, field: &TypeField) -> bool {
+        let fresh = WindowCounts::new(field, self.horizon);
+        fresh.plus == self.plus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+    use crate::Neighborhood;
+
+    fn brute_counts(field: &TypeField, w: u32) -> Vec<u32> {
+        let t = field.torus();
+        (0..t.len())
+            .map(|i| {
+                let ball = Neighborhood::new(t, t.from_index(i), w);
+                ball.points()
+                    .filter(|p| field.get(*p) == AgentType::Plus)
+                    .count() as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_matches_brute_force() {
+        let t = Torus::new(17);
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let f = TypeField::random(t, 0.5, &mut rng);
+        for w in [0u32, 1, 2, 4, 8] {
+            let wc = WindowCounts::new(&f, w);
+            assert_eq!(wc.plus, brute_counts(&f, w), "w = {w}");
+        }
+    }
+
+    #[test]
+    fn flip_update_matches_rebuild() {
+        let t = Torus::new(19);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut f = TypeField::random(t, 0.5, &mut rng);
+        let mut wc = WindowCounts::new(&f, 3);
+        for k in 0..50 {
+            let p = t.from_index(rng.next_below(t.len() as u64) as usize);
+            let new = f.flip(p);
+            wc.apply_flip(p, new);
+            if k % 10 == 0 {
+                assert!(wc.verify_against(&f), "divergence after flip {k}");
+            }
+        }
+        assert!(wc.verify_against(&f));
+    }
+
+    #[test]
+    fn same_count_sums_to_neighborhood_size() {
+        let t = Torus::new(13);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let f = TypeField::random(t, 0.3, &mut rng);
+        let wc = WindowCounts::new(&f, 2);
+        for p in t.points() {
+            let s_plus = wc.same_count(p, AgentType::Plus);
+            let s_minus = wc.same_count(p, AgentType::Minus);
+            assert_eq!(s_plus + s_minus, wc.neighborhood_size());
+        }
+    }
+
+    #[test]
+    fn uniform_field_counts_full() {
+        let t = Torus::new(9);
+        let f = TypeField::uniform(t, AgentType::Plus);
+        let wc = WindowCounts::new(&f, 4);
+        for p in t.points() {
+            assert_eq!(wc.plus_count(p), 81);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds torus side")]
+    fn oversized_window_panics() {
+        let t = Torus::new(8);
+        let f = TypeField::uniform(t, AgentType::Plus);
+        let _ = WindowCounts::new(&f, 4); // 2*4+1 = 9 > 8
+    }
+}

@@ -1,0 +1,216 @@
+//! Chemical distance on the open cluster (Garet–Marchand — the paper's
+//! Theorem 4, used for the chemical firewall of Lemma 13).
+
+use crate::site::SiteLattice;
+use seg_grid::rng::Xoshiro256pp;
+use std::collections::VecDeque;
+
+/// Breadth-first chemical distances from a source over open sites under
+/// 4-adjacency. `dist[i] = u32::MAX` marks unreachable or closed sites.
+///
+/// The *chemical distance* `D(0, x)` is the least number of open sites on
+/// a path joining `0` and `x`; Theorem 4 (Garet–Marchand) states that in
+/// the supercritical regime it exceeds `(1+α)‖x‖₁` only with probability
+/// exponentially small in `‖x‖₁` — the key to the paper's chemical
+/// firewall having length proportional to its radius.
+#[derive(Clone, Debug)]
+pub struct ChemicalDistances {
+    width: u32,
+    dist: Vec<u32>,
+}
+
+impl ChemicalDistances {
+    /// Runs BFS from `(sx, sy)`.
+    ///
+    /// Returns distances counted in *edges* (so the source is at 0); add 1
+    /// for the vertex-count convention when needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is out of bounds.
+    pub fn from_source(lat: &SiteLattice, sx: u32, sy: u32) -> Self {
+        assert!(
+            sx < lat.width() && sy < lat.height(),
+            "source ({sx}, {sy}) out of bounds"
+        );
+        let w = lat.width() as usize;
+        let mut dist = vec![u32::MAX; lat.len()];
+        if lat.is_open(sx, sy) {
+            let si = (sy as usize) * w + sx as usize;
+            dist[si] = 0;
+            let mut queue = VecDeque::from([(sx as i64, sy as i64)]);
+            while let Some((x, y)) = queue.pop_front() {
+                let d = dist[(y as usize) * w + x as usize];
+                for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                    let (nx, ny) = (x + dx, y + dy);
+                    if nx < 0 || ny < 0 || nx >= lat.width() as i64 || ny >= lat.height() as i64
+                    {
+                        continue;
+                    }
+                    let ni = (ny as usize) * w + nx as usize;
+                    if dist[ni] == u32::MAX && lat.is_open(nx as u32, ny as u32) {
+                        dist[ni] = d + 1;
+                        queue.push_back((nx, ny));
+                    }
+                }
+            }
+        }
+        ChemicalDistances {
+            width: lat.width(),
+            dist,
+        }
+    }
+
+    /// Distance to `(x, y)`, or `None` if unreachable.
+    pub fn get(&self, x: u32, y: u32) -> Option<u32> {
+        match self.dist[(y as usize) * (self.width as usize) + x as usize] {
+            u32::MAX => None,
+            d => Some(d),
+        }
+    }
+}
+
+/// One sample of the chemical-stretch experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StretchSample {
+    /// Whether both endpoints were open and connected.
+    pub connected: bool,
+    /// `D(0, x) / ‖x‖₁` when connected, else 0.
+    pub stretch: f64,
+}
+
+/// Measures the chemical stretch `D(0, x)/‖x‖₁` between the corners
+/// `(m, m)` and `(m + k, m)` of a box at occupation `p`, over `trials`
+/// independent lattices.
+///
+/// Theorem 4 predicts: for `p` close enough to 1, the probability that the
+/// stretch exceeds `1 + α` decays exponentially in `k`. The harness
+/// `exp_chemical_distance` tabulates quantiles of these samples against
+/// `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `trials == 0`.
+pub fn stretch_samples(
+    k: u32,
+    p: f64,
+    trials: u32,
+    rng: &mut Xoshiro256pp,
+) -> Vec<StretchSample> {
+    assert!(k > 0, "separation must be positive");
+    assert!(trials > 0, "need at least one trial");
+    // box with margin m = k/2 around the segment
+    let m = (k / 2).max(4);
+    let width = k + 2 * m + 1;
+    let height = 2 * m + 1;
+    let mut out = Vec::with_capacity(trials as usize);
+    for _ in 0..trials {
+        let lat = SiteLattice::random(width, height, p, rng);
+        let (sx, sy) = (m, m);
+        let (tx, ty) = (m + k, m);
+        let bfs = ChemicalDistances::from_source(&lat, sx, sy);
+        match bfs.get(tx, ty) {
+            Some(d) => out.push(StretchSample {
+                connected: true,
+                stretch: d as f64 / k as f64,
+            }),
+            None => out.push(StretchSample {
+                connected: false,
+                stretch: 0.0,
+            }),
+        }
+    }
+    out
+}
+
+/// Fraction of connected samples whose stretch exceeds `1 + alpha`.
+pub fn stretch_exceedance(samples: &[StretchSample], alpha: f64) -> f64 {
+    let connected: Vec<_> = samples.iter().filter(|s| s.connected).collect();
+    if connected.is_empty() {
+        return 0.0;
+    }
+    connected
+        .iter()
+        .filter(|s| s.stretch > 1.0 + alpha)
+        .count() as f64
+        / connected.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_full_lattice_is_l1() {
+        let lat = SiteLattice::from_fn(12, 12, |_, _| true);
+        let bfs = ChemicalDistances::from_source(&lat, 2, 3);
+        for y in 0..12u32 {
+            for x in 0..12u32 {
+                let expect = (x as i64 - 2).unsigned_abs() + (y as i64 - 3).unsigned_abs();
+                assert_eq!(bfs.get(x, y), Some(expect as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_detour_around_wall() {
+        // vertical wall with a gap at the bottom forces a detour
+        let lat = SiteLattice::from_fn(11, 11, |x, y| x != 5 || y == 10);
+        let bfs = ChemicalDistances::from_source(&lat, 0, 0);
+        let direct = 10u32;
+        let got = bfs.get(10, 0).expect("connected through the gap");
+        assert!(got > direct, "wall must lengthen the path: {got}");
+        // exact: down to y=10 (10 steps), across gap... path length = 10 + 10 + 10 = 30
+        assert_eq!(got, 30);
+    }
+
+    #[test]
+    fn closed_source_reaches_nothing() {
+        let lat = SiteLattice::from_fn(5, 5, |x, y| !(x == 2 && y == 2));
+        let bfs = ChemicalDistances::from_source(&lat, 2, 2);
+        assert_eq!(bfs.get(0, 0), None);
+        assert_eq!(bfs.get(2, 2), None);
+    }
+
+    #[test]
+    fn disconnected_component_unreachable() {
+        let lat = SiteLattice::from_fn(9, 9, |x, _| x != 4);
+        let bfs = ChemicalDistances::from_source(&lat, 0, 0);
+        assert!(bfs.get(8, 0).is_none());
+        assert!(bfs.get(3, 8).is_some());
+    }
+
+    #[test]
+    fn stretch_near_one_at_high_p() {
+        let mut rng = Xoshiro256pp::seed_from_u64(50);
+        let samples = stretch_samples(30, 0.95, 60, &mut rng);
+        let connected = samples.iter().filter(|s| s.connected).count();
+        assert!(connected > 50, "p = 0.95 should connect almost always");
+        assert!(
+            stretch_exceedance(&samples, 0.25) < 0.1,
+            "stretch should be near 1 at p = 0.95"
+        );
+    }
+
+    #[test]
+    fn stretch_grows_near_criticality() {
+        let mut rng = Xoshiro256pp::seed_from_u64(51);
+        let near_pc = stretch_samples(30, 0.65, 80, &mut rng);
+        let high_p = stretch_samples(30, 0.95, 80, &mut rng);
+        let mean = |s: &[StretchSample]| {
+            let c: Vec<_> = s.iter().filter(|x| x.connected).collect();
+            c.iter().map(|x| x.stretch).sum::<f64>() / c.len().max(1) as f64
+        };
+        assert!(
+            mean(&near_pc) > mean(&high_p),
+            "paths lengthen as p decreases toward pc"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn source_out_of_bounds_panics() {
+        let lat = SiteLattice::from_fn(4, 4, |_, _| true);
+        let _ = ChemicalDistances::from_source(&lat, 9, 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! First-passage percolation with i.i.d. site passage times (Kesten — the
+//! paper's Theorem 3, used to bound the spread speed in Lemma 7).
+
+use seg_grid::rng::Xoshiro256pp;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Distribution of the i.i.d. site passage times `t(v)`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum PassageTimeDistribution {
+    /// Exponential with the given rate (the paper attaches
+    /// `Exp(mean 1/N)` clocks to renormalized `w`-blocks in Lemma 7).
+    Exponential {
+        /// Rate λ (mean is `1/λ`).
+        rate: f64,
+    },
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower endpoint.
+        lo: f64,
+        /// Upper endpoint.
+        hi: f64,
+    },
+}
+
+impl PassageTimeDistribution {
+    /// Samples one passage time.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (non-positive rate, inverted range).
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        match *self {
+            PassageTimeDistribution::Exponential { rate } => rng.next_exponential(rate),
+            PassageTimeDistribution::Uniform { lo, hi } => {
+                assert!(lo <= hi && lo >= 0.0, "invalid uniform range [{lo}, {hi}]");
+                lo + (hi - lo) * rng.next_f64()
+            }
+        }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            PassageTimeDistribution::Exponential { rate } => 1.0 / rate,
+            PassageTimeDistribution::Uniform { lo, hi } => 0.5 * (lo + hi),
+        }
+    }
+}
+
+/// A `width × height` patch of `Z²` with an i.i.d. passage time on every
+/// site. The passage time of a path is the sum of the times of its sites
+/// (§IV-A, `T*(η) = Σ t(v_i)`).
+#[derive(Clone, Debug)]
+pub struct FppLattice {
+    width: u32,
+    height: u32,
+    time: Vec<f64>,
+}
+
+impl FppLattice {
+    /// Samples passage times from `dist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn random(
+        width: u32,
+        height: u32,
+        dist: PassageTimeDistribution,
+        rng: &mut Xoshiro256pp,
+    ) -> Self {
+        assert!(width > 0 && height > 0, "dimensions must be positive");
+        let time = (0..(width as usize * height as usize))
+            .map(|_| dist.sample(rng))
+            .collect();
+        FppLattice {
+            width,
+            height,
+            time,
+        }
+    }
+
+    /// Builds from explicit row-major passage times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time.len() != width * height` or any time is negative.
+    pub fn from_times(width: u32, height: u32, time: Vec<f64>) -> Self {
+        assert_eq!(time.len(), width as usize * height as usize);
+        assert!(time.iter().all(|t| *t >= 0.0), "passage times must be ≥ 0");
+        FppLattice {
+            width,
+            height,
+            time,
+        }
+    }
+
+    /// Width of the patch.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Height of the patch.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Passage time of the site `(x, y)`.
+    pub fn time_at(&self, x: u32, y: u32) -> f64 {
+        self.time[(y as usize) * (self.width as usize) + x as usize]
+    }
+
+    /// Least passage time from source to target over 4-adjacent paths,
+    /// where a path pays the time of every site it *enters* (the source's
+    /// own time is excluded, matching `T_k = inf Σ_{i≥1} t(v_i)` from the
+    /// origin).
+    ///
+    /// Dijkstra with a binary heap; O(wh·log(wh)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of bounds.
+    pub fn passage_time(&self, source: (u32, u32), target: (u32, u32)) -> f64 {
+        let (sx, sy) = source;
+        let (tx, ty) = target;
+        assert!(sx < self.width && sy < self.height, "source out of bounds");
+        assert!(tx < self.width && ty < self.height, "target out of bounds");
+        let w = self.width as usize;
+        let n = self.time.len();
+        let mut best = vec![f64::INFINITY; n];
+        let si = (sy as usize) * w + sx as usize;
+        let ti = (ty as usize) * w + tx as usize;
+        best[si] = 0.0;
+        // order by f64 bits via ordered wrapper
+        let mut heap: BinaryHeap<Reverse<(OrderedF64, usize)>> = BinaryHeap::new();
+        heap.push(Reverse((OrderedF64(0.0), si)));
+        while let Some(Reverse((OrderedF64(d), i))) = heap.pop() {
+            if d > best[i] {
+                continue;
+            }
+            if i == ti {
+                return d;
+            }
+            let (x, y) = ((i % w) as i64, (i / w) as i64);
+            for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                let (nx, ny) = (x + dx, y + dy);
+                if nx < 0 || ny < 0 || nx >= self.width as i64 || ny >= self.height as i64 {
+                    continue;
+                }
+                let ni = (ny as usize) * w + nx as usize;
+                let nd = d + self.time[ni];
+                if nd < best[ni] {
+                    best[ni] = nd;
+                    heap.push(Reverse((OrderedF64(nd), ni)));
+                }
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// Total order on non-NaN f64 for the Dijkstra heap.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Samples `T_k`, the passage time from the origin to `k·ζ1` (a horizontal
+/// displacement of `k`), in a box with vertical margin `k/2`, over
+/// `trials` independent environments.
+///
+/// Kesten's Theorem 3 gives `P(|T_k − E[T_k]| > x√k) < c₁e^{−c₂x}`; the
+/// harness `exp_fpp_spread` checks the `√k` scale of the fluctuations and
+/// the linear growth `T_k/k → μ`.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `trials == 0`.
+pub fn sample_tk(
+    k: u32,
+    dist: PassageTimeDistribution,
+    trials: u32,
+    rng: &mut Xoshiro256pp,
+) -> Vec<f64> {
+    assert!(k > 0 && trials > 0, "k and trials must be positive");
+    let margin = (k / 2).max(4);
+    let width = k + 2 * margin + 1;
+    let height = 2 * margin + 1;
+    (0..trials)
+        .map(|_| {
+            let lat = FppLattice::random(width, height, dist, rng);
+            lat.passage_time((margin, margin), (margin + k, margin))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_times_give_l1_distance() {
+        let lat = FppLattice::from_times(10, 10, vec![1.0; 100]);
+        assert_eq!(lat.passage_time((0, 0), (3, 4)), 7.0);
+        assert_eq!(lat.passage_time((2, 2), (2, 2)), 0.0);
+    }
+
+    #[test]
+    fn route_avoids_expensive_sites() {
+        // middle column very expensive except one cheap gate
+        let mut times = vec![1.0; 25];
+        for y in 0..5usize {
+            times[y * 5 + 2] = 100.0;
+        }
+        times[4 * 5 + 2] = 1.0; // gate at (2,4)
+        let lat = FppLattice::from_times(5, 5, times);
+        let t = lat.passage_time((0, 0), (4, 0));
+        // detour down to y=4 and back: 4 + 4 + 4 = 12 sites entered
+        assert_eq!(t, 12.0);
+    }
+
+    #[test]
+    fn passage_time_symmetric_under_reversal() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let lat = FppLattice::random(
+            12,
+            12,
+            PassageTimeDistribution::Uniform { lo: 0.5, hi: 2.0 },
+            &mut rng,
+        );
+        // path cost counts entered sites, so reversal swaps endpoint costs
+        let ab = lat.passage_time((1, 1), (9, 9));
+        let ba = lat.passage_time((9, 9), (1, 1));
+        let expected_diff = lat.time_at(9, 9) - lat.time_at(1, 1);
+        assert!((ab - ba - expected_diff).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tk_grows_linearly() {
+        let mut rng = Xoshiro256pp::seed_from_u64(20);
+        let dist = PassageTimeDistribution::Uniform { lo: 0.0, hi: 1.0 };
+        let t10: f64 = sample_tk(10, dist, 30, &mut rng).iter().sum::<f64>() / 30.0;
+        let t30: f64 = sample_tk(30, dist, 30, &mut rng).iter().sum::<f64>() / 30.0;
+        let ratio = t30 / t10;
+        assert!(
+            (2.0..4.5).contains(&ratio),
+            "T_k should grow about linearly: T10 = {t10}, T30 = {t30}"
+        );
+    }
+
+    #[test]
+    fn tk_below_l1_mean_cost() {
+        // optimal routing beats the straight path's expected cost
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        let dist = PassageTimeDistribution::Exponential { rate: 1.0 };
+        let k = 20;
+        let mean_tk: f64 = sample_tk(k, dist, 40, &mut rng).iter().sum::<f64>() / 40.0;
+        assert!(
+            mean_tk < k as f64 * dist.mean(),
+            "mean T_k = {mean_tk} should be below straight-line cost {k}"
+        );
+        assert!(mean_tk > 0.0);
+    }
+
+    #[test]
+    fn fluctuations_scale_subdiffusively() {
+        // std(T_k) should grow much slower than k (Kesten: at most √k·log k)
+        let mut rng = Xoshiro256pp::seed_from_u64(22);
+        let dist = PassageTimeDistribution::Exponential { rate: 1.0 };
+        let stats = |k: u32, rng: &mut Xoshiro256pp| {
+            let v = sample_tk(k, dist, 60, rng);
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            let var = v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64;
+            (m, var.sqrt())
+        };
+        let (_, s8) = stats(8, &mut rng);
+        let (_, s32) = stats(32, &mut rng);
+        // k quadrupled: diffusive scaling would give s32 ≈ 2·s8; require
+        // clearly sub-linear growth (ratio well under 4).
+        assert!(
+            s32 < 3.0 * s8 + 0.5,
+            "fluctuations grew too fast: s8 = {s8}, s32 = {s32}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_target_panics() {
+        let lat = FppLattice::from_times(4, 4, vec![1.0; 16]);
+        let _ = lat.passage_time((0, 0), (7, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "passage times must be")]
+    fn negative_times_rejected() {
+        let _ = FppLattice::from_times(2, 2, vec![1.0, -1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the percolation substrate.
+
+use proptest::prelude::*;
+use seg_grid::rng::Xoshiro256pp;
+use seg_percolation::bond::BondLattice;
+use seg_percolation::chemical::ChemicalDistances;
+use seg_percolation::fpp::{FppLattice, PassageTimeDistribution};
+use seg_percolation::site::SiteLattice;
+use seg_percolation::union_find::UnionFind;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cluster sizes partition the open sites.
+    #[test]
+    fn cluster_sizes_partition(seed in any::<u64>(), w in 2u32..24, h in 2u32..24, p in 0.0f64..=1.0) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let lat = SiteLattice::random(w, h, p, &mut rng);
+        let cs = lat.clusters();
+        prop_assert_eq!(cs.sizes().iter().sum::<usize>(), lat.open_count());
+        prop_assert!(cs.largest_size() <= lat.open_count());
+        prop_assert_eq!(cs.cluster_count(), cs.sizes().len());
+    }
+
+    /// Chemical distance dominates l1 distance and is 0 at the source.
+    #[test]
+    fn chemical_distance_dominates_l1(seed in any::<u64>(), n in 3u32..20, p in 0.3f64..=1.0) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let lat = SiteLattice::random(n, n, p, &mut rng);
+        let (sx, sy) = (n / 2, n / 2);
+        let bfs = ChemicalDistances::from_source(&lat, sx, sy);
+        if lat.is_open(sx, sy) {
+            prop_assert_eq!(bfs.get(sx, sy), Some(0));
+        }
+        for y in 0..n {
+            for x in 0..n {
+                if let Some(d) = bfs.get(x, y) {
+                    let l1 = (x as i64 - sx as i64).unsigned_abs()
+                        + (y as i64 - sy as i64).unsigned_abs();
+                    prop_assert!(d as u64 >= l1);
+                }
+            }
+        }
+    }
+
+    /// Monotonicity: opening more sites can only improve connectivity.
+    #[test]
+    fn site_spanning_monotone_in_configuration(seed in any::<u64>(), n in 3u32..16) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let sparse = SiteLattice::random(n, n, 0.4, &mut rng);
+        // superset: every sparse-open site stays open, plus extras
+        let mut rng2 = Xoshiro256pp::seed_from_u64(seed ^ 1);
+        let dense = SiteLattice::from_fn(n, n, |x, y| {
+            sparse.is_open(x, y) || rng2.next_bool(0.4)
+        });
+        if sparse.spans_horizontally() {
+            prop_assert!(dense.spans_horizontally());
+        }
+        prop_assert!(dense.clusters().largest_size() >= sparse.clusters().largest_size());
+    }
+
+    /// FPP passage times satisfy the triangle inequality through any
+    /// intermediate point (up to fp error).
+    #[test]
+    fn fpp_triangle(seed in any::<u64>(), n in 4u32..16) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let lat = FppLattice::random(
+            n, n,
+            PassageTimeDistribution::Uniform { lo: 0.1, hi: 2.0 },
+            &mut rng,
+        );
+        let a = (0u32, 0u32);
+        let b = (n - 1, n - 1);
+        let m = (n / 2, n / 2);
+        let ab = lat.passage_time(a, b);
+        let am = lat.passage_time(a, m);
+        let mb = lat.passage_time(m, b);
+        prop_assert!(ab <= am + mb + 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    /// FPP time is monotone in the weights: doubling every site weight
+    /// doubles every passage time.
+    #[test]
+    fn fpp_scales_linearly(seed in any::<u64>(), n in 4u32..14) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let base = FppLattice::random(
+            n, n,
+            PassageTimeDistribution::Uniform { lo: 0.1, hi: 1.0 },
+            &mut rng,
+        );
+        let doubled_times: Vec<f64> = (0..n)
+            .flat_map(|y| (0..n).map(move |x| (x, y)))
+            .map(|(x, y)| 2.0 * base.time_at(x, y))
+            .collect();
+        let doubled = FppLattice::from_times(n, n, doubled_times);
+        let t1 = base.passage_time((0, 0), (n - 1, 0));
+        let t2 = doubled.passage_time((0, 0), (n - 1, 0));
+        prop_assert!((t2 - 2.0 * t1).abs() < 1e-9);
+    }
+
+    /// Bond lattice: opening all edges of a row spans; the union-find
+    /// count of components is consistent with cluster sizes.
+    #[test]
+    fn bond_components_consistent(seed in any::<u64>(), n in 2u32..16, p in 0.0f64..=1.0) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let lat = BondLattice::random(n, n, p, &mut rng);
+        let largest = lat.largest_cluster();
+        prop_assert!(largest >= 1);
+        prop_assert!(largest <= (n * n) as usize);
+        if p == 1.0 {
+            prop_assert_eq!(largest, (n * n) as usize);
+            prop_assert!(lat.spans_horizontally());
+        }
+        if p == 0.0 {
+            prop_assert_eq!(largest, 1);
+        }
+    }
+
+    /// Union-find maintains the partition invariant under random unions.
+    #[test]
+    fn union_find_partition(ops in prop::collection::vec((0usize..30, 0usize..30), 0..60)) {
+        let mut uf = UnionFind::new(30);
+        let mut expected_components = 30usize;
+        for (a, b) in ops {
+            if uf.union(a, b) {
+                expected_components -= 1;
+            }
+        }
+        prop_assert_eq!(uf.component_count(), expected_components);
+    }
+}

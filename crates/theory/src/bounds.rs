@@ -1,0 +1,118 @@
+//! Concentration scales from the paper's appendix (Lemmas 1, 18 and
+//! Proposition 1).
+//!
+//! These are the deviation envelopes the proofs rely on; the experiment
+//! harness `exp_concentration` checks empirical initial configurations
+//! against them.
+
+/// Azuma deviation bound of Lemma 1: for a uniformly sampled
+/// sub-neighborhood of size `n'` from a set with `K` minus-agents,
+///
+/// ```text
+/// P(W' ≥ γK + t) ≤ exp(−t²/(2n')),   γ = n'/n.
+/// ```
+///
+/// Returns the probability bound for deviation `t`.
+///
+/// # Panics
+///
+/// Panics if `n_sub == 0` or `t < 0`.
+pub fn azuma_tail(n_sub: u64, t: f64) -> f64 {
+    assert!(n_sub > 0, "sub-neighborhood must be nonempty");
+    assert!(t >= 0.0, "deviation must be non-negative");
+    (-t * t / (2.0 * n_sub as f64)).exp()
+}
+
+/// Lemma 18's deviation scale: in a neighborhood of `n` agents the count
+/// of minus-agents deviates from `n/2` by less than `c·n^{1/2+ε}` with
+/// probability `≥ 1 − 2·exp(−c'·n^{2ε})`. This returns the deviation
+/// radius `c·n^{1/2+ε}`.
+///
+/// # Panics
+///
+/// Panics if `eps` is outside `(0, 1/2)` or `c ≤ 0`.
+pub fn lemma18_radius(n: u64, eps: f64, c: f64) -> f64 {
+    assert!(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
+    assert!(c > 0.0, "scale c must be positive");
+    c * (n as f64).powf(0.5 + eps)
+}
+
+/// Lemma 18's failure-probability bound `2·exp(−c'·n^{2ε})` for the radius
+/// above, with the Azuma constant `c' = c²/2` implied by the proof.
+pub fn lemma18_failure(n: u64, eps: f64, c: f64) -> f64 {
+    assert!(eps > 0.0 && eps < 0.5, "eps must lie in (0, 1/2)");
+    2.0 * (-(c * c / 2.0) * (n as f64).powf(2.0 * eps)).exp()
+}
+
+/// Proposition 1's statement for a sub-neighborhood of scaling factor
+/// `γ = n'/n`: conditioned on `W < τn`, the sub-count `W'` lies within
+/// `c·n^{1/2+ε}` of `γτn` with probability `≥ 1 − exp(−c'·n^{2ε})`.
+/// Returns the pair `(center, radius)` of the predicted interval.
+///
+/// # Panics
+///
+/// Panics if `gamma` is outside `(0, 1]` or `tau` outside `(0, 1)`.
+pub fn proposition1_interval(
+    n: u64,
+    gamma: f64,
+    tau: f64,
+    eps: f64,
+    c: f64,
+) -> (f64, f64) {
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must lie in (0, 1]");
+    assert!(tau > 0.0 && tau < 1.0, "tau must lie in (0, 1)");
+    (gamma * tau * n as f64, lemma18_radius(n, eps, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azuma_decreasing_in_t() {
+        let mut prev = 2.0;
+        for i in 0..20 {
+            let t = i as f64;
+            let b = azuma_tail(100, t);
+            assert!(b <= prev);
+            assert!((0.0..=1.0).contains(&b));
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn azuma_known_value() {
+        // t = sqrt(2 n') gives e^{-1}
+        let n = 50u64;
+        let t = (2.0 * n as f64).sqrt();
+        assert!((azuma_tail(n, t) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma18_radius_scales_superdiffusively() {
+        let r1 = lemma18_radius(100, 0.25, 1.0);
+        let r2 = lemma18_radius(10_000, 0.25, 1.0);
+        // n multiplied by 100 ⇒ radius multiplied by 100^{0.75}
+        assert!((r2 / r1 - 100f64.powf(0.75)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma18_failure_vanishes() {
+        assert!(lemma18_failure(10_000, 0.25, 1.0) < lemma18_failure(100, 0.25, 1.0));
+        assert!(lemma18_failure(1_000_000, 0.2, 1.0) < 1e-10);
+    }
+
+    #[test]
+    fn proposition1_center_scales_with_gamma() {
+        let (c1, r1) = proposition1_interval(441, 0.25, 0.45, 0.2, 1.0);
+        let (c2, r2) = proposition1_interval(441, 0.5, 0.45, 0.2, 1.0);
+        assert!((c2 / c1 - 2.0).abs() < 1e-12);
+        assert_eq!(r1, r2); // radius depends on n only
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must lie")]
+    fn lemma18_rejects_bad_eps() {
+        let _ = lemma18_radius(100, 0.7, 1.0);
+    }
+}

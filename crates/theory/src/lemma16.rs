@@ -1,0 +1,115 @@
+//! The trapezoid geometry of Lemma 16, whose closing condition is exactly
+//! Eq. (3) — the origin of `τ2 = 11/32`.
+//!
+//! Lemma 16 grows a monochromatic `3w/2`-block inside a good block through
+//! four isosceles trapezoids (smaller bases `2(3/4 − 2ζ)w`, heights `2νw`)
+//! and four rectangles (sides `2(1/8 − ν)w × w/4`), with
+//! `ζ = (3 − 8τ)/2` and `ν = (16τ − 5)/6`. The corner agent outside the
+//! `3w/2`-block is unhappy iff
+//!
+//! ```text
+//! [1 − 1/4 − (1/4 + 1/2 − ζ)·ν − (1/8 − ν)/4]·(1/2) < τ,
+//! ```
+//!
+//! which simplifies to `1024τ² − 384τ + 11 > 0` — Eq. (3).
+
+/// `ζ(τ) = (3 − 8τ)/2` (Lemma 16).
+pub fn zeta(tau: f64) -> f64 {
+    (3.0 - 8.0 * tau) / 2.0
+}
+
+/// `ν(τ) = (16τ − 5)/6` (Lemma 16).
+pub fn nu(tau: f64) -> f64 {
+    (16.0 * tau - 5.0) / 6.0
+}
+
+/// The left-hand side of Lemma 16's corner-agent inequality minus `τ`
+/// (negative ⇔ the corner agent is unhappy ⇔ the spread continues).
+pub fn corner_margin(tau: f64) -> f64 {
+    let z = zeta(tau);
+    let v = nu(tau);
+    (1.0 - 0.25 - (0.25 + 0.5 - z) * v - 0.25 * (0.125 - v)) * 0.5 - tau
+}
+
+/// The same margin rewritten through Eq. (3): `corner_margin(τ)` and
+/// `−eq3(τ)` have the same sign pattern; exposed to test the algebra.
+pub fn eq3_residual(tau: f64) -> f64 {
+    1024.0 * tau * tau - 384.0 * tau + 11.0
+}
+
+/// Whether the trapezoid construction is geometrically valid: heights and
+/// bases non-negative, i.e. `ν ≥ 0` (τ ≥ 5/16) and `3/4 − 2ζ ≥ 0`
+/// (τ ≥ 9/32), and `ν ≤ 1/8` (τ ≤ 0.359...) so the rectangles exist.
+pub fn construction_valid(tau: f64) -> bool {
+    nu(tau) >= 0.0 && 0.75 - 2.0 * zeta(tau) >= 0.0 && nu(tau) <= 0.125
+}
+
+/// The threshold quoted in Lemma 16 for the trapezoids themselves to turn
+/// monochromatic inside a good block: `τ > 0.3463`.
+pub const TRAPEZOID_THRESHOLD: f64 = 0.3463;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::tau2;
+
+    #[test]
+    fn zeta_nu_at_landmarks() {
+        // τ = 3/8: ζ = 0, ν = 1/6
+        assert!((zeta(0.375)).abs() < 1e-15);
+        assert!((nu(0.375) - 1.0 / 6.0).abs() < 1e-15);
+        // τ = 5/16: ν = 0
+        assert!(nu(5.0 / 16.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn corner_margin_vanishes_at_tau2_scale() {
+        // corner_margin is an affine-in-τ² rescaling of eq3: both share the
+        // root τ2 = 11/32.
+        let t2 = tau2();
+        assert!(
+            corner_margin(t2).abs() < 1e-12,
+            "margin at tau2 = {}",
+            corner_margin(t2)
+        );
+        assert!(eq3_residual(t2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn margin_and_eq3_share_sign_pattern() {
+        // For τ just above τ2 the corner agent is unhappy (margin < 0 means
+        // the same-type fraction undershoots τ) and eq3 > 0.
+        for tau in [0.345, 0.35, 0.36] {
+            assert!(corner_margin(tau) < 0.0, "margin({tau})");
+            assert!(eq3_residual(tau) > 0.0, "eq3({tau})");
+        }
+        // For τ below τ2 both flip sign.
+        for tau in [0.335, 0.34] {
+            assert!(corner_margin(tau) > 0.0, "margin({tau})");
+            assert!(eq3_residual(tau) < 0.0, "eq3({tau})");
+        }
+    }
+
+    #[test]
+    fn algebra_corner_margin_is_scaled_eq3() {
+        // corner_margin(τ) = −eq3(τ)/192 (the simplification the paper
+        // refers to as "which can be simplified to (3)").
+        for tau in [0.33, 0.34, 0.3438, 0.35, 0.36, 0.37] {
+            let lhs = corner_margin(tau);
+            let rhs = -eq3_residual(tau) / 192.0;
+            assert!(
+                (lhs - rhs).abs() < 1e-12,
+                "tau = {tau}: margin = {lhs}, −eq3/192 = {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_window() {
+        assert!(construction_valid(0.345));
+        assert!(construction_valid(0.355));
+        assert!(!construction_valid(0.30)); // ν < 0
+        assert!(!construction_valid(0.40)); // ν > 1/8
+        assert!(TRAPEZOID_THRESHOLD < tau2() + 0.01);
+    }
+}

@@ -1,0 +1,91 @@
+//! Quantities from Lemma 7 and Lemma 10's bookkeeping: the spread-speed
+//! bound and the firewall flip-count budgets.
+//!
+//! Lemma 7 renormalizes the grid into `w`-blocks carrying `Exp(mean 1/N)`
+//! clocks and bounds the time for unhappiness to cross from radius `ρ` to
+//! `ρ/2` below by `c''·ρ/N^{3/2}` w.h.p. Lemma 10 then needs the firewall
+//! to finish its at-most-`κ·r·√N` flips within `2κr√N` time units.
+
+/// The renormalized block count along a radius: `k ≈ ρ/(2w+1) ∝ ρ/√N`.
+///
+/// # Panics
+///
+/// Panics if `horizon == 0` is fine (blocks of side 1); panics if `rho`
+/// is zero.
+pub fn blocks_along(rho: u64, horizon: u32) -> u64 {
+    assert!(rho > 0, "radius must be positive");
+    let side = 2 * horizon as u64 + 1;
+    rho.div_ceil(side)
+}
+
+/// Lemma 7's crossing-time lower-bound scale `c''·ρ/N^{3/2}`: with
+/// `k = ρ/√N` blocks each costing mean time `1/N`... the displayed bound.
+pub fn crossing_time_bound(c: f64, rho: u64, n_size: u32) -> f64 {
+    assert!(c > 0.0, "constant must be positive");
+    c * rho as f64 / (n_size as f64).powf(1.5)
+}
+
+/// Lemma 10's firewall agent budget: `κ·r·√N` — the number of agents in
+/// an annular firewall of radius `2r` plus the width-(w+1) line to its
+/// center. Computed here exactly from the geometry rather than the
+/// asymptotic constant: `2π·(2r)·√2·w + (w+1)·2r` agents, returned with
+/// the κ it implies.
+pub fn firewall_agent_budget(r: f64, horizon: u32) -> (f64, f64) {
+    assert!(r > 0.0, "radius must be positive");
+    let w = horizon as f64;
+    let n_sqrt = 2.0 * w + 1.0; // √N
+    let annulus = 2.0 * std::f64::consts::PI * (2.0 * r) * (std::f64::consts::SQRT_2 * w);
+    let line = (w + 1.0) * 2.0 * r;
+    let agents = annulus + line;
+    (agents, agents / (r * n_sqrt))
+}
+
+/// The expected time for `m` sequential rate-1 flips (the worst-case
+/// firewall formation schedule of Lemma 10): exactly `m` (sum of `m`
+/// exponentials with mean one), with standard deviation `√m`.
+pub fn sequential_flip_time(m: u64) -> (f64, f64) {
+    (m as f64, (m as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_scales() {
+        assert_eq!(blocks_along(100, 2), 20);
+        assert_eq!(blocks_along(101, 2), 21);
+        assert_eq!(blocks_along(1, 10), 1);
+    }
+
+    #[test]
+    fn crossing_time_monotone() {
+        assert!(crossing_time_bound(1.0, 200, 25) > crossing_time_bound(1.0, 100, 25));
+        assert!(crossing_time_bound(1.0, 100, 49) < crossing_time_bound(1.0, 100, 25));
+    }
+
+    #[test]
+    fn budget_linear_in_r() {
+        let (a1, k1) = firewall_agent_budget(50.0, 3);
+        let (a2, k2) = firewall_agent_budget(100.0, 3);
+        assert!((a2 / a1 - 2.0).abs() < 1e-9, "agents linear in r");
+        assert!((k1 - k2).abs() < 1e-9, "κ independent of r");
+    }
+
+    #[test]
+    fn budget_grows_with_horizon() {
+        let (a_small, _) = firewall_agent_budget(50.0, 2);
+        let (a_big, _) = firewall_agent_budget(50.0, 8);
+        assert!(a_big > a_small);
+    }
+
+    #[test]
+    fn chebyshev_window_of_lemma10() {
+        // P(T'_f ≥ 2m) ≤ Var/(m²) = 1/m → the 2κr√N window succeeds whp
+        let (mean, sd) = sequential_flip_time(10_000);
+        assert_eq!(mean, 10_000.0);
+        assert_eq!(sd, 100.0);
+        // the paper's margin: deviation m at scale sd ⇒ m/sd = √m sigmas
+        assert!(mean / sd == 100.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! The chemical firewall of §IV-B, built end-to-end: renormalize the
+//! torus into blocks, classify good/bad, find an enclosing ring of good
+//! blocks around an agent, and confirm the ring length scales linearly
+//! (Garet–Marchand / Lemma 13).
+//!
+//! ```text
+//! cargo run --release --example chemical_firewall
+//! ```
+
+use self_organized_segregation::prelude::*;
+use self_organized_segregation::seg_analysis::series::Table;
+use self_organized_segregation::seg_core::chemical::{classify_blocks, find_chemical_path};
+use self_organized_segregation::seg_grid::{BlockCoord, BlockGrid};
+
+fn main() {
+    let n = 360;
+    let block_side = 12;
+    println!("Chemical firewall construction on a {n}×{n} torus, {block_side}-blocks\n");
+
+    let torus = Torus::new(n);
+    let mut rng = Xoshiro256pp::seed_from_u64(2017);
+    let field = TypeField::random(torus, 0.5, &mut rng);
+    let ps = PrefixSums::new(&field);
+    let grid = BlockGrid::new(torus, block_side);
+
+    // The deviation allowance N^{1/2+ε} controls the good-block density;
+    // Theorem 4 (and hence Lemma 13) operates in the regime where that
+    // density is close to 1, so sweep ε from tight to generous.
+    let center = BlockCoord {
+        bx: grid.blocks_per_side() / 2,
+        by: grid.blocks_per_side() / 2,
+    };
+    let mut table = Table::new(vec![
+        "eps".into(),
+        "good %".into(),
+        "smallest ring r".into(),
+        "cycle length".into(),
+        "length / r".into(),
+    ]);
+    for eps in [0.05, 0.10, 0.15, 0.20, 0.30] {
+        let good = classify_blocks(&grid, &ps, eps);
+        let frac = good.iter().filter(|g| **g).count() as f64 / good.len() as f64;
+        match find_chemical_path(&grid, &good, center, 2, 8) {
+            Some(p) => table.push_row(vec![
+                format!("{eps:.2}"),
+                format!("{:.1}", 100.0 * frac),
+                format!("{}", p.ring_radius),
+                format!("{}", p.cycle.len()),
+                format!("{:.1}", p.cycle.len() as f64 / p.ring_radius as f64),
+            ]),
+            None => table.push_row(vec![
+                format!("{eps:.2}"),
+                format!("{:.1}", 100.0 * frac),
+                "none ≤ 8".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: near the percolation threshold (good ≈ 60%) no clean ring of\n\
+         good blocks exists — exactly why Lemma 13 needs the Garet–Marchand\n\
+         supercritical regime. Once the good density is high (large ε, the\n\
+         paper's asymptotic regime: bad blocks have probability e^{{-cN^{{2ε}}}}),\n\
+         enclosing rings appear at the smallest radii with length exactly 8r —\n\
+         linear in the radius, which keeps the chemical firewall's formation\n\
+         time at κ·r·N^(3/2) (Lemma 17)."
+    );
+}

@@ -1,0 +1,47 @@
+//! Multi-type segregation (the §I-A "multiple agent types" variant):
+//! k colors on the torus, each agent wanting at least a fraction τ of its
+//! own color nearby.
+//!
+//! ```text
+//! cargo run --release --example multi_type
+//! ```
+
+use self_organized_segregation::seg_analysis::series::Table;
+use self_organized_segregation::seg_core::multi::MultiSim;
+
+fn main() {
+    let n = 128;
+    let w = 2;
+    println!("Multi-type segregation: {n}×{n}, w = {w}\n");
+
+    let mut table = Table::new(vec![
+        "k".into(),
+        "tau".into(),
+        "stable".into(),
+        "flips".into(),
+        "unhappy".into(),
+        "largest cluster %".into(),
+        "type totals".into(),
+    ]);
+    let agents = (n * n) as f64;
+    for (k, tau) in [(2u8, 0.44), (3, 0.30), (4, 0.22), (5, 0.18)] {
+        let mut sim = MultiSim::random(n, w, k, tau, 99);
+        let stable = sim.run(30_000_000);
+        table.push_row(vec![
+            format!("{k}"),
+            format!("{tau:.2}"),
+            format!("{stable}"),
+            format!("{}", sim.flips()),
+            format!("{}", sim.unhappy_count()),
+            format!("{:.1}", 100.0 * sim.largest_cluster() as f64 / agents),
+            format!("{:?}", sim.type_totals()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: τ is scaled with 1/k so that the average own-type fraction\n\
+         (≈ 1/k) sits the same relative distance below the threshold. Every k\n\
+         coarsens into single-color mosaics; with more colors the mosaic tiles\n\
+         are smaller at stability — each color's domains compete for area."
+    );
+}

@@ -1,0 +1,60 @@
+//! The 1-D ring baselines the paper's introduction builds on: Glauber and
+//! Kawasaki dynamics on a cycle (Brandt et al. STOC'12, Barmpalias et al.
+//! FOCS'14), showing the τ* ≈ 0.35 transition.
+//!
+//! ```text
+//! cargo run --release --example ring_baseline
+//! ```
+
+use self_organized_segregation::seg_analysis::series::Table;
+use self_organized_segregation::seg_core::ring::{RingKawasaki, RingSim};
+
+fn main() {
+    let n = 20_000;
+    let w = 8; // window 2w+1 = 17
+    println!("1-D ring baselines: n = {n}, window = {}", 2 * w + 1);
+    println!("expected: static below τ* ≈ 0.35, coarsening above\n");
+
+    let mut table = Table::new(vec![
+        "tau".into(),
+        "effective".into(),
+        "model".into(),
+        "flips/swaps".into(),
+        "mean run before".into(),
+        "mean run after".into(),
+    ]);
+    // τ̃ values chosen to hit distinct integer thresholds ⌈τ̃·17⌉ = 4..8
+    for tau in [0.23, 0.29, 0.35, 0.41, 0.47] {
+        let effective = (tau * 17f64).ceil() / 17.0;
+        // Glauber
+        let mut g = RingSim::random(n, w, tau, 0.5, 101);
+        let before = g.mean_run_length();
+        g.run_to_stable(10_000_000);
+        table.push_row(vec![
+            format!("{tau:.2}"),
+            format!("{effective:.3}"),
+            "Glauber".into(),
+            format!("{}", g.flips()),
+            format!("{before:.2}"),
+            format!("{:.2}", g.mean_run_length()),
+        ]);
+        // Kawasaki
+        let inner = RingSim::random(n, w, tau, 0.5, 102);
+        let kbefore = inner.mean_run_length();
+        let mut k = RingKawasaki::new(inner);
+        k.run(200_000);
+        table.push_row(vec![
+            format!("{tau:.2}"),
+            format!("{effective:.3}"),
+            "Kawasaki".into(),
+            format!("{}", k.swaps()),
+            format!("{kbefore:.2}"),
+            format!("{:.2}", k.ring().mean_run_length()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Reading: run lengths stay ≈ 2 below τ*, and grow by orders of magnitude\n\
+         for τ* < τ < 1/2 — the 1-D transition the 2-D paper generalizes."
+    );
+}

@@ -1,0 +1,249 @@
+//! `segsim` — command-line driver for the segregation model.
+//!
+//! ```text
+//! segsim --side 300 --horizon 4 --tau 0.45 [--density 0.5] [--seed 1]
+//!        [--max-flips N] [--frames DIR] [--trace FILE.csv] [--samples K]
+//! ```
+//!
+//! Runs the paper's process to stability, printing before/after
+//! statistics; optionally writes Figure 1-style PPM frames and a CSV
+//! trace of the evolution, and samples the monochromatic-region
+//! distribution at the end.
+
+use self_organized_segregation::prelude::*;
+use self_organized_segregation::seg_analysis::csv::write_csv_file;
+use self_organized_segregation::seg_analysis::ppm::figure1_frame;
+use self_organized_segregation::seg_core::regions::region_size_distribution;
+use self_organized_segregation::seg_core::trace::trace_run;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, PartialEq)]
+struct Options {
+    side: u32,
+    horizon: u32,
+    tau: f64,
+    density: f64,
+    seed: u64,
+    max_flips: u64,
+    frames: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    samples: u32,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            side: 300,
+            horizon: 4,
+            tau: 0.45,
+            density: 0.5,
+            seed: 0,
+            max_flips: u64::MAX,
+            frames: None,
+            trace: None,
+            samples: 100,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--side" => o.side = value("--side")?.parse().map_err(|e| format!("--side: {e}"))?,
+            "--horizon" => {
+                o.horizon = value("--horizon")?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?
+            }
+            "--tau" => o.tau = value("--tau")?.parse().map_err(|e| format!("--tau: {e}"))?,
+            "--density" => {
+                o.density = value("--density")?
+                    .parse()
+                    .map_err(|e| format!("--density: {e}"))?
+            }
+            "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--max-flips" => {
+                o.max_flips = value("--max-flips")?
+                    .parse()
+                    .map_err(|e| format!("--max-flips: {e}"))?
+            }
+            "--frames" => o.frames = Some(PathBuf::from(value("--frames")?)),
+            "--trace" => o.trace = Some(PathBuf::from(value("--trace")?)),
+            "--samples" => {
+                o.samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if o.tau < 0.0 || o.tau > 1.0 {
+        return Err("--tau must lie in [0, 1]".into());
+    }
+    if 2 * o.horizon >= o.side {
+        return Err("--horizon too large for --side (need 2w+1 ≤ n)".into());
+    }
+    Ok(o)
+}
+
+const USAGE: &str = "usage: segsim --side N --horizon W --tau T \
+[--density P] [--seed S] [--max-flips N] [--frames DIR] [--trace FILE.csv] [--samples K]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "segsim: {0}×{0} torus, w = {1} (N = {2}), τ̃ = {3}, p = {4}, seed = {5}",
+        opts.side,
+        opts.horizon,
+        (2 * opts.horizon + 1) * (2 * opts.horizon + 1),
+        opts.tau,
+        opts.density,
+        opts.seed
+    );
+    println!("regime: {:?}  (τ2 = {:.4}, τ1 = {:.4})", classify(opts.tau), tau2(), tau1());
+
+    let mut sim = ModelConfig::new(opts.side, opts.horizon, opts.tau)
+        .initial_density(opts.density)
+        .seed(opts.seed)
+        .build();
+
+    if let Some(dir) = &opts.frames {
+        std::fs::create_dir_all(dir).expect("create frame dir");
+        figure1_frame(&sim)
+            .save_ppm(&dir.join("initial.ppm"))
+            .expect("write initial frame");
+    }
+
+    let before = config_stats(&sim);
+    println!(
+        "initial: unhappy {} ({:.2}%), interface {}, largest cluster {}",
+        before.unhappy,
+        100.0 * (1.0 - before.happy_fraction),
+        before.interface_length,
+        before.largest_cluster
+    );
+
+    let trace = trace_run(&mut sim, (opts.side as u64).pow(2) / 20 + 1, opts.max_flips);
+    let after = config_stats(&sim);
+    println!(
+        "final:   unhappy {} ({:.2}%), interface {}, largest cluster {}",
+        after.unhappy,
+        100.0 * (1.0 - after.happy_fraction),
+        after.interface_length,
+        after.largest_cluster
+    );
+    println!(
+        "dynamics: {} flips, continuous time {:.2}, stable = {}",
+        sim.flips(),
+        sim.time(),
+        sim.is_stable()
+    );
+
+    if let Some(path) = &opts.trace {
+        let mut rows: Vec<Vec<String>> = vec![vec![
+            "flips".into(),
+            "time".into(),
+            "unhappy".into(),
+            "interface".into(),
+            "largest_cluster".into(),
+        ]];
+        for p in &trace {
+            rows.push(vec![
+                p.flips.to_string(),
+                format!("{:.4}", p.time),
+                p.stats.unhappy.to_string(),
+                p.stats.interface_length.to_string(),
+                p.stats.largest_cluster.to_string(),
+            ]);
+        }
+        write_csv_file(path, &rows).expect("write trace CSV");
+        println!("trace written to {}", path.display());
+    }
+
+    if let Some(dir) = &opts.frames {
+        figure1_frame(&sim)
+            .save_ppm(&dir.join("final.ppm"))
+            .expect("write final frame");
+        println!("frames written to {}", dir.display());
+    }
+
+    if opts.samples > 0 {
+        let ps = PrefixSums::new(sim.field());
+        let mut rng = Xoshiro256pp::seed_from_u64(opts.seed ^ 0xD15C);
+        let sizes = region_size_distribution(sim.field(), &ps, opts.samples, &mut rng);
+        let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
+        let median = sizes[sizes.len() / 2];
+        println!(
+            "monochromatic regions over {} sampled agents: mean {:.1}, median {}, max {}",
+            opts.samples,
+            mean,
+            median,
+            sizes.last().unwrap()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        assert_eq!(parse_args(&[]).unwrap(), Options::default());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = parse_args(&args(
+            "--side 100 --horizon 2 --tau 0.4 --density 0.6 --seed 9 --max-flips 1000 --samples 5",
+        ))
+        .unwrap();
+        assert_eq!(o.side, 100);
+        assert_eq!(o.horizon, 2);
+        assert!((o.tau - 0.4).abs() < 1e-15);
+        assert!((o.density - 0.6).abs() < 1e-15);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.max_flips, 1000);
+        assert_eq!(o.samples, 5);
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse_args(&args("--bogus 1")).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse_args(&args("--side")).is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_horizon() {
+        assert!(parse_args(&args("--side 9 --horizon 5")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_tau() {
+        assert!(parse_args(&args("--tau 1.5")).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # Self-organized Segregation on the Grid — reproduction
+//!
+//! A full Rust reproduction of Omidvar & Franceschetti, *Self-organized
+//! Segregation on the Grid* (PODC 2017 / J. Stat. Phys. 170(4), 2018):
+//! the Schelling/Glauber segregation model on the torus, its exact
+//! event-driven dynamics, the paper's analytical machinery (radical
+//! regions, firewalls, good/bad-block renormalization), the percolation
+//! substrates its proofs rely on, and an experiment harness regenerating
+//! every figure.
+//!
+//! This facade crate re-exports the workspace's public API so examples
+//! and downstream users can depend on a single crate:
+//!
+//! - [`seg_core`] — the model and its analysis (start at
+//!   [`ModelConfig`]);
+//! - [`seg_grid`] — torus geometry, spin fields, windows, blocks;
+//! - [`seg_theory`] — the paper's closed-form constants and bounds;
+//! - [`seg_percolation`] — site percolation, chemical distance, FPP;
+//! - [`seg_analysis`] — statistics, fits and image/CSV output.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use self_organized_segregation::prelude::*;
+//!
+//! // Figure 1 parameters (scaled down): τ = 0.42, horizon w = 10 ⇒ N = 441
+//! let mut sim = ModelConfig::new(128, 4, 0.42).seed(7).build();
+//! sim.run_to_stable(1_000_000);
+//! assert!(sim.is_stable());
+//! let stats = config_stats(&sim);
+//! assert!(stats.happy_fraction == 1.0); // τ < 1/2: everyone ends happy
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use seg_analysis;
+pub use seg_core;
+pub use seg_grid;
+pub use seg_percolation;
+pub use seg_theory;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use seg_analysis::ppm::{figure1_frame, type_frame};
+    pub use seg_analysis::regression::{exponential_fit, linear_fit};
+    pub use seg_analysis::stats::Summary;
+    pub use seg_core::metrics::{config_stats, interface_length, largest_same_type_cluster};
+    pub use seg_core::regions::{
+        almost_monochromatic_region, expected_monochromatic_size, monochromatic_region,
+    };
+    pub use seg_core::{Intolerance, ModelConfig, RunReport, Simulation};
+    pub use seg_grid::rng::Xoshiro256pp;
+    pub use seg_grid::{AgentType, Neighborhood, Point, PrefixSums, Torus, TypeField};
+    pub use seg_theory::constants::{classify, tau1, tau2, Regime};
+    pub use seg_theory::exponents::{exponent_a, exponent_b};
+    pub use seg_theory::trigger::f_trigger;
+}

@@ -1,0 +1,132 @@
+//! Cross-crate integration tests: the full model pipeline from
+//! configuration through dynamics to region analysis.
+
+use self_organized_segregation::prelude::*;
+use self_organized_segregation::seg_core::lyapunov;
+use self_organized_segregation::seg_core::metrics::{config_stats, interface_length};
+
+#[test]
+fn full_pipeline_segregates_at_tau_045() {
+    let mut sim = ModelConfig::new(128, 3, 0.45).seed(7).build();
+    let phi0 = lyapunov::potential(&sim);
+    let before = config_stats(&sim);
+
+    let report = sim.run_to_stable(50_000_000);
+    assert!(report.terminated);
+    assert!(sim.audit(), "internal bookkeeping must stay consistent");
+    assert_eq!(sim.unhappy_count(), 0);
+
+    // Lyapunov increased, interface coarsened, clusters grew.
+    assert!(lyapunov::potential(&sim) > phi0);
+    let after = config_stats(&sim);
+    assert!(after.interface_length < before.interface_length / 2);
+    assert!(after.largest_cluster > 4 * before.largest_cluster);
+
+    // Regions: the stable state's E[M] must far exceed the initial one's.
+    let ps = PrefixSums::new(sim.field());
+    let mut rng = Xoshiro256pp::seed_from_u64(1);
+    let m_final = expected_monochromatic_size(sim.field(), &ps, 100, &mut rng);
+    let fresh = ModelConfig::new(128, 3, 0.45).seed(7).build();
+    let ps0 = PrefixSums::new(fresh.field());
+    let m_init = expected_monochromatic_size(fresh.field(), &ps0, 100, &mut rng);
+    assert!(
+        m_final > 10.0 * m_init,
+        "segregation must grow regions: {m_init} → {m_final}"
+    );
+}
+
+#[test]
+fn symmetric_tau_above_half_also_segregates() {
+    // τ = 0.55 mirrors τ = 0.45 (§IV-C); the process stabilizes and
+    // coarsens, though unhappy-but-stuck agents may remain.
+    let mut sim = ModelConfig::new(96, 2, 0.55).seed(8).build();
+    let before_if = interface_length(sim.field());
+    let report = sim.run_to_stable(50_000_000);
+    assert!(report.terminated);
+    let after_if = interface_length(sim.field());
+    assert!(
+        after_if < before_if,
+        "mirrored dynamics must coarsen: {before_if} → {after_if}"
+    );
+}
+
+#[test]
+fn static_regime_below_one_quarter() {
+    // τ ≤ 1/4 (folded): initial configuration static w.h.p. [26].
+    // With w = 3 (N = 49) and τ̃ = 0.2 the threshold is 10/49 ≈ 0.204.
+    let mut sim = ModelConfig::new(128, 3, 0.2).seed(9).build();
+    let report = sim.run_to_stable(1_000_000);
+    assert!(report.terminated);
+    assert!(
+        report.flips <= 2,
+        "τ well below 1/4 should be (nearly) static; flips = {}",
+        report.flips
+    );
+}
+
+#[test]
+fn no_complete_segregation_at_p_half() {
+    // The exponential upper bound implies complete segregation does not
+    // occur w.h.p. at p = 1/2 for the τ range considered (§I-B).
+    for seed in 0..5 {
+        let mut sim = ModelConfig::new(96, 2, 0.45).seed(seed).build();
+        sim.run_to_stable(50_000_000);
+        assert!(
+            !sim.field().is_monochromatic(),
+            "seed {seed}: complete segregation at p = 1/2 should not happen"
+        );
+    }
+}
+
+#[test]
+fn high_initial_density_fixates_at_tau_half() {
+    // Fontes et al. [27]: at τ = 1/2 and p close to 1, the minority is
+    // wiped out (complete segregation). A strong version holds already on
+    // small grids for p = 0.95.
+    let mut sim = ModelConfig::new(64, 2, 0.5)
+        .initial_density(0.95)
+        .seed(3)
+        .build();
+    sim.run_to_stable(10_000_000);
+    let minus = sim.field().minus_total();
+    assert!(
+        minus <= 2,
+        "p = 0.95 at τ = 1/2 should almost eliminate the minority; {minus} left"
+    );
+}
+
+#[test]
+fn determinism_across_the_full_stack() {
+    let run = |seed| {
+        let mut sim = ModelConfig::new(96, 3, 0.44).seed(seed).build();
+        sim.run_to_stable(10_000_000);
+        let ps = PrefixSums::new(sim.field());
+        let r = monochromatic_region(sim.field(), &ps, sim.torus().point(48, 48));
+        (sim.flips(), sim.field().plus_total(), r.radius, r.size)
+    };
+    assert_eq!(run(123), run(123));
+}
+
+#[test]
+fn theory_consistency_between_crates() {
+    // The regime classifier, the exponent functions and the trigger
+    // threshold must agree about the window boundaries.
+    let t1 = tau1();
+    let t2 = tau2();
+    assert_eq!(classify((t1 + 0.5) / 2.0), Regime::Segregation);
+    assert_eq!(classify((t2 + t1) / 2.0), Regime::AlmostSegregation);
+    // a/b defined exactly on (τ2, 1/2) ∪ (1/2, 1−τ2)
+    let tau = (t1 + 0.5) / 2.0;
+    assert!(exponent_b(tau) > exponent_a(tau));
+    assert!(f_trigger(tau) < f_trigger((t2 + t1) / 2.0));
+}
+
+#[test]
+fn run_reports_compose() {
+    let mut sim = ModelConfig::new(64, 2, 0.45).seed(10).build();
+    let r1 = sim.run_to_stable(100);
+    let r2 = sim.run_to_stable(u64::MAX);
+    assert!(r2.terminated);
+    assert_eq!(sim.flips(), r1.flips + r2.flips);
+    assert!((sim.time() - (r1.elapsed_time + r2.elapsed_time)).abs() < 1e-9);
+}

@@ -1,0 +1,185 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use self_organized_segregation::prelude::*;
+use self_organized_segregation::seg_core::lyapunov;
+use self_organized_segregation::seg_grid::Neighborhood;
+use self_organized_segregation::seg_percolation::union_find::UnionFind;
+use self_organized_segregation::seg_theory::binomial;
+use self_organized_segregation::seg_theory::entropy::binary_entropy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Torus metrics are genuine metrics and respect wrap-around symmetry.
+    #[test]
+    fn torus_metric_axioms(
+        n in 2u32..200,
+        ax in 0i64..400, ay in 0i64..400,
+        bx in 0i64..400, by in 0i64..400,
+        cx in 0i64..400, cy in 0i64..400,
+    ) {
+        let t = Torus::new(n);
+        let (a, b, c) = (t.point(ax, ay), t.point(bx, by), t.point(cx, cy));
+        // symmetry
+        prop_assert_eq!(t.linf_distance(a, b), t.linf_distance(b, a));
+        prop_assert_eq!(t.l1_distance(a, b), t.l1_distance(b, a));
+        // identity
+        prop_assert_eq!(t.linf_distance(a, a), 0);
+        // triangle inequality
+        prop_assert!(t.linf_distance(a, c) <= t.linf_distance(a, b) + t.linf_distance(b, c));
+        prop_assert!(t.l1_distance(a, c) <= t.l1_distance(a, b) + t.l1_distance(b, c));
+        // norm comparison
+        prop_assert!(t.linf_distance(a, b) <= t.l1_distance(a, b));
+        // translation invariance
+        let shift = |p: Point| t.offset(p, 13, -7);
+        prop_assert_eq!(t.linf_distance(a, b), t.linf_distance(shift(a), shift(b)));
+    }
+
+    /// Prefix sums agree with brute-force ball counts everywhere.
+    #[test]
+    fn prefix_sums_correct(seed in any::<u64>(), n in 4u32..40, r in 0u32..12) {
+        let t = Torus::new(n);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let f = TypeField::random(t, 0.5, &mut rng);
+        let ps = PrefixSums::new(&f);
+        let c = t.point((seed % n as u64) as i64, ((seed >> 8) % n as u64) as i64);
+        let ball = Neighborhood::new(t, c, r);
+        let brute = ball
+            .points()
+            .filter(|p| f.get(*p) == AgentType::Plus)
+            .count() as u64;
+        prop_assert_eq!(ps.plus_in(&ball), brute);
+    }
+
+    /// The simulation's incremental bookkeeping never diverges from a
+    /// from-scratch recomputation, for any τ.
+    #[test]
+    fn simulation_bookkeeping_sound(
+        seed in any::<u64>(),
+        tau in 0.05f64..0.95,
+        steps in 0u64..400,
+    ) {
+        let mut sim = ModelConfig::new(32, 2, tau).seed(seed).build();
+        sim.run_to_stable(steps);
+        prop_assert!(sim.audit());
+    }
+
+    /// Every legal flip strictly increases the Lyapunov potential; hence
+    /// termination (§II-A).
+    #[test]
+    fn lyapunov_strictly_monotone(seed in any::<u64>(), tau in 0.2f64..0.8) {
+        let mut sim = ModelConfig::new(24, 1, tau).seed(seed).build();
+        let mut phi = lyapunov::potential(&sim);
+        for _ in 0..100 {
+            if sim.step().is_none() { break; }
+            let next = lyapunov::potential(&sim);
+            prop_assert!(next > phi, "Φ must strictly increase: {} → {}", phi, next);
+            phi = next;
+        }
+    }
+
+    /// Stable states are genuinely stable: re-running changes nothing.
+    #[test]
+    fn stability_is_absorbing(seed in any::<u64>(), tau in 0.3f64..0.7) {
+        let mut sim = ModelConfig::new(24, 1, tau).seed(seed).build();
+        sim.run_to_stable(1_000_000);
+        prop_assert!(sim.is_stable());
+        let snapshot: Vec<AgentType> = sim.field().as_slice().to_vec();
+        sim.run_to_stable(1_000);
+        prop_assert_eq!(snapshot, sim.field().as_slice().to_vec());
+    }
+
+    /// For τ < 1/2, stable means every agent is happy (flip always helps).
+    #[test]
+    fn below_half_stable_means_happy(seed in any::<u64>(), tau in 0.05f64..0.49) {
+        let mut sim = ModelConfig::new(24, 1, tau).seed(seed).build();
+        sim.run_to_stable(1_000_000);
+        prop_assert!(sim.is_stable());
+        prop_assert_eq!(sim.unhappy_count(), 0);
+    }
+
+    /// Monochromatic regions behave monotonically: radius never exceeds
+    /// the torus cap, the witnessing ball contains the agent and is
+    /// actually monochromatic.
+    #[test]
+    fn region_witness_is_valid(seed in any::<u64>(), n in 8u32..48) {
+        let t = Torus::new(n);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let f = TypeField::random(t, 0.5, &mut rng);
+        let ps = PrefixSums::new(&f);
+        let u = t.from_index((seed % t.len() as u64) as usize);
+        let r = monochromatic_region(&f, &ps, u);
+        prop_assert!(r.radius <= (n - 1) / 2);
+        let ball = Neighborhood::new(t, r.center, r.radius);
+        prop_assert!(ball.contains(u));
+        prop_assert!(ps.is_monochromatic(&ball));
+        prop_assert_eq!(r.size, (2 * r.radius as u64 + 1) * (2 * r.radius as u64 + 1));
+    }
+
+    /// Binary entropy: bounds, symmetry, strict interior positivity.
+    #[test]
+    fn entropy_properties(x in 0.0f64..=1.0) {
+        let h = binary_entropy(x);
+        prop_assert!((0.0..=1.0).contains(&h));
+        prop_assert!((h - binary_entropy(1.0 - x)).abs() < 1e-12);
+        if x > 0.01 && x < 0.99 {
+            prop_assert!(h > 0.0);
+        }
+    }
+
+    /// Binomial CDF is a genuine CDF and matches the PMF sum.
+    #[test]
+    fn binomial_cdf_consistent(n in 1u64..200, p in 0.01f64..0.99, k in 0u64..200) {
+        let k = k.min(n);
+        let cdf = binomial::binomial_cdf(n, p, k);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&cdf));
+        if k > 0 {
+            prop_assert!(cdf >= binomial::binomial_cdf(n, p, k - 1) - 1e-12);
+        }
+        let direct: f64 = (0..=k).map(|i| binomial::binomial_pmf(n, p, i)).sum();
+        prop_assert!((cdf - direct).abs() < 1e-9);
+    }
+
+    /// Union-find: connectivity is an equivalence relation and sizes are
+    /// consistent after arbitrary unions.
+    #[test]
+    fn union_find_equivalence(pairs in prop::collection::vec((0usize..50, 0usize..50), 0..100)) {
+        let mut uf = UnionFind::new(50);
+        for (a, b) in &pairs {
+            uf.union(*a, *b);
+        }
+        // reflexive + size accounting
+        let mut total = 0;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50 {
+            prop_assert!(uf.connected(i, i));
+            let root = uf.find(i);
+            if seen.insert(root) {
+                total += uf.component_size(i);
+            }
+        }
+        prop_assert_eq!(total, 50);
+        prop_assert_eq!(seen.len(), uf.component_count());
+        // symmetry + transitivity on sampled triples
+        for (a, b) in pairs.iter().take(20) {
+            prop_assert_eq!(uf.connected(*a, *b), uf.connected(*b, *a));
+        }
+    }
+
+    /// Intolerance integer arithmetic: is_flippable ⇔ definition, and
+    /// τ < 1/2 ⇒ unhappy = flippable.
+    #[test]
+    fn intolerance_flip_logic(n_side in 1u32..12, tau in 0.0f64..=1.0, s in 1u32..300) {
+        let n = (2 * n_side + 1) * (2 * n_side + 1);
+        let s = s.min(n);
+        let i = Intolerance::new(n, tau);
+        let happy = s >= i.threshold();
+        let after = n - s + 1;
+        prop_assert_eq!(i.is_happy(s), happy);
+        prop_assert_eq!(i.is_flippable(s), !happy && after >= i.threshold());
+        if (i.threshold() as f64) <= (n as f64 + 1.0) / 2.0 && !happy {
+            prop_assert!(i.is_flippable(s), "flip always helps below half");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests across the substrate crates: theory constants
+//! against percolation measurements, the renormalization pipeline end to
+//! end, and the Ising correspondence through the facade.
+
+use self_organized_segregation::prelude::*;
+use self_organized_segregation::seg_core::chemical::{classify_blocks, find_chemical_path};
+use self_organized_segregation::seg_core::exact::exhaustive_census;
+use self_organized_segregation::seg_core::ising;
+use self_organized_segregation::seg_core::lyapunov;
+use self_organized_segregation::seg_grid::{BlockCoord, BlockGrid};
+use self_organized_segregation::seg_percolation::finite_size::estimate_pc_crossing;
+use self_organized_segregation::seg_percolation::theta::theta_estimate;
+
+#[test]
+fn good_block_density_supercritical_on_balanced_fields() {
+    // §IV-B's argument needs good blocks to percolate: on a fresh
+    // Bernoulli(1/2) field with a generous deviation allowance, the good
+    // density must clear the measured site threshold.
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    let torus = Torus::new(240);
+    let field = TypeField::random(torus, 0.5, &mut rng);
+    let ps = PrefixSums::new(&field);
+    let grid = BlockGrid::new(torus, 12);
+    let good = classify_blocks(&grid, &ps, 0.2);
+    let density = good.iter().filter(|g| **g).count() as f64 / good.len() as f64;
+
+    let pc = estimate_pc_crossing(16, 32, 40, &mut rng).expect("pc crossing");
+    assert!(
+        density > pc + 0.05,
+        "good-block density {density:.3} must exceed pc ≈ {pc:.3}"
+    );
+
+    // and a chemical ring must therefore exist around a typical block
+    let center = BlockCoord { bx: 10, by: 10 };
+    assert!(
+        find_chemical_path(&grid, &good, center, 2, 8).is_some(),
+        "supercritical good blocks must ring the center"
+    );
+}
+
+#[test]
+fn theta_is_positive_exactly_in_the_supercritical_regime() {
+    let mut rng = Xoshiro256pp::seed_from_u64(12);
+    let sub = theta_estimate(20, 0.45, 150, &mut rng);
+    let sup = theta_estimate(20, 0.75, 150, &mut rng);
+    assert!(sub < 0.08, "θ ≈ 0 below pc, got {sub}");
+    assert!(sup > 0.4, "θ > 0 above pc, got {sup}");
+}
+
+#[test]
+fn ising_energy_and_lyapunov_are_affinely_linked() {
+    let mut sim = ModelConfig::new(48, 2, 0.5).seed(13).build();
+    let n2 = sim.torus().len() as i64;
+    let nsize = sim.intolerance().neighborhood_size() as i64;
+    for _ in 0..5 {
+        let h = ising::energy(&sim);
+        let phi = lyapunov::potential(&sim) as i64;
+        assert_eq!(h, n2 * (nsize + 1) - 2 * phi, "H = n²(N+1) − 2Φ");
+        if sim.run_to_stable(200).terminated {
+            break;
+        }
+    }
+}
+
+#[test]
+fn exhaustive_tiny_census_certifies_global_termination() {
+    // every one of the 2^9 configurations of the 3×3/w=1 system
+    // terminates — exhaustive, not sampled.
+    let (stable, max_flips) = exhaustive_census(3, 1, 0.45);
+    assert!(stable >= 2, "at least the two monochromatic states");
+    assert!(max_flips > 0, "some configuration must move");
+}
+
+#[test]
+fn theory_exponents_consistent_with_simulated_ordering() {
+    // if a(τ_a) > a(τ_b), the measured stable-state E[M] at matching
+    // scale should follow the same ordering (the Figure 3 monotonicity,
+    // end to end through simulation) — checked at well-separated τ with
+    // a large-horizon run where nucleation densities differ strongly.
+    // The effect needs nucleation to be rare (unhappy probability varying
+    // by orders of magnitude across τ), which requires a larger horizon:
+    // w = 8 (N = 289), grid 384² — the same parameters as the
+    // tolerance_paradox example, where the ordering is robust.
+    let measure = |tau: f64| {
+        let mut total = 0.0;
+        for seed in [1u64, 2] {
+            let mut sim = ModelConfig::new(384, 8, tau).seed(seed).build();
+            sim.run_to_stable(u64::MAX);
+            let ps = PrefixSums::new(sim.field());
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            total += expected_monochromatic_size(sim.field(), &ps, 40, &mut rng);
+        }
+        total / 2.0
+    };
+    let low_tau = 0.40; // farther from 1/2: larger exponent
+    let high_tau = 0.44;
+    assert!(exponent_a(low_tau) > exponent_a(high_tau));
+    let m_low = measure(low_tau);
+    let m_high = measure(high_tau);
+    assert!(
+        m_low > m_high,
+        "tolerance paradox end-to-end: E[M]({low_tau}) = {m_low:.0} \
+         should exceed E[M]({high_tau}) = {m_high:.0}"
+    );
+}
