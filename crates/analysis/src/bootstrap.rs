@@ -35,7 +35,10 @@ pub fn bootstrap_mean_ci(
 ) -> BootstrapCi {
     assert!(!xs.is_empty(), "cannot bootstrap an empty sample");
     assert!(resamples > 0, "need at least one resample");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     let n = xs.len();
     let mean = xs.iter().sum::<f64>() / n as f64;
     let mut means = Vec::with_capacity(resamples as usize);
@@ -48,9 +51,8 @@ pub fn bootstrap_mean_ci(
     }
     means.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f64| {
-        (((resamples as f64 - 1.0) * q).round() as usize).min(resamples as usize - 1)
-    };
+    let idx =
+        |q: f64| (((resamples as f64 - 1.0) * q).round() as usize).min(resamples as usize - 1);
     BootstrapCi {
         mean,
         lo: means[idx(alpha)],

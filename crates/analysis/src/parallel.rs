@@ -20,6 +20,23 @@ pub fn parallel_map<T: Send>(
     threads: usize,
     job: impl Fn(usize) -> T + Sync,
 ) -> Vec<T> {
+    parallel_map_observed(tasks, threads, job, |_, _| {})
+}
+
+/// [`parallel_map`] plus a completion hook: `on_done(i, &value)` runs on
+/// the worker thread as soon as task `i` finishes (tasks complete in an
+/// arbitrary order; the returned vector is still in index order). The
+/// sweep engine uses the hook for progress and throughput reporting.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the first panicking job.
+pub fn parallel_map_observed<T: Send>(
+    tasks: usize,
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+    on_done: impl Fn(usize, &T) + Sync,
+) -> Vec<T> {
     assert!(threads > 0, "need at least one thread");
     if tasks == 0 {
         return Vec::new();
@@ -37,6 +54,7 @@ pub fn parallel_map<T: Send>(
                     break;
                 }
                 let value = job(i);
+                on_done(i, &value);
                 **slot_ptrs[i].lock().expect("slot poisoned") = Some(value);
             });
         }
@@ -114,5 +132,24 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let _ = parallel_map(1, 0, |i| i);
+    }
+
+    #[test]
+    fn observed_hook_sees_every_completion() {
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let sum = std::sync::atomic::AtomicUsize::new(0);
+        let out = parallel_map_observed(
+            10,
+            3,
+            |i| i * 2,
+            |i, v| {
+                assert_eq!(*v, i * 2);
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                sum.fetch_add(*v, std::sync::atomic::Ordering::Relaxed);
+            },
+        );
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(done.load(std::sync::atomic::Ordering::Relaxed), 10);
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 90);
     }
 }

@@ -36,11 +36,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> LinearFit {
     let my = ys.iter().sum::<f64>() / n;
     let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
     assert!(sxx > 0.0, "all x values identical");
-    let sxy: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();

@@ -226,7 +226,9 @@ fn format_tick(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -235,7 +237,11 @@ mod tests {
 
     fn sample_chart() -> LineChart {
         let mut c = LineChart::new("test", "x", "y");
-        c.series(Series::new("a", vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)], 0));
+        c.series(Series::new(
+            "a",
+            vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)],
+            0,
+        ));
         c.series(Series::new("b", vec![(0.0, 1.0), (2.0, 3.0)], 1));
         c
     }

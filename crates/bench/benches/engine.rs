@@ -1,0 +1,56 @@
+//! Sweep throughput of the `seg_engine` orchestrator at 1, 2 and max
+//! worker threads, in replicas per second — the perf trajectory of the
+//! experiment harness. A healthy multi-core host shows near-linear
+//! scaling from 1 to 2 threads on this workload (independent replicas,
+//! no shared state beyond the work queue).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seg_analysis::parallel::default_threads;
+use seg_engine::{Engine, Observer, SweepSpec};
+
+/// Enough replicas to keep every worker busy; each replica runs a 64²
+/// torus to stability (≈ 1.5k flips).
+const REPLICAS: u32 = 16;
+
+fn spec() -> SweepSpec {
+    SweepSpec::builder()
+        .side(64)
+        .horizon(2)
+        .tau(0.42)
+        .replicas(REPLICAS)
+        .master_seed(0x5E67_2017)
+        .build()
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_sweep");
+    g.throughput(Throughput::Elements(REPLICAS as u64));
+    let max = default_threads();
+    let mut counts = vec![1usize, 2];
+    if max > 2 {
+        counts.push(max);
+    }
+    for threads in counts {
+        g.bench_function(&format!("threads/{threads}"), |b| {
+            let engine = Engine::new().threads(threads);
+            let spec = spec();
+            b.iter(|| engine.run(&spec, &[]));
+        });
+    }
+    g.finish();
+}
+
+fn bench_observer_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_observers");
+    g.throughput(Throughput::Elements(REPLICAS as u64));
+    let engine = Engine::new().threads(default_threads());
+    let spec = spec();
+    g.bench_function("none", |b| b.iter(|| engine.run(&spec, &[])));
+    g.bench_function("terminal_stats", |b| {
+        b.iter(|| engine.run(&spec, &[Observer::TerminalStats]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_throughput, bench_observer_cost);
+criterion_main!(benches);

@@ -25,10 +25,7 @@ fn main() {
         let samples = origin_radius_tail(30, p, 4000, &mut rng);
         let k_max = 14;
         let tail = empirical_radius_tail(&samples, k_max);
-        let mut table = Table::new(vec![
-            "k".into(),
-            "P(radius >= k)".into(),
-        ]);
+        let mut table = Table::new(vec!["k".into(), "P(radius >= k)".into()]);
         let mut ks = Vec::new();
         let mut ps_pos = Vec::new();
         for (k, pr) in tail.iter().enumerate() {

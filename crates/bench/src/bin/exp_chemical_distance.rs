@@ -37,13 +37,22 @@ fn main() {
                 .map(|s| s.stretch)
                 .collect();
             if connected.is_empty() {
-                table.push_row(vec![format!("{k}"), "0".into(), "-".into(), "-".into(), "-".into()]);
+                table.push_row(vec![
+                    format!("{k}"),
+                    "0".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
             let s = Summary::from_slice(&connected);
             table.push_row(vec![
                 format!("{k}"),
-                format!("{:.0}", 100.0 * connected.len() as f64 / samples.len() as f64),
+                format!(
+                    "{:.0}",
+                    100.0 * connected.len() as f64 / samples.len() as f64
+                ),
                 format!("{:.4}", s.mean),
                 format!("{:.4}", quantile(&connected, 0.95)),
                 format!("{:.3}", stretch_exceedance(&samples, 0.25)),

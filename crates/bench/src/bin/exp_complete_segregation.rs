@@ -40,8 +40,7 @@ fn main() {
                 complete += 1;
             }
             let plus = sim.field().plus_total();
-            minority_total +=
-                plus.min(sim.torus().len() - plus) as f64 / sim.torus().len() as f64;
+            minority_total += plus.min(sim.torus().len() - plus) as f64 / sim.torus().len() as f64;
         }
         table.push_row(vec![
             format!("{p:.2}"),
@@ -61,7 +60,11 @@ fn main() {
     println!(
         "at p = 1/2, τ = 0.45 (Theorem 1 regime): complete segregation in 0/{} runs — {}",
         seeds.len(),
-        if none_complete { "as the exponential upper bound implies" } else { "UNEXPECTED" }
+        if none_complete {
+            "as the exponential upper bound implies"
+        } else {
+            "UNEXPECTED"
+        }
     );
     println!(
         "\npaper shape check: a sharp onset of complete segregation as p → 1 at\n\

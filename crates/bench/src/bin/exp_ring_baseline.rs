@@ -3,23 +3,55 @@
 //! size above it, and the Kawasaki/Glauber comparison.
 //!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_ring_baseline
+//! cargo run --release -p seg-bench --bin exp_ring_baseline -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K]
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, BASE_SEED};
-use seg_core::ring::{RingKawasaki, RingSim};
+use seg_bench::{banner, usage_or_die, BASE_SEED};
+use seg_engine::{SweepSpec, Variant};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_ring_baseline", &args);
     banner(
         "E13 exp_ring_baseline",
         "§I-A baselines (1-D ring: τ* transition, exponential run lengths)",
         "ring n = 40000; τ sweep at w = 8; w sweep at τ = 0.45",
     );
-
-    // τ sweep
+    let engine = engine_args.engine();
     let n = 40_000;
-    let w = 8;
+    let taus = [0.23, 0.29, 0.35, 0.41, 0.47];
+    let master = engine_args.master_seed(BASE_SEED);
+    let replicas = engine_args.replica_count(1);
+
+    // τ sweep: the two dynamics have very different natural budgets, so
+    // they run as two specs over the same τ axis.
+    let glauber = engine.run(
+        &SweepSpec::builder()
+            .side(n)
+            .horizon(8)
+            .taus(taus)
+            .variant(Variant::RingGlauber)
+            .max_events(20_000_000)
+            .replicas(replicas)
+            .master_seed(master)
+            .build(),
+        &[],
+    );
+    let kawasaki = engine.run(
+        &SweepSpec::builder()
+            .side(n)
+            .horizon(8)
+            .taus(taus)
+            .variant(Variant::RingKawasaki)
+            .max_events(300_000)
+            .replicas(replicas)
+            .master_seed(master ^ 1)
+            .build(),
+        &[],
+    );
+
     let mut table = Table::new(vec![
         "tau_eff".into(),
         "Glauber flips".into(),
@@ -27,35 +59,44 @@ fn main() {
         "Kawasaki swaps".into(),
         "mean run".into(),
     ]);
-    for tau in [0.23, 0.29, 0.35, 0.41, 0.47] {
-        let eff = (tau * (2.0 * w as f64 + 1.0)).ceil() / (2.0 * w as f64 + 1.0);
-        let mut g = RingSim::random(n, w, tau, 0.5, BASE_SEED);
-        g.run_to_stable(20_000_000);
-        let inner = RingSim::random(n, w, tau, 0.5, BASE_SEED + 1);
-        let mut k = RingKawasaki::new(inner);
-        k.run(300_000);
+    let g_runs = glauber.summarize("mean_run");
+    let k_runs = kawasaki.summarize("mean_run");
+    for (i, &tau) in taus.iter().enumerate() {
+        let w = 8.0;
+        let eff = (tau * (2.0 * w + 1.0)).ceil() / (2.0 * w + 1.0);
         table.push_row(vec![
             format!("{eff:.3}"),
-            format!("{}", g.flips()),
-            format!("{:.2}", g.mean_run_length()),
-            format!("{}", k.swaps()),
-            format!("{:.2}", k.ring().mean_run_length()),
+            format!("{:.0}", glauber.summarize("events")[i].summary.mean),
+            format!("{:.2}", g_runs[i].summary.mean),
+            format!("{:.0}", kawasaki.summarize("events")[i].summary.mean),
+            format!("{:.2}", k_runs[i].summary.mean),
         ]);
     }
     println!("{}", table.render());
 
     // w sweep at fixed τ: run length growth in the window size
     println!("run-length scaling at τ = 0.45 (Glauber):");
+    let horizons = [2u32, 4, 6, 8, 10, 12];
+    let scaling = engine.run(
+        &SweepSpec::builder()
+            .side(n)
+            .horizons(horizons)
+            .tau(0.45)
+            .variant(Variant::RingGlauber)
+            .max_events(50_000_000)
+            .replicas(replicas)
+            .master_seed(master ^ 2)
+            .build(),
+        &[],
+    );
     let mut table2 = Table::new(vec![
         "w".into(),
         "window".into(),
         "mean run".into(),
         "run/window".into(),
     ]);
-    for w in [2u32, 4, 6, 8, 10, 12] {
-        let mut g = RingSim::random(n, w, 0.45, 0.5, BASE_SEED + w as u64);
-        g.run_to_stable(50_000_000);
-        let run = g.mean_run_length();
+    for (s, &w) in scaling.summarize("mean_run").iter().zip(&horizons) {
+        let run = s.summary.mean;
         table2.push_row(vec![
             format!("{w}"),
             format!("{}", 2 * w + 1),
@@ -69,4 +110,24 @@ fn main() {
          it the mean run length grows super-linearly in the window size (the\n\
          exponential-in-(2w+1) regime), for both Glauber and Kawasaki dynamics."
     );
+
+    // --out FILE writes all three sweeps: FILE plus two suffixed siblings
+    if let Some(sink) = engine_args.sink() {
+        sink.write(&scaling).expect("write w-sweep rows");
+        println!("w-sweep rows written to {}", sink.path().display());
+        for (result, tag) in [(&glauber, "tau-glauber"), (&kawasaki, "tau-kawasaki")] {
+            let path = sink.path().with_extension(format!(
+                "{tag}.{}",
+                sink.path()
+                    .extension()
+                    .map_or("csv".into(), |e| e.to_string_lossy().into_owned())
+            ));
+            let tagged = match &sink {
+                seg_engine::Sink::Jsonl(_) => seg_engine::Sink::Jsonl(path),
+                seg_engine::Sink::Csv(_) => seg_engine::Sink::Csv(path),
+            };
+            tagged.write(result).expect("write tau-sweep rows");
+            println!("{tag} rows written to {}", tagged.path().display());
+        }
+    }
 }

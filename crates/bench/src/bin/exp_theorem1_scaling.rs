@@ -3,42 +3,65 @@
 //! the τ ↔ 1 − τ symmetry.
 //!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_theorem1_scaling
+//! cargo run --release -p seg-bench --bin exp_theorem1_scaling -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K]
 //! ```
 
 use seg_analysis::regression::linear_fit;
 use seg_analysis::series::Table;
-use seg_analysis::stats::Summary;
-use seg_bench::{banner, fmt_g, BASE_SEED};
+use seg_bench::{banner, fmt_g, usage_or_die, BASE_SEED};
 use seg_core::regions::expected_monochromatic_size;
-use seg_core::ModelConfig;
-use seg_grid::rng::Xoshiro256pp;
+use seg_engine::{Engine, Observer, SeedMode, SweepPoint, SweepResult, SweepSpec, Variant};
 use seg_grid::PrefixSums;
 use seg_theory::exponents::{exponent_a, exponent_b};
 
-fn measure(n: u32, w: u32, tau: f64, seeds: &[u64]) -> Summary {
-    let vals: Vec<f64> = seeds
-        .iter()
-        .map(|&seed| {
-            let mut sim = ModelConfig::new(n, w, tau).seed(seed).build();
-            sim.run_to_stable(u64::MAX);
-            let ps = PrefixSums::new(sim.field());
-            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x5151);
-            expected_monochromatic_size(sim.field(), &ps, 60, &mut rng)
-        })
-        .collect();
-    Summary::from_slice(&vals)
+/// Observer measuring `E[M]` over 60 sampled agents of the stable state.
+fn monochromatic_observer() -> Observer {
+    Observer::custom(|_task, state, rng| {
+        let sim = state.simulation().expect("paper variant");
+        let ps = PrefixSums::new(sim.field());
+        vec![(
+            "em".to_string(),
+            expected_monochromatic_size(sim.field(), &ps, 60, rng),
+        )]
+    })
+}
+
+fn scaling_point(w: u32, tau: f64) -> SweepPoint {
+    SweepPoint {
+        side: (48 * w).max(96), // keep the grid much larger than regions
+        horizon: w,
+        tau,
+        density: 0.5,
+        variant: Variant::Paper,
+    }
+}
+
+fn run(engine: &Engine, spec: &SweepSpec) -> SweepResult {
+    engine.run(spec, &[monochromatic_observer()])
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_theorem1_scaling", &args);
     let tau = 0.45;
+    let replicas = engine_args.replica_count(3);
     banner(
         "E5 exp_theorem1_scaling",
         "Theorem 1 (2^{aN} ≤ E[M] ≤ 2^{bN})",
-        &format!("τ = {tau}, horizons w = 2..6, grid side scaled with w, 3 seeds"),
+        &format!("τ = {tau}, horizons w = 2..6, grid side scaled with w, {replicas} replicas"),
     );
+    let engine = engine_args.engine();
 
-    let seeds = [BASE_SEED, BASE_SEED + 1, BASE_SEED + 2];
+    let horizons = [2u32, 3, 4, 5, 6];
+    let mut builder = SweepSpec::builder()
+        .replicas(replicas)
+        .master_seed(engine_args.master_seed(BASE_SEED));
+    for &w in &horizons {
+        builder = builder.point(scaling_point(w, tau));
+    }
+    let result = run(&engine, &builder.build());
+
     let mut table = Table::new(vec![
         "w".into(),
         "N".into(),
@@ -49,17 +72,15 @@ fn main() {
     ]);
     let mut ns = Vec::new();
     let mut logs = Vec::new();
-    for w in [2u32, 3, 4, 5, 6] {
+    for (s, &w) in result.summarize("em").iter().zip(&horizons) {
         let nsize = (2 * w + 1) * (2 * w + 1);
-        let side = (48 * w).max(96); // keep the grid much larger than regions
-        let m = measure(side, w, tau, &seeds);
         ns.push(nsize as f64);
-        logs.push(m.mean.log2());
+        logs.push(s.summary.mean.log2());
         table.push_row(vec![
             format!("{w}"),
             format!("{nsize}"),
-            fmt_g(m.mean),
-            format!("{:.4}", m.mean.log2() / nsize as f64),
+            fmt_g(s.summary.mean),
+            format!("{:.4}", s.summary.mean.log2() / nsize as f64),
             format!("{:.4}", exponent_a(tau)),
             format!("{:.4}", exponent_b(tau)),
         ]);
@@ -78,15 +99,35 @@ fn main() {
         exponent_b(tau)
     );
 
-    // symmetry spot check
-    let m_lo = measure(144, 3, tau, &seeds);
-    let m_hi = measure(144, 3, 1.0 - tau, &seeds);
+    // symmetry spot check: τ and 1 − τ on the same geometry
+    let sym_spec = SweepSpec::builder()
+        .side(144)
+        .horizon(3)
+        .taus([tau, 1.0 - tau])
+        .replicas(replicas)
+        .master_seed(engine_args.master_seed(BASE_SEED) ^ 0x5151)
+        // paired seeds: each replica compares τ and 1 − τ on the same
+        // initial draw (common random numbers)
+        .seed_mode(SeedMode::CommonRandomNumbers)
+        .build();
+    let sym = run(&engine, &sym_spec);
+    let em = sym.summarize("em");
     println!(
         "\nsymmetry check (τ = {:.2} vs {:.2}, w = 3): E[M] = {} vs {} (ratio {:.2})",
         tau,
         1.0 - tau,
-        fmt_g(m_lo.mean),
-        fmt_g(m_hi.mean),
-        m_lo.mean / m_hi.mean
+        fmt_g(em[0].summary.mean),
+        fmt_g(em[1].summary.mean),
+        em[0].summary.mean / em[1].summary.mean
+    );
+
+    if let Some(sink) = engine_args.sink() {
+        sink.write(&result).expect("write sweep rows");
+        println!("per-replica rows written to {}", sink.path().display());
+    }
+    let t = result.throughput();
+    eprintln!(
+        "throughput: {:.2} replicas/s, {:.2e} events/s on {} threads",
+        t.replicas_per_sec, t.events_per_sec, t.threads
     );
 }

@@ -9,9 +9,7 @@
 use seg_analysis::series::Table;
 use seg_analysis::stats::Summary;
 use seg_bench::{banner, fmt_g, BASE_SEED};
-use seg_core::regions::{
-    almost_monochromatic_region, monochromatic_region, paper_ratio_bound,
-};
+use seg_core::regions::{almost_monochromatic_region, monochromatic_region, paper_ratio_bound};
 use seg_core::ModelConfig;
 use seg_grid::rng::Xoshiro256pp;
 use seg_grid::PrefixSums;

@@ -2,18 +2,17 @@
 //! Kawasaki swap baseline, compared with the paper's rule.
 //!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_variants
+//! cargo run --release -p seg-bench --bin exp_variants -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K]
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, BASE_SEED};
-use seg_core::metrics::{interface_length, largest_same_type_cluster};
-use seg_core::variants::{KawasakiSim, UpdateRule, VariantSim};
-use seg_core::{Intolerance, ModelConfig};
-use seg_grid::rng::Xoshiro256pp;
-use seg_grid::{Torus, TypeField};
+use seg_bench::{banner, usage_or_die, BASE_SEED};
+use seg_engine::{Observer, SeedMode, SweepSpec, Variant};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_variants", &args);
     banner(
         "E15 exp_variants",
         "§I-A variant discussion (flip rules, noise, Kawasaki baseline)",
@@ -21,17 +20,50 @@ fn main() {
     );
 
     let n = 96u32;
-    let w = 2u32;
-    let tau = 0.44;
-    let nsize = (2 * w + 1) * (2 * w + 1);
     let agents = (n * n) as f64;
-    let steps = 200_000u64;
+    let engine = engine_args.engine();
+    let master = engine_args.master_seed(BASE_SEED);
+    let replicas = engine_args.replica_count(1);
+    let observers = [Observer::TerminalStats];
 
-    let make_field = || {
-        let torus = Torus::new(n);
-        let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED);
-        TypeField::random(torus, 0.5, &mut rng)
-    };
+    // flip-rule variants share one spec: a variant axis over one point
+    let flip_rules = [
+        ("paper (flip-if-improves)", Variant::Paper),
+        ("flip-when-unhappy", Variant::FlipWhenUnhappy),
+        ("noise eps=0.01", Variant::Noise(0.01)),
+        ("noise eps=0.10", Variant::Noise(0.10)),
+    ];
+    let result = engine.run(
+        &SweepSpec::builder()
+            .side(n)
+            .horizon(2)
+            .tau(0.44)
+            .variants(flip_rules.iter().map(|(_, v)| *v))
+            .max_events(200_000)
+            .replicas(replicas)
+            .master_seed(master)
+            // every rule starts from the same initial field: this is a
+            // paired comparison of update rules, not of initial draws
+            .seed_mode(SeedMode::CommonRandomNumbers)
+            .build(),
+        &observers,
+    );
+    // the closed-system baseline runs on its own budget (swap attempts)
+    let kawasaki = engine.run(
+        &SweepSpec::builder()
+            .side(n)
+            .horizon(2)
+            .tau(0.44)
+            .variant(Variant::Kawasaki)
+            .max_events(30_000)
+            .replicas(replicas)
+            .master_seed(master)
+            // CRN derivation ignores the point index, so with the same
+            // master seed the baseline shares the flip rules' fields too
+            .seed_mode(SeedMode::CommonRandomNumbers)
+            .build(),
+        &observers,
+    );
 
     let mut table = Table::new(vec![
         "variant".into(),
@@ -40,48 +72,28 @@ fn main() {
         "interface".into(),
         "largest cluster %".into(),
     ]);
-
-    for (name, rule) in [
-        ("paper (flip-if-improves)", UpdateRule::FlipIfImproves),
-        ("flip-when-unhappy", UpdateRule::FlipWhenUnhappy),
-        ("noise eps=0.01", UpdateRule::Noise(0.01)),
-        ("noise eps=0.10", UpdateRule::Noise(0.10)),
-    ] {
-        let rng = Xoshiro256pp::seed_from_u64(BASE_SEED + 9);
-        let mut v = VariantSim::from_field(
-            make_field(),
-            w,
-            Intolerance::new(nsize, tau),
-            rule,
-            rng,
-        );
-        v.run(steps);
+    let mean =
+        |r: &seg_engine::SweepResult, i: usize, m: &str| r.point_mean(i, m).unwrap_or(f64::NAN);
+    for (i, (name, _)) in flip_rules.iter().enumerate() {
         table.push_row(vec![
-            name.into(),
-            format!("{}", v.flips()),
-            format!("{}", v.unhappy_count()),
-            format!("{}", interface_length(v.field())),
+            (*name).into(),
+            format!("{:.0}", mean(&result, i, "events")),
+            format!("{:.0}", mean(&result, i, "unhappy")),
+            format!("{:.0}", mean(&result, i, "interface")),
             format!(
                 "{:.1}",
-                100.0 * largest_same_type_cluster(v.field()) as f64 / agents
+                100.0 * mean(&result, i, "largest_cluster") / agents
             ),
         ]);
     }
-
-    // Kawasaki 2-D baseline
-    let sim = ModelConfig::new(n, w, tau)
-        .seed(BASE_SEED)
-        .build_with_field(make_field());
-    let mut k = KawasakiSim::new(sim);
-    k.run(30_000);
     table.push_row(vec![
         "kawasaki-2d (swap)".into(),
-        format!("{} swaps", k.swaps()),
+        format!("{:.0} swaps", mean(&kawasaki, 0, "events")),
         "-".into(),
-        format!("{}", interface_length(k.field())),
+        format!("{:.0}", mean(&kawasaki, 0, "interface")),
         format!(
             "{:.1}",
-            100.0 * largest_same_type_cluster(k.field()) as f64 / agents
+            100.0 * mean(&kawasaki, 0, "largest_cluster") / agents
         ),
     ]);
 
@@ -93,4 +105,9 @@ fn main() {
          Kawasaki system segregates while conserving type counts.",
         2.0 * agents * 0.5
     );
+
+    if let Some(sink) = engine_args.sink() {
+        sink.write(&result).expect("write sweep rows");
+        println!("per-replica rows written to {}", sink.path().display());
+    }
 }

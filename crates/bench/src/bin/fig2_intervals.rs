@@ -20,7 +20,10 @@ fn main() {
         "boundaries from Eqs. (1) and (3); probes on a 128² grid, w = 3",
     );
 
-    println!("τ2 = {:.6} (= 11/32, root of 1024τ² − 384τ + 11 = 0)", tau2());
+    println!(
+        "τ2 = {:.6} (= 11/32, root of 1024τ² − 384τ + 11 = 0)",
+        tau2()
+    );
     println!("τ1 = {:.6} (root of (3/4)[1 − H(4τ/3)] = 1 − H(τ))", tau1());
     println!(
         "monochromatic interval (τ1, 1−τ1)\\{{1/2}}: width ≈ {:.4}  (paper: ≈ 0.134)",
@@ -43,8 +46,22 @@ fn main() {
     let w = 3;
     let agents = (n * n) as f64;
     for tau in [
-        0.15, 0.25, 0.30, tau2() + 0.01, 0.40, tau1() + 0.01, 0.46, 0.49, 0.50, 0.51, 0.54,
-        1.0 - tau1() + 0.01, 0.62, 1.0 - tau2() + 0.01, 0.75, 0.85,
+        0.15,
+        0.25,
+        0.30,
+        tau2() + 0.01,
+        0.40,
+        tau1() + 0.01,
+        0.46,
+        0.49,
+        0.50,
+        0.51,
+        0.54,
+        1.0 - tau1() + 0.01,
+        0.62,
+        1.0 - tau2() + 0.01,
+        0.75,
+        0.85,
     ] {
         let mut sim = ModelConfig::new(n, w, tau).seed(BASE_SEED).build();
         sim.run_to_stable(50_000_000);

@@ -26,7 +26,11 @@ fn main() {
         "regime".into(),
     ]);
     for p in figure3_series(25) {
-        let regime = if p.tau <= tau1() { "almost-mono (Thm 2)" } else { "mono (Thm 1)" };
+        let regime = if p.tau <= tau1() {
+            "almost-mono (Thm 2)"
+        } else {
+            "mono (Thm 1)"
+        };
         table.push_row(vec![
             format!("{:.4}", p.tau),
             format!("{:.4}", p.eps),

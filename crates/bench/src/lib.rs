@@ -24,6 +24,32 @@ pub fn banner(id: &str, paper_artifact: &str, params: &str) {
     println!();
 }
 
+/// Parses the engine's unified flags (`--threads`, `--seed`, `--out`,
+/// `--replicas`) for a harness binary, printing usage and exiting on
+/// `--help`, on an unknown flag, or on a malformed value. Every
+/// engine-backed binary accepts exactly this interface.
+pub fn usage_or_die(bin: &str, args: &[String]) -> seg_engine::EngineArgs {
+    let usage = format!(
+        "usage: cargo run --release -p seg-bench --bin {bin} -- {}",
+        seg_engine::ENGINE_USAGE
+    );
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{usage}");
+        std::process::exit(0);
+    }
+    match seg_engine::EngineArgs::parse(args) {
+        Ok((engine_args, rest)) if rest.is_empty() => engine_args,
+        Ok((_, rest)) => {
+            eprintln!("unknown flag {}\n{usage}", rest[0]);
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("{e}\n{usage}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Formats a float in compact scientific-ish notation for table cells.
 pub fn fmt_g(x: f64) -> String {
     if x == 0.0 {

@@ -157,13 +157,7 @@ mod tests {
             good.iter().all(|g| !g),
             "monochromatic blocks are maximally unbalanced"
         );
-        let path = find_chemical_path(
-            &grid,
-            &good,
-            BlockCoord { bx: 5, by: 5 },
-            1,
-            4,
-        );
+        let path = find_chemical_path(&grid, &good, BlockCoord { bx: 5, by: 5 }, 1, 4);
         assert!(path.is_none());
     }
 

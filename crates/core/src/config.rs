@@ -155,13 +155,9 @@ mod tests {
 
     #[test]
     fn density_extremes() {
-        let all_plus = ModelConfig::new(32, 2, 0.4)
-            .initial_density(1.0)
-            .build();
+        let all_plus = ModelConfig::new(32, 2, 0.4).initial_density(1.0).build();
         assert_eq!(all_plus.field().plus_total(), 32 * 32);
-        let all_minus = ModelConfig::new(32, 2, 0.4)
-            .initial_density(0.0)
-            .build();
+        let all_minus = ModelConfig::new(32, 2, 0.4).initial_density(0.0).build();
         assert_eq!(all_minus.field().plus_total(), 0);
     }
 

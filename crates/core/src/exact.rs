@@ -54,12 +54,7 @@ pub fn exhaustive_census(n: u32, horizon: u32, tau: f64) -> (usize, u64) {
     let mut stable = 0usize;
     let mut max_flips = 0u64;
     for field in all_configurations(n) {
-        let mut sim = Simulation::from_field(
-            field,
-            horizon,
-            intol,
-            Xoshiro256pp::seed_from_u64(1),
-        );
+        let mut sim = Simulation::from_field(field, horizon, intol, Xoshiro256pp::seed_from_u64(1));
         if sim.is_stable() {
             stable += 1;
         }
@@ -79,12 +74,7 @@ pub fn unhappy_census(n: u32, horizon: u32, tau: f64) -> Vec<u64> {
     let cells = Torus::new(n).len();
     let mut hist = vec![0u64; cells + 1];
     for field in all_configurations(n) {
-        let sim = Simulation::from_field(
-            field,
-            horizon,
-            intol,
-            Xoshiro256pp::seed_from_u64(0),
-        );
+        let sim = Simulation::from_field(field, horizon, intol, Xoshiro256pp::seed_from_u64(0));
         hist[sim.unhappy_count()] += 1;
     }
     hist

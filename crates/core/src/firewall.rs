@@ -106,9 +106,7 @@ pub fn is_block_cycle_enclosing(
             return false;
         }
     }
-    let adj = |a: seg_grid::BlockCoord, b: seg_grid::BlockCoord| {
-        grid.adjacent(a).contains(&b)
-    };
+    let adj = |a: seg_grid::BlockCoord, b: seg_grid::BlockCoord| grid.adjacent(a).contains(&b);
     for i in 0..cycle.len() {
         let next = cycle[(i + 1) % cycle.len()];
         if !adj(cycle[i], next) {
@@ -191,8 +189,7 @@ mod tests {
         // ring supplies far fewer than 54
         let thin_same = {
             let annulus = Annulus::new(t, c, 50.0, annulus_w);
-            let members: std::collections::HashSet<Point> =
-                annulus.points().into_iter().collect();
+            let members: std::collections::HashSet<Point> = annulus.points().into_iter().collect();
             let p = *annulus.points().first().unwrap();
             Neighborhood::new(t, p, 5)
                 .points()
@@ -217,9 +214,7 @@ mod tests {
         let mut field = sim.field().clone();
         let painted = paint_firewall(&mut field, c, 30.0, w);
         assert!(painted > 0);
-        sim = ModelConfig::new(n, w, tau)
-            .seed(3)
-            .build_with_field(field);
+        sim = ModelConfig::new(n, w, tau).seed(3).build_with_field(field);
         assert!(
             firewall_survives_dynamics(&mut sim, c, 30.0, 2_000_000),
             "Lemma 9: a formed firewall must remain static"
@@ -287,7 +282,7 @@ mod tests {
     fn block_cycle_detection() {
         let t = Torus::new(80);
         let grid = BlockGrid::new(t, 8); // 10×10 blocks
-        // a 3×3 ring of blocks around (5,5)
+                                         // a 3×3 ring of blocks around (5,5)
         let mut cycle = Vec::new();
         for bx in 4..=6u32 {
             cycle.push(BlockCoord { bx, by: 4 });

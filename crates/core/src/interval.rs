@@ -140,9 +140,7 @@ impl IntervalSim {
         let t = self.field.torus();
         (0..t.len())
             .filter(|i| {
-                let s = self
-                    .counts
-                    .same_count_index(*i, self.field.get_index(*i));
+                let s = self.counts.same_count_index(*i, self.field.get_index(*i));
                 !self.band.is_content(s)
             })
             .count()
@@ -155,9 +153,7 @@ impl IntervalSim {
             for dx in -w..=w {
                 let v = t.offset(at, dx, dy);
                 let vi = t.index(v);
-                let s = self
-                    .counts
-                    .same_count_index(vi, self.field.get_index(vi));
+                let s = self.counts.same_count_index(vi, self.field.get_index(vi));
                 if self.band.is_flippable(s) {
                     self.flippable.insert(vi);
                 } else {
@@ -253,9 +249,7 @@ mod tests {
         // recompute flippable set from scratch
         let t = sim.field().torus();
         for i in 0..t.len() {
-            let s = sim
-                .counts
-                .same_count_index(i, sim.field.get_index(i));
+            let s = sim.counts.same_count_index(i, sim.field.get_index(i));
             assert_eq!(
                 sim.band.is_flippable(s),
                 sim.flippable.contains(i),

@@ -154,11 +154,7 @@ mod tests {
             for thr in 1..=(n / 2) {
                 let i = Intolerance::from_threshold(n, thr);
                 for s in 1..=n {
-                    assert_eq!(
-                        i.is_flippable(s),
-                        !i.is_happy(s),
-                        "n={n} thr={thr} s={s}"
-                    );
+                    assert_eq!(i.is_flippable(s), !i.is_happy(s), "n={n} thr={thr} s={s}");
                 }
             }
         }

@@ -120,7 +120,8 @@ mod tests {
             let flippable = sim.intolerance().is_flippable(s);
             let anti = !is_aligned(&sim, u);
             assert_eq!(
-                flippable, anti,
+                flippable,
+                anti,
                 "at {:?}: S = {s}, field = {}",
                 u,
                 local_field(&sim, u)

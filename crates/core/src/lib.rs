@@ -54,8 +54,8 @@ pub mod interval;
 pub mod intolerance;
 pub mod ising;
 pub mod lyapunov;
-pub mod multi;
 pub mod metrics;
+pub mod multi;
 pub mod race;
 pub mod radical;
 pub mod regions;

@@ -24,10 +24,7 @@ use crate::sim::Simulation;
 pub fn potential(sim: &Simulation) -> u64 {
     let t = sim.torus();
     (0..t.len())
-        .map(|i| {
-            sim.counts()
-                .same_count_index(i, sim.field().get_index(i)) as u64
-        })
+        .map(|i| sim.counts().same_count_index(i, sim.field().get_index(i)) as u64)
         .sum()
 }
 
@@ -74,9 +71,7 @@ mod tests {
 
     #[test]
     fn uniform_field_reaches_maximum() {
-        let sim = ModelConfig::new(32, 2, 0.45)
-            .initial_density(1.0)
-            .build();
+        let sim = ModelConfig::new(32, 2, 0.45).initial_density(1.0).build();
         assert_eq!(potential(&sim), potential_max(&sim));
     }
 
@@ -89,8 +84,7 @@ mod tests {
             match sim.step() {
                 Some(ev) => {
                     let s = before.same_count(ev.at);
-                    let predicted =
-                        flip_increment(sim.intolerance().neighborhood_size(), s);
+                    let predicted = flip_increment(sim.intolerance().neighborhood_size(), s);
                     let new_phi = potential(&sim);
                     assert!(predicted > 0, "legal flip must increase Φ");
                     assert_eq!(

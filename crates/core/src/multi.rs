@@ -246,7 +246,10 @@ mod tests {
     fn two_types_terminate_and_segregate() {
         let mut sim = MultiSim::random(64, 2, 2, 0.44, 3);
         let before = sim.largest_cluster();
-        assert!(sim.run(10_000_000), "k = 2 is the paper's model: terminates");
+        assert!(
+            sim.run(10_000_000),
+            "k = 2 is the paper's model: terminates"
+        );
         assert_eq!(sim.unhappy_count(), 0);
         assert!(sim.largest_cluster() > 3 * before);
     }

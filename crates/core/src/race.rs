@@ -144,7 +144,11 @@ pub fn run_race(cfg: RaceConfig, seed: u64) -> RaceOutcome {
 /// Runs `trials` races and returns (trapped count, firewall-won count,
 /// outcomes). "Firewall won" means the annulus became monochromatic
 /// before any intrusion (or there was no intrusion at all).
-pub fn race_statistics(cfg: RaceConfig, trials: u32, base_seed: u64) -> (u32, u32, Vec<RaceOutcome>) {
+pub fn race_statistics(
+    cfg: RaceConfig,
+    trials: u32,
+    base_seed: u64,
+) -> (u32, u32, Vec<RaceOutcome>) {
     let mut trapped = 0;
     let mut won = 0;
     let mut outcomes = Vec::with_capacity(trials as usize);

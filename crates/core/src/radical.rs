@@ -59,12 +59,7 @@ impl RadicalParams {
     pub fn minus_threshold(&self, intol: Intolerance) -> u64 {
         let radius = self.radical_radius();
         let region_size = (2 * radius as u64 + 1) * (2 * radius as u64 + 1);
-        let th = tau_hat(
-            intol.tau(),
-            intol.neighborhood_size(),
-            self.eps_tech,
-        )
-        .max(0.0);
+        let th = tau_hat(intol.tau(), intol.neighborhood_size(), self.eps_tech).max(0.0);
         (th * region_size as f64).floor() as u64
     }
 

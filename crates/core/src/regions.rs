@@ -41,7 +41,10 @@ fn monotone_region(
     mut pass: impl FnMut(&PrefixSums, &Neighborhood) -> bool,
 ) -> Region {
     let max_radius = (torus.side() - 1) / 2;
-    let witness = |ps: &PrefixSums, rho: u32, pass: &mut dyn FnMut(&PrefixSums, &Neighborhood) -> bool| -> Option<Point> {
+    let witness = |ps: &PrefixSums,
+                   rho: u32,
+                   pass: &mut dyn FnMut(&PrefixSums, &Neighborhood) -> bool|
+     -> Option<Point> {
         let r = rho as i64;
         for dy in -r..=r {
             for dx in -r..=r {

@@ -248,22 +248,16 @@ impl RingKawasaki {
     /// opposite-type unhappy pair exists.
     pub fn try_swap(&mut self) -> Option<bool> {
         let unhappy_plus: Vec<usize> = (0..self.inner.len())
-            .filter(|i| {
-                self.inner.types[*i] == AgentType::Plus && !self.inner.is_happy(*i)
-            })
+            .filter(|i| self.inner.types[*i] == AgentType::Plus && !self.inner.is_happy(*i))
             .collect();
         let unhappy_minus: Vec<usize> = (0..self.inner.len())
-            .filter(|i| {
-                self.inner.types[*i] == AgentType::Minus && !self.inner.is_happy(*i)
-            })
+            .filter(|i| self.inner.types[*i] == AgentType::Minus && !self.inner.is_happy(*i))
             .collect();
         if unhappy_plus.is_empty() || unhappy_minus.is_empty() {
             return None;
         }
-        let a = unhappy_plus
-            [self.inner.rng.next_below(unhappy_plus.len() as u64) as usize];
-        let b = unhappy_minus
-            [self.inner.rng.next_below(unhappy_minus.len() as u64) as usize];
+        let a = unhappy_plus[self.inner.rng.next_below(unhappy_plus.len() as u64) as usize];
+        let b = unhappy_minus[self.inner.rng.next_below(unhappy_minus.len() as u64) as usize];
         self.inner.flip(a);
         self.inner.flip(b);
         if self.inner.is_happy(a) && self.inner.is_happy(b) {

@@ -107,9 +107,7 @@ impl VariantSim {
             for dx in -w..=w {
                 let v = t.offset(at, dx, dy);
                 let vi = t.index(v);
-                let s = self
-                    .counts
-                    .same_count_index(vi, self.field.get_index(vi));
+                let s = self.counts.same_count_index(vi, self.field.get_index(vi));
                 if self.intol.is_happy(s) {
                     self.active.remove(vi);
                 } else {
@@ -135,9 +133,7 @@ impl VariantSim {
     pub fn step(&mut self) -> Option<Point> {
         let i = self.active.sample(&mut self.rng)?;
         let at = self.field.torus().from_index(i);
-        let s = self
-            .counts
-            .same_count_index(i, self.field.get_index(i));
+        let s = self.counts.same_count_index(i, self.field.get_index(i));
         let flip = match self.rule {
             UpdateRule::FlipIfImproves => self.intol.flip_makes_happy(s),
             UpdateRule::FlipWhenUnhappy => true,

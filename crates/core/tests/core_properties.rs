@@ -1,8 +1,8 @@
 //! Property-based tests for the model crate.
 
 use proptest::prelude::*;
-use seg_core::intolerance::Intolerance;
 use seg_core::interval::ComfortBand;
+use seg_core::intolerance::Intolerance;
 use seg_core::multi::MultiSim;
 use seg_core::ring::RingSim;
 use seg_core::ModelConfig;

@@ -1,0 +1,357 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! the subset of criterion's API that the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`] (`iter`,
+//! `iter_batched`), [`BenchmarkId`], [`BatchSize`], [`Throughput`],
+//! [`black_box`] and the [`criterion_group!`]/[`criterion_main!`] macros
+//! — backed by a simple wall-clock harness: per benchmark it warms up,
+//! then runs timed iterations and reports mean ± standard deviation (and
+//! derived throughput when configured).
+//!
+//! Command line: any positional argument acts as a substring filter on
+//! benchmark names; `--bench`/`--test` and other cargo-injected flags are
+//! accepted and ignored. Set `CRITERION_MEASURE_MS` to change the
+//! measurement budget per benchmark (default 1000 ms).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the harness times only the
+/// routine, so the variants behave identically here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput units attached to a benchmark group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Measurement settings plus the name filter from the command line.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure_ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1000);
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            if arg.starts_with('-') {
+                continue; // cargo passes --bench; ignore all flags
+            }
+            filter = Some(arg);
+        }
+        Criterion {
+            filter,
+            warmup: Duration::from_millis(measure_ms / 4 + 1),
+            measure: Duration::from_millis(measure_ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builder-style warm-up override (criterion-compatible).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Builder-style measurement-time override (criterion-compatible).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (warmup, measure, skip) = self.settings(name);
+        run_benchmark(name, warmup, measure, None, skip, f);
+        self
+    }
+
+    fn settings(&self, full_name: &str) -> (Duration, Duration, bool) {
+        let skip = self
+            .filter
+            .as_ref()
+            .is_some_and(|f| !full_name.contains(f.as_str()));
+        (self.warmup, self.measure, skip)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput units reported for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Criterion-compatible no-op (the harness sizes runs by time).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let (warmup, measure, skip) = self.criterion.settings(&full);
+        run_benchmark(&full, warmup, measure, self.throughput, skip, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let (warmup, measure, skip) = self.criterion.settings(&full);
+        run_benchmark(&full, warmup, measure, self.throughput, skip, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    deadline: Instant,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            self.samples.push(dt);
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed();
+            self.samples.push(dt);
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    warmup: Duration,
+    measure: Duration,
+    throughput: Option<Throughput>,
+    skip: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if skip {
+        return;
+    }
+    // warm-up pass: same machinery, results discarded
+    let mut b = Bencher {
+        deadline: Instant::now() + warmup,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    // measured pass
+    let mut b = Bencher {
+        deadline: Instant::now() + measure,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let n = b.samples.len().max(1) as f64;
+    let mean = b.samples.iter().map(Duration::as_secs_f64).sum::<f64>() / n;
+    let var = b
+        .samples
+        .iter()
+        .map(|d| {
+            let x = d.as_secs_f64() - mean;
+            x * x
+        })
+        .sum::<f64>()
+        / n;
+    let sd = var.sqrt();
+    let rate = match throughput {
+        Some(Throughput::Elements(k)) if mean > 0.0 => {
+            format!("  thrpt: {:>12}/s", fmt_count(k as f64 / mean))
+        }
+        Some(Throughput::Bytes(k)) if mean > 0.0 => {
+            format!("  thrpt: {:>11}B/s", fmt_count(k as f64 / mean))
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<44} time: {:>12} ± {:>10}  ({} samples){rate}",
+        fmt_secs(mean),
+        fmt_secs(sd),
+        b.samples.len()
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn fmt_count(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            deadline: Instant::now() + Duration::from_millis(5),
+            samples: Vec::new(),
+        };
+        b.iter(|| 1 + 1);
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert!(fmt_secs(2.0).ends_with(" s"));
+        assert!(fmt_secs(2e-3).ends_with("ms"));
+        assert!(fmt_secs(2e-6).ends_with("µs"));
+        assert!(fmt_secs(2e-9).ends_with("ns"));
+        assert_eq!(fmt_count(500.0), "500.00");
+        assert_eq!(fmt_count(2.5e6), "2.50M");
+    }
+}

@@ -1,0 +1,174 @@
+//! Shared command-line flags for engine-backed binaries.
+//!
+//! Every harness binary that runs sweeps accepts the same quartet of
+//! flags with the same defaults, so moving between experiments never
+//! means relearning the interface:
+//!
+//! ```text
+//! --threads N      worker threads        (default: all cores, capped at 8)
+//! --seed S         master seed           (default: the experiment's base seed)
+//! --out FILE.csv   per-replica CSV sink  (default: none — print tables only)
+//! --replicas K     replicas per point    (default: experiment-specific)
+//! ```
+
+use crate::run::Engine;
+use crate::sink::Sink;
+use seg_analysis::parallel::default_threads;
+use std::path::PathBuf;
+
+/// The parsed common flags.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineArgs {
+    /// Worker threads for the sweep.
+    pub threads: usize,
+    /// Master seed, when given on the command line.
+    pub seed: Option<u64>,
+    /// Per-replica output file (`.jsonl` selects JSON Lines, anything
+    /// else CSV).
+    pub out: Option<PathBuf>,
+    /// Replicas per point, when given on the command line.
+    pub replicas: Option<u32>,
+}
+
+impl Default for EngineArgs {
+    fn default() -> Self {
+        EngineArgs {
+            threads: default_threads(),
+            seed: None,
+            out: None,
+            replicas: None,
+        }
+    }
+}
+
+/// Help-text fragment describing the common flags (append to a binary's
+/// usage line).
+pub const ENGINE_USAGE: &str =
+    "[--threads N] [--seed S] [--out FILE.csv|FILE.jsonl] [--replicas K]";
+
+impl EngineArgs {
+    /// Parses the common flags out of `args`, returning the parsed flags
+    /// and the arguments that were not consumed (for binary-specific
+    /// parsing).
+    ///
+    /// `--help` is not interpreted here — it lands in the unconsumed
+    /// arguments for the caller to handle (see `seg_bench::usage_or_die`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for a malformed value or a missing value.
+    pub fn parse(args: &[String]) -> Result<(EngineArgs, Vec<String>), String> {
+        let mut out = EngineArgs::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--threads" => {
+                    out.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                    if out.threads == 0 {
+                        return Err("--threads must be at least 1".into());
+                    }
+                }
+                "--seed" => {
+                    out.seed = Some(
+                        value("--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?,
+                    )
+                }
+                "--out" => out.out = Some(PathBuf::from(value("--out")?)),
+                "--replicas" => {
+                    let k: u32 = value("--replicas")?
+                        .parse()
+                        .map_err(|e| format!("--replicas: {e}"))?;
+                    if k == 0 {
+                        return Err("--replicas must be at least 1".into());
+                    }
+                    out.replicas = Some(k);
+                }
+                other => rest.push(other.to_string()),
+            }
+        }
+        Ok((out, rest))
+    }
+
+    /// An [`Engine`] configured from these flags (progress on when a sink
+    /// is requested, since those runs tend to be the long ones).
+    pub fn engine(&self) -> Engine {
+        Engine::new()
+            .threads(self.threads)
+            .progress(self.out.is_some())
+    }
+
+    /// The sink selected by `--out`, if any (`.jsonl` extension selects
+    /// JSON Lines, anything else CSV).
+    pub fn sink(&self) -> Option<Sink> {
+        self.out.as_ref().map(|p| {
+            if p.extension().is_some_and(|e| e == "jsonl") {
+                Sink::Jsonl(p.clone())
+            } else {
+                Sink::Csv(p.clone())
+            }
+        })
+    }
+
+    /// The master seed: the command-line value, or the given default.
+    pub fn master_seed(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The replica count: the command-line value, or the given default.
+    pub fn replica_count(&self, default: u32) -> u32 {
+        self.replicas.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_absent() {
+        let (a, rest) = EngineArgs::parse(&[]).unwrap();
+        assert_eq!(a, EngineArgs::default());
+        assert!(rest.is_empty());
+        assert_eq!(a.master_seed(42), 42);
+        assert_eq!(a.replica_count(3), 3);
+        assert!(a.sink().is_none());
+    }
+
+    #[test]
+    fn parses_all_flags_and_passes_rest_through() {
+        let (a, rest) = EngineArgs::parse(&args(
+            "--threads 2 --tau 0.4 --seed 9 --out x.csv --replicas 5",
+        ))
+        .unwrap();
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.seed, Some(9));
+        assert_eq!(a.replicas, Some(5));
+        assert_eq!(rest, args("--tau 0.4"));
+        assert_eq!(a.sink(), Some(Sink::Csv(PathBuf::from("x.csv"))));
+    }
+
+    #[test]
+    fn jsonl_extension_selects_jsonl() {
+        let (a, _) = EngineArgs::parse(&args("--out rows.jsonl")).unwrap();
+        assert_eq!(a.sink(), Some(Sink::Jsonl(PathBuf::from("rows.jsonl"))));
+    }
+
+    #[test]
+    fn rejects_zero_threads_and_replicas() {
+        assert!(EngineArgs::parse(&args("--threads 0")).is_err());
+        assert!(EngineArgs::parse(&args("--replicas 0")).is_err());
+        assert!(EngineArgs::parse(&args("--seed")).is_err());
+    }
+}

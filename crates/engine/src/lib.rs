@@ -1,0 +1,64 @@
+//! Parallel sweep & replica orchestration for the segregation
+//! reproduction.
+//!
+//! Every experiment in this workspace has the same shape: run the model
+//! (or one of its variants) over a grid of parameters, several replicas
+//! per point, measure each replica, aggregate, and write the results
+//! somewhere. This crate owns that shape end-to-end so the experiment
+//! binaries declare *what* to run instead of hand-rolling loops:
+//!
+//! - [`SweepSpec`] — a declarative description of the parameter grid
+//!   (sides × horizons × τ × densities × variants, or explicit linked
+//!   points), replicas, master seed, and event budget;
+//! - [`Engine`] — a work-claiming thread pool (std threads only) that
+//!   runs replicas concurrently with per-replica RNG streams derived by
+//!   splitting the master seed, so results are **bit-identical at any
+//!   thread count**;
+//! - [`Observer`] — pluggable per-replica measurements: terminal
+//!   statistics ([`seg_core::metrics`]), time-series traces
+//!   ([`seg_core::trace`]), snapshots ([`seg_analysis::ppm`]), or custom
+//!   closures with a replica-seeded RNG;
+//! - [`Sink`] — structured CSV / JSON-Lines output plus aggregated
+//!   summaries through [`seg_analysis::stats`] and
+//!   [`seg_analysis::bootstrap`];
+//! - progress and throughput reporting (replicas/s, events/s) so
+//!   performance regressions are visible from any sweep.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use seg_engine::{Engine, Observer, SweepSpec};
+//!
+//! // τ-sweep on a 48² torus, 3 replicas per τ, deterministic seeds
+//! let spec = SweepSpec::builder()
+//!     .side(48)
+//!     .horizon(2)
+//!     .taus([0.40, 0.45])
+//!     .replicas(3)
+//!     .master_seed(0x5E67_2017)
+//!     .build();
+//! let result = Engine::new().run(&spec, &[Observer::TerminalStats]);
+//! for s in result.summarize("largest_cluster") {
+//!     println!("tau = {}: largest cluster {:.1}", s.point.tau, s.summary.mean);
+//! }
+//! # assert_eq!(result.records().len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod observe;
+pub mod replica;
+pub mod run;
+pub mod sink;
+pub mod spec;
+
+pub use cli::{EngineArgs, ENGINE_USAGE};
+pub use observe::Observer;
+pub use replica::{FinalState, ReplicaRecord};
+pub use run::{Engine, PointSummary, SweepResult, ThroughputReport};
+pub use sink::{write_summary_csv, Sink};
+pub use spec::{
+    derive_replica_seed, ReplicaTask, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder, Variant,
+};

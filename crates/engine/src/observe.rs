@@ -1,0 +1,184 @@
+//! Pluggable per-replica observers.
+//!
+//! Observers attach measurements (and optional file artifacts) to each
+//! replica as it finishes, on the worker thread that ran it. They must be
+//! deterministic functions of the replica's final state so that sweep
+//! output stays independent of thread count.
+
+use crate::replica::FinalState;
+use crate::spec::ReplicaTask;
+use seg_analysis::csv::write_csv_file;
+use seg_analysis::ppm::{figure1_frame, type_frame};
+use seg_core::metrics::{config_stats, interface_length, largest_same_type_cluster};
+use seg_core::trace::TracePoint;
+use seg_grid::rng::Xoshiro256pp;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A custom observer: maps a finished replica to named metric values.
+pub type CustomFn =
+    dyn Fn(&ReplicaTask, &FinalState, &mut Xoshiro256pp) -> Vec<(String, f64)> + Send + Sync;
+
+/// What to measure or save for every replica of a sweep.
+#[derive(Clone)]
+pub enum Observer {
+    /// Terminal configuration statistics via [`seg_core::metrics`]:
+    /// `unhappy`, `happy_fraction`, `interface`, `largest_cluster`,
+    /// `plus_fraction` (2-D variants only; ring variants skip it).
+    TerminalStats,
+    /// Time-series of the run via [`seg_core::trace`], written as
+    /// `trace_p{point}_r{replica}.csv` under `dir`. Only the paper
+    /// variant is traced; other variants run untraced.
+    Trace {
+        /// Sampling interval in flips.
+        sample_every: u64,
+        /// Output directory (created if absent).
+        dir: PathBuf,
+    },
+    /// Final-configuration snapshot via [`seg_analysis::ppm`], written as
+    /// `snap_p{point}_r{replica}.ppm` under `dir` (Figure 1 colors for
+    /// the paper variant, plain type colors otherwise).
+    Snapshot {
+        /// Output directory (created if absent).
+        dir: PathBuf,
+    },
+    /// A caller-supplied measurement. The closure receives a replica-
+    /// seeded RNG so randomized estimators stay deterministic per task.
+    Custom(Arc<CustomFn>),
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Observer::TerminalStats => f.write_str("TerminalStats"),
+            Observer::Trace { sample_every, dir } => f
+                .debug_struct("Trace")
+                .field("sample_every", sample_every)
+                .field("dir", dir)
+                .finish(),
+            Observer::Snapshot { dir } => f.debug_struct("Snapshot").field("dir", dir).finish(),
+            Observer::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+impl Observer {
+    /// Wraps a closure as a [`Observer::Custom`].
+    pub fn custom<F>(f: F) -> Self
+    where
+        F: Fn(&ReplicaTask, &FinalState, &mut Xoshiro256pp) -> Vec<(String, f64)>
+            + Send
+            + Sync
+            + 'static,
+    {
+        Observer::Custom(Arc::new(f))
+    }
+
+    /// Applies this observer to a finished replica, inserting its metrics.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from artifact output.
+    pub fn apply(
+        &self,
+        task: &ReplicaTask,
+        state: &FinalState,
+        metrics: &mut BTreeMap<String, f64>,
+    ) -> io::Result<()> {
+        match self {
+            Observer::TerminalStats => {
+                match state {
+                    FinalState::Grid(sim) => {
+                        let s = config_stats(sim);
+                        let n = sim.torus().len() as f64;
+                        metrics.insert("unhappy".into(), s.unhappy as f64);
+                        metrics.insert("happy_fraction".into(), s.happy_fraction);
+                        metrics.insert("interface".into(), s.interface_length as f64);
+                        metrics.insert("largest_cluster".into(), s.largest_cluster as f64);
+                        metrics.insert("plus_fraction".into(), s.plus as f64 / n);
+                    }
+                    FinalState::VariantGrid(sim) => {
+                        let field = sim.field();
+                        let n = field.torus().len() as f64;
+                        metrics.insert("unhappy".into(), sim.unhappy_count() as f64);
+                        metrics.insert("interface".into(), interface_length(field) as f64);
+                        metrics.insert(
+                            "largest_cluster".into(),
+                            largest_same_type_cluster(field) as f64,
+                        );
+                        metrics.insert("plus_fraction".into(), field.plus_total() as f64 / n);
+                    }
+                    FinalState::Kawasaki(sim) => {
+                        let field = sim.field();
+                        let n = field.torus().len() as f64;
+                        metrics.insert("interface".into(), interface_length(field) as f64);
+                        metrics.insert(
+                            "largest_cluster".into(),
+                            largest_same_type_cluster(field) as f64,
+                        );
+                        metrics.insert("plus_fraction".into(), field.plus_total() as f64 / n);
+                    }
+                    FinalState::Ring(_) | FinalState::RingKawasaki(_) => {}
+                }
+                Ok(())
+            }
+            // the trace is recorded during the run (see `run_replica`)
+            Observer::Trace { .. } => Ok(()),
+            Observer::Snapshot { dir } => {
+                let image = match state {
+                    FinalState::Grid(sim) => Some(figure1_frame(sim)),
+                    other => other.field().map(type_frame),
+                };
+                if let Some(image) = image {
+                    std::fs::create_dir_all(dir)?;
+                    image.save_ppm(&artifact_path(dir, task, "snap", "ppm"))?;
+                }
+                Ok(())
+            }
+            Observer::Custom(f) => {
+                // salt the replica seed so observer draws never overlap the
+                // dynamics' stream
+                let mut rng = Xoshiro256pp::seed_from_u64(task.seed ^ 0x0B5E_7AE5_u64);
+                for (k, v) in f(task, state, &mut rng) {
+                    metrics.insert(k, v);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn artifact_path(dir: &Path, task: &ReplicaTask, stem: &str, ext: &str) -> PathBuf {
+    dir.join(format!(
+        "{stem}_p{}_r{}.{ext}",
+        task.point_index, task.replica
+    ))
+}
+
+/// Writes one replica's trace as `trace_p{point}_r{replica}.csv`.
+///
+/// # Errors
+///
+/// I/O errors from creating the directory or writing the file.
+pub fn write_trace(dir: &Path, task: &ReplicaTask, trace: &[TracePoint]) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut rows: Vec<Vec<String>> = vec![vec![
+        "flips".into(),
+        "time".into(),
+        "unhappy".into(),
+        "interface".into(),
+        "largest_cluster".into(),
+    ]];
+    for p in trace {
+        rows.push(vec![
+            p.flips.to_string(),
+            format!("{:.6}", p.time),
+            p.stats.unhappy.to_string(),
+            p.stats.interface_length.to_string(),
+            p.stats.largest_cluster.to_string(),
+        ]);
+    }
+    write_csv_file(&artifact_path(dir, task, "trace", "csv"), &rows)
+}

@@ -1,0 +1,347 @@
+//! The engine: schedules a sweep's replicas across worker threads and
+//! aggregates the results.
+
+use crate::observe::Observer;
+use crate::replica::{run_replica, ReplicaRecord};
+use crate::spec::{SweepPoint, SweepSpec};
+use seg_analysis::bootstrap::{bootstrap_mean_ci, BootstrapCi};
+use seg_analysis::parallel::{default_threads, parallel_map_observed};
+use seg_analysis::stats::Summary;
+use seg_grid::rng::Xoshiro256pp;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Runs [`SweepSpec`]s on a worker pool.
+///
+/// Replicas are distributed dynamically (each idle worker claims the next
+/// task), so long and short replicas share the pool without static
+/// imbalance. Because every replica's RNG stream derives from its indices
+/// (see [`crate::spec::derive_replica_seed`]), the result records are
+/// identical at any thread count — only the wall clock changes.
+///
+/// # Example
+///
+/// ```
+/// use seg_engine::{Engine, SweepSpec};
+/// let spec = SweepSpec::builder()
+///     .side(32)
+///     .horizon(1)
+///     .taus([0.40, 0.45])
+///     .replicas(2)
+///     .master_seed(7)
+///     .build();
+/// let result = Engine::new().threads(2).run(&spec, &[]);
+/// assert_eq!(result.records().len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Engine {
+    threads: usize,
+    progress: bool,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine using the default worker count
+    /// ([`seg_analysis::parallel::default_threads`]) and no progress
+    /// output.
+    pub fn new() -> Self {
+        Engine {
+            threads: default_threads(),
+            progress: false,
+        }
+    }
+
+    /// Sets the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Enables live progress lines on stderr (replicas done, replicas/s,
+    /// events/s).
+    pub fn progress(mut self, enabled: bool) -> Self {
+        self.progress = enabled;
+        self
+    }
+
+    /// Runs every replica of the sweep, applying `observers` to each.
+    pub fn run(&self, spec: &SweepSpec, observers: &[Observer]) -> SweepResult {
+        let tasks = spec.tasks();
+        let total = tasks.len();
+        let started = Instant::now();
+        let done = AtomicUsize::new(0);
+        let events = AtomicU64::new(0);
+        let last_print = Mutex::new(Instant::now());
+        let records = parallel_map_observed(
+            total,
+            self.threads,
+            |i| run_replica(&tasks[i], observers),
+            |_, rec: &ReplicaRecord| {
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let e = events.fetch_add(rec.events, Ordering::Relaxed) + rec.events;
+                if self.progress {
+                    let mut last = last_print.lock().expect("progress lock");
+                    if d == total || last.elapsed().as_millis() >= 500 {
+                        *last = Instant::now();
+                        let secs = started.elapsed().as_secs_f64().max(1e-9);
+                        eprintln!(
+                            "sweep: {d}/{total} replicas  ({:.1} replicas/s, {:.2e} events/s)",
+                            d as f64 / secs,
+                            e as f64 / secs
+                        );
+                    }
+                }
+            },
+        );
+        SweepResult {
+            spec: spec.clone(),
+            records,
+            threads: self.threads,
+            wall_secs: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Replica-throughput figures for a finished sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThroughputReport {
+    /// Wall-clock seconds for the whole sweep.
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Replicas finished per wall-clock second.
+    pub replicas_per_sec: f64,
+    /// Effective dynamics events (flips/swaps) per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Per-point aggregate of one metric across replicas.
+#[derive(Clone, Debug)]
+pub struct PointSummary {
+    /// Index of the point in the spec.
+    pub point_index: usize,
+    /// The parameters.
+    pub point: SweepPoint,
+    /// Summary statistics of the metric over the point's replicas.
+    pub summary: Summary,
+}
+
+/// All records of a finished sweep, in task order.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    spec: SweepSpec,
+    records: Vec<ReplicaRecord>,
+    threads: usize,
+    wall_secs: f64,
+}
+
+impl SweepResult {
+    /// The spec this result answers.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Every replica record, ordered by task index (point-major).
+    pub fn records(&self) -> &[ReplicaRecord] {
+        &self.records
+    }
+
+    /// The records of one point.
+    pub fn point_records(&self, point_index: usize) -> &[ReplicaRecord] {
+        let k = self.spec.replicas() as usize;
+        &self.records[point_index * k..(point_index + 1) * k]
+    }
+
+    /// Throughput of the finished sweep.
+    pub fn throughput(&self) -> ThroughputReport {
+        let secs = self.wall_secs.max(1e-9);
+        let events: u64 = self.records.iter().map(|r| r.events).sum();
+        ThroughputReport {
+            wall_secs: self.wall_secs,
+            threads: self.threads,
+            replicas_per_sec: self.records.len() as f64 / secs,
+            events_per_sec: events as f64 / secs,
+        }
+    }
+
+    /// Values of one metric across a point's replicas (replicas missing
+    /// the metric are skipped).
+    pub fn metric_values(&self, point_index: usize, metric: &str) -> Vec<f64> {
+        self.point_records(point_index)
+            .iter()
+            .filter_map(|r| r.metric(metric))
+            .collect()
+    }
+
+    /// Mean of one metric across a point's replicas, or `None` when no
+    /// replica produced it — the one-number aggregate the harness tables
+    /// are built from.
+    pub fn point_mean(&self, point_index: usize, metric: &str) -> Option<f64> {
+        let vals = self.metric_values(point_index, metric);
+        if vals.is_empty() {
+            None
+        } else {
+            Some(Summary::from_slice(&vals).mean)
+        }
+    }
+
+    /// Per-point summaries of one metric, in point order. Points where no
+    /// replica produced the metric are omitted.
+    pub fn summarize(&self, metric: &str) -> Vec<PointSummary> {
+        (0..self.spec.points().len())
+            .filter_map(|i| {
+                let vals = self.metric_values(i, metric);
+                if vals.is_empty() {
+                    return None;
+                }
+                Some(PointSummary {
+                    point_index: i,
+                    point: self.spec.points()[i],
+                    summary: Summary::from_slice(&vals),
+                })
+            })
+            .collect()
+    }
+
+    /// Percentile-bootstrap confidence interval of one metric's mean at
+    /// one point. The resampling RNG derives from the master seed and the
+    /// point index, so intervals are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has no values for the metric (see
+    /// [`seg_analysis::bootstrap::bootstrap_mean_ci`] for the other
+    /// preconditions).
+    pub fn bootstrap_ci(
+        &self,
+        point_index: usize,
+        metric: &str,
+        level: f64,
+        resamples: u32,
+    ) -> BootstrapCi {
+        let vals = self.metric_values(point_index, metric);
+        let mut rng = Xoshiro256pp::seed_from_u64(
+            self.spec.master_seed() ^ (point_index as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+        );
+        bootstrap_mean_ci(&vals, level, resamples, &mut rng)
+    }
+
+    /// The union of metric names across all records, sorted.
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .records
+            .iter()
+            .flat_map(|r| r.metrics.keys().cloned())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Variant;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .taus([0.40, 0.45])
+            .replicas(3)
+            .master_seed(11)
+            .build()
+    }
+
+    #[test]
+    fn run_produces_one_record_per_task() {
+        let spec = small_spec();
+        let result = Engine::new().threads(2).run(&spec, &[]);
+        assert_eq!(result.records().len(), spec.task_count());
+        for (i, r) in result.records().iter().enumerate() {
+            assert_eq!(r.task.task_index, i);
+        }
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let spec = small_spec();
+        let a = Engine::new().threads(1).run(&spec, &[]);
+        let b = Engine::new().threads(4).run(&spec, &[]);
+        for (x, y) in a.records().iter().zip(b.records()) {
+            assert_eq!(x.task.seed, y.task.seed);
+            assert_eq!(x.events, y.events);
+            assert_eq!(x.metrics, y.metrics);
+        }
+    }
+
+    #[test]
+    fn summaries_group_by_point() {
+        let spec = small_spec();
+        let result = Engine::new().threads(2).run(&spec, &[]);
+        let sums = result.summarize("events");
+        assert_eq!(sums.len(), 2);
+        assert!(sums.iter().all(|s| s.summary.n == 3));
+        assert_eq!(sums[0].point.tau, 0.40);
+        assert_eq!(sums[1].point.tau, 0.45);
+    }
+
+    #[test]
+    fn point_mean_matches_summary() {
+        let spec = small_spec();
+        let result = Engine::new().threads(2).run(&spec, &[]);
+        let sums = result.summarize("events");
+        assert_eq!(result.point_mean(0, "events"), Some(sums[0].summary.mean));
+        assert_eq!(result.point_mean(0, "no_such_metric"), None);
+    }
+
+    #[test]
+    fn throughput_reports_positive_rates() {
+        let result = Engine::new().threads(2).run(&small_spec(), &[]);
+        let t = result.throughput();
+        assert!(t.replicas_per_sec > 0.0);
+        assert!(t.events_per_sec >= 0.0);
+        assert_eq!(t.threads, 2);
+    }
+
+    #[test]
+    fn bootstrap_ci_is_reproducible() {
+        let spec = small_spec();
+        let result = Engine::new().threads(2).run(&spec, &[]);
+        let a = result.bootstrap_ci(0, "events", 0.95, 200);
+        let b = result.bootstrap_ci(0, "events", 0.95, 200);
+        assert_eq!(a, b);
+        assert!(a.lo <= a.mean && a.mean <= a.hi);
+    }
+
+    #[test]
+    fn ring_points_skip_grid_metrics() {
+        let spec = SweepSpec::builder()
+            .side(200)
+            .horizon(2)
+            .tau(0.3)
+            .variant(Variant::RingGlauber)
+            .max_events(10_000)
+            .build();
+        let result = Engine::new().threads(1).run(&spec, &[]);
+        assert!(result.summarize("mean_run").len() == 1);
+        assert!(result.summarize("interface").is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! Structured output sinks for sweep results.
+//!
+//! Two formats cover the harness's needs: CSV for spreadsheet/plotting
+//! pipelines, and JSON Lines for streaming/ingest pipelines. Both write
+//! one row/object per replica with the parameter point inlined, columns
+//! in a deterministic order, so files are byte-identical across runs and
+//! thread counts.
+
+use crate::run::SweepResult;
+use seg_analysis::csv::CsvWriter;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Where and how to write per-replica rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sink {
+    /// RFC-4180-style CSV with a header row.
+    Csv(PathBuf),
+    /// One JSON object per line.
+    Jsonl(PathBuf),
+}
+
+impl Sink {
+    /// Writes every replica record of `result`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating or writing the file.
+    pub fn write(&self, result: &SweepResult) -> io::Result<()> {
+        match self {
+            Sink::Csv(path) => write_records_csv(path, result),
+            Sink::Jsonl(path) => write_records_jsonl(path, result),
+        }
+    }
+
+    /// The sink's output path.
+    pub fn path(&self) -> &Path {
+        match self {
+            Sink::Csv(p) | Sink::Jsonl(p) => p,
+        }
+    }
+}
+
+/// The fixed (non-metric) columns, in order.
+const BASE_COLUMNS: [&str; 8] = [
+    "point", "replica", "seed", "side", "horizon", "tau", "density", "variant",
+];
+
+fn base_cells(rec: &crate::replica::ReplicaRecord) -> Vec<String> {
+    let p = rec.task.point;
+    vec![
+        rec.task.point_index.to_string(),
+        rec.task.replica.to_string(),
+        rec.task.seed.to_string(),
+        p.side.to_string(),
+        p.horizon.to_string(),
+        format_f64(p.tau),
+        format_f64(p.density),
+        p.variant.label(),
+    ]
+}
+
+/// Shortest round-trip decimal for a float (serde-style), so output is
+/// compact and bit-faithful.
+fn format_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_records_csv(path: &Path, result: &SweepResult) -> io::Result<()> {
+    let metrics = result.metric_names();
+    let f = std::fs::File::create(path)?;
+    let mut w = CsvWriter::new(BufWriter::new(f));
+    let header: Vec<String> = BASE_COLUMNS
+        .iter()
+        .map(|s| s.to_string())
+        .chain(metrics.iter().cloned())
+        .collect();
+    w.write_row(&header)?;
+    for rec in result.records() {
+        let mut row = base_cells(rec);
+        for m in &metrics {
+            row.push(rec.metric(m).map(format_f64).unwrap_or_default());
+        }
+        w.write_row(&row)?;
+    }
+    w.into_inner().flush()
+}
+
+fn write_records_jsonl(path: &Path, result: &SweepResult) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(f);
+    for rec in result.records() {
+        let p = rec.task.point;
+        write!(
+            out,
+            "{{\"point\":{},\"replica\":{},\"seed\":{},\"side\":{},\"horizon\":{},\"tau\":{},\"density\":{},\"variant\":{}",
+            rec.task.point_index,
+            rec.task.replica,
+            rec.task.seed,
+            p.side,
+            p.horizon,
+            format_f64(p.tau),
+            format_f64(p.density),
+            json_string(&p.variant.label()),
+        )?;
+        for (k, v) in &rec.metrics {
+            write!(out, ",{}:{}", json_string(k), json_number(*v))?;
+        }
+        writeln!(out, "}}")?;
+    }
+    out.flush()
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format_f64(x)
+    } else {
+        "null".to_string() // JSON has no Inf/NaN
+    }
+}
+
+/// Writes per-point summary rows (mean/stderr/min/max of each metric) as
+/// CSV — the aggregated companion of the per-replica file.
+///
+/// # Errors
+///
+/// Any I/O error from creating or writing the file.
+pub fn write_summary_csv(path: &Path, result: &SweepResult, metrics: &[&str]) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = CsvWriter::new(BufWriter::new(f));
+    let mut header: Vec<String> = vec![
+        "point".into(),
+        "side".into(),
+        "horizon".into(),
+        "tau".into(),
+        "density".into(),
+        "variant".into(),
+        "replicas".into(),
+    ];
+    for m in metrics {
+        header.push(format!("{m}_mean"));
+        header.push(format!("{m}_stderr"));
+        header.push(format!("{m}_min"));
+        header.push(format!("{m}_max"));
+    }
+    w.write_row(&header)?;
+    for (i, point) in result.spec().points().iter().enumerate() {
+        let mut row = vec![
+            i.to_string(),
+            point.side.to_string(),
+            point.horizon.to_string(),
+            format_f64(point.tau),
+            format_f64(point.density),
+            point.variant.label(),
+            result.spec().replicas().to_string(),
+        ];
+        for m in metrics {
+            let vals = result.metric_values(i, m);
+            if vals.is_empty() {
+                row.extend(std::iter::repeat_n(String::new(), 4));
+            } else {
+                let s = seg_analysis::stats::Summary::from_slice(&vals);
+                row.push(format_f64(s.mean));
+                row.push(format_f64(s.stderr));
+                row.push(format_f64(s.min));
+                row.push(format_f64(s.max));
+            }
+        }
+        w.write_row(&row)?;
+    }
+    w.into_inner().flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::Engine;
+    use crate::spec::SweepSpec;
+
+    fn result() -> SweepResult {
+        let spec = SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .taus([0.4, 0.45])
+            .replicas(2)
+            .master_seed(3)
+            .build();
+        Engine::new().threads(2).run(&spec, &[])
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("seg_engine_sink_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_replica() {
+        let r = result();
+        let path = tmp("records.csv");
+        Sink::Csv(path.clone()).write(&r).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + r.records().len());
+        assert!(lines[0].starts_with("point,replica,seed,side,horizon,tau,density,variant"));
+        assert!(lines[0].contains("events"));
+    }
+
+    #[test]
+    fn jsonl_rows_parse_as_flat_objects() {
+        let r = result();
+        let path = tmp("records.jsonl");
+        Sink::Jsonl(path.clone()).write(&r).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), r.records().len());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"variant\":\"paper\""));
+            assert!(line.contains("\"events\":"));
+        }
+    }
+
+    #[test]
+    fn sink_output_is_thread_count_invariant() {
+        let spec = SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .tau(0.42)
+            .replicas(4)
+            .master_seed(9)
+            .build();
+        let p1 = tmp("t1.csv");
+        let p4 = tmp("t4.csv");
+        Sink::Csv(p1.clone())
+            .write(&Engine::new().threads(1).run(&spec, &[]))
+            .unwrap();
+        Sink::Csv(p4.clone())
+            .write(&Engine::new().threads(4).run(&spec, &[]))
+            .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&p1).unwrap(),
+            std::fs::read_to_string(&p4).unwrap()
+        );
+    }
+
+    #[test]
+    fn summary_csv_aggregates_per_point() {
+        let r = result();
+        let path = tmp("summary.csv");
+        write_summary_csv(&path, &r, &["events"]).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + r.spec().points().len());
+        assert!(lines[0].contains("events_mean"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(2.5), "2.5");
+        assert_eq!(json_number(3.0), "3.0");
+    }
+}

@@ -1,0 +1,538 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names *what* to run — a list of parameter points, each
+//! executed for a number of replicas — without saying anything about
+//! threads or output. The builder composes points two ways:
+//!
+//! - grid axes ([`SweepSpecBuilder::sides`], `horizons`, `taus`,
+//!   `densities`, `variants`) expand to their cartesian product;
+//! - explicit points ([`SweepSpecBuilder::point`]) cover linked
+//!   parameters a product cannot express (e.g. the Theorem 1 scaling
+//!   sweep, where the grid side grows with the horizon).
+//!
+//! Every replica's RNG seed is derived by [`derive_replica_seed`] from
+//! the master seed and the replica's *indices alone*, so a sweep's
+//! results are a pure function of its spec — independent of thread count
+//! and schedule.
+
+use std::fmt;
+
+/// Which dynamics a point runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Variant {
+    /// The paper's rule: flip iff unhappy and the flip makes the agent
+    /// happy ([`seg_core::Simulation`]).
+    Paper,
+    /// Unhappy agents flip regardless of the outcome
+    /// ([`seg_core::variants::UpdateRule::FlipWhenUnhappy`]).
+    FlipWhenUnhappy,
+    /// The paper's rule with ε-noise
+    /// ([`seg_core::variants::UpdateRule::Noise`]).
+    Noise(f64),
+    /// The closed-system 2-D swap dynamics
+    /// ([`seg_core::variants::KawasakiSim`]).
+    Kawasaki,
+    /// The 1-D Glauber ring baseline ([`seg_core::ring::RingSim`]); the
+    /// point's `side` is the ring length and `horizon` the window radius.
+    RingGlauber,
+    /// The 1-D Kawasaki ring baseline
+    /// ([`seg_core::ring::RingKawasaki`]).
+    RingKawasaki,
+}
+
+impl Variant {
+    /// Stable label used in output rows.
+    pub fn label(&self) -> String {
+        match self {
+            Variant::Paper => "paper".into(),
+            Variant::FlipWhenUnhappy => "flip-when-unhappy".into(),
+            Variant::Noise(eps) => format!("noise({eps})"),
+            Variant::Kawasaki => "kawasaki".into(),
+            Variant::RingGlauber => "ring-glauber".into(),
+            Variant::RingKawasaki => "ring-kawasaki".into(),
+        }
+    }
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One parameter point of a sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepPoint {
+    /// Torus side `n` (ring length for the 1-D variants).
+    pub side: u32,
+    /// Horizon `w` (window radius for the 1-D variants).
+    pub horizon: u32,
+    /// Intolerance `τ̃`.
+    pub tau: f64,
+    /// Initial `+1` density `p`.
+    pub density: f64,
+    /// The dynamics run at this point.
+    pub variant: Variant,
+}
+
+/// How replica seeds derive from the master seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SeedMode {
+    /// Every `(point, replica)` pair gets its own stream (the default).
+    #[default]
+    Independent,
+    /// Seeds depend on the replica index only, so replica `r` of *every*
+    /// point shares one stream — and, for the 2-D variants, one initial
+    /// configuration. This is the classic common-random-numbers design
+    /// for paired comparisons across points (e.g. update-rule shoot-outs,
+    /// τ ↔ 1 − τ symmetry checks), trading stream independence for
+    /// variance reduction.
+    CommonRandomNumbers,
+}
+
+/// A fully expanded sweep: points × replicas, a master seed, and a
+/// per-replica event budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    points: Vec<SweepPoint>,
+    replicas: u32,
+    master_seed: u64,
+    max_events: u64,
+    seed_mode: SeedMode,
+}
+
+/// One unit of work: a parameter point, a replica index, and the seed
+/// that replica runs under.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicaTask {
+    /// Index of this task in [`SweepSpec::tasks`] order.
+    pub task_index: usize,
+    /// Index of the point in [`SweepSpec::points`].
+    pub point_index: usize,
+    /// Replica number within the point, `0..replicas`.
+    pub replica: u32,
+    /// The parameters.
+    pub point: SweepPoint,
+    /// The derived RNG seed this replica runs under.
+    pub seed: u64,
+    /// Budget of effective events (flips/swaps/attempts) for the run.
+    pub max_events: u64,
+}
+
+impl SweepSpec {
+    /// Starts a builder.
+    pub fn builder() -> SweepSpecBuilder {
+        SweepSpecBuilder::default()
+    }
+
+    /// The expanded parameter points, in declaration/product order.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Replicas per point.
+    pub fn replicas(&self) -> u32 {
+        self.replicas
+    }
+
+    /// The master seed all replica seeds derive from.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// Per-replica event budget.
+    pub fn max_events(&self) -> u64 {
+        self.max_events
+    }
+
+    /// How replica seeds derive from the master seed.
+    pub fn seed_mode(&self) -> SeedMode {
+        self.seed_mode
+    }
+
+    /// Total number of replicas in the sweep.
+    pub fn task_count(&self) -> usize {
+        self.points.len() * self.replicas as usize
+    }
+
+    /// Expands to the full task list: for each point, `replicas` tasks
+    /// with seeds derived from `(master_seed, point_index, replica)`.
+    pub fn tasks(&self) -> Vec<ReplicaTask> {
+        let mut out = Vec::with_capacity(self.task_count());
+        for (point_index, point) in self.points.iter().enumerate() {
+            for replica in 0..self.replicas {
+                out.push(ReplicaTask {
+                    task_index: out.len(),
+                    point_index,
+                    replica,
+                    point: *point,
+                    seed: derive_replica_seed(
+                        self.master_seed,
+                        match self.seed_mode {
+                            SeedMode::Independent => point_index as u64,
+                            SeedMode::CommonRandomNumbers => 0,
+                        },
+                        replica as u64,
+                    ),
+                    max_events: self.max_events,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Derives the RNG seed of one replica by mixing the master seed with the
+/// replica's coordinates through two rounds of the SplitMix64 finalizer.
+///
+/// The derivation uses indices only — never thread ids or time — so a
+/// sweep's per-replica streams are reproducible bit-for-bit at any thread
+/// count, and distinct `(point, replica)` pairs get well-separated
+/// streams.
+pub fn derive_replica_seed(master_seed: u64, point_index: u64, replica: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let a = mix(master_seed.wrapping_add(0x9E37_79B9_7F4A_7C15));
+    let b = mix(a ^ point_index
+        .wrapping_mul(0xD1B5_4A32_D192_ED03)
+        .wrapping_add(1));
+    mix(b ^ replica.wrapping_mul(0x8CB9_2BA7_2F3D_8DD7).wrapping_add(1))
+}
+
+/// Builder for [`SweepSpec`]. Grid axes multiply; explicit points append.
+#[derive(Clone, Debug, Default)]
+pub struct SweepSpecBuilder {
+    sides: Vec<u32>,
+    horizons: Vec<u32>,
+    taus: Vec<f64>,
+    densities: Vec<f64>,
+    variants: Vec<Variant>,
+    explicit: Vec<SweepPoint>,
+    replicas: u32,
+    master_seed: u64,
+    max_events: u64,
+    max_events_set: bool,
+    seed_mode: SeedMode,
+}
+
+impl SweepSpecBuilder {
+    /// Sets a single grid side (shorthand for [`Self::sides`]).
+    pub fn side(self, n: u32) -> Self {
+        self.sides([n])
+    }
+
+    /// Sets the grid-side axis.
+    pub fn sides<I: IntoIterator<Item = u32>>(mut self, ns: I) -> Self {
+        self.sides = ns.into_iter().collect();
+        self
+    }
+
+    /// Sets a single horizon.
+    pub fn horizon(self, w: u32) -> Self {
+        self.horizons([w])
+    }
+
+    /// Sets the horizon axis.
+    pub fn horizons<I: IntoIterator<Item = u32>>(mut self, ws: I) -> Self {
+        self.horizons = ws.into_iter().collect();
+        self
+    }
+
+    /// Sets a single intolerance.
+    pub fn tau(self, tau: f64) -> Self {
+        self.taus([tau])
+    }
+
+    /// Sets the intolerance axis.
+    pub fn taus<I: IntoIterator<Item = f64>>(mut self, taus: I) -> Self {
+        self.taus = taus.into_iter().collect();
+        self
+    }
+
+    /// Sets a single initial density (default `0.5`).
+    pub fn density(self, p: f64) -> Self {
+        self.densities([p])
+    }
+
+    /// Sets the initial-density axis (default `[0.5]`).
+    pub fn densities<I: IntoIterator<Item = f64>>(mut self, ps: I) -> Self {
+        self.densities = ps.into_iter().collect();
+        self
+    }
+
+    /// Sets a single variant (default [`Variant::Paper`]).
+    pub fn variant(self, v: Variant) -> Self {
+        self.variants([v])
+    }
+
+    /// Sets the variant axis (default `[Variant::Paper]`).
+    pub fn variants<I: IntoIterator<Item = Variant>>(mut self, vs: I) -> Self {
+        self.variants = vs.into_iter().collect();
+        self
+    }
+
+    /// Appends one explicit point (for linked parameters a grid cannot
+    /// express). Explicit points come before grid points in the
+    /// expansion.
+    pub fn point(mut self, point: SweepPoint) -> Self {
+        self.explicit.push(point);
+        self
+    }
+
+    /// Sets the number of replicas per point (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn replicas(mut self, k: u32) -> Self {
+        assert!(k > 0, "need at least one replica per point");
+        self.replicas = k;
+        self
+    }
+
+    /// Sets the master seed (default 0).
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Sets the seed-derivation mode (default
+    /// [`SeedMode::Independent`]). Use
+    /// [`SeedMode::CommonRandomNumbers`] for paired comparisons across
+    /// points.
+    pub fn seed_mode(mut self, mode: SeedMode) -> Self {
+        self.seed_mode = mode;
+        self
+    }
+
+    /// Sets the per-replica event budget (default unlimited: run to
+    /// stability). A budget of 0 is honored literally — the replica's
+    /// initial configuration is what gets measured.
+    pub fn max_events(mut self, budget: u64) -> Self {
+        self.max_events = budget;
+        self.max_events_set = true;
+        self
+    }
+
+    /// Expands the grid and finalizes the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec describes no points, or if any point's window
+    /// does not fit its grid (`2w + 1 > n`), τ̃ or `p` lies outside
+    /// `[0, 1]`.
+    pub fn build(self) -> SweepSpec {
+        let mut points = self.explicit;
+        if !(self.sides.is_empty() && self.horizons.is_empty() && self.taus.is_empty()) {
+            assert!(
+                !self.sides.is_empty() && !self.horizons.is_empty() && !self.taus.is_empty(),
+                "a grid sweep needs at least one side, one horizon and one tau"
+            );
+            let densities = if self.densities.is_empty() {
+                vec![0.5]
+            } else {
+                self.densities
+            };
+            let variants = if self.variants.is_empty() {
+                vec![Variant::Paper]
+            } else {
+                self.variants
+            };
+            for &side in &self.sides {
+                for &horizon in &self.horizons {
+                    for &tau in &self.taus {
+                        for &density in &densities {
+                            for &variant in &variants {
+                                points.push(SweepPoint {
+                                    side,
+                                    horizon,
+                                    tau,
+                                    density,
+                                    variant,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(!points.is_empty(), "sweep describes no points");
+        for p in &points {
+            assert!(
+                2 * p.horizon < p.side,
+                "window diameter 2·{}+1 exceeds side {}",
+                p.horizon,
+                p.side
+            );
+            assert!(
+                (0.0..=1.0).contains(&p.tau),
+                "intolerance must lie in [0, 1]"
+            );
+            assert!(
+                (0.0..=1.0).contains(&p.density),
+                "density must lie in [0, 1]"
+            );
+        }
+        SweepSpec {
+            points,
+            replicas: self.replicas.max(1),
+            master_seed: self.master_seed,
+            max_events: if self.max_events_set {
+                self.max_events
+            } else {
+                u64::MAX
+            },
+            seed_mode: self.seed_mode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expansion_is_a_product() {
+        let spec = SweepSpec::builder()
+            .sides([32, 64])
+            .horizons([1, 2, 3])
+            .taus([0.4, 0.45])
+            .build();
+        assert_eq!(spec.points().len(), 2 * 3 * 2);
+        assert_eq!(spec.replicas(), 1);
+        assert_eq!(spec.task_count(), 12);
+    }
+
+    #[test]
+    fn explicit_points_precede_grid_points() {
+        let p = SweepPoint {
+            side: 96,
+            horizon: 2,
+            tau: 0.42,
+            density: 0.5,
+            variant: Variant::Paper,
+        };
+        let spec = SweepSpec::builder()
+            .point(p)
+            .side(32)
+            .horizon(1)
+            .tau(0.4)
+            .build();
+        assert_eq!(spec.points().len(), 2);
+        assert_eq!(spec.points()[0], p);
+        assert_eq!(spec.points()[1].side, 32);
+    }
+
+    #[test]
+    fn tasks_enumerate_points_times_replicas() {
+        let spec = SweepSpec::builder()
+            .sides([32, 48])
+            .horizon(1)
+            .tau(0.4)
+            .replicas(3)
+            .master_seed(7)
+            .build();
+        let tasks = spec.tasks();
+        assert_eq!(tasks.len(), 6);
+        assert_eq!(tasks[0].point_index, 0);
+        assert_eq!(tasks[0].replica, 0);
+        assert_eq!(tasks[5].point_index, 1);
+        assert_eq!(tasks[5].replica, 2);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.task_index, i);
+        }
+    }
+
+    #[test]
+    fn replica_seeds_are_distinct_and_index_derived() {
+        let spec = SweepSpec::builder()
+            .sides([32, 48, 64])
+            .horizon(1)
+            .taus([0.4, 0.45])
+            .replicas(8)
+            .master_seed(1234)
+            .build();
+        let seeds: Vec<u64> = spec.tasks().iter().map(|t| t.seed).collect();
+        let unique: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), seeds.len(), "seed collision");
+        // re-expansion yields identical seeds
+        assert_eq!(
+            seeds,
+            spec.tasks().iter().map(|t| t.seed).collect::<Vec<_>>()
+        );
+        // and they are a pure function of (master, point, replica)
+        assert_eq!(seeds[0], derive_replica_seed(1234, 0, 0));
+        assert_eq!(seeds[9], derive_replica_seed(1234, 1, 1));
+    }
+
+    #[test]
+    fn master_seed_changes_every_stream() {
+        let a: Vec<u64> = (0..50)
+            .map(|i| derive_replica_seed(1, i / 5, i % 5))
+            .collect();
+        let b: Vec<u64> = (0..50)
+            .map(|i| derive_replica_seed(2, i / 5, i % 5))
+            .collect();
+        assert!(a.iter().zip(&b).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    fn default_budget_is_unlimited_but_zero_is_literal() {
+        let spec = SweepSpec::builder().side(32).horizon(1).tau(0.4).build();
+        assert_eq!(spec.max_events(), u64::MAX);
+        let frozen = SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .tau(0.4)
+            .max_events(0)
+            .build();
+        assert_eq!(frozen.max_events(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_spec_panics() {
+        let _ = SweepSpec::builder().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "window diameter")]
+    fn oversized_window_panics() {
+        let _ = SweepSpec::builder().side(8).horizon(4).tau(0.4).build();
+    }
+
+    #[test]
+    fn common_random_numbers_pair_seeds_across_points() {
+        let spec = SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .taus([0.4, 0.45, 0.6])
+            .replicas(2)
+            .master_seed(77)
+            .seed_mode(SeedMode::CommonRandomNumbers)
+            .build();
+        let tasks = spec.tasks();
+        // replica r of every point shares one seed...
+        for r in 0..2u32 {
+            let seeds: Vec<u64> = tasks
+                .iter()
+                .filter(|t| t.replica == r)
+                .map(|t| t.seed)
+                .collect();
+            assert_eq!(seeds.len(), 3);
+            assert!(seeds.windows(2).all(|w| w[0] == w[1]));
+        }
+        // ...and different replicas still differ
+        assert_ne!(tasks[0].seed, tasks[1].seed);
+    }
+
+    #[test]
+    fn variant_labels_are_stable() {
+        assert_eq!(Variant::Paper.label(), "paper");
+        assert_eq!(Variant::Noise(0.01).label(), "noise(0.01)");
+        assert_eq!(Variant::RingKawasaki.to_string(), "ring-kawasaki");
+    }
+}

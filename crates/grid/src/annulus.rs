@@ -166,8 +166,7 @@ mod tests {
     fn area_close_to_continuum() {
         let t = Torus::new(300);
         let a = Annulus::new(t, t.point(150, 150), 60.0, 5);
-        let expected = std::f64::consts::PI
-            * (60.0f64.powi(2) - a.inner_radius().powi(2));
+        let expected = std::f64::consts::PI * (60.0f64.powi(2) - a.inner_radius().powi(2));
         let got = a.len() as f64;
         assert!(
             (got - expected).abs() / expected < 0.05,

@@ -116,15 +116,20 @@ impl BlockGrid {
             "block {b:?} out of range ({} per side)",
             self.blocks_per_side
         );
-        self.torus
-            .point((b.bx * self.block_side) as i64, (b.by * self.block_side) as i64)
+        self.torus.point(
+            (b.bx * self.block_side) as i64,
+            (b.by * self.block_side) as i64,
+        )
     }
 
     /// Center cell of a block (rounded down for even sides).
     pub fn center_of(&self, b: BlockCoord) -> Point {
         let o = self.origin_of(b);
-        self.torus
-            .offset(o, (self.block_side / 2) as i64, (self.block_side / 2) as i64)
+        self.torus.offset(
+            o,
+            (self.block_side / 2) as i64,
+            (self.block_side / 2) as i64,
+        )
     }
 
     /// Linear index of a block (row-major).
@@ -164,10 +169,22 @@ impl BlockGrid {
     pub fn adjacent(&self, b: BlockCoord) -> [BlockCoord; 4] {
         let m = self.blocks_per_side;
         [
-            BlockCoord { bx: (b.bx + 1) % m, by: b.by },
-            BlockCoord { bx: (b.bx + m - 1) % m, by: b.by },
-            BlockCoord { bx: b.bx, by: (b.by + 1) % m },
-            BlockCoord { bx: b.bx, by: (b.by + m - 1) % m },
+            BlockCoord {
+                bx: (b.bx + 1) % m,
+                by: b.by,
+            },
+            BlockCoord {
+                bx: (b.bx + m - 1) % m,
+                by: b.by,
+            },
+            BlockCoord {
+                bx: b.bx,
+                by: (b.by + 1) % m,
+            },
+            BlockCoord {
+                bx: b.bx,
+                by: (b.by + m - 1) % m,
+            },
         ]
     }
 

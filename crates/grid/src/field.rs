@@ -128,9 +128,7 @@ impl TypeField {
     /// paper's geometric configurations in tests: firewalls, radical
     /// regions, ...).
     pub fn from_fn(torus: Torus, mut f: impl FnMut(Point) -> AgentType) -> Self {
-        let types = (0..torus.len())
-            .map(|i| f(torus.from_index(i)))
-            .collect();
+        let types = (0..torus.len()).map(|i| f(torus.from_index(i))).collect();
         TypeField { torus, types }
     }
 

@@ -1,6 +1,6 @@
 //! Wrap-aware 2-D prefix sums for O(1) rectangle and ball counts.
 
-use crate::{AgentType, Neighborhood, Point, TypeField, Torus};
+use crate::{AgentType, Neighborhood, Point, Torus, TypeField};
 
 /// Two-dimensional prefix sums of the `+1` indicator of a [`TypeField`],
 /// supporting O(1) counts of `+1` agents in any axis-aligned rectangle on
@@ -108,9 +108,7 @@ impl PrefixSums {
         debug_assert_eq!(ball.torus(), self.torus);
         let side = ball.side();
         let half = (side / 2) as i64;
-        let origin = self
-            .torus
-            .offset(ball.center(), -half, -half);
+        let origin = self.torus.offset(ball.center(), -half, -half);
         self.plus_in_rect(origin, side, side)
     }
 

@@ -110,7 +110,11 @@ impl Torus {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn from_index(&self, i: usize) -> Point {
-        assert!(i < self.len(), "index {i} out of bounds for torus {}", self.n);
+        assert!(
+            i < self.len(),
+            "index {i} out of bounds for torus {}",
+            self.n
+        );
         Point {
             x: (i % self.n as usize) as u32,
             y: (i / self.n as usize) as u32,
@@ -148,7 +152,8 @@ impl Torus {
     /// balls in this metric.
     #[inline]
     pub fn linf_distance(&self, a: Point, b: Point) -> u32 {
-        self.circle_distance(a.x, b.x).max(self.circle_distance(a.y, b.y))
+        self.circle_distance(a.x, b.x)
+            .max(self.circle_distance(a.y, b.y))
     }
 
     /// l1 (Manhattan) distance on the torus; used by the chemical-distance

@@ -1,6 +1,6 @@
 //! Incremental per-agent neighborhood counts — the dynamics hot path.
 
-use crate::{AgentType, Point, TypeField, Torus};
+use crate::{AgentType, Point, Torus, TypeField};
 
 /// For every agent `u`, the number of `+1` agents in its neighborhood
 /// `N(u)` (the l∞ ball of radius `w` centered at `u`, self included).

@@ -179,12 +179,7 @@ impl EdgeFpp {
     /// # Panics
     ///
     /// Panics if dimensions are < 2 or the rate is not positive.
-    pub fn random_exponential(
-        width: u32,
-        height: u32,
-        rate: f64,
-        rng: &mut Xoshiro256pp,
-    ) -> Self {
+    pub fn random_exponential(width: u32, height: u32, rate: f64, rng: &mut Xoshiro256pp) -> Self {
         assert!(width >= 2 && height >= 2, "need at least a 2×2 patch");
         let h_count = (width as usize - 1) * height as usize;
         let v_count = width as usize * (height as usize - 1);
@@ -207,8 +202,14 @@ impl EdgeFpp {
     ///
     /// Panics if either endpoint is out of bounds.
     pub fn passage_time(&self, source: (u32, u32), target: (u32, u32)) -> f64 {
-        assert!(source.0 < self.width && source.1 < self.height, "source oob");
-        assert!(target.0 < self.width && target.1 < self.height, "target oob");
+        assert!(
+            source.0 < self.width && source.1 < self.height,
+            "source oob"
+        );
+        assert!(
+            target.0 < self.width && target.1 < self.height,
+            "target oob"
+        );
         let n = self.width as usize * self.height as usize;
         let mut best = vec![f64::INFINITY; n];
         let si = self.site(source.0, source.1);
@@ -223,7 +224,10 @@ impl EdgeFpp {
             if i == ti {
                 return d;
             }
-            let (x, y) = ((i % self.width as usize) as u32, (i / self.width as usize) as u32);
+            let (x, y) = (
+                (i % self.width as usize) as u32,
+                (i / self.width as usize) as u32,
+            );
             let mut relax = |j: usize, w: f64| {
                 let nd = d + w;
                 if nd < best[j] {

@@ -43,8 +43,7 @@ impl ChemicalDistances {
                 let d = dist[(y as usize) * w + x as usize];
                 for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
                     let (nx, ny) = (x + dx, y + dy);
-                    if nx < 0 || ny < 0 || nx >= lat.width() as i64 || ny >= lat.height() as i64
-                    {
+                    if nx < 0 || ny < 0 || nx >= lat.width() as i64 || ny >= lat.height() as i64 {
                         continue;
                     }
                     let ni = (ny as usize) * w + nx as usize;
@@ -91,12 +90,7 @@ pub struct StretchSample {
 /// # Panics
 ///
 /// Panics if `k == 0` or `trials == 0`.
-pub fn stretch_samples(
-    k: u32,
-    p: f64,
-    trials: u32,
-    rng: &mut Xoshiro256pp,
-) -> Vec<StretchSample> {
+pub fn stretch_samples(k: u32, p: f64, trials: u32, rng: &mut Xoshiro256pp) -> Vec<StretchSample> {
     assert!(k > 0, "separation must be positive");
     assert!(trials > 0, "need at least one trial");
     // box with margin m = k/2 around the segment
@@ -129,11 +123,7 @@ pub fn stretch_exceedance(samples: &[StretchSample], alpha: f64) -> f64 {
     if connected.is_empty() {
         return 0.0;
     }
-    connected
-        .iter()
-        .filter(|s| s.stretch > 1.0 + alpha)
-        .count() as f64
-        / connected.len() as f64
+    connected.iter().filter(|s| s.stretch > 1.0 + alpha).count() as f64 / connected.len() as f64
 }
 
 #[cfg(test)]

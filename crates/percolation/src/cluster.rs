@@ -245,6 +245,9 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(34);
         let samples = origin_radius_tail(20, 0.8, 200, &mut rng);
         let tail = empirical_radius_tail(&samples, 15);
-        assert!(tail[15] > 0.5, "supercritical radius should reach the box edge");
+        assert!(
+            tail[15] > 0.5,
+            "supercritical radius should reach the box edge"
+        );
     }
 }

@@ -85,7 +85,10 @@ mod tests {
             "FKG violated: pa={pa}, pb={pb}, pab={pab}, gap={gap}"
         );
         // and the correlation is genuinely positive here, not just ≥ 0
-        assert!(gap > 0.005, "expected strictly positive correlation, gap={gap}");
+        assert!(
+            gap > 0.005,
+            "expected strictly positive correlation, gap={gap}"
+        );
     }
 
     #[test]
@@ -124,7 +127,10 @@ mod tests {
             },
         );
         let gap = fkg_gap(pa, pb, pab);
-        assert!(gap < gap_stderr(trials), "expected non-positive gap, got {gap}");
+        assert!(
+            gap < gap_stderr(trials),
+            "expected non-positive gap, got {gap}"
+        );
     }
 
     #[test]

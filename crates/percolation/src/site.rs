@@ -179,12 +179,7 @@ impl SiteLattice {
     /// # Panics
     ///
     /// Panics if `trials == 0`.
-    pub fn spanning_probability(
-        n: u32,
-        p: f64,
-        trials: u32,
-        rng: &mut Xoshiro256pp,
-    ) -> f64 {
+    pub fn spanning_probability(n: u32, p: f64, trials: u32, rng: &mut Xoshiro256pp) -> f64 {
         assert!(trials > 0, "need at least one trial");
         let mut hits = 0u32;
         for _ in 0..trials {

@@ -1,0 +1,199 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The container this workspace builds in has no access to crates.io, so
+//! this crate implements exactly the subset of proptest's API that the
+//! workspace's property tests use, with the same names and semantics:
+//!
+//! - the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner
+//!   attribute) generating `#[test]` functions that sample strategies;
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! - range strategies over the integer types and `f64` (half-open and
+//!   inclusive), [`prelude::any`], tuple strategies, and
+//!   `prop::collection::vec`.
+//!
+//! Sampling is deterministic per test (seeded from the test name), so
+//! failures are reproducible; there is no shrinking — the failing values
+//! are printed instead.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+/// The `prop` facade module (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (with the sampled inputs printed) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} at {}:{}",
+                    ::core::stringify!($cond),
+                    ::core::file!(),
+                    ::core::line!()
+                ),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} ({}) at {}:{}",
+                    ::core::stringify!($cond),
+                    ::std::format!($($fmt)+),
+                    ::core::file!(),
+                    ::core::line!()
+                ),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} == {} (left: {:?}, right: {:?}) at {}:{}",
+                    ::core::stringify!($left),
+                    ::core::stringify!($right),
+                    l,
+                    r,
+                    ::core::file!(),
+                    ::core::line!()
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} == {} (left: {:?}, right: {:?}): {} at {}:{}",
+                    ::core::stringify!($left),
+                    ::core::stringify!($right),
+                    l,
+                    r,
+                    ::std::format!($($fmt)+),
+                    ::core::file!(),
+                    ::core::line!()
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {} != {} (both: {:?}) at {}:{}",
+                    ::core::stringify!($left),
+                    ::core::stringify!($right),
+                    l,
+                    ::core::file!(),
+                    ::core::line!()
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when its sampled inputs do not satisfy a
+/// precondition (the case counts as run, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` running `body` over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    $(let $arg = ::core::clone::Clone::clone(&$arg);)*
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })()
+                };
+                if let ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) =
+                    outcome
+                {
+                    ::std::panic!(
+                        "proptest case {}/{} failed: {}\ninputs: {}",
+                        case + 1,
+                        cfg.cases,
+                        msg,
+                        ::std::vec![
+                            $(::std::format!(
+                                "{} = {:?}",
+                                ::core::stringify!($arg),
+                                $arg
+                            )),*
+                        ]
+                        .join(", ")
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}

@@ -52,13 +52,7 @@ pub fn lemma18_failure(n: u64, eps: f64, c: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `gamma` is outside `(0, 1]` or `tau` outside `(0, 1)`.
-pub fn proposition1_interval(
-    n: u64,
-    gamma: f64,
-    tau: f64,
-    eps: f64,
-    c: f64,
-) -> (f64, f64) {
+pub fn proposition1_interval(n: u64, gamma: f64, tau: f64, eps: f64, c: f64) -> (f64, f64) {
     assert!(gamma > 0.0 && gamma <= 1.0, "gamma must lie in (0, 1]");
     assert!(tau > 0.0 && tau < 1.0, "tau must lie in (0, 1)");
     (gamma * tau * n as f64, lemma18_radius(n, eps, c))

@@ -15,7 +15,10 @@
 /// assert_eq!(binary_entropy(0.0), 0.0);
 /// ```
 pub fn binary_entropy(x: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&x), "entropy argument {x} outside [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "entropy argument {x} outside [0,1]"
+    );
     if x == 0.0 || x == 1.0 {
         return 0.0;
     }
@@ -127,8 +130,7 @@ mod tests {
     fn nats_is_ln2_times_bits() {
         for x in [0.1, 0.3, 0.5] {
             assert!(
-                (binary_entropy_nats(x) - binary_entropy(x) * std::f64::consts::LN_2).abs()
-                    < 1e-14
+                (binary_entropy_nats(x) - binary_entropy(x) * std::f64::consts::LN_2).abs() < 1e-14
             );
         }
     }

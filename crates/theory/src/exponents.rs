@@ -238,7 +238,10 @@ mod tests {
         let th_small = tau_hat(tau, 441, 0.25);
         assert!(th_small < tau);
         let th_large = tau_hat(tau, 1_000_000, 0.1);
-        assert!(th_large < tau && th_large > 0.98 * tau, "tau_hat = {th_large}");
+        assert!(
+            th_large < tau && th_large > 0.98 * tau,
+            "tau_hat = {th_large}"
+        );
         assert!((tau_bar(0.55, 441) - (0.45 + 2.0 / 441.0)).abs() < 1e-14);
     }
 

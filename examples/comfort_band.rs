@@ -12,9 +12,7 @@
 
 use self_organized_segregation::seg_analysis::series::Table;
 use self_organized_segregation::seg_core::interval::IntervalSim;
-use self_organized_segregation::seg_core::metrics::{
-    interface_length, largest_same_type_cluster,
-};
+use self_organized_segregation::seg_core::metrics::{interface_length, largest_same_type_cluster};
 
 fn main() {
     let n = 128;

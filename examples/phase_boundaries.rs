@@ -12,7 +12,11 @@ use self_organized_segregation::seg_analysis::series::Table;
 fn main() {
     let n = 128;
     let w = 3;
-    println!("Phase boundaries (Figure 2): τ2 = {:.5}, τ1 = {:.5}", tau2(), tau1());
+    println!(
+        "Phase boundaries (Figure 2): τ2 = {:.5}, τ1 = {:.5}",
+        tau2(),
+        tau1()
+    );
     println!(
         "intervals: monochromatic width ≈ {:.3}, total ≈ {:.4}\n",
         2.0 * (0.5 - tau1()),
@@ -26,7 +30,9 @@ fn main() {
         "final unhappy".into(),
         "largest cluster %".into(),
     ]);
-    for tau in [0.10, 0.20, 0.30, 0.36, 0.40, 0.44, 0.48, 0.52, 0.56, 0.60, 0.64, 0.70, 0.90] {
+    for tau in [
+        0.10, 0.20, 0.30, 0.36, 0.40, 0.44, 0.48, 0.52, 0.56, 0.60, 0.64, 0.70, 0.90,
+    ] {
         let mut sim = ModelConfig::new(n, w, tau).seed(5).build();
         sim.run_to_stable(50_000_000);
         let agents = (n * n) as f64;

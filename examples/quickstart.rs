@@ -13,8 +13,16 @@ fn main() {
     let w = 3;
     let tau = 0.45;
     println!("Self-organized segregation quickstart");
-    println!("grid {n}×{n}, horizon w = {w} (N = {}), τ̃ = {tau}", (2 * w + 1) * (2 * w + 1));
-    println!("theory: τ1 = {:.4}, τ2 = {:.4}, regime at τ = {tau}: {:?}", tau1(), tau2(), classify(tau));
+    println!(
+        "grid {n}×{n}, horizon w = {w} (N = {}), τ̃ = {tau}",
+        (2 * w + 1) * (2 * w + 1)
+    );
+    println!(
+        "theory: τ1 = {:.4}, τ2 = {:.4}, regime at τ = {tau}: {:?}",
+        tau1(),
+        tau2(),
+        classify(tau)
+    );
     println!();
 
     let mut sim = ModelConfig::new(n, w, tau).seed(2017).build();
@@ -47,7 +55,10 @@ fn main() {
     let ps = PrefixSums::new(sim.field());
     let mut rng = Xoshiro256pp::seed_from_u64(1);
     let m = expected_monochromatic_size(sim.field(), &ps, 200, &mut rng);
-    println!("E[M] over 200 sampled agents: {m:.1} agents (radius ≈ {:.1})", (m.sqrt() - 1.0) / 2.0);
+    println!(
+        "E[M] over 200 sampled agents: {m:.1} agents (radius ≈ {:.1})",
+        (m.sqrt() - 1.0) / 2.0
+    );
     println!();
     println!(
         "Schelling's observation, quantified: the interface shrank by {:.0}% and the\n\

@@ -18,7 +18,10 @@ fn main() {
     let n = 384;
     let w = 8;
     let seeds = [1u64, 2, 3];
-    println!("Tolerance paradox: final region size vs τ ({n}×{n}, w = {w}, N = {})", (2 * w + 1) * (2 * w + 1));
+    println!(
+        "Tolerance paradox: final region size vs τ ({n}×{n}, w = {w}, N = {})",
+        (2 * w + 1) * (2 * w + 1)
+    );
     println!(
         "theory (Figure 3): a(τ), b(τ) increase as τ decreases toward τ2; τ1 = {:.3}\n",
         tau1()

@@ -1,5 +1,7 @@
 //! `segsim` — command-line driver for the segregation model.
 //!
+//! Single run (the default mode):
+//!
 //! ```text
 //! segsim --side 300 --horizon 4 --tau 0.45 [--density 0.5] [--seed 1]
 //!        [--max-flips N] [--frames DIR] [--trace FILE.csv] [--samples K]
@@ -9,14 +11,30 @@
 //! statistics; optionally writes Figure 1-style PPM frames and a CSV
 //! trace of the evolution, and samples the monochromatic-region
 //! distribution at the end.
+//!
+//! Parameter sweep (the [`seg_engine`] mode):
+//!
+//! ```text
+//! segsim sweep --side 128,256 --horizon 2,4 --tau 0.42,0.45 [--density P,..]
+//!        [--variant paper,noise:0.01,...] [--max-events N] [--snapshots DIR]
+//!        [--summary FILE.csv] [--threads N] [--seed S] [--out FILE.csv] [--replicas K]
+//! ```
+//!
+//! Expands the comma-separated axes into a grid, runs every replica on a
+//! worker pool with per-replica deterministic seeding, prints per-point
+//! summaries and throughput, and optionally writes per-replica rows
+//! (`--out`, CSV or `.jsonl`) and per-point aggregates (`--summary`).
 
 use self_organized_segregation::prelude::*;
 use self_organized_segregation::seg_analysis::csv::write_csv_file;
 use self_organized_segregation::seg_analysis::ppm::figure1_frame;
+use self_organized_segregation::seg_analysis::series::Table;
 use self_organized_segregation::seg_core::regions::region_size_distribution;
 use self_organized_segregation::seg_core::trace::trace_run;
+use self_organized_segregation::seg_engine::{write_summary_csv, EngineArgs, ENGINE_USAGE};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::str::FromStr;
 
 /// Parsed command-line options.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,7 +74,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--side" => o.side = value("--side")?.parse().map_err(|e| format!("--side: {e}"))?,
+            "--side" => {
+                o.side = value("--side")?
+                    .parse()
+                    .map_err(|e| format!("--side: {e}"))?
+            }
             "--horizon" => {
                 o.horizon = value("--horizon")?
                     .parse()
@@ -68,7 +90,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--density: {e}"))?
             }
-            "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                o.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--max-flips" => {
                 o.max_flips = value("--max-flips")?
                     .parse()
@@ -95,10 +121,203 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: segsim --side N --horizon W --tau T \
-[--density P] [--seed S] [--max-flips N] [--frames DIR] [--trace FILE.csv] [--samples K]";
+[--density P] [--seed S] [--max-flips N] [--frames DIR] [--trace FILE.csv] [--samples K]\n\
+       segsim sweep --side N,.. --horizon W,.. --tau T,.. [--density P,..] \
+[--variant V,..] [--max-events N] [--snapshots DIR] [--summary FILE.csv] ";
+
+/// Options of the `sweep` subcommand not covered by [`EngineArgs`].
+#[derive(Clone, Debug, Default, PartialEq)]
+struct SweepOptions {
+    sides: Vec<u32>,
+    horizons: Vec<u32>,
+    taus: Vec<f64>,
+    densities: Vec<f64>,
+    variants: Vec<Variant>,
+    max_events: Option<u64>,
+    snapshots: Option<PathBuf>,
+    summary: Option<PathBuf>,
+}
+
+fn parse_list<T: FromStr>(name: &str, raw: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.split(',')
+        .map(|s| s.trim().parse().map_err(|e| format!("{name}: {e}")))
+        .collect()
+}
+
+fn parse_variant(raw: &str) -> Result<Variant, String> {
+    match raw {
+        "paper" => Ok(Variant::Paper),
+        "flip-when-unhappy" => Ok(Variant::FlipWhenUnhappy),
+        "kawasaki" => Ok(Variant::Kawasaki),
+        "ring-glauber" => Ok(Variant::RingGlauber),
+        "ring-kawasaki" => Ok(Variant::RingKawasaki),
+        other => {
+            if let Some(eps) = other.strip_prefix("noise:") {
+                let eps: f64 = eps.parse().map_err(|e| format!("--variant noise: {e}"))?;
+                Ok(Variant::Noise(eps))
+            } else {
+                Err(format!(
+                    "unknown variant {other} (expected paper, flip-when-unhappy, \
+                     noise:EPS, kawasaki, ring-glauber, ring-kawasaki)"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_sweep_args(args: &[String]) -> Result<(SweepOptions, EngineArgs), String> {
+    let (engine_args, rest) = EngineArgs::parse(args)?;
+    let mut o = SweepOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--side" => o.sides = parse_list("--side", value("--side")?)?,
+            "--horizon" => o.horizons = parse_list("--horizon", value("--horizon")?)?,
+            "--tau" => o.taus = parse_list("--tau", value("--tau")?)?,
+            "--density" => o.densities = parse_list("--density", value("--density")?)?,
+            "--variant" => {
+                o.variants = value("--variant")?
+                    .split(',')
+                    .map(|s| parse_variant(s.trim()))
+                    .collect::<Result<_, _>>()?
+            }
+            "--max-events" => {
+                o.max_events = Some(
+                    value("--max-events")?
+                        .parse()
+                        .map_err(|e| format!("--max-events: {e}"))?,
+                )
+            }
+            "--snapshots" => o.snapshots = Some(PathBuf::from(value("--snapshots")?)),
+            "--summary" => o.summary = Some(PathBuf::from(value("--summary")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}\n{ENGINE_USAGE}")),
+        }
+    }
+    if o.sides.is_empty() || o.horizons.is_empty() || o.taus.is_empty() {
+        return Err(format!(
+            "sweep needs --side, --horizon and --tau\n{USAGE}\n{ENGINE_USAGE}"
+        ));
+    }
+    let min_side = *o.sides.iter().min().expect("non-empty");
+    let max_horizon = *o.horizons.iter().max().expect("non-empty");
+    if 2 * max_horizon >= min_side {
+        return Err(format!(
+            "--horizon {max_horizon} too large for --side {min_side} (need 2w+1 ≤ n)"
+        ));
+    }
+    if o.taus.iter().any(|t| !(0.0..=1.0).contains(t)) {
+        return Err("--tau values must lie in [0, 1]".into());
+    }
+    if o.densities.iter().any(|p| !(0.0..=1.0).contains(p)) {
+        return Err("--density values must lie in [0, 1]".into());
+    }
+    Ok((o, engine_args))
+}
+
+fn run_sweep(args: &[String]) -> Result<(), String> {
+    let (o, engine_args) = parse_sweep_args(args)?;
+    let mut builder = SweepSpec::builder()
+        .sides(o.sides.iter().copied())
+        .horizons(o.horizons.iter().copied())
+        .taus(o.taus.iter().copied())
+        .replicas(engine_args.replica_count(1))
+        .master_seed(engine_args.master_seed(0));
+    if let Some(budget) = o.max_events {
+        builder = builder.max_events(budget);
+    }
+    if !o.densities.is_empty() {
+        builder = builder.densities(o.densities.iter().copied());
+    }
+    if !o.variants.is_empty() {
+        builder = builder.variants(o.variants.iter().copied());
+    }
+    let spec = builder.build();
+
+    let mut observers = vec![Observer::TerminalStats];
+    if let Some(dir) = &o.snapshots {
+        observers.push(Observer::Snapshot { dir: dir.clone() });
+    }
+    println!(
+        "sweep: {} points × {} replicas = {} runs on {} threads (master seed {:#x})",
+        spec.points().len(),
+        spec.replicas(),
+        spec.task_count(),
+        engine_args.threads,
+        spec.master_seed(),
+    );
+    let result = engine_args.engine().run(&spec, &observers);
+
+    let mut table = Table::new(vec![
+        "side".into(),
+        "w".into(),
+        "tau".into(),
+        "p".into(),
+        "variant".into(),
+        "events".into(),
+        "unhappy".into(),
+        "largest cluster".into(),
+    ]);
+    for (i, point) in spec.points().iter().enumerate() {
+        let mean = |m: &str| {
+            result
+                .point_mean(i, m)
+                .map_or_else(|| "-".to_string(), |v| format!("{v:.1}"))
+        };
+        table.push_row(vec![
+            point.side.to_string(),
+            point.horizon.to_string(),
+            format!("{:.3}", point.tau),
+            format!("{:.2}", point.density),
+            point.variant.label(),
+            mean("events"),
+            mean("unhappy"),
+            mean("largest_cluster"),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let t = result.throughput();
+    println!(
+        "throughput: {:.2} replicas/s, {:.3e} events/s on {} threads ({:.2}s wall)",
+        t.replicas_per_sec, t.events_per_sec, t.threads, t.wall_secs
+    );
+    if let Some(sink) = engine_args.sink() {
+        sink.write(&result)
+            .map_err(|e| format!("writing {}: {e}", sink.path().display()))?;
+        println!("per-replica rows written to {}", sink.path().display());
+    }
+    if let Some(path) = &o.summary {
+        let names = result.metric_names();
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        write_summary_csv(path, &result, &names)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("per-point summary written to {}", path.display());
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("sweep") {
+        if args[1..].iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}\n{ENGINE_USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        return match run_sweep(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(e) => {
@@ -115,7 +334,12 @@ fn main() -> ExitCode {
         opts.density,
         opts.seed
     );
-    println!("regime: {:?}  (τ2 = {:.4}, τ1 = {:.4})", classify(opts.tau), tau2(), tau1());
+    println!(
+        "regime: {:?}  (τ2 = {:.4}, τ1 = {:.4})",
+        classify(opts.tau),
+        tau2(),
+        tau1()
+    );
 
     let mut sim = ModelConfig::new(opts.side, opts.horizon, opts.tau)
         .initial_density(opts.density)
@@ -245,5 +469,33 @@ mod tests {
     #[test]
     fn rejects_bad_tau() {
         assert!(parse_args(&args("--tau 1.5")).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_lists_and_engine_flags() {
+        let (o, e) = parse_sweep_args(&args(
+            "--side 64,128 --horizon 2 --tau 0.4,0.45 --variant paper,noise:0.01 \
+             --max-events 500 --threads 3 --seed 9 --replicas 4",
+        ))
+        .unwrap();
+        assert_eq!(o.sides, vec![64, 128]);
+        assert_eq!(o.taus, vec![0.4, 0.45]);
+        assert_eq!(o.variants, vec![Variant::Paper, Variant::Noise(0.01)]);
+        assert_eq!(o.max_events, Some(500));
+        assert_eq!(e.threads, 3);
+        assert_eq!(e.seed, Some(9));
+        assert_eq!(e.replicas, Some(4));
+    }
+
+    #[test]
+    fn sweep_requires_the_three_axes() {
+        assert!(parse_sweep_args(&args("--side 64 --horizon 2")).is_err());
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_variant() {
+        assert!(
+            parse_sweep_args(&args("--side 64 --horizon 2 --tau 0.4 --variant bogus")).is_err()
+        );
     }
 }

@@ -16,7 +16,9 @@
 //! - [`seg_grid`] — torus geometry, spin fields, windows, blocks;
 //! - [`seg_theory`] — the paper's closed-form constants and bounds;
 //! - [`seg_percolation`] — site percolation, chemical distance, FPP;
-//! - [`seg_analysis`] — statistics, fits and image/CSV output.
+//! - [`seg_analysis`] — statistics, fits and image/CSV output;
+//! - [`seg_engine`] — parallel sweep & replica orchestration (start at
+//!   [`seg_engine::SweepSpec`]).
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@
 
 pub use seg_analysis;
 pub use seg_core;
+pub use seg_engine;
 pub use seg_grid;
 pub use seg_percolation;
 pub use seg_theory;
@@ -50,6 +53,7 @@ pub mod prelude {
         almost_monochromatic_region, expected_monochromatic_size, monochromatic_region,
     };
     pub use seg_core::{Intolerance, ModelConfig, RunReport, Simulation};
+    pub use seg_engine::{Engine, Observer, Sink, SweepSpec, Variant};
     pub use seg_grid::rng::Xoshiro256pp;
     pub use seg_grid::{AgentType, Neighborhood, Point, PrefixSums, Torus, TypeField};
     pub use seg_theory::constants::{classify, tau1, tau2, Regime};
