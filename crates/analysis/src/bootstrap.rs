@@ -1,7 +1,7 @@
 //! Bootstrap confidence intervals.
 //!
 //! The region-size distributions are heavy-tailed (see
-//! `exp_region_distribution`), so normal-theory intervals on E[M] can be
+//! `exp_region_distribution`), so normal-theory intervals on `E[M]` can be
 //! optimistic; the experiment harnesses use percentile bootstrap
 //! intervals for the headline numbers.
 

@@ -2,24 +2,58 @@
 //! percolation the chemical distance D(0, x) is proportional to ‖x‖₁,
 //! which makes the chemical firewall's length linear in its radius.
 //!
+//! Engine-backed: a [`Variant::Probe`] grid over distance `k` (the
+//! point's `side`) × occupation `p` (the point's `density`), one stretch
+//! sample per replica, aggregated per point.
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_chemical_distance
+//! cargo run --release -p seg-bench --bin exp_chemical_distance -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
-use seg_analysis::stats::{quantile, Summary};
-use seg_bench::{banner, BASE_SEED};
-use seg_grid::rng::Xoshiro256pp;
-use seg_percolation::chemical::{stretch_exceedance, stretch_samples};
+use seg_analysis::stats::quantile;
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
+use seg_engine::{Observer, SweepSpec, Variant};
+use seg_percolation::chemical::stretch_samples;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_chemical_distance", &args);
+    let replicas = engine_args.replica_count(80);
     banner(
         "E10 exp_chemical_distance",
         "Lemma 13 via Theorem 4 (Garet–Marchand, chemical distance ∝ ‖x‖₁)",
-        "stretch D(0,x)/‖x‖₁ at p ∈ {0.70, 0.80, 0.95}, k = 16..96, 80 trials",
+        &format!("stretch D(0,x)/‖x‖₁ at p ∈ {{0.70, 0.80, 0.95}}, k = 16..96, {replicas} trials"),
     );
 
-    for p in [0.70, 0.80, 0.95] {
+    let ks = [16u32, 32, 64, 96];
+    let ps = [0.70, 0.80, 0.95];
+    let spec = SweepSpec::builder()
+        .sides(ks)
+        .horizon(0)
+        .tau(0.0)
+        .densities(ps)
+        .variant(Variant::Probe)
+        .replicas(replicas)
+        .master_seed(engine_args.master_seed(BASE_SEED))
+        .build();
+    // one stretch trial per replica; disconnected trials record only
+    // `connected = 0`, so the stretch statistics skip them naturally
+    let stretch_observer = Observer::custom(|task, _state, rng| {
+        let sample = stretch_samples(task.point.side, task.point.density, 1, rng)[0];
+        let mut out = vec![(
+            "connected".to_string(),
+            f64::from(u8::from(sample.connected)),
+        )];
+        if sample.connected {
+            out.push(("stretch".to_string(), sample.stretch));
+        }
+        out
+    });
+    let result = run_sweep(&engine_args, "", &spec, &[stretch_observer]);
+
+    for &p in &ps {
         println!("p = {p}:");
         let mut table = Table::new(vec![
             "k".into(),
@@ -28,14 +62,14 @@ fn main() {
             "q95 stretch".into(),
             "P(stretch > 1.25)".into(),
         ]);
-        let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED ^ (p * 1000.0) as u64);
-        for k in [16u32, 32, 64, 96] {
-            let samples = stretch_samples(k, p, 80, &mut rng);
-            let connected: Vec<f64> = samples
+        for &k in &ks {
+            let point = result
+                .spec()
+                .points()
                 .iter()
-                .filter(|s| s.connected)
-                .map(|s| s.stretch)
-                .collect();
+                .position(|pt| pt.side == k && pt.density == p)
+                .expect("point in grid");
+            let connected = result.metric_values(point, "stretch");
             if connected.is_empty() {
                 table.push_row(vec![
                     format!("{k}"),
@@ -46,16 +80,17 @@ fn main() {
                 ]);
                 continue;
             }
-            let s = Summary::from_slice(&connected);
+            let mean = connected.iter().sum::<f64>() / connected.len() as f64;
+            // conditional on connection, as in stretch_exceedance — the
+            // event Lemma 13 reasons about
+            let exceed =
+                connected.iter().filter(|s| **s > 1.25).count() as f64 / connected.len() as f64;
             table.push_row(vec![
                 format!("{k}"),
-                format!(
-                    "{:.0}",
-                    100.0 * connected.len() as f64 / samples.len() as f64
-                ),
-                format!("{:.4}", s.mean),
+                format!("{:.0}", 100.0 * connected.len() as f64 / replicas as f64),
+                format!("{mean:.4}"),
                 format!("{:.4}", quantile(&connected, 0.95)),
-                format!("{:.3}", stretch_exceedance(&samples, 0.25)),
+                format!("{exceed:.3}"),
             ]);
         }
         println!("{}", table.render());
@@ -66,4 +101,5 @@ fn main() {
          exponential decay the chemical-firewall length argument needs), and the\n\
          constant approaches 1 as p → 1."
     );
+    write_rows(&engine_args, "", &result);
 }

@@ -7,26 +7,59 @@
 //! the dynamics departs from Ising-like coarsening (flip-iff-improves
 //! pins earlier for smaller τ).
 //!
+//! Engine-backed via the staged-budget pattern: one point per `(τ, flip
+//! budget)` with [`SeedMode::CommonRandomNumbers`], so every point of a τ
+//! replays the *same* trajectory and stops at a different depth — the
+//! per-point terminal stats are exactly the trace samples.
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_coarsening
+//! cargo run --release -p seg-bench --bin exp_coarsening -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::regression::linear_fit;
 use seg_analysis::series::Table;
-use seg_bench::{banner, BASE_SEED};
-use seg_core::trace::trace_run;
-use seg_core::ModelConfig;
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
+use seg_engine::{Observer, SeedMode, SweepPoint, SweepSpec};
+
+const SIDE: u32 = 192;
+const HORIZON: u32 = 2;
+/// Trace sampling interval, in flips.
+const SAMPLE_EVERY: u64 = 2_000;
+/// Trace samples per τ before the run-to-stability point.
+const SAMPLES: u64 = 15;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_coarsening", &args);
     banner(
         "E19 exp_coarsening",
         "ablation: interface decay vs time (kinetic-Ising comparison)",
         "192², w = 2, τ ∈ {0.40, 0.44, 0.48}; log-log slope of interface(t)",
     );
 
-    for tau in [0.40, 0.44, 0.48] {
-        let mut sim = ModelConfig::new(192, 2, tau).seed(BASE_SEED).build();
-        let trace = trace_run(&mut sim, 2_000, u64::MAX);
+    let taus = [0.40, 0.44, 0.48];
+    let mut builder = SweepSpec::builder()
+        .replicas(engine_args.replica_count(1))
+        .master_seed(engine_args.master_seed(BASE_SEED))
+        // one trajectory per τ, observed at every budget depth
+        .seed_mode(SeedMode::CommonRandomNumbers);
+    for &tau in &taus {
+        for stage in 0..=SAMPLES {
+            builder = builder
+                .point(SweepPoint::new(SIDE, HORIZON, tau).with_budget(stage * SAMPLE_EVERY));
+        }
+        builder = builder.point(SweepPoint::new(SIDE, HORIZON, tau)); // to stability
+    }
+    let result = run_sweep(
+        &engine_args,
+        "",
+        &builder.build(),
+        &[Observer::TerminalStats],
+    );
+
+    let per_tau = SAMPLES as usize + 2;
+    for (t, &tau) in taus.iter().enumerate() {
         let mut table = Table::new(vec![
             "flips".into(),
             "time".into(),
@@ -35,16 +68,20 @@ fn main() {
         ]);
         let mut log_t = Vec::new();
         let mut log_if = Vec::new();
-        for p in &trace {
+        for point in t * per_tau..(t + 1) * per_tau {
+            let flips = result.point_mean(point, "events").unwrap_or(0.0);
+            let time = result.point_mean(point, "sim_time").unwrap_or(0.0);
+            let interface = result.point_mean(point, "interface").unwrap_or(0.0);
+            let unhappy = result.point_mean(point, "unhappy").unwrap_or(0.0);
             table.push_row(vec![
-                format!("{}", p.flips),
-                format!("{:.2}", p.time),
-                format!("{}", p.stats.interface_length),
-                format!("{}", p.stats.unhappy),
+                format!("{flips:.0}"),
+                format!("{time:.2}"),
+                format!("{interface:.0}"),
+                format!("{unhappy:.0}"),
             ]);
-            if p.time > 0.05 && p.stats.unhappy > 0 {
-                log_t.push(p.time.ln());
-                log_if.push((p.stats.interface_length as f64).ln());
+            if time > 0.05 && unhappy > 0.0 {
+                log_t.push(time.ln());
+                log_if.push(interface.ln());
             }
         }
         println!("τ = {tau}:");
@@ -65,4 +102,5 @@ fn main() {
          exp_theorem1_scaling — domains stop growing when all agents are happy,\n\
          earlier for smaller τ."
     );
+    write_rows(&engine_args, "", &result);
 }

@@ -2,50 +2,71 @@
 //! the Azuma scale √N, and conditioned on a neighborhood being
 //! τ-deficient, sub-neighborhoods are γτN-deficient (self-similarity).
 //!
+//! Engine-backed: a single frozen point (`max_events(0)` — only the
+//! initial Bernoulli field matters) with one replica per fresh field; the
+//! observer measures the deviation of the window count, and the
+//! conditional sub-window error on the replicas where the conditioning
+//! event fires.
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_concentration
+//! cargo run --release -p seg-bench --bin exp_concentration -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
 use seg_analysis::stats::Summary;
-use seg_bench::{banner, BASE_SEED};
-use seg_grid::rng::Xoshiro256pp;
-use seg_grid::{AgentType, Neighborhood, PrefixSums, Torus, TypeField};
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
+use seg_engine::{Observer, SweepSpec};
+use seg_grid::{Neighborhood, PrefixSums, Torus};
+
+const SIDE: u32 = 64;
+const HORIZON: u32 = 5;
+const SUB_RADIUS: u32 = 2;
+const TAU: f64 = 0.42;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_concentration", &args);
+    let replicas = engine_args.replica_count(2000);
     banner(
         "E14 exp_concentration",
         "Lemma 18 + Proposition 1 (√N concentration, self-similar deficiency)",
-        "2000 fresh 64²-fields, w = 5 (N = 121), sub-neighborhood radius 2",
+        &format!("{replicas} fresh 64²-fields, w = 5 (N = 121), sub-neighborhood radius 2"),
     );
 
-    let torus = Torus::new(64);
-    let w = 5u32;
-    let nsize = ((2 * w + 1) * (2 * w + 1)) as f64;
-    let tau = 0.42;
-    let threshold = (tau * nsize).ceil();
-    let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED);
+    let nsize = ((2 * HORIZON + 1) * (2 * HORIZON + 1)) as f64;
+    let threshold = (TAU * nsize).ceil();
 
-    // Lemma 18: deviation of W from N/2 in fresh fields
-    let mut deviations = Vec::new();
-    // Proposition 1: conditioned on W < τN, how close is W' to γτN?
-    let mut conditional_err = Vec::new();
-    let center = torus.point(32, 32);
-    let big = Neighborhood::new(torus, center, w);
-    let small = Neighborhood::new(torus, center, 2);
-    let gamma = small.len() as f64 / big.len() as f64;
-    for _ in 0..2000 {
-        let field = TypeField::random(torus, 0.5, &mut rng);
-        let ps = PrefixSums::new(&field);
+    let spec = SweepSpec::builder()
+        .side(SIDE)
+        .horizon(HORIZON)
+        .tau(TAU)
+        .max_events(0) // frozen: measure the fresh field itself
+        .replicas(replicas)
+        .master_seed(engine_args.master_seed(BASE_SEED))
+        .build();
+    let concentration_observer = Observer::custom(move |_task, state, _rng| {
+        let field = state.field().expect("grid variant");
+        let torus = Torus::new(SIDE);
+        let center = torus.point(SIDE as i64 / 2, SIDE as i64 / 2);
+        let big = Neighborhood::new(torus, center, HORIZON);
+        let small = Neighborhood::new(torus, center, SUB_RADIUS);
+        let gamma = small.len() as f64 / big.len() as f64;
+        let ps = PrefixSums::new(field);
         let minus_big = big.len() as u64 - ps.plus_in(&big);
-        deviations.push(minus_big as f64 - nsize / 2.0);
+        let mut out = vec![("dev".to_string(), minus_big as f64 - nsize / 2.0)];
         if (minus_big as f64) < threshold {
             let minus_small = small.len() as u64 - ps.plus_in(&small);
-            conditional_err.push(minus_small as f64 - gamma * threshold);
+            out.push((
+                "cond_err".to_string(),
+                minus_small as f64 - gamma * threshold,
+            ));
         }
-        let _ = field.get(center) == AgentType::Plus; // silence unused import path
-    }
-    let dev = Summary::from_slice(&deviations);
+        out
+    });
+    let result = run_sweep(&engine_args, "", &spec, &[concentration_observer]);
+
+    let dev = Summary::from_slice(&result.metric_values(0, "dev"));
     println!("Lemma 18: W − N/2 over fresh fields (N = {nsize}):");
     let mut t = Table::new(vec!["stat".into(), "value".into(), "prediction".into()]);
     t.push_row(vec!["mean".into(), format!("{:.3}", dev.mean), "0".into()]);
@@ -61,7 +82,13 @@ fn main() {
     ]);
     println!("{}", t.render());
 
-    let ce = Summary::from_slice(&conditional_err);
+    let gamma = {
+        let torus = Torus::new(SIDE);
+        let center = torus.point(SIDE as i64 / 2, SIDE as i64 / 2);
+        Neighborhood::new(torus, center, SUB_RADIUS).len() as f64
+            / Neighborhood::new(torus, center, HORIZON).len() as f64
+    };
+    let ce = Summary::from_slice(&result.metric_values(0, "cond_err"));
     println!(
         "Proposition 1: conditioned on W < τN = {threshold}, sub-neighborhood error\n\
          W' − γτN over {} conditioned samples (γ = {gamma:.4}):",
@@ -72,7 +99,10 @@ fn main() {
     t2.push_row(vec!["std".into(), format!("{:.3}", ce.std_dev())]);
     t2.push_row(vec![
         "Azuma scale √N'".into(),
-        format!("{:.3}", (small.len() as f64).sqrt()),
+        format!(
+            "{:.3}",
+            (((2 * SUB_RADIUS + 1) * (2 * SUB_RADIUS + 1)) as f64).sqrt()
+        ),
     ]);
     println!("{}", t2.render());
     println!(
@@ -80,4 +110,5 @@ fn main() {
          the conditioned sub-neighborhood count centers near γτN (mean error\n\
          within one Azuma unit) — the self-similarity Proposition 1 formalizes."
     );
+    write_rows(&engine_args, "", &result);
 }

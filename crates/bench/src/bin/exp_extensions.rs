@@ -2,43 +2,68 @@
 //! measured: the two-sided comfort band, the multi-type model, and
 //! time-varying intolerance (annealing).
 //!
+//! Engine-backed: the band and k-type models are first-class engine
+//! variants ([`Variant::TwoSided`], [`Variant::MultiType`]); the annealing
+//! schedule — which changes τ mid-run and so is not a single spec point —
+//! runs inside a custom observer on [`Variant::Probe`] points, keeping
+//! scheduling, seeding and sinks on the engine.
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_extensions
+//! cargo run --release -p seg-bench --bin exp_extensions -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, BASE_SEED};
-use seg_core::interval::IntervalSim;
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
 use seg_core::metrics::largest_same_type_cluster;
-use seg_core::multi::MultiSim;
 use seg_core::{Intolerance, ModelConfig};
+use seg_engine::{Observer, SweepSpec, Variant};
+
+const ANNEAL_TAUS: [f64; 5] = [0.30, 0.36, 0.40, 0.44, 0.48];
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_extensions", &args);
+    let replicas = engine_args.replica_count(1);
     banner(
         "E16 exp_extensions",
         "§V/§I-A extensions (two-sided comfort, k types, time-varying τ)",
         "96²–128² grids, w = 2",
     );
+    let master = engine_args.master_seed(BASE_SEED);
 
     // 1. Two-sided comfort band (§V)
     println!("1) two-sided comfort band, τ_lo = 0.44:");
+    let band_his = [1.0, 0.9, 0.8];
+    let band = run_sweep(
+        &engine_args,
+        "two-sided",
+        &SweepSpec::builder()
+            .side(128)
+            .horizon(2)
+            .tau(0.44)
+            .variants(band_his.map(|tau_hi| Variant::TwoSided { tau_hi }))
+            .max_events(3_000_000)
+            .replicas(replicas)
+            .master_seed(master)
+            .build(),
+        &[Observer::TerminalStats],
+    );
+    let agents = 128.0 * 128.0;
     let mut t1 = Table::new(vec![
         "tau_hi".into(),
         "stable".into(),
         "flips".into(),
         "largest cluster %".into(),
     ]);
-    let agents = 128.0 * 128.0;
-    for tau_hi in [1.0, 0.9, 0.8] {
-        let mut sim = IntervalSim::random(128, 2, 0.44, tau_hi, BASE_SEED);
-        let stable = sim.run(3_000_000);
+    for (i, tau_hi) in band_his.iter().enumerate() {
         t1.push_row(vec![
             format!("{tau_hi:.1}"),
-            format!("{stable}"),
-            format!("{}", sim.flips()),
+            format!("{}", band.point_mean(i, "terminated").unwrap_or(0.0) > 0.5),
+            format!("{:.0}", band.point_mean(i, "events").unwrap_or(0.0)),
             format!(
                 "{:.1}",
-                100.0 * largest_same_type_cluster(sim.field()) as f64 / agents
+                100.0 * band.point_mean(i, "largest_cluster").unwrap_or(0.0) / agents
             ),
         ]);
     }
@@ -46,6 +71,22 @@ fn main() {
 
     // 2. Multi-type model (§I-A)
     println!("2) k-type model, τ = 0.30, 96², w = 2:");
+    let ks = [2u8, 3, 4, 5];
+    let multi = run_sweep(
+        &engine_args,
+        "multi",
+        &SweepSpec::builder()
+            .side(96)
+            .horizon(2)
+            .tau(0.30)
+            .variants(ks.map(|k| Variant::MultiType { k }))
+            .max_events(20_000_000)
+            .replicas(replicas)
+            .master_seed(master)
+            .build(),
+        &[Observer::TerminalStats],
+    );
+    let agents2 = 96.0 * 96.0;
     let mut t2 = Table::new(vec![
         "k".into(),
         "stable".into(),
@@ -53,37 +94,75 @@ fn main() {
         "unhappy".into(),
         "largest cluster %".into(),
     ]);
-    let agents2 = 96.0 * 96.0;
-    for k in [2u8, 3, 4, 5] {
-        let mut sim = MultiSim::random(96, 2, k, 0.30, BASE_SEED);
-        let stable = sim.run(20_000_000);
+    for (i, k) in ks.iter().enumerate() {
         t2.push_row(vec![
             format!("{k}"),
-            format!("{stable}"),
-            format!("{}", sim.flips()),
-            format!("{}", sim.unhappy_count()),
-            format!("{:.1}", 100.0 * sim.largest_cluster() as f64 / agents2),
+            format!("{}", multi.point_mean(i, "terminated").unwrap_or(0.0) > 0.5),
+            format!("{:.0}", multi.point_mean(i, "events").unwrap_or(0.0)),
+            format!("{:.0}", multi.point_mean(i, "unhappy").unwrap_or(0.0)),
+            format!(
+                "{:.1}",
+                100.0 * multi.point_mean(i, "largest_cluster").unwrap_or(0.0) / agents2
+            ),
         ]);
     }
     println!("{}", t2.render());
 
-    // 3. Time-varying intolerance: anneal τ upward in stages
+    // 3. Time-varying intolerance: anneal τ upward in stages. The
+    // schedule mutates τ mid-run, so the observer owns the staged
+    // dynamics; the engine still owns seeding and scheduling.
     println!("3) annealed τ (time-varying intolerance), 128², w = 2:");
+    let anneal = run_sweep(
+        &engine_args,
+        "anneal",
+        &SweepSpec::builder()
+            .side(128)
+            .horizon(2)
+            .tau(ANNEAL_TAUS[0])
+            .variant(Variant::Probe)
+            .replicas(replicas)
+            .master_seed(master)
+            .build(),
+        &[Observer::custom(|task, _state, _rng| {
+            let p = task.point;
+            let mut sim = ModelConfig::new(p.side, p.horizon, ANNEAL_TAUS[0])
+                .seed(task.seed)
+                .build();
+            let nsize = (2 * p.horizon + 1) * (2 * p.horizon + 1);
+            let mut out = Vec::new();
+            for (stage, &tau) in ANNEAL_TAUS.iter().enumerate() {
+                sim.set_intolerance(Intolerance::new(nsize, tau));
+                sim.run_to_stable(20_000_000);
+                out.push((format!("stage{stage}_flips"), sim.flips() as f64));
+                out.push((
+                    format!("stage{stage}_largest"),
+                    largest_same_type_cluster(sim.field()) as f64,
+                ));
+            }
+            out
+        })],
+    );
     let mut t3 = Table::new(vec![
         "stage tau".into(),
         "flips so far".into(),
         "largest cluster %".into(),
     ]);
-    let mut sim = ModelConfig::new(128, 2, 0.30).seed(BASE_SEED).build();
-    for tau in [0.30, 0.36, 0.40, 0.44, 0.48] {
-        sim.set_intolerance(Intolerance::new(25, tau));
-        sim.run_to_stable(20_000_000);
+    for (stage, tau) in ANNEAL_TAUS.iter().enumerate() {
         t3.push_row(vec![
             format!("{tau:.2}"),
-            format!("{}", sim.flips()),
+            format!(
+                "{:.0}",
+                anneal
+                    .point_mean(0, &format!("stage{stage}_flips"))
+                    .unwrap_or(0.0)
+            ),
             format!(
                 "{:.1}",
-                100.0 * largest_same_type_cluster(sim.field()) as f64 / agents
+                100.0
+                    * anneal
+                        .point_mean(0, &format!("stage{stage}_largest"))
+                        .unwrap_or(0.0)
+                    / agents
             ),
         ]);
     }
@@ -94,4 +173,7 @@ fn main() {
          equal τ; (3) slowly annealed intolerance reaches coarser stable states\n\
          than a cold start at the final τ (fewer, farther-apart nuclei per stage)."
     );
+    write_rows(&engine_args, "two-sided", &band);
+    write_rows(&engine_args, "multi", &multi);
+    write_rows(&engine_args, "anneal", &anneal);
 }

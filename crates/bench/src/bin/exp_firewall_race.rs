@@ -2,20 +2,64 @@
 //! foreign unhappiness arrives (events B vs T(ρ/2) in the proof). This
 //! harness seeds a monochromatic nucleus and measures both clocks.
 //!
+//! Engine-backed: one [`Variant::Probe`] point per nucleus radius, one
+//! race trial per replica (replica seeds replace the old hand-rolled
+//! `base_seed + t` loop inside `race_statistics`).
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_firewall_race
+//! cargo run --release -p seg-bench --bin exp_firewall_race -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, BASE_SEED};
-use seg_core::race::{race_statistics, RaceConfig};
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
+use seg_core::race::{run_race, RaceConfig};
+use seg_engine::{Observer, SweepPoint, SweepSpec, Variant};
+
+const NUCLEI: [u32; 4] = [0, 2, 4, 6];
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_firewall_race", &args);
+    let trials = engine_args.replica_count(10);
     banner(
         "E17 exp_firewall_race",
         "Lemma 10 (the firewall-formation race; trapping probability)",
-        "160², w = 3, τ = 0.45; nucleus radius sweep, 10 trials each",
+        &format!("160², w = 3, τ = 0.45; nucleus radius sweep, {trials} trials each"),
     );
+
+    let base = RaceConfig::default();
+    let mut builder = SweepSpec::builder()
+        .replicas(trials)
+        .master_seed(engine_args.master_seed(BASE_SEED));
+    for _ in NUCLEI {
+        builder = builder
+            .point(SweepPoint::new(base.side, base.horizon, base.tau).with_variant(Variant::Probe));
+    }
+    let race_observer = Observer::custom(move |task, _state, _rng| {
+        let cfg = RaceConfig {
+            nucleus_radius: NUCLEI[task.point_index],
+            ..base
+        };
+        let o = run_race(cfg, task.seed);
+        let won = match (o.growth_time, o.intrusion_time) {
+            (Some(f), Some(i)) => f < i,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let mut out = vec![
+            ("trapped".to_string(), f64::from(o.trapped)),
+            ("fw_won".to_string(), f64::from(won)),
+        ];
+        if let Some(t) = o.growth_time {
+            out.push(("growth_time".to_string(), t));
+        }
+        if let Some(t) = o.intrusion_time {
+            out.push(("intrusion_time".to_string(), t));
+        }
+        out
+    });
+    let result = run_sweep(&engine_args, "", &builder.build(), &[race_observer]);
 
     let mut table = Table::new(vec![
         "nucleus r".into(),
@@ -24,27 +68,25 @@ fn main() {
         "mean growth time".into(),
         "mean intrusion time".into(),
     ]);
-    for nucleus in [0u32, 2, 4, 6] {
-        let cfg = RaceConfig {
-            nucleus_radius: nucleus,
-            ..RaceConfig::default()
+    for (i, nucleus) in NUCLEI.iter().enumerate() {
+        let count = |metric: &str| {
+            result
+                .metric_values(i, metric)
+                .iter()
+                .filter(|v| **v > 0.0)
+                .count()
         };
-        let trials = 10;
-        let (trapped, won, outcomes) = race_statistics(cfg, trials, BASE_SEED);
-        let mean_opt = |f: &dyn Fn(&seg_core::race::RaceOutcome) -> Option<f64>| {
-            let v: Vec<f64> = outcomes.iter().filter_map(f).collect();
-            if v.is_empty() {
-                "-".to_string()
-            } else {
-                format!("{:.2}", v.iter().sum::<f64>() / v.len() as f64)
-            }
+        let mean_opt = |metric: &str| {
+            result
+                .point_mean(i, metric)
+                .map_or("-".to_string(), |m| format!("{m:.2}"))
         };
         table.push_row(vec![
             format!("{nucleus}"),
-            format!("{trapped}/{trials}"),
-            format!("{won}/{trials}"),
-            mean_opt(&|o| o.growth_time),
-            mean_opt(&|o| o.intrusion_time),
+            format!("{}/{trials}", count("trapped")),
+            format!("{}/{trials}", count("fw_won")),
+            mean_opt("growth_time"),
+            mean_opt("intrusion_time"),
         ]);
     }
     println!("{}", table.render());
@@ -56,4 +98,5 @@ fn main() {
          the conditioning of Lemma 10 is sufficient, not necessary, at\n\
          simulation scales."
     );
+    write_rows(&engine_args, "", &result);
 }

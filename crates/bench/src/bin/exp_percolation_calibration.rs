@@ -3,49 +3,124 @@
 //! 1/2` (Kesten's exact theorem), θ(p) transition, and the FKG pair bound
 //! `P(0↔x) ≥ θ(p)²` used by Lemma 13.
 //!
+//! Engine-backed: four [`Variant::Probe`] sweeps (crossing, sharpening,
+//! bond spanning, θ/pair), each replica contributing an independent batch
+//! of trials from its replica-seeded RNG.
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_percolation_calibration
+//! cargo run --release -p seg-bench --bin exp_percolation_calibration -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, BASE_SEED};
-use seg_grid::rng::Xoshiro256pp;
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
+use seg_engine::{Observer, SweepSpec, Variant};
 use seg_percolation::bond::BondLattice;
 use seg_percolation::finite_size::{estimate_pc_crossing, SpanningCurve};
 use seg_percolation::theta::{pair_connectivity, theta_estimate};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_percolation_calibration", &args);
+    let replicas = engine_args.replica_count(5);
     banner(
         "E20 exp_percolation_calibration",
         "substrate calibration (pc site/bond, θ(p), FKG pair bound)",
-        "finite-size crossings at n ∈ {16, 48}; 60–300 trials per point",
+        &format!("finite-size crossings at n ∈ {{16, 48}}; {replicas} replica batches per point"),
+    );
+    let master = engine_args.master_seed(BASE_SEED);
+    let probe = |b: seg_engine::SweepSpecBuilder| {
+        b.variant(Variant::Probe)
+            .replicas(replicas)
+            .master_seed(master)
+    };
+
+    // site pc via the n=16 / n=48 crossing, one estimate per replica
+    let crossing = run_sweep(
+        &engine_args,
+        "crossing",
+        &probe(SweepSpec::builder().side(16).horizon(0).tau(0.0)).build(),
+        &[Observer::custom(|_task, _state, rng| {
+            estimate_pc_crossing(16, 48, 12, rng)
+                .map(|pc| vec![("pc_cross".to_string(), pc)])
+                .unwrap_or_default()
+        })],
+    );
+    println!(
+        "site pc estimate: {:.4}   (known: 0.5927)",
+        crossing.point_mean(0, "pc_cross").unwrap_or(f64::NAN)
     );
 
-    let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED);
-
-    // site pc
-    let pc_site = estimate_pc_crossing(16, 48, 60, &mut rng).expect("curves cross");
-    println!("site pc estimate: {pc_site:.4}   (known: 0.5927)");
-
-    // curve steepening
-    let small = SpanningCurve::sample(12, 0.45, 0.75, 7, 60, &mut rng);
-    let large = SpanningCurve::sample(48, 0.45, 0.75, 7, 60, &mut rng);
+    // curve steepening with system size
+    let sharpening = run_sweep(
+        &engine_args,
+        "sharpening",
+        &probe(SweepSpec::builder().sides([12, 48]).horizon(0).tau(0.0)).build(),
+        &[Observer::custom(|task, _state, rng| {
+            let curve = SpanningCurve::sample(task.point.side, 0.45, 0.75, 7, 12, rng);
+            vec![("max_slope".to_string(), curve.max_slope())]
+        })],
+    );
     println!(
         "finite-size sharpening: max slope {:.2} (n=12) → {:.2} (n=48)\n",
-        small.max_slope(),
-        large.max_slope()
+        sharpening.point_mean(0, "max_slope").unwrap_or(f64::NAN),
+        sharpening.point_mean(1, "max_slope").unwrap_or(f64::NAN)
     );
 
     // bond pc = 1/2 exactly
+    let bond_ps = [0.40, 0.45, 0.50, 0.55, 0.60];
+    let bond = run_sweep(
+        &engine_args,
+        "bond",
+        &probe(
+            SweepSpec::builder()
+                .side(40)
+                .horizon(0)
+                .tau(0.0)
+                .densities(bond_ps),
+        )
+        .build(),
+        &[Observer::custom(|task, _state, rng| {
+            vec![(
+                "spanning".to_string(),
+                BondLattice::spanning_probability(task.point.side, task.point.density, 16, rng),
+            )]
+        })],
+    );
     let mut table = Table::new(vec!["p".into(), "bond spanning %".into()]);
-    for p in [0.40, 0.45, 0.50, 0.55, 0.60] {
-        let pi = BondLattice::spanning_probability(40, p, 80, &mut rng);
-        table.push_row(vec![format!("{p:.2}"), format!("{:.0}", 100.0 * pi)]);
+    for (i, p) in bond_ps.iter().enumerate() {
+        table.push_row(vec![
+            format!("{p:.2}"),
+            format!(
+                "{:.0}",
+                100.0 * bond.point_mean(i, "spanning").unwrap_or(0.0)
+            ),
+        ]);
     }
     println!("bond percolation (Kesten: pc = 1/2 exactly):");
     println!("{}", table.render());
 
     // θ(p) and the FKG pair bound of Lemma 13
+    let theta_ps = [0.65, 0.70, 0.80, 0.90];
+    let theta = run_sweep(
+        &engine_args,
+        "theta",
+        &probe(
+            SweepSpec::builder()
+                .side(24)
+                .horizon(0)
+                .tau(0.0)
+                .densities(theta_ps),
+        )
+        .build(),
+        &[Observer::custom(|task, _state, rng| {
+            let p = task.point.density;
+            vec![
+                ("theta".to_string(), theta_estimate(24, p, 60, rng)),
+                ("pair".to_string(), pair_connectivity(20, p, 60, rng)),
+            ]
+        })],
+    );
     let mut t2 = Table::new(vec![
         "p".into(),
         "theta(p) boxed".into(),
@@ -53,15 +128,15 @@ fn main() {
         "P(0<->x), |x|=20".into(),
         "within finite-volume bias".into(),
     ]);
-    for p in [0.65, 0.70, 0.80, 0.90] {
-        let theta = theta_estimate(24, p, 300, &mut rng);
-        let pair = pair_connectivity(20, p, 300, &mut rng);
+    for (i, p) in theta_ps.iter().enumerate() {
+        let th = theta.point_mean(i, "theta").unwrap_or(f64::NAN);
+        let pair = theta.point_mean(i, "pair").unwrap_or(f64::NAN);
         t2.push_row(vec![
             format!("{p:.2}"),
-            format!("{theta:.3}"),
-            format!("{:.3}", theta * theta),
+            format!("{th:.3}"),
+            format!("{:.3}", th * th),
             format!("{pair:.3}"),
-            format!("{}", pair + 0.12 >= theta * theta),
+            format!("{}", pair + 0.12 >= th * th),
         ]);
     }
     println!("θ(p) and the P(0↔x) ≥ θ(p)² step of Lemma 13:");
@@ -76,4 +151,8 @@ fn main() {
          holds at every supercritical p, and the clean inequality is separately\n\
          unit-tested at matched volumes in seg-percolation::theta."
     );
+    write_rows(&engine_args, "crossing", &crossing);
+    write_rows(&engine_args, "sharpening", &sharpening);
+    write_rows(&engine_args, "bond", &bond);
+    write_rows(&engine_args, "theta", &theta);
 }

@@ -1,49 +1,81 @@
-//! E18 — the §V open question: is E[M] exponential because *typical*
+//! E18 — the §V open question: is `E[M]` exponential because *typical*
 //! agents sit in large regions, or because a vanishing fraction sit in
 //! enormous ones? The paper's simulations suggest the former; this
 //! harness prints the sampled distribution of M(u) so the reader can see
 //! the shape.
 //!
+//! Engine-backed: a τ axis, replicas as independent stable states, and a
+//! custom observer that samples the region-size distribution of each
+//! state with its replica-seeded RNG.
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_region_distribution
+//! cargo run --release -p seg-bench --bin exp_region_distribution -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
 use seg_analysis::stats::quantile;
-use seg_bench::{banner, BASE_SEED};
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
 use seg_core::regions::region_size_distribution;
-use seg_core::ModelConfig;
-use seg_grid::rng::Xoshiro256pp;
+use seg_engine::{Observer, SweepSpec};
 use seg_grid::PrefixSums;
 
+const SAMPLED_AGENTS: u32 = 400;
+const QUANTILES: [f64; 6] = [0.05, 0.25, 0.50, 0.75, 0.95, 1.00];
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_region_distribution", &args);
     banner(
         "E18 exp_region_distribution",
         "§V open question (distribution of M(u), not just its mean)",
-        "τ ∈ {0.40, 0.45}, 192², w = 3, 400 sampled agents per run",
+        &format!("τ ∈ {{0.40, 0.45}}, 192², w = 3, {SAMPLED_AGENTS} sampled agents per run"),
     );
 
-    for tau in [0.40, 0.45] {
-        let mut sim = ModelConfig::new(192, 3, tau).seed(BASE_SEED).build();
-        sim.run_to_stable(u64::MAX);
+    let taus = [0.40, 0.45];
+    let spec = SweepSpec::builder()
+        .side(192)
+        .horizon(3)
+        .taus(taus)
+        .replicas(engine_args.replica_count(1))
+        .master_seed(engine_args.master_seed(BASE_SEED))
+        .build();
+    let region_observer = Observer::custom(|_task, state, rng| {
+        let sim = state.simulation().expect("paper variant");
         let ps = PrefixSums::new(sim.field());
-        let mut rng = Xoshiro256pp::seed_from_u64(BASE_SEED ^ 0xD157);
-        let sizes = region_size_distribution(sim.field(), &ps, 400, &mut rng);
+        let sizes = region_size_distribution(sim.field(), &ps, SAMPLED_AGENTS, rng);
         let as_f: Vec<f64> = sizes.iter().map(|s| *s as f64).collect();
-        let mut table = Table::new(vec!["quantile".into(), "M(u) size".into()]);
-        for q in [0.05, 0.25, 0.50, 0.75, 0.95, 1.00] {
-            table.push_row(vec![
-                format!("{q:.2}"),
-                format!("{:.0}", quantile(&as_f, q)),
-            ]);
-        }
         let mean = as_f.iter().sum::<f64>() / as_f.len() as f64;
         let in_large = as_f.iter().filter(|s| **s >= mean / 2.0).count();
+        let mut out: Vec<(String, f64)> = QUANTILES
+            .iter()
+            .map(|q| (format!("m_q{:03}", (q * 100.0) as u32), quantile(&as_f, *q)))
+            .collect();
+        out.push(("m_mean".to_string(), mean));
+        out.push(("m_ge_half_mean".to_string(), in_large as f64));
+        out
+    });
+    let result = run_sweep(&engine_args, "", &spec, &[region_observer]);
+
+    for (i, tau) in taus.iter().enumerate() {
+        let mut table = Table::new(vec!["quantile".into(), "M(u) size".into()]);
+        for q in QUANTILES {
+            table.push_row(vec![
+                format!("{q:.2}"),
+                format!(
+                    "{:.0}",
+                    result
+                        .point_mean(i, &format!("m_q{:03}", (q * 100.0) as u32))
+                        .unwrap_or(0.0)
+                ),
+            ]);
+        }
         println!("τ = {tau}:");
         println!("{}", table.render());
         println!(
-            "  mean = {:.0}; {}/400 sampled agents sit in regions ≥ half the mean\n",
-            mean, in_large
+            "  mean = {:.0}; {:.0}/{SAMPLED_AGENTS} sampled agents sit in regions ≥ half the mean\n",
+            result.point_mean(i, "m_mean").unwrap_or(0.0),
+            result.point_mean(i, "m_ge_half_mean").unwrap_or(0.0)
         );
     }
     println!(
@@ -51,4 +83,5 @@ fn main() {
          agents DO sit in large regions) — consistent with the simulation evidence\n\
          §V cites against the 'exponentially rare giants' alternative."
     );
+    write_rows(&engine_args, "", &result);
 }

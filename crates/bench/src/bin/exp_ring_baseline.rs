@@ -1,4 +1,4 @@
-//! E13 — the 1-D comparators ([23] Brandt et al., [24] Barmpalias et
+//! E13 — the 1-D comparators (\[23\] Brandt et al., \[24\] Barmpalias et
 //! al.): static below τ* ≈ 0.35, run lengths exploding with the window
 //! size above it, and the Kawasaki/Glauber comparison.
 //!
@@ -8,7 +8,7 @@
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, usage_or_die, BASE_SEED};
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
 use seg_engine::{SweepSpec, Variant};
 
 fn main() {
@@ -19,7 +19,6 @@ fn main() {
         "§I-A baselines (1-D ring: τ* transition, exponential run lengths)",
         "ring n = 40000; τ sweep at w = 8; w sweep at τ = 0.45",
     );
-    let engine = engine_args.engine();
     let n = 40_000;
     let taus = [0.23, 0.29, 0.35, 0.41, 0.47];
     let master = engine_args.master_seed(BASE_SEED);
@@ -27,7 +26,9 @@ fn main() {
 
     // τ sweep: the two dynamics have very different natural budgets, so
     // they run as two specs over the same τ axis.
-    let glauber = engine.run(
+    let glauber = run_sweep(
+        &engine_args,
+        "tau-glauber",
         &SweepSpec::builder()
             .side(n)
             .horizon(8)
@@ -39,7 +40,9 @@ fn main() {
             .build(),
         &[],
     );
-    let kawasaki = engine.run(
+    let kawasaki = run_sweep(
+        &engine_args,
+        "tau-kawasaki",
         &SweepSpec::builder()
             .side(n)
             .horizon(8)
@@ -77,7 +80,9 @@ fn main() {
     // w sweep at fixed τ: run length growth in the window size
     println!("run-length scaling at τ = 0.45 (Glauber):");
     let horizons = [2u32, 4, 6, 8, 10, 12];
-    let scaling = engine.run(
+    let scaling = run_sweep(
+        &engine_args,
+        "w-scaling",
         &SweepSpec::builder()
             .side(n)
             .horizons(horizons)
@@ -111,23 +116,8 @@ fn main() {
          exponential-in-(2w+1) regime), for both Glauber and Kawasaki dynamics."
     );
 
-    // --out FILE writes all three sweeps: FILE plus two suffixed siblings
-    if let Some(sink) = engine_args.sink() {
-        sink.write(&scaling).expect("write w-sweep rows");
-        println!("w-sweep rows written to {}", sink.path().display());
-        for (result, tag) in [(&glauber, "tau-glauber"), (&kawasaki, "tau-kawasaki")] {
-            let path = sink.path().with_extension(format!(
-                "{tag}.{}",
-                sink.path()
-                    .extension()
-                    .map_or("csv".into(), |e| e.to_string_lossy().into_owned())
-            ));
-            let tagged = match &sink {
-                seg_engine::Sink::Jsonl(_) => seg_engine::Sink::Jsonl(path),
-                seg_engine::Sink::Csv(_) => seg_engine::Sink::Csv(path),
-            };
-            tagged.write(result).expect("write tau-sweep rows");
-            println!("{tag} rows written to {}", tagged.path().display());
-        }
-    }
+    // --out FILE writes all three sweeps as suffixed siblings
+    write_rows(&engine_args, "w-scaling", &scaling);
+    write_rows(&engine_args, "tau-glauber", &glauber);
+    write_rows(&engine_args, "tau-kawasaki", &kawasaki);
 }

@@ -9,9 +9,9 @@
 
 use seg_analysis::regression::linear_fit;
 use seg_analysis::series::Table;
-use seg_bench::{banner, fmt_g, usage_or_die, BASE_SEED};
+use seg_bench::{banner, fmt_g, run_sweep, usage_or_die, write_rows, BASE_SEED};
 use seg_core::regions::expected_monochromatic_size;
-use seg_engine::{Engine, Observer, SeedMode, SweepPoint, SweepResult, SweepSpec, Variant};
+use seg_engine::{Observer, SeedMode, SweepPoint, SweepSpec};
 use seg_grid::PrefixSums;
 use seg_theory::exponents::{exponent_a, exponent_b};
 
@@ -28,17 +28,8 @@ fn monochromatic_observer() -> Observer {
 }
 
 fn scaling_point(w: u32, tau: f64) -> SweepPoint {
-    SweepPoint {
-        side: (48 * w).max(96), // keep the grid much larger than regions
-        horizon: w,
-        tau,
-        density: 0.5,
-        variant: Variant::Paper,
-    }
-}
-
-fn run(engine: &Engine, spec: &SweepSpec) -> SweepResult {
-    engine.run(spec, &[monochromatic_observer()])
+    // keep the grid much larger than regions
+    SweepPoint::new((48 * w).max(96), w, tau)
 }
 
 fn main() {
@@ -51,7 +42,6 @@ fn main() {
         "Theorem 1 (2^{aN} ≤ E[M] ≤ 2^{bN})",
         &format!("τ = {tau}, horizons w = 2..6, grid side scaled with w, {replicas} replicas"),
     );
-    let engine = engine_args.engine();
 
     let horizons = [2u32, 3, 4, 5, 6];
     let mut builder = SweepSpec::builder()
@@ -60,7 +50,12 @@ fn main() {
     for &w in &horizons {
         builder = builder.point(scaling_point(w, tau));
     }
-    let result = run(&engine, &builder.build());
+    let result = run_sweep(
+        &engine_args,
+        "scaling",
+        &builder.build(),
+        &[monochromatic_observer()],
+    );
 
     let mut table = Table::new(vec![
         "w".into(),
@@ -110,7 +105,12 @@ fn main() {
         // initial draw (common random numbers)
         .seed_mode(SeedMode::CommonRandomNumbers)
         .build();
-    let sym = run(&engine, &sym_spec);
+    let sym = run_sweep(
+        &engine_args,
+        "symmetry",
+        &sym_spec,
+        &[monochromatic_observer()],
+    );
     let em = sym.summarize("em");
     println!(
         "\nsymmetry check (τ = {:.2} vs {:.2}, w = 3): E[M] = {} vs {} (ratio {:.2})",
@@ -121,10 +121,7 @@ fn main() {
         em[0].summary.mean / em[1].summary.mean
     );
 
-    if let Some(sink) = engine_args.sink() {
-        sink.write(&result).expect("write sweep rows");
-        println!("per-replica rows written to {}", sink.path().display());
-    }
+    write_rows(&engine_args, "", &result);
     let t = result.throughput();
     eprintln!(
         "throughput: {:.2} replicas/s, {:.2e} events/s on {} threads",

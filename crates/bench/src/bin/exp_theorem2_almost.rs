@@ -2,20 +2,31 @@
 //! strict monochromatic growth fails but regions with vanishing minority
 //! ratio are still exponential in expectation.
 //!
+//! Engine-backed: a τ axis with replicas as seeds; the observer samples
+//! both the strict `M` and almost-monochromatic `M'` region sizes of each
+//! stable state.
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin exp_theorem2_almost
+//! cargo run --release -p seg-bench --bin exp_theorem2_almost -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
-use seg_analysis::stats::Summary;
-use seg_bench::{banner, fmt_g, BASE_SEED};
+use seg_bench::{banner, fmt_g, run_sweep, usage_or_die, write_rows, BASE_SEED};
 use seg_core::regions::{almost_monochromatic_region, monochromatic_region, paper_ratio_bound};
-use seg_core::ModelConfig;
-use seg_grid::rng::Xoshiro256pp;
+use seg_engine::{Observer, SweepSpec};
 use seg_grid::PrefixSums;
 use seg_theory::constants::{tau1, tau2};
 
+const SIDE: u32 = 256;
+const HORIZON: u32 = 4;
+/// Region samples per replica.
+const SAMPLES: u32 = 40;
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("exp_theorem2_almost", &args);
+    let replicas = engine_args.replica_count(3);
     banner(
         "E6 exp_theorem2_almost",
         "Theorem 2 (E[M'] exponential on (τ2, τ1])",
@@ -23,12 +34,35 @@ fn main() {
     );
     println!("(τ2, τ1] = ({:.4}, {:.4}]\n", tau2(), tau1());
 
-    let n = 256;
-    let w = 4;
-    let nsize = (2 * w + 1) * (2 * w + 1);
-    let eps = 0.02;
-    let bound = paper_ratio_bound(nsize, eps);
-    let seeds = [BASE_SEED, BASE_SEED + 1, BASE_SEED + 2];
+    let nsize = (2 * HORIZON + 1) * (2 * HORIZON + 1);
+    let bound = paper_ratio_bound(nsize, 0.02);
+    let taus = [0.36, 0.38, 0.40, 0.42, tau1()];
+    let spec = SweepSpec::builder()
+        .side(SIDE)
+        .horizon(HORIZON)
+        .taus(taus)
+        .replicas(replicas)
+        .master_seed(engine_args.master_seed(BASE_SEED))
+        .build();
+    let region_observer = Observer::custom(move |_task, state, rng| {
+        let sim = state.simulation().expect("paper variant");
+        let ps = PrefixSums::new(sim.field());
+        let mut strict = 0.0;
+        let mut almost = 0.0;
+        for _ in 0..SAMPLES {
+            let u = sim
+                .torus()
+                .from_index(rng.next_below(sim.torus().len() as u64) as usize);
+            strict += monochromatic_region(sim.field(), &ps, u).size as f64;
+            almost +=
+                almost_monochromatic_region(sim.field(), &ps, u, bound, (SIDE - 1) / 2).size as f64;
+        }
+        vec![
+            ("m_strict".to_string(), strict / SAMPLES as f64),
+            ("m_almost".to_string(), almost / SAMPLES as f64),
+        ]
+    });
+    let result = run_sweep(&engine_args, "", &spec, &[region_observer]);
 
     let mut table = Table::new(vec![
         "tau".into(),
@@ -37,33 +71,15 @@ fn main() {
         "ratio bound".into(),
         "M'/M".into(),
     ]);
-    for tau in [0.36, 0.38, 0.40, 0.42, tau1()] {
-        let mut strict = Vec::new();
-        let mut almost = Vec::new();
-        for &seed in &seeds {
-            let mut sim = ModelConfig::new(n, w, tau).seed(seed).build();
-            sim.run_to_stable(u64::MAX);
-            let ps = PrefixSums::new(sim.field());
-            let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x66);
-            for _ in 0..40 {
-                let u = sim
-                    .torus()
-                    .from_index(rng.next_below(sim.torus().len() as u64) as usize);
-                strict.push(monochromatic_region(sim.field(), &ps, u).size as f64);
-                almost.push(
-                    almost_monochromatic_region(sim.field(), &ps, u, bound, (n - 1) / 2).size
-                        as f64,
-                );
-            }
-        }
-        let s = Summary::from_slice(&strict);
-        let a = Summary::from_slice(&almost);
+    for (i, tau) in taus.iter().enumerate() {
+        let s = result.point_mean(i, "m_strict").unwrap_or(f64::NAN);
+        let a = result.point_mean(i, "m_almost").unwrap_or(f64::NAN);
         table.push_row(vec![
             format!("{tau:.4}"),
-            fmt_g(s.mean),
-            fmt_g(a.mean),
+            fmt_g(s),
+            fmt_g(a),
             format!("{bound:.2e}"),
-            format!("{:.1}", a.mean / s.mean),
+            format!("{:.1}", a / s),
         ]);
     }
     println!("{}", table.render());
@@ -72,4 +88,5 @@ fn main() {
          consistently (much) larger than the strict M — the minority clusters that\n\
          survive inside chemical firewalls are tolerated by M' but clip M."
     );
+    write_rows(&engine_args, "", &result);
 }

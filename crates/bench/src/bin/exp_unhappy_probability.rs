@@ -11,10 +11,10 @@
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, usage_or_die, BASE_SEED};
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
 use seg_core::radical::{find_radical_regions_with_threshold, RadicalParams};
 use seg_core::{Intolerance, ModelConfig};
-use seg_engine::{Observer, SweepPoint, SweepSpec, Variant};
+use seg_engine::{Observer, SweepPoint, SweepSpec};
 use seg_grid::PrefixSums;
 use seg_theory::binomial::{
     radical_region_log2_probability, tail_log2_entropy_estimate, unhappy_probability_envelope,
@@ -39,17 +39,14 @@ fn main() {
         .master_seed(engine_args.master_seed(BASE_SEED))
         .max_events(0);
     for &w in &horizons {
-        builder = builder.point(SweepPoint {
-            side: if w <= 6 { 512 } else { 256 },
-            horizon: w,
-            tau,
-            density: 0.5,
-            variant: Variant::Paper,
-        });
+        builder = builder.point(SweepPoint::new(if w <= 6 { 512 } else { 256 }, w, tau));
     }
-    let result = engine_args
-        .engine()
-        .run(&builder.build(), &[Observer::TerminalStats]);
+    let result = run_sweep(
+        &engine_args,
+        "",
+        &builder.build(),
+        &[Observer::TerminalStats],
+    );
 
     let mut table = Table::new(vec![
         "w".into(),
@@ -112,8 +109,5 @@ fn main() {
          slack the lemma allows."
     );
 
-    if let Some(sink) = engine_args.sink() {
-        sink.write(&result).expect("write sweep rows");
-        println!("per-replica rows written to {}", sink.path().display());
-    }
+    write_rows(&engine_args, "", &result);
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, usage_or_die, BASE_SEED};
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
 use seg_engine::{Observer, SeedMode, SweepSpec, Variant};
 
 fn main() {
@@ -21,7 +21,6 @@ fn main() {
 
     let n = 96u32;
     let agents = (n * n) as f64;
-    let engine = engine_args.engine();
     let master = engine_args.master_seed(BASE_SEED);
     let replicas = engine_args.replica_count(1);
     let observers = [Observer::TerminalStats];
@@ -33,7 +32,9 @@ fn main() {
         ("noise eps=0.01", Variant::Noise(0.01)),
         ("noise eps=0.10", Variant::Noise(0.10)),
     ];
-    let result = engine.run(
+    let result = run_sweep(
+        &engine_args,
+        "flip-rules",
         &SweepSpec::builder()
             .side(n)
             .horizon(2)
@@ -49,7 +50,9 @@ fn main() {
         &observers,
     );
     // the closed-system baseline runs on its own budget (swap attempts)
-    let kawasaki = engine.run(
+    let kawasaki = run_sweep(
+        &engine_args,
+        "kawasaki",
         &SweepSpec::builder()
             .side(n)
             .horizon(2)
@@ -106,8 +109,6 @@ fn main() {
         2.0 * agents * 0.5
     );
 
-    if let Some(sink) = engine_args.sink() {
-        sink.write(&result).expect("write sweep rows");
-        println!("per-replica rows written to {}", sink.path().display());
-    }
+    write_rows(&engine_args, "flip-rules", &result);
+    write_rows(&engine_args, "kawasaki", &kawasaki);
 }

@@ -1,19 +1,24 @@
 //! E2 — Figure 2: the intolerance intervals with expected exponential
 //! (almost-)segregation, plus a simulation probe of each regime.
 //!
+//! Engine-backed: a single τ-axis sweep over all regimes with
+//! [`Observer::TerminalStats`].
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin fig2_intervals
+//! cargo run --release -p seg-bench --bin fig2_intervals -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
-use seg_bench::{banner, BASE_SEED};
-use seg_core::metrics::largest_same_type_cluster;
-use seg_core::ModelConfig;
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
+use seg_engine::{Observer, SweepSpec};
 use seg_theory::constants::{
     classify, monochromatic_interval_width, tau1, tau2, total_interval_width,
 };
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("fig2_intervals", &args);
     banner(
         "E2 fig2_intervals",
         "Figure 2 (segregation intervals on the τ axis)",
@@ -35,17 +40,9 @@ fn main() {
     );
     println!();
 
-    let mut table = Table::new(vec![
-        "tau".into(),
-        "regime (theory)".into(),
-        "flips/agent".into(),
-        "largest cluster %".into(),
-        "unhappy left".into(),
-    ]);
     let n = 128u32;
-    let w = 3;
     let agents = (n * n) as f64;
-    for tau in [
+    let taus = [
         0.15,
         0.25,
         0.30,
@@ -62,18 +59,37 @@ fn main() {
         1.0 - tau2() + 0.01,
         0.75,
         0.85,
-    ] {
-        let mut sim = ModelConfig::new(n, w, tau).seed(BASE_SEED).build();
-        sim.run_to_stable(50_000_000);
+    ];
+    let spec = SweepSpec::builder()
+        .side(n)
+        .horizon(3)
+        .taus(taus)
+        .max_events(50_000_000)
+        .replicas(engine_args.replica_count(1))
+        .master_seed(engine_args.master_seed(BASE_SEED))
+        .build();
+    let result = run_sweep(&engine_args, "", &spec, &[Observer::TerminalStats]);
+
+    let mut table = Table::new(vec![
+        "tau".into(),
+        "regime (theory)".into(),
+        "flips/agent".into(),
+        "largest cluster %".into(),
+        "unhappy left".into(),
+    ]);
+    for (i, tau) in taus.iter().enumerate() {
         table.push_row(vec![
             format!("{tau:.4}"),
-            format!("{:?}", classify(tau)),
-            format!("{:.3}", sim.flips() as f64 / agents),
+            format!("{:?}", classify(*tau)),
+            format!(
+                "{:.3}",
+                result.point_mean(i, "events").unwrap_or(0.0) / agents
+            ),
             format!(
                 "{:.1}",
-                100.0 * largest_same_type_cluster(sim.field()) as f64 / agents
+                100.0 * result.point_mean(i, "largest_cluster").unwrap_or(0.0) / agents
             ),
-            format!("{}", sim.unhappy_count()),
+            format!("{:.0}", result.point_mean(i, "unhappy").unwrap_or(0.0)),
         ]);
     }
     println!("{}", table.render());
@@ -81,4 +97,5 @@ fn main() {
         "paper shape check: flip activity and cluster coarsening are confined to\n\
          (τ2, 1−τ2); outside it (Static rows) the configuration barely moves."
     );
+    write_rows(&engine_args, "", &result);
 }

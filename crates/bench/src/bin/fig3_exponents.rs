@@ -1,22 +1,51 @@
 //! E3 — Figure 3: the exponent multipliers a(τ) (lower bound) and b(τ)
 //! (upper bound) on `E[M]`, printed as the series the figure plots.
 //!
+//! Engine-backed: the curves are closed-form, so the sweep runs
+//! [`Variant::Probe`] points over the τ axis and a custom observer
+//! evaluates `f`, `a`, `b` at each — putting the figure's dataset on the
+//! same sink/flag rails as the stochastic experiments.
+//!
 //! ```text
-//! cargo run --release -p seg-bench --bin fig3_exponents
+//! cargo run --release -p seg-bench --bin fig3_exponents -- \
+//!     [--threads N] [--seed S] [--out FILE.csv] [--replicas K] [--checkpoint FILE.jsonl]
 //! ```
 
 use seg_analysis::series::Table;
 use seg_analysis::svg::{LineChart, Series};
-use seg_bench::banner;
+use seg_bench::{banner, run_sweep, usage_or_die, write_rows, BASE_SEED};
+use seg_engine::{Observer, SweepSpec, Variant};
 use seg_theory::constants::{tau1, tau2};
-use seg_theory::exponents::figure3_series;
+use seg_theory::exponents::{exponent_a, exponent_b, figure3_series};
+use seg_theory::trigger::f_trigger;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine_args = usage_or_die("fig3_exponents", &args);
     banner(
         "E3 fig3_exponents",
         "Figure 3 (exponent multipliers a(τ), b(τ))",
         "ε' = f(τ) (the infimum of Lemma 5), N → ∞ limit",
     );
+
+    let taus: Vec<f64> = figure3_series(25).iter().map(|p| p.tau).collect();
+    let spec = SweepSpec::builder()
+        .side(1)
+        .horizon(0)
+        .taus(taus.iter().copied())
+        .variant(Variant::Probe)
+        .replicas(engine_args.replica_count(1))
+        .master_seed(engine_args.master_seed(BASE_SEED))
+        .build();
+    let exponent_observer = Observer::custom(|task, _state, _rng| {
+        let tau = task.point.tau;
+        vec![
+            ("eps".to_string(), f_trigger(tau)),
+            ("a".to_string(), exponent_a(tau)),
+            ("b".to_string(), exponent_b(tau)),
+        ]
+    });
+    let result = run_sweep(&engine_args, "", &spec, &[exponent_observer]);
 
     let mut table = Table::new(vec![
         "tau".into(),
@@ -25,17 +54,17 @@ fn main() {
         "b(tau)".into(),
         "regime".into(),
     ]);
-    for p in figure3_series(25) {
-        let regime = if p.tau <= tau1() {
+    for (i, tau) in taus.iter().enumerate() {
+        let regime = if *tau <= tau1() {
             "almost-mono (Thm 2)"
         } else {
             "mono (Thm 1)"
         };
         table.push_row(vec![
-            format!("{:.4}", p.tau),
-            format!("{:.4}", p.eps),
-            format!("{:.5}", p.a),
-            format!("{:.5}", p.b),
+            format!("{tau:.4}"),
+            format!("{:.4}", result.point_mean(i, "eps").unwrap_or(f64::NAN)),
+            format!("{:.5}", result.point_mean(i, "a").unwrap_or(f64::NAN)),
+            format!("{:.5}", result.point_mean(i, "b").unwrap_or(f64::NAN)),
             regime.into(),
         ]);
     }
@@ -69,4 +98,5 @@ fn main() {
          sandwich). By symmetry the curves mirror on (1/2, 1 − τ2).",
         tau2()
     );
+    write_rows(&engine_args, "", &result);
 }

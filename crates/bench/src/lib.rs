@@ -2,9 +2,13 @@
 //! benchmarks of the segregation reproduction.
 //!
 //! Each binary in `src/bin/` regenerates one figure or result of the
-//! paper (see DESIGN.md §4 for the full index). This library holds the
-//! small amount of logic the binaries share: seeds, standard parameter
-//! sets, and banner printing.
+//! paper — `docs/EXPERIMENTS.md` at the repository root maps every
+//! binary to the theorem/figure/claim it reproduces, its flags, expected
+//! runtime and outputs. All binaries run on `seg_engine` (a `SweepSpec`
+//! plus observers; no hand-rolled parameter/seed loops) and share the
+//! unified `--threads/--seed/--out/--replicas/--checkpoint` interface.
+//! This library holds the logic they share: the base seed, flag parsing,
+//! checkpoint-aware sweep running, sink tagging, and banner printing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,12 +29,32 @@ pub fn banner(id: &str, paper_artifact: &str, params: &str) {
 }
 
 /// Parses the engine's unified flags (`--threads`, `--seed`, `--out`,
-/// `--replicas`) for a harness binary, printing usage and exiting on
-/// `--help`, on an unknown flag, or on a malformed value. Every
-/// engine-backed binary accepts exactly this interface.
+/// `--replicas`, `--checkpoint`) for a harness binary, printing usage and
+/// exiting on `--help`, on an unknown flag, or on a malformed value.
+/// Every engine-backed binary accepts exactly this interface.
 pub fn usage_or_die(bin: &str, args: &[String]) -> seg_engine::EngineArgs {
+    let (engine_args, rest) = usage_or_die_with_rest(bin, "", args);
+    if let Some(extra) = rest.first() {
+        eprintln!(
+            "unknown flag {extra}\nusage: cargo run --release -p seg-bench --bin {bin} -- {}",
+            seg_engine::ENGINE_USAGE
+        );
+        std::process::exit(2);
+    }
+    engine_args
+}
+
+/// [`usage_or_die`] for binaries with extra arguments of their own:
+/// returns the unconsumed arguments for binary-specific parsing, and
+/// prepends `extra_usage` to the engine flags in the usage line.
+pub fn usage_or_die_with_rest(
+    bin: &str,
+    extra_usage: &str,
+    args: &[String],
+) -> (seg_engine::EngineArgs, Vec<String>) {
+    let sep = if extra_usage.is_empty() { "" } else { " " };
     let usage = format!(
-        "usage: cargo run --release -p seg-bench --bin {bin} -- {}",
+        "usage: cargo run --release -p seg-bench --bin {bin} -- {extra_usage}{sep}{}",
         seg_engine::ENGINE_USAGE
     );
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -38,16 +62,53 @@ pub fn usage_or_die(bin: &str, args: &[String]) -> seg_engine::EngineArgs {
         std::process::exit(0);
     }
     match seg_engine::EngineArgs::parse(args) {
-        Ok((engine_args, rest)) if rest.is_empty() => engine_args,
-        Ok((_, rest)) => {
-            eprintln!("unknown flag {}\n{usage}", rest[0]);
-            std::process::exit(2);
-        }
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{e}\n{usage}");
             std::process::exit(2);
         }
     }
+}
+
+/// Runs one sweep of a harness binary through the engine, honoring the
+/// unified flags (including `--checkpoint` journaling/resume). `name`
+/// labels the sweep for binaries that run more than one — each gets its
+/// own derived journal; single-sweep binaries pass `""` to use the
+/// `--checkpoint` path as-is. A checkpoint that cannot be used (corrupt
+/// file, changed flags) is a clean exit, not a panic.
+pub fn run_sweep(
+    engine_args: &seg_engine::EngineArgs,
+    name: &str,
+    spec: &seg_engine::SweepSpec,
+    observers: &[seg_engine::Observer],
+) -> seg_engine::SweepResult {
+    match engine_args.run_named(name, spec, observers) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Writes the per-replica rows of `result` to the `--out` sink when one
+/// was requested, tagging the path with `name` the same way
+/// [`run_sweep`] tags checkpoints (empty `name` = path as-is).
+pub fn write_rows(
+    engine_args: &seg_engine::EngineArgs,
+    name: &str,
+    result: &seg_engine::SweepResult,
+) {
+    let Some(sink) = engine_args.sink() else {
+        return;
+    };
+    let tagged = seg_engine::tag_path(sink.path(), name, "rows", "csv");
+    let sink = match sink {
+        seg_engine::Sink::Jsonl(_) => seg_engine::Sink::Jsonl(tagged),
+        seg_engine::Sink::Csv(_) => seg_engine::Sink::Csv(tagged),
+    };
+    sink.write(result).expect("write sweep rows");
+    println!("per-replica rows written to {}", sink.path().display());
 }
 
 /// Formats a float in compact scientific-ish notation for table cells.

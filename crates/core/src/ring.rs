@@ -1,5 +1,5 @@
-//! One-dimensional ring baselines (Brandt et al. [23], Barmpalias et
-//! al. [24]), which the paper's introduction builds on.
+//! One-dimensional ring baselines (Brandt et al. \[23\], Barmpalias et
+//! al. \[24\]), which the paper's introduction builds on.
 //!
 //! Agents sit on a cycle of length `n`; the neighborhood of an agent is
 //! the window of `2w + 1` agents centered at it (self included). The

@@ -1,0 +1,375 @@
+//! Checkpoint/resume for long sweeps.
+//!
+//! A checkpoint is a JSON-Lines journal of completed replicas: one header
+//! line binding the file to its [`SweepSpec`] (via a fingerprint of every
+//! spec field), then one line per finished `(point, replica)` task. The
+//! engine appends a line the moment a replica completes and flushes it,
+//! so killing a sweep loses at most the replicas that were in flight.
+//!
+//! On restart with the same spec, [`Checkpoint::resume`] reads the
+//! journal back, the engine skips every recorded task, and — because
+//! replica seeds derive from indices alone — the merged result is
+//! **bit-identical** to an uninterrupted run at any thread count
+//! (property-tested in `tests/checkpoint.rs`).
+//!
+//! Failure handling is deliberately asymmetric:
+//!
+//! - a *partial trailing line* (the process died mid-write) is expected
+//!   and silently dropped — that replica simply reruns;
+//! - any *complete but malformed* line, or a header whose fingerprint
+//!   does not match the spec (the flags changed between runs), is a
+//!   clean [`CheckpointError`] — never a panic.
+//!
+//! Metric values are serialized with the same shortest-round-trip
+//! formatting as the sinks, with `inf`/`-inf`/`NaN` spelled out, so a
+//! resumed sweep reproduces sink output byte for byte.
+
+use crate::replica::ReplicaRecord;
+use crate::sink::format_f64;
+use crate::spec::SweepSpec;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Why a checkpoint could not be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the journal failed.
+    Io(io::Error),
+    /// A complete line of the journal does not parse.
+    Corrupt {
+        /// The journal path.
+        path: PathBuf,
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The journal was written by a different spec (flags changed
+    /// between the original run and the resume).
+    SpecMismatch {
+        /// The journal path.
+        path: PathBuf,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt { path, line, reason } => write!(
+                f,
+                "corrupt checkpoint {} (line {line}): {reason}; delete the file to start over",
+                path.display()
+            ),
+            CheckpointError::SpecMismatch { path } => write!(
+                f,
+                "checkpoint {} was written by a different sweep (the spec changed); \
+                 rerun with the original flags or delete the file to start over",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Mixes every spec field into a single fingerprint so a journal can
+/// refuse to resume under changed flags. Floats are hashed by bit
+/// pattern; the derivation uses the same SplitMix64 finalizer as
+/// [`crate::spec::derive_replica_seed`].
+pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
+    fn absorb(h: u64, v: u64) -> u64 {
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        mix(h ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+    let mut h = absorb(0x5E67_2017, spec.master_seed());
+    h = absorb(h, spec.replicas() as u64);
+    h = absorb(h, spec.max_events());
+    h = absorb(h, spec.seed_mode() as u64);
+    h = absorb(h, spec.points().len() as u64);
+    for p in spec.points() {
+        h = absorb(h, p.side as u64);
+        h = absorb(h, p.horizon as u64);
+        h = absorb(h, p.tau.to_bits());
+        h = absorb(h, p.density.to_bits());
+        // the label distinguishes variants including their payloads
+        for b in p.variant.label().bytes() {
+            h = absorb(h, b as u64);
+        }
+        h = absorb(h, p.budget.map_or(u64::MAX, |b| b ^ 0x5BAD));
+    }
+    h
+}
+
+/// An open checkpoint journal the engine appends completed replicas to.
+///
+/// Construct with [`Checkpoint::resume`]; pass the already-completed
+/// records to the engine and hand it the journal for the rest.
+#[derive(Debug)]
+pub struct Checkpoint {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl Checkpoint {
+    /// Opens (or creates) the journal at `path` for `spec`, returning
+    /// the records it already holds — indexed by task, `None` where the
+    /// task has not completed — and the journal handle for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::SpecMismatch`] when the journal belongs to a
+    /// different spec, [`CheckpointError::Corrupt`] for a malformed
+    /// complete line, [`CheckpointError::Io`] for filesystem failures.
+    pub fn resume(
+        path: &Path,
+        spec: &SweepSpec,
+    ) -> Result<(Vec<Option<ReplicaRecord>>, Checkpoint), CheckpointError> {
+        let fingerprint = spec_fingerprint(spec);
+        let tasks = spec.tasks();
+        let mut completed: Vec<Option<ReplicaRecord>> = vec![None; tasks.len()];
+        let mut needs_header = true;
+        let mut truncate_to = None;
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                let text = String::from_utf8(bytes).map_err(|_| CheckpointError::Corrupt {
+                    path: path.to_path_buf(),
+                    line: 0,
+                    reason: "journal is not valid UTF-8".into(),
+                })?;
+                // a trailing fragment with no newline is a torn write:
+                // drop it (that replica reruns); every complete line
+                // must parse.
+                let complete = match text.rfind('\n') {
+                    Some(i) => &text[..i],
+                    None => "",
+                };
+                if !text.is_empty() && !text.ends_with('\n') {
+                    // cut the fragment off before appending, or the next
+                    // record would glue onto it and corrupt the journal
+                    truncate_to = Some(text.rfind('\n').map_or(0, |i| i as u64 + 1));
+                }
+                for (lineno, line) in complete.lines().enumerate() {
+                    let corrupt = |reason: String| CheckpointError::Corrupt {
+                        path: path.to_path_buf(),
+                        line: lineno + 1,
+                        reason,
+                    };
+                    if lineno == 0 {
+                        let (fp, ntasks) = parse_header(line).map_err(corrupt)?;
+                        if fp != fingerprint || ntasks != tasks.len() as u64 {
+                            return Err(CheckpointError::SpecMismatch {
+                                path: path.to_path_buf(),
+                            });
+                        }
+                        needs_header = false;
+                        continue;
+                    }
+                    let (index, events, metrics) = parse_record(line).map_err(corrupt)?;
+                    let slot = completed
+                        .get_mut(index)
+                        .ok_or_else(|| corrupt(format!("task index {index} out of range")))?;
+                    // duplicates are possible after repeated resumes and
+                    // are identical by determinism; last wins
+                    *slot = Some(ReplicaRecord {
+                        task: tasks[index],
+                        events,
+                        wall_secs: 0.0,
+                        metrics,
+                    });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        if let Some(len) = truncate_to {
+            OpenOptions::new().write(true).open(path)?.set_len(len)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut writer = BufWriter::new(file);
+        if needs_header {
+            writeln!(
+                writer,
+                "{{\"kind\":\"header\",\"fingerprint\":{fingerprint},\"tasks\":{}}}",
+                tasks.len()
+            )?;
+            writer.flush()?;
+        }
+        Ok((
+            completed,
+            Checkpoint {
+                writer: Mutex::new(writer),
+            },
+        ))
+    }
+
+    /// Appends one completed replica and flushes, so a kill after this
+    /// call never loses the record.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the append.
+    pub fn append(&self, rec: &ReplicaRecord) -> io::Result<()> {
+        let mut line = format!(
+            "{{\"kind\":\"record\",\"task\":{},\"events\":{},\"metrics\":{{",
+            rec.task.task_index, rec.events
+        );
+        for (i, (k, v)) in rec.metrics.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            // metric names are identifier-like; quote verbatim
+            line.push('"');
+            line.push_str(k);
+            line.push_str("\":");
+            line.push_str(&format_f64(*v));
+        }
+        line.push_str("}}");
+        let mut w = self.writer.lock().expect("checkpoint writer poisoned");
+        writeln!(w, "{line}")?;
+        w.flush()
+    }
+}
+
+fn parse_header(line: &str) -> Result<(u64, u64), String> {
+    let rest = line
+        .strip_prefix("{\"kind\":\"header\",\"fingerprint\":")
+        .ok_or("first line is not a checkpoint header")?;
+    let (fp, rest) = take_u64(rest)?;
+    let rest = rest
+        .strip_prefix(",\"tasks\":")
+        .ok_or("header missing task count")?;
+    let (ntasks, rest) = take_u64(rest)?;
+    if rest != "}" {
+        return Err("trailing bytes after header".into());
+    }
+    Ok((fp, ntasks))
+}
+
+fn parse_record(line: &str) -> Result<(usize, u64, BTreeMap<String, f64>), String> {
+    let rest = line
+        .strip_prefix("{\"kind\":\"record\",\"task\":")
+        .ok_or("line is not a record")?;
+    let (index, rest) = take_u64(rest)?;
+    let rest = rest
+        .strip_prefix(",\"events\":")
+        .ok_or("record missing events")?;
+    let (events, rest) = take_u64(rest)?;
+    let mut rest = rest
+        .strip_prefix(",\"metrics\":{")
+        .ok_or("record missing metrics")?;
+    let mut metrics = BTreeMap::new();
+    if let Some(tail) = rest.strip_prefix("}}") {
+        if !tail.is_empty() {
+            return Err("trailing bytes after record".into());
+        }
+        return Ok((index as usize, events, metrics));
+    }
+    loop {
+        let r = rest.strip_prefix('"').ok_or("expected metric name")?;
+        let q = r.find('"').ok_or("unterminated metric name")?;
+        let name = &r[..q];
+        let r = r[q + 1..]
+            .strip_prefix(':')
+            .ok_or("expected ':' after metric name")?;
+        let end = r.find([',', '}']).ok_or("unterminated metric value")?;
+        let value: f64 = r[..end]
+            .parse()
+            .map_err(|_| format!("bad metric value {:?}", &r[..end]))?;
+        metrics.insert(name.to_string(), value);
+        match &r[end..end + 1] {
+            "," => rest = &r[end + 1..],
+            _ => {
+                if &r[end..] != "}}" {
+                    return Err("trailing bytes after record".into());
+                }
+                return Ok((index as usize, events, metrics));
+            }
+        }
+    }
+}
+
+fn take_u64(s: &str) -> Result<(u64, &str), String> {
+    let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+    if end == 0 {
+        return Err(format!("expected a number at {:?}", &s[..s.len().min(12)]));
+    }
+    let v = s[..end]
+        .parse()
+        .map_err(|_| format!("number out of range: {:?}", &s[..end]))?;
+    Ok((v, &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepSpecBuilder;
+
+    fn spec(seed: u64) -> SweepSpec {
+        SweepSpecBuilder::default()
+            .side(32)
+            .horizon(1)
+            .taus([0.4, 0.45])
+            .replicas(2)
+            .master_seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_field() {
+        let base = spec(1);
+        assert_eq!(spec_fingerprint(&base), spec_fingerprint(&spec(1)));
+        assert_ne!(spec_fingerprint(&base), spec_fingerprint(&spec(2)));
+        let more_replicas = SweepSpecBuilder::default()
+            .side(32)
+            .horizon(1)
+            .taus([0.4, 0.45])
+            .replicas(3)
+            .master_seed(1)
+            .build();
+        assert_ne!(spec_fingerprint(&base), spec_fingerprint(&more_replicas));
+    }
+
+    #[test]
+    fn header_and_record_round_trip() {
+        let (fp, n) =
+            parse_header("{\"kind\":\"header\",\"fingerprint\":123,\"tasks\":4}").unwrap();
+        assert_eq!((fp, n), (123, 4));
+        let (i, e, m) = parse_record(
+            "{\"kind\":\"record\",\"task\":2,\"events\":9,\"metrics\":{\"a\":1.5,\"b\":-inf}}",
+        )
+        .unwrap();
+        assert_eq!((i, e), (2, 9));
+        assert_eq!(m.get("a"), Some(&1.5));
+        assert_eq!(m.get("b"), Some(&f64::NEG_INFINITY));
+        let (_, _, empty) =
+            parse_record("{\"kind\":\"record\",\"task\":0,\"events\":0,\"metrics\":{}}").unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        for bad in [
+            "{\"kind\":\"record\",\"task\":x,\"events\":9,\"metrics\":{}}",
+            "{\"kind\":\"record\",\"task\":2}",
+            "not json at all",
+            "{\"kind\":\"record\",\"task\":2,\"events\":9,\"metrics\":{\"a\":}}",
+        ] {
+            assert!(parse_record(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(parse_header("{\"kind\":\"header\"}").is_err());
+    }
+}

@@ -5,16 +5,44 @@
 //! means relearning the interface:
 //!
 //! ```text
-//! --threads N      worker threads        (default: all cores, capped at 8)
-//! --seed S         master seed           (default: the experiment's base seed)
-//! --out FILE.csv   per-replica CSV sink  (default: none — print tables only)
-//! --replicas K     replicas per point    (default: experiment-specific)
+//! --threads N        worker threads        (default: all cores, capped at 8)
+//! --seed S           master seed           (default: the experiment's base seed)
+//! --out FILE.csv     per-replica CSV sink  (default: none — print tables only)
+//! --replicas K       replicas per point    (default: experiment-specific)
+//! --checkpoint FILE  journal completed replicas to FILE and resume from it
 //! ```
+//!
+//! With `--checkpoint`, a killed sweep rerun under the same flags skips
+//! every replica already journaled (see [`crate::checkpoint`]); binaries
+//! that run several sweeps derive one journal per sweep from the flag's
+//! path via [`EngineArgs::run_named`].
 
-use crate::run::Engine;
+use crate::checkpoint::CheckpointError;
+use crate::observe::Observer;
+use crate::run::{Engine, SweepResult};
 use crate::sink::Sink;
+use crate::spec::SweepSpec;
 use seg_analysis::parallel::default_threads;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+
+/// Derives the sibling of `path` tagged with `name`:
+/// `dir/stem.ext` → `dir/stem-name.ext`. An empty `name` returns the
+/// path unchanged. Binaries that run several sweeps use this one
+/// derivation for both their per-sweep checkpoint journals
+/// ([`EngineArgs::run_named`]) and their per-sweep sink files, so the
+/// two families of outputs always correspond.
+pub fn tag_path(path: &Path, name: &str, default_stem: &str, default_ext: &str) -> PathBuf {
+    if name.is_empty() {
+        return path.to_path_buf();
+    }
+    let stem = path
+        .file_stem()
+        .map_or_else(|| default_stem.into(), |s| s.to_string_lossy().into_owned());
+    let ext = path
+        .extension()
+        .map_or_else(|| default_ext.into(), |e| e.to_string_lossy().into_owned());
+    path.with_file_name(format!("{stem}-{name}.{ext}"))
+}
 
 /// The parsed common flags.
 #[derive(Clone, Debug, PartialEq)]
@@ -28,6 +56,8 @@ pub struct EngineArgs {
     pub out: Option<PathBuf>,
     /// Replicas per point, when given on the command line.
     pub replicas: Option<u32>,
+    /// Checkpoint journal for resumable sweeps.
+    pub checkpoint: Option<PathBuf>,
 }
 
 impl Default for EngineArgs {
@@ -37,6 +67,7 @@ impl Default for EngineArgs {
             seed: None,
             out: None,
             replicas: None,
+            checkpoint: None,
         }
     }
 }
@@ -44,7 +75,7 @@ impl Default for EngineArgs {
 /// Help-text fragment describing the common flags (append to a binary's
 /// usage line).
 pub const ENGINE_USAGE: &str =
-    "[--threads N] [--seed S] [--out FILE.csv|FILE.jsonl] [--replicas K]";
+    "[--threads N] [--seed S] [--out FILE.csv|FILE.jsonl] [--replicas K] [--checkpoint FILE.jsonl]";
 
 impl EngineArgs {
     /// Parses the common flags out of `args`, returning the parsed flags
@@ -82,6 +113,7 @@ impl EngineArgs {
                     )
                 }
                 "--out" => out.out = Some(PathBuf::from(value("--out")?)),
+                "--checkpoint" => out.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
                 "--replicas" => {
                     let k: u32 = value("--replicas")?
                         .parse()
@@ -98,11 +130,12 @@ impl EngineArgs {
     }
 
     /// An [`Engine`] configured from these flags (progress on when a sink
-    /// is requested, since those runs tend to be the long ones).
+    /// or checkpoint is requested, since those runs tend to be the long
+    /// ones).
     pub fn engine(&self) -> Engine {
         Engine::new()
             .threads(self.threads)
-            .progress(self.out.is_some())
+            .progress(self.out.is_some() || self.checkpoint.is_some())
     }
 
     /// The sink selected by `--out`, if any (`.jsonl` extension selects
@@ -115,6 +148,47 @@ impl EngineArgs {
                 Sink::Csv(p.clone())
             }
         })
+    }
+
+    /// Runs one sweep under these flags: builds the engine and, when
+    /// `--checkpoint` was given, journals/resumes through it.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the checkpoint cannot be used (see
+    /// [`Engine::run_with_checkpoint`]).
+    pub fn run(
+        &self,
+        spec: &SweepSpec,
+        observers: &[Observer],
+    ) -> Result<SweepResult, CheckpointError> {
+        match &self.checkpoint {
+            Some(path) => self.engine().run_with_checkpoint(spec, observers, path),
+            None => Ok(self.engine().run(spec, observers)),
+        }
+    }
+
+    /// [`EngineArgs::run`] for binaries that run several sweeps: a
+    /// non-empty `name` derives a per-sweep journal from the
+    /// `--checkpoint` path (`ckpt.jsonl` → `ckpt-name.jsonl`), so each
+    /// sweep resumes independently.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the checkpoint cannot be used.
+    pub fn run_named(
+        &self,
+        name: &str,
+        spec: &SweepSpec,
+        observers: &[Observer],
+    ) -> Result<SweepResult, CheckpointError> {
+        match &self.checkpoint {
+            Some(path) if !name.is_empty() => {
+                let derived = tag_path(path, name, "checkpoint", "jsonl");
+                self.engine().run_with_checkpoint(spec, observers, &derived)
+            }
+            _ => self.run(spec, observers),
+        }
     }
 
     /// The master seed: the command-line value, or the given default.
@@ -170,5 +244,44 @@ mod tests {
         assert!(EngineArgs::parse(&args("--threads 0")).is_err());
         assert!(EngineArgs::parse(&args("--replicas 0")).is_err());
         assert!(EngineArgs::parse(&args("--seed")).is_err());
+        assert!(EngineArgs::parse(&args("--checkpoint")).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flag_parses_and_enables_progress() {
+        let (a, _) = EngineArgs::parse(&args("--checkpoint ck.jsonl")).unwrap();
+        assert_eq!(a.checkpoint, Some(PathBuf::from("ck.jsonl")));
+        let (b, _) = EngineArgs::parse(&[]).unwrap();
+        assert!(b.checkpoint.is_none());
+    }
+
+    #[test]
+    fn run_named_resumes_per_sweep_journals() {
+        let dir = std::env::temp_dir().join("seg_engine_cli_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("ck.jsonl");
+        let _ = std::fs::remove_file(dir.join("ck-alpha.jsonl"));
+        let (a, _) = EngineArgs::parse(&[
+            "--checkpoint".to_string(),
+            ck.to_string_lossy().into_owned(),
+            "--threads".to_string(),
+            "2".to_string(),
+        ])
+        .unwrap();
+        let spec = SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .tau(0.4)
+            .replicas(2)
+            .master_seed(5)
+            .build();
+        let first = a.run_named("alpha", &spec, &[]).unwrap();
+        assert!(dir.join("ck-alpha.jsonl").exists());
+        // resumed run reads everything back from the journal
+        let second = a.run_named("alpha", &spec, &[]).unwrap();
+        for (x, y) in first.records().iter().zip(second.records()) {
+            assert_eq!(x.events, y.events);
+            assert_eq!(x.metrics, y.metrics);
+        }
     }
 }

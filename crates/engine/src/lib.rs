@@ -21,6 +21,9 @@
 //! - [`Sink`] — structured CSV / JSON-Lines output plus aggregated
 //!   summaries through [`seg_analysis::stats`] and
 //!   [`seg_analysis::bootstrap`];
+//! - [`Checkpoint`] — a JSON-Lines journal of completed replicas, so a
+//!   multi-hour sweep killed mid-run resumes where it left off
+//!   (`--checkpoint FILE`) with bit-identical output;
 //! - progress and throughput reporting (replicas/s, events/s) so
 //!   performance regressions are visible from any sweep.
 //!
@@ -47,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cli;
 pub mod observe;
 pub mod replica;
@@ -54,7 +58,8 @@ pub mod run;
 pub mod sink;
 pub mod spec;
 
-pub use cli::{EngineArgs, ENGINE_USAGE};
+pub use checkpoint::{spec_fingerprint, Checkpoint, CheckpointError};
+pub use cli::{tag_path, EngineArgs, ENGINE_USAGE};
 pub use observe::Observer;
 pub use replica::{FinalState, ReplicaRecord};
 pub use run::{Engine, PointSummary, SweepResult, ThroughputReport};

@@ -120,7 +120,22 @@ impl Observer {
                         );
                         metrics.insert("plus_fraction".into(), field.plus_total() as f64 / n);
                     }
-                    FinalState::Ring(_) | FinalState::RingKawasaki(_) => {}
+                    FinalState::TwoSided(sim) => {
+                        let field = sim.field();
+                        let n = field.torus().len() as f64;
+                        metrics.insert("unhappy".into(), sim.discontent_count() as f64);
+                        metrics.insert("interface".into(), interface_length(field) as f64);
+                        metrics.insert(
+                            "largest_cluster".into(),
+                            largest_same_type_cluster(field) as f64,
+                        );
+                        metrics.insert("plus_fraction".into(), field.plus_total() as f64 / n);
+                    }
+                    FinalState::Multi(sim) => {
+                        metrics.insert("unhappy".into(), sim.unhappy_count() as f64);
+                        metrics.insert("largest_cluster".into(), sim.largest_cluster() as f64);
+                    }
+                    FinalState::Ring(_) | FinalState::RingKawasaki(_) | FinalState::Probe => {}
                 }
                 Ok(())
             }

@@ -2,6 +2,8 @@
 
 use crate::observe::Observer;
 use crate::spec::{ReplicaTask, Variant};
+use seg_core::interval::IntervalSim;
+use seg_core::multi::MultiSim;
 use seg_core::ring::{RingKawasaki, RingSim};
 use seg_core::trace::trace_run;
 use seg_core::variants::{KawasakiSim, UpdateRule, VariantSim};
@@ -24,6 +26,12 @@ pub enum FinalState {
     Ring(RingSim),
     /// The 1-D Kawasaki ring.
     RingKawasaki(RingKawasaki),
+    /// The §V two-sided comfort band.
+    TwoSided(IntervalSim),
+    /// The k-type extension.
+    Multi(MultiSim),
+    /// No dynamics ran ([`Variant::Probe`]): observers do all the work.
+    Probe,
 }
 
 impl FinalState {
@@ -33,7 +41,11 @@ impl FinalState {
             FinalState::Grid(s) => Some(s.field()),
             FinalState::VariantGrid(s) => Some(s.field()),
             FinalState::Kawasaki(s) => Some(s.field()),
-            FinalState::Ring(_) | FinalState::RingKawasaki(_) => None,
+            FinalState::TwoSided(s) => Some(s.field()),
+            FinalState::Ring(_)
+            | FinalState::RingKawasaki(_)
+            | FinalState::Multi(_)
+            | FinalState::Probe => None,
         }
     }
 
@@ -149,6 +161,22 @@ pub fn run_replica(task: &ReplicaTask, observers: &[Observer]) -> ReplicaRecord 
             let events = k.swaps();
             (FinalState::RingKawasaki(k), events)
         }
+        Variant::TwoSided { tau_hi } => {
+            let mut sim = IntervalSim::random(p.side, p.horizon, p.tau, tau_hi, task.seed);
+            let stable = sim.run(task.max_events);
+            metrics.insert("terminated".into(), f64::from(stable));
+            metrics.insert("discontent".into(), sim.discontent_count() as f64);
+            let events = sim.flips();
+            (FinalState::TwoSided(sim), events)
+        }
+        Variant::MultiType { k } => {
+            let mut sim = MultiSim::random(p.side, p.horizon, k, p.tau, task.seed);
+            let stable = sim.run(task.max_events);
+            metrics.insert("terminated".into(), f64::from(stable));
+            let events = sim.flips();
+            (FinalState::Multi(sim), events)
+        }
+        Variant::Probe => (FinalState::Probe, 0),
     };
 
     metrics.insert("events".into(), events as f64);
@@ -208,6 +236,9 @@ mod tests {
             Variant::Kawasaki,
             Variant::RingGlauber,
             Variant::RingKawasaki,
+            Variant::TwoSided { tau_hi: 0.9 },
+            Variant::MultiType { k: 3 },
+            Variant::Probe,
         ] {
             let rec = run_replica(&task_for(v, 2_000), &[]);
             assert!(rec.metrics.contains_key("events"), "{v}: missing events");

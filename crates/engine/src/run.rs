@@ -1,6 +1,7 @@
 //! The engine: schedules a sweep's replicas across worker threads and
 //! aggregates the results.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::observe::Observer;
 use crate::replica::{run_replica, ReplicaRecord};
 use crate::spec::{SweepPoint, SweepSpec};
@@ -8,6 +9,7 @@ use seg_analysis::bootstrap::{bootstrap_mean_ci, BootstrapCi};
 use seg_analysis::parallel::{default_threads, parallel_map_observed};
 use seg_analysis::stats::Summary;
 use seg_grid::rng::Xoshiro256pp;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -82,17 +84,71 @@ impl Engine {
 
     /// Runs every replica of the sweep, applying `observers` to each.
     pub fn run(&self, spec: &SweepSpec, observers: &[Observer]) -> SweepResult {
+        self.run_inner(spec, observers, Vec::new(), None)
+    }
+
+    /// Like [`Engine::run`], journaling every completed replica to the
+    /// checkpoint at `path` and skipping the replicas already recorded
+    /// there. A sweep killed mid-run resumes where it left off, and the
+    /// merged result is bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when the journal is corrupt, belongs to a
+    /// different spec, or cannot be read — the run does not start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if *appending* to the journal fails mid-sweep (like
+    /// observer artifact output, a sweep that cannot persist its results
+    /// is a failed experiment).
+    pub fn run_with_checkpoint(
+        &self,
+        spec: &SweepSpec,
+        observers: &[Observer],
+        path: &Path,
+    ) -> Result<SweepResult, CheckpointError> {
+        let (completed, journal) = Checkpoint::resume(path, spec)?;
+        let resumed = completed.iter().flatten().count();
+        if self.progress && resumed > 0 {
+            eprintln!(
+                "sweep: resuming from {} ({resumed}/{} replicas already done)",
+                path.display(),
+                spec.task_count()
+            );
+        }
+        Ok(self.run_inner(spec, observers, completed, Some(&journal)))
+    }
+
+    fn run_inner(
+        &self,
+        spec: &SweepSpec,
+        observers: &[Observer],
+        completed: Vec<Option<ReplicaRecord>>,
+        journal: Option<&Checkpoint>,
+    ) -> SweepResult {
         let tasks = spec.tasks();
         let total = tasks.len();
+        let pending: Vec<usize> = if completed.is_empty() {
+            (0..total).collect()
+        } else {
+            (0..total).filter(|&i| completed[i].is_none()).collect()
+        };
         let started = Instant::now();
-        let done = AtomicUsize::new(0);
+        let initial = total - pending.len();
+        let done = AtomicUsize::new(initial);
         let events = AtomicU64::new(0);
         let last_print = Mutex::new(Instant::now());
-        let records = parallel_map_observed(
-            total,
+        let fresh = parallel_map_observed(
+            pending.len(),
             self.threads,
-            |i| run_replica(&tasks[i], observers),
+            |i| run_replica(&tasks[pending[i]], observers),
             |_, rec: &ReplicaRecord| {
+                if let Some(journal) = journal {
+                    journal
+                        .append(rec)
+                        .unwrap_or_else(|e| panic!("checkpoint append failed: {e}"));
+                }
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 let e = events.fetch_add(rec.events, Ordering::Relaxed) + rec.events;
                 if self.progress {
@@ -102,13 +158,25 @@ impl Engine {
                         let secs = started.elapsed().as_secs_f64().max(1e-9);
                         eprintln!(
                             "sweep: {d}/{total} replicas  ({:.1} replicas/s, {:.2e} events/s)",
-                            d as f64 / secs,
+                            (d - initial) as f64 / secs,
                             e as f64 / secs
                         );
                     }
                 }
             },
         );
+        let records = if completed.is_empty() {
+            fresh
+        } else {
+            let mut slots = completed;
+            for (slot, rec) in pending.into_iter().zip(fresh) {
+                slots[slot] = Some(rec);
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every task completed or resumed"))
+                .collect()
+        };
         SweepResult {
             spec: spec.clone(),
             records,

@@ -62,7 +62,7 @@ fn base_cells(rec: &crate::replica::ReplicaRecord) -> Vec<String> {
 
 /// Shortest round-trip decimal for a float (serde-style), so output is
 /// compact and bit-faithful.
-fn format_f64(x: f64) -> String {
+pub(crate) fn format_f64(x: f64) -> String {
     let s = format!("{x}");
     if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
         s

@@ -38,6 +38,27 @@ pub enum Variant {
     /// The 1-D Kawasaki ring baseline
     /// ([`seg_core::ring::RingKawasaki`]).
     RingKawasaki,
+    /// The §V two-sided comfort band ([`seg_core::interval::IntervalSim`]):
+    /// agents are content only when their same-type fraction lies in
+    /// `[τ, τ_hi]`. The point's `tau` is the lower edge `τ_lo`.
+    TwoSided {
+        /// Upper edge of the comfort band.
+        tau_hi: f64,
+    },
+    /// The k-type (Potts-like) extension of §I-A
+    /// ([`seg_core::multi::MultiSim`]); the point's `density` is ignored
+    /// (types are drawn uniformly).
+    MultiType {
+        /// Number of agent types, `k ≥ 2`.
+        k: u8,
+    },
+    /// No dynamics at all: the replica is a vehicle for
+    /// [`Observer::Custom`](crate::Observer::Custom) measurements with the
+    /// replica-seeded RNG. Substrate experiments (percolation, FPP,
+    /// closed-form theory curves) use this to put their sampling on the
+    /// engine's scheduling/seeding/sink rails; the point's `side` and
+    /// `density` are free parameter slots for the observer to interpret.
+    Probe,
 }
 
 impl Variant {
@@ -50,6 +71,9 @@ impl Variant {
             Variant::Kawasaki => "kawasaki".into(),
             Variant::RingGlauber => "ring-glauber".into(),
             Variant::RingKawasaki => "ring-kawasaki".into(),
+            Variant::TwoSided { tau_hi } => format!("two-sided({tau_hi})"),
+            Variant::MultiType { k } => format!("multi({k})"),
+            Variant::Probe => "probe".into(),
         }
     }
 }
@@ -73,6 +97,45 @@ pub struct SweepPoint {
     pub density: f64,
     /// The dynamics run at this point.
     pub variant: Variant,
+    /// Per-point event-budget override. `None` inherits the spec's
+    /// [`SweepSpec::max_events`]. Points of one sweep may stop at
+    /// different depths of the *same* trajectory by combining budgets
+    /// with [`SeedMode::CommonRandomNumbers`] (the staged-snapshot
+    /// pattern of `fig1_snapshots`).
+    pub budget: Option<u64>,
+}
+
+impl SweepPoint {
+    /// A paper-variant point at density 1/2 with no budget override —
+    /// the common case; adjust with the `with_*` methods.
+    pub fn new(side: u32, horizon: u32, tau: f64) -> Self {
+        SweepPoint {
+            side,
+            horizon,
+            tau,
+            density: 0.5,
+            variant: Variant::Paper,
+            budget: None,
+        }
+    }
+
+    /// Sets the initial `+1` density.
+    pub fn with_density(mut self, p: f64) -> Self {
+        self.density = p;
+        self
+    }
+
+    /// Sets the dynamics variant.
+    pub fn with_variant(mut self, v: Variant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Sets this point's event budget, overriding the spec-wide one.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
 }
 
 /// How replica seeds derive from the master seed.
@@ -174,7 +237,7 @@ impl SweepSpec {
                         },
                         replica as u64,
                     ),
-                    max_events: self.max_events,
+                    max_events: point.budget.unwrap_or(self.max_events),
                 });
             }
         }
@@ -352,6 +415,7 @@ impl SweepSpecBuilder {
                                     tau,
                                     density,
                                     variant,
+                                    budget: None,
                                 });
                             }
                         }
@@ -375,6 +439,16 @@ impl SweepSpecBuilder {
                 (0.0..=1.0).contains(&p.density),
                 "density must lie in [0, 1]"
             );
+            match p.variant {
+                Variant::TwoSided { tau_hi } => assert!(
+                    (0.0..=1.0).contains(&tau_hi) && tau_hi >= p.tau,
+                    "two-sided band needs tau <= tau_hi <= 1"
+                ),
+                Variant::MultiType { k } => {
+                    assert!(k >= 2, "multi-type model needs at least two types")
+                }
+                _ => {}
+            }
         }
         SweepSpec {
             points,
@@ -408,13 +482,7 @@ mod tests {
 
     #[test]
     fn explicit_points_precede_grid_points() {
-        let p = SweepPoint {
-            side: 96,
-            horizon: 2,
-            tau: 0.42,
-            density: 0.5,
-            variant: Variant::Paper,
-        };
+        let p = SweepPoint::new(96, 2, 0.42);
         let spec = SweepSpec::builder()
             .point(p)
             .side(32)
@@ -534,5 +602,42 @@ mod tests {
         assert_eq!(Variant::Paper.label(), "paper");
         assert_eq!(Variant::Noise(0.01).label(), "noise(0.01)");
         assert_eq!(Variant::RingKawasaki.to_string(), "ring-kawasaki");
+        assert_eq!(Variant::TwoSided { tau_hi: 0.9 }.label(), "two-sided(0.9)");
+        assert_eq!(Variant::MultiType { k: 4 }.label(), "multi(4)");
+        assert_eq!(Variant::Probe.label(), "probe");
+    }
+
+    #[test]
+    fn point_budget_overrides_spec_budget() {
+        let spec = SweepSpec::builder()
+            .point(SweepPoint::new(32, 1, 0.4).with_budget(7))
+            .point(SweepPoint::new(32, 1, 0.4))
+            .max_events(1000)
+            .build();
+        let tasks = spec.tasks();
+        assert_eq!(tasks[0].max_events, 7);
+        assert_eq!(tasks[1].max_events, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau <= tau_hi")]
+    fn inverted_comfort_band_panics() {
+        let _ = SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .tau(0.5)
+            .variant(Variant::TwoSided { tau_hi: 0.4 })
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two types")]
+    fn degenerate_multi_type_panics() {
+        let _ = SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .tau(0.3)
+            .variant(Variant::MultiType { k: 1 })
+            .build();
     }
 }

@@ -68,7 +68,7 @@ pub fn total_interval_width() -> f64 {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Regime {
     /// `τ ≤ 1/4` (or `τ ≥ 3/4`): the initial configuration is static
-    /// w.h.p. (Barmpalias et al. [26], cited in §I-A).
+    /// w.h.p. (Barmpalias et al. \[26\], cited in §I-A).
     StaticWhp,
     /// `τ ∈ (1/4, τ2]` (or mirrored): behavior unknown (§V).
     Unknown,

@@ -61,4 +61,20 @@ fn main() {
         t.events_per_sec,
         t.threads
     );
+
+    // 6. Long sweeps are restartable: journal completed replicas to a
+    //    checkpoint. Kill the process at any point and rerun — recorded
+    //    replicas are skipped and the merged result is bit-identical to
+    //    an uninterrupted run. (This second run reads everything back
+    //    from the journal the line above just wrote, running nothing.)
+    let journal = dir.join("sweep.ckpt.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    Engine::new()
+        .run_with_checkpoint(&spec, &[Observer::TerminalStats], &journal)
+        .expect("first checkpointed run");
+    let resumed = Engine::new()
+        .run_with_checkpoint(&spec, &[Observer::TerminalStats], &journal)
+        .expect("resume from journal");
+    assert_eq!(resumed.records().len(), result.records().len());
+    println!("checkpoint journal: {}", journal.display());
 }

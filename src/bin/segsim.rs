@@ -158,10 +158,19 @@ fn parse_variant(raw: &str) -> Result<Variant, String> {
             if let Some(eps) = other.strip_prefix("noise:") {
                 let eps: f64 = eps.parse().map_err(|e| format!("--variant noise: {e}"))?;
                 Ok(Variant::Noise(eps))
+            } else if let Some(hi) = other.strip_prefix("two-sided:") {
+                let tau_hi: f64 = hi
+                    .parse()
+                    .map_err(|e| format!("--variant two-sided: {e}"))?;
+                Ok(Variant::TwoSided { tau_hi })
+            } else if let Some(k) = other.strip_prefix("multi:") {
+                let k: u8 = k.parse().map_err(|e| format!("--variant multi: {e}"))?;
+                Ok(Variant::MultiType { k })
             } else {
                 Err(format!(
                     "unknown variant {other} (expected paper, flip-when-unhappy, \
-                     noise:EPS, kawasaki, ring-glauber, ring-kawasaki)"
+                     noise:EPS, kawasaki, ring-glauber, ring-kawasaki, \
+                     two-sided:TAU_HI, multi:K)"
                 ))
             }
         }
@@ -252,7 +261,9 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
         engine_args.threads,
         spec.master_seed(),
     );
-    let result = engine_args.engine().run(&spec, &observers);
+    let result = engine_args
+        .run(&spec, &observers)
+        .map_err(|e| e.to_string())?;
 
     let mut table = Table::new(vec![
         "side".into(),

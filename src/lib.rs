@@ -12,7 +12,7 @@
 //! and downstream users can depend on a single crate:
 //!
 //! - [`seg_core`] — the model and its analysis (start at
-//!   [`ModelConfig`]);
+//!   [`seg_core::ModelConfig`]);
 //! - [`seg_grid`] — torus geometry, spin fields, windows, blocks;
 //! - [`seg_theory`] — the paper's closed-form constants and bounds;
 //! - [`seg_percolation`] — site percolation, chemical distance, FPP;
@@ -53,7 +53,10 @@ pub mod prelude {
         almost_monochromatic_region, expected_monochromatic_size, monochromatic_region,
     };
     pub use seg_core::{Intolerance, ModelConfig, RunReport, Simulation};
-    pub use seg_engine::{Engine, Observer, Sink, SweepSpec, Variant};
+    pub use seg_engine::{
+        Checkpoint, CheckpointError, Engine, Observer, SeedMode, Sink, SweepPoint, SweepSpec,
+        Variant,
+    };
     pub use seg_grid::rng::Xoshiro256pp;
     pub use seg_grid::{AgentType, Neighborhood, Point, PrefixSums, Torus, TypeField};
     pub use seg_theory::constants::{classify, tau1, tau2, Regime};
