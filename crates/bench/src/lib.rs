@@ -6,7 +6,10 @@
 //! binary to the theorem/figure/claim it reproduces, its flags, expected
 //! runtime and outputs. All binaries run on `seg_engine` (a `SweepSpec`
 //! plus observers; no hand-rolled parameter/seed loops) and share the
-//! unified `--threads/--seed/--out/--replicas/--checkpoint` interface.
+//! unified `--threads/--seed/--out/--replicas/--checkpoint/--shard/--stream`
+//! interface — which also means every one of them can run as one worker
+//! of a multi-process sharded sweep (`--shard I/M`, merged by rerunning
+//! without the flag; see `seg_shard`).
 //! This library holds the logic they share: the base seed, flag parsing,
 //! checkpoint-aware sweep running, sink tagging, and banner printing.
 
@@ -29,9 +32,10 @@ pub fn banner(id: &str, paper_artifact: &str, params: &str) {
 }
 
 /// Parses the engine's unified flags (`--threads`, `--seed`, `--out`,
-/// `--replicas`, `--checkpoint`) for a harness binary, printing usage and
-/// exiting on `--help`, on an unknown flag, or on a malformed value.
-/// Every engine-backed binary accepts exactly this interface.
+/// `--replicas`, `--checkpoint`, `--shard`, `--stream`) for a harness
+/// binary, printing usage and exiting on `--help`, on an unknown flag,
+/// or on a malformed value. Every engine-backed binary accepts exactly
+/// this interface.
 pub fn usage_or_die(bin: &str, args: &[String]) -> seg_engine::EngineArgs {
     let (engine_args, rest) = usage_or_die_with_rest(bin, "", args);
     if let Some(extra) = rest.first() {
@@ -76,6 +80,16 @@ pub fn usage_or_die_with_rest(
 /// own derived journal; single-sweep binaries pass `""` to use the
 /// `--checkpoint` path as-is. A checkpoint that cannot be used (corrupt
 /// file, changed flags) is a clean exit, not a panic.
+///
+/// Under `--shard I/M` the returned result would be *partial*, and the
+/// analysis code after this call — positional tables, fits, bootstrap
+/// CIs — assumes every point has replicas. So a shard worker's job ends
+/// here: once its share of the sweep is journaled, the process exits
+/// successfully instead of returning. (For binaries that run several
+/// sweeps, invoke the worker again once the other shards catch up — each
+/// already-complete sweep then resumes instantly from the journals and
+/// the run proceeds to the next one. The final analysis/output run is
+/// the same command without `--shard`.)
 pub fn run_sweep(
     engine_args: &seg_engine::EngineArgs,
     name: &str,
@@ -83,7 +97,22 @@ pub fn run_sweep(
     observers: &[seg_engine::Observer],
 ) -> seg_engine::SweepResult {
     match engine_args.run_named(name, spec, observers) {
-        Ok(result) => result,
+        Ok(result) => {
+            if !result.is_complete() {
+                let shard = engine_args
+                    .shard
+                    .expect("only --shard runs produce partial results");
+                let label = if name.is_empty() { "the sweep" } else { name };
+                println!(
+                    "shard {shard}: {} of {} replicas of {label} journaled; run the \
+                     remaining shards, then rerun without --shard to analyze",
+                    result.records().len(),
+                    spec.task_count(),
+                );
+                std::process::exit(0);
+            }
+            result
+        }
         Err(e) => {
             eprintln!("{e}");
             std::process::exit(2);
@@ -94,6 +123,10 @@ pub fn run_sweep(
 /// Writes the per-replica rows of `result` to the `--out` sink when one
 /// was requested, tagging the path with `name` the same way
 /// [`run_sweep`] tags checkpoints (empty `name` = path as-is).
+///
+/// A partial result (a `--shard` worker's share of the sweep) is *not*
+/// written: the canonical rows come from the merge run, and a partial
+/// file at the same path would only masquerade as them.
 pub fn write_rows(
     engine_args: &seg_engine::EngineArgs,
     name: &str,
@@ -102,6 +135,22 @@ pub fn write_rows(
     let Some(sink) = engine_args.sink() else {
         return;
     };
+    if !result.is_complete() {
+        println!(
+            "shard run: skipping per-replica rows ({} of {} tasks here); rerun \
+             without --shard after all shards finish to write them",
+            result.records().len(),
+            result.records().len() + result.missing_tasks(),
+        );
+        return;
+    }
+    if engine_args.stream {
+        // `--stream` already wrote every row as its replica finished;
+        // rewriting identical bytes would blank the file under a tail -f
+        let tagged = seg_engine::tag_path(sink.path(), name, "rows", "csv");
+        println!("per-replica rows streamed to {}", tagged.display());
+        return;
+    }
     let tagged = seg_engine::tag_path(sink.path(), name, "rows", "csv");
     let sink = match sink {
         seg_engine::Sink::Jsonl(_) => seg_engine::Sink::Jsonl(tagged),

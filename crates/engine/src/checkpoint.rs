@@ -23,10 +23,16 @@
 //! Metric values are serialized with the same shortest-round-trip
 //! formatting as the sinks, with `inf`/`-inf`/`NaN` spelled out, so a
 //! resumed sweep reproduces sink output byte for byte.
+//!
+//! Sharded sweeps reuse the same journal format: each `--shard i/M`
+//! worker appends to its own [`shard_journal_path`] next to the base
+//! path, and any resume absorbs every sibling journal it finds — so
+//! "merge the shards" is simply "resume the base journal" (the
+//! `seg_shard` crate builds its coordinator and merge step on this).
 
 use crate::replica::ReplicaRecord;
 use crate::sink::format_f64;
-use crate::spec::SweepSpec;
+use crate::spec::{ShardIndex, SweepSpec};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -54,6 +60,14 @@ pub enum CheckpointError {
         /// The journal path.
         path: PathBuf,
     },
+    /// A streaming sink's existing output could not be reused (it was
+    /// written by a different sweep, or could not be opened).
+    Stream {
+        /// The sink path.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -71,6 +85,9 @@ impl fmt::Display for CheckpointError {
                  rerun with the original flags or delete the file to start over",
                 path.display()
             ),
+            CheckpointError::Stream { path, source } => {
+                write!(f, "streaming sink {}: {source}", path.display())
+            }
         }
     }
 }
@@ -115,6 +132,154 @@ pub fn spec_fingerprint(spec: &SweepSpec) -> u64 {
     h
 }
 
+/// The journal a shard worker appends to when one sweep is partitioned
+/// across processes: `dir/ck.jsonl` → `dir/ck.shard0of4.jsonl`. Every
+/// shard journal of one sweep lives next to the base path, so the merge
+/// step discovers them with [`find_shard_journals`].
+pub fn shard_journal_path(base: &Path, shard: ShardIndex) -> PathBuf {
+    let stem = base
+        .file_stem()
+        .map_or_else(|| "checkpoint".into(), |s| s.to_string_lossy().into_owned());
+    let name = match base.extension() {
+        Some(e) => format!(
+            "{stem}.shard{}of{}.{}",
+            shard.index,
+            shard.count,
+            e.to_string_lossy()
+        ),
+        None => format!("{stem}.shard{}of{}", shard.index, shard.count),
+    };
+    base.with_file_name(name)
+}
+
+fn is_shard_tag(s: &str) -> bool {
+    s.split_once("of").is_some_and(|(i, m)| {
+        !i.is_empty()
+            && !m.is_empty()
+            && i.bytes().all(|c| c.is_ascii_digit())
+            && m.bytes().all(|c| c.is_ascii_digit())
+    })
+}
+
+/// Every shard journal sitting next to the base checkpoint path
+/// (`ck.shard<I>of<M>.jsonl` for the base `ck.jsonl`), sorted by file
+/// name so absorption order is deterministic. Journals written under
+/// different shard counts are all returned — records are keyed by global
+/// task index, so they merge regardless of how the sweep was split.
+///
+/// # Errors
+///
+/// Any I/O error from listing the directory (a missing directory is an
+/// empty result, not an error).
+pub fn find_shard_journals(base: &Path) -> io::Result<Vec<PathBuf>> {
+    let dir = match base.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let stem = base
+        .file_stem()
+        .map_or_else(|| "checkpoint".into(), |s| s.to_string_lossy().into_owned());
+    let prefix = format!("{stem}.shard");
+    let suffix = base
+        .extension()
+        .map(|e| format!(".{}", e.to_string_lossy()))
+        .unwrap_or_default();
+    let mut out = Vec::new();
+    match std::fs::read_dir(&dir) {
+        Ok(entries) => {
+            for entry in entries {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(tag) = name
+                    .strip_prefix(&prefix)
+                    .and_then(|r| r.strip_suffix(&suffix))
+                {
+                    if is_shard_tag(tag) {
+                        out.push(entry.path());
+                    }
+                }
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// What scanning one journal file found (besides its records).
+struct JournalScan {
+    /// The file had no (valid) header line yet.
+    needs_header: bool,
+    /// Byte length to truncate to before appending, when the file ends
+    /// in a torn partial line.
+    truncate_to: Option<u64>,
+}
+
+/// Reads one journal, validating it against the spec and absorbing its
+/// records into `completed` (last write wins — duplicates across
+/// journals are identical by determinism). Returns `None` when the file
+/// does not exist. A trailing fragment with no newline is a torn write:
+/// its record is dropped (that replica simply reruns) and its byte
+/// offset reported so the *owner* of the file can cut it off — readers
+/// of other processes' journals must leave it alone, since the writer
+/// may still be mid-append.
+fn scan_journal(
+    path: &Path,
+    fingerprint: u64,
+    tasks: &[crate::spec::ReplicaTask],
+    completed: &mut [Option<ReplicaRecord>],
+) -> Result<Option<JournalScan>, CheckpointError> {
+    let text = match std::fs::read(path) {
+        Ok(bytes) => String::from_utf8(bytes).map_err(|_| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            line: 0,
+            reason: "journal is not valid UTF-8".into(),
+        })?,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut scan = JournalScan {
+        needs_header: true,
+        truncate_to: None,
+    };
+    let complete = match text.rfind('\n') {
+        Some(i) => &text[..i],
+        None => "",
+    };
+    if !text.is_empty() && !text.ends_with('\n') {
+        scan.truncate_to = Some(text.rfind('\n').map_or(0, |i| i as u64 + 1));
+    }
+    for (lineno, line) in complete.lines().enumerate() {
+        let corrupt = |reason: String| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            line: lineno + 1,
+            reason,
+        };
+        if lineno == 0 {
+            let (fp, ntasks) = parse_header(line).map_err(corrupt)?;
+            if fp != fingerprint || ntasks != tasks.len() as u64 {
+                return Err(CheckpointError::SpecMismatch {
+                    path: path.to_path_buf(),
+                });
+            }
+            scan.needs_header = false;
+            continue;
+        }
+        let (index, events, metrics) = parse_record(line).map_err(corrupt)?;
+        let slot = completed
+            .get_mut(index)
+            .ok_or_else(|| corrupt(format!("task index {index} out of range")))?;
+        *slot = Some(ReplicaRecord {
+            task: tasks[index],
+            events,
+            wall_secs: 0.0,
+            metrics,
+        });
+    }
+    Ok(Some(scan))
+}
+
 /// An open checkpoint journal the engine appends completed replicas to.
 ///
 /// Construct with [`Checkpoint::resume`]; pass the already-completed
@@ -128,77 +293,102 @@ impl Checkpoint {
     /// Opens (or creates) the journal at `path` for `spec`, returning
     /// the records it already holds — indexed by task, `None` where the
     /// task has not completed — and the journal handle for appending.
+    /// Missing parent directories are created.
+    ///
+    /// Shard journals written next to `path` by `--shard` workers (see
+    /// [`shard_journal_path`]) are absorbed read-only, so resuming the
+    /// base journal after a sharded run *is* the merge step: every
+    /// replica any shard completed is skipped, and only genuine
+    /// leftovers rerun.
     ///
     /// # Errors
     ///
-    /// [`CheckpointError::SpecMismatch`] when the journal belongs to a
+    /// [`CheckpointError::SpecMismatch`] when any journal belongs to a
     /// different spec, [`CheckpointError::Corrupt`] for a malformed
     /// complete line, [`CheckpointError::Io`] for filesystem failures.
     pub fn resume(
         path: &Path,
         spec: &SweepSpec,
     ) -> Result<(Vec<Option<ReplicaRecord>>, Checkpoint), CheckpointError> {
+        Checkpoint::resume_sharded(path, spec, None)
+    }
+
+    /// Reads the records the base journal and every sibling shard
+    /// journal hold, **without touching any file**: nothing is created,
+    /// truncated or opened for append, so it is safe to call while
+    /// workers are live (their torn trailing lines are tolerated and
+    /// left alone). This is the status/monitoring counterpart of
+    /// [`Checkpoint::resume`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::resume`].
+    pub fn peek(
+        base: &Path,
+        spec: &SweepSpec,
+    ) -> Result<Vec<Option<ReplicaRecord>>, CheckpointError> {
         let fingerprint = spec_fingerprint(spec);
         let tasks = spec.tasks();
         let mut completed: Vec<Option<ReplicaRecord>> = vec![None; tasks.len()];
-        let mut needs_header = true;
-        let mut truncate_to = None;
-        match std::fs::read(path) {
-            Ok(bytes) => {
-                let text = String::from_utf8(bytes).map_err(|_| CheckpointError::Corrupt {
-                    path: path.to_path_buf(),
-                    line: 0,
-                    reason: "journal is not valid UTF-8".into(),
-                })?;
-                // a trailing fragment with no newline is a torn write:
-                // drop it (that replica reruns); every complete line
-                // must parse.
-                let complete = match text.rfind('\n') {
-                    Some(i) => &text[..i],
-                    None => "",
-                };
-                if !text.is_empty() && !text.ends_with('\n') {
-                    // cut the fragment off before appending, or the next
-                    // record would glue onto it and corrupt the journal
-                    truncate_to = Some(text.rfind('\n').map_or(0, |i| i as u64 + 1));
-                }
-                for (lineno, line) in complete.lines().enumerate() {
-                    let corrupt = |reason: String| CheckpointError::Corrupt {
-                        path: path.to_path_buf(),
-                        line: lineno + 1,
-                        reason,
-                    };
-                    if lineno == 0 {
-                        let (fp, ntasks) = parse_header(line).map_err(corrupt)?;
-                        if fp != fingerprint || ntasks != tasks.len() as u64 {
-                            return Err(CheckpointError::SpecMismatch {
-                                path: path.to_path_buf(),
-                            });
-                        }
-                        needs_header = false;
-                        continue;
-                    }
-                    let (index, events, metrics) = parse_record(line).map_err(corrupt)?;
-                    let slot = completed
-                        .get_mut(index)
-                        .ok_or_else(|| corrupt(format!("task index {index} out of range")))?;
-                    // duplicates are possible after repeated resumes and
-                    // are identical by determinism; last wins
-                    *slot = Some(ReplicaRecord {
-                        task: tasks[index],
-                        events,
-                        wall_secs: 0.0,
-                        metrics,
-                    });
-                }
+        scan_journal(base, fingerprint, &tasks, &mut completed)?;
+        for sibling in find_shard_journals(base)? {
+            scan_journal(&sibling, fingerprint, &tasks, &mut completed)?;
+        }
+        Ok(completed)
+    }
+
+    /// [`Checkpoint::resume`] for one worker of a sharded sweep: the
+    /// worker's own journal is [`shard_journal_path`]`(base, shard)` —
+    /// that is what gets created, truncated after a torn write, and
+    /// appended to — while the base journal and every *other* shard
+    /// journal are absorbed read-only (their torn trailing lines are
+    /// tolerated but never truncated: their writers may be mid-append).
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::resume`].
+    pub fn resume_sharded(
+        base: &Path,
+        spec: &SweepSpec,
+        shard: Option<ShardIndex>,
+    ) -> Result<(Vec<Option<ReplicaRecord>>, Checkpoint), CheckpointError> {
+        let fingerprint = spec_fingerprint(spec);
+        let tasks = spec.tasks();
+        let mut completed: Vec<Option<ReplicaRecord>> = vec![None; tasks.len()];
+        let own = match shard {
+            Some(s) => shard_journal_path(base, s),
+            None => base.to_path_buf(),
+        };
+        // absorb the read-only siblings first: the base journal (when a
+        // worker resumes) and every shard journal that is not our own
+        let mut siblings = find_shard_journals(base)?;
+        if shard.is_some() {
+            siblings.insert(0, base.to_path_buf());
+        }
+        for sibling in siblings {
+            if sibling.file_name() == own.file_name() {
+                continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e.into()),
+            scan_journal(&sibling, fingerprint, &tasks, &mut completed)?;
         }
+        // then our own journal, which we may repair (truncate a torn
+        // trailing write) and will append to
+        let scan = scan_journal(&own, fingerprint, &tasks, &mut completed)?;
+        let (needs_header, truncate_to) = match scan {
+            Some(s) => (s.needs_header, s.truncate_to),
+            None => (true, None),
+        };
         if let Some(len) = truncate_to {
-            OpenOptions::new().write(true).open(path)?.set_len(len)?;
+            // cut the fragment off before appending, or the next record
+            // would glue onto it and corrupt the journal
+            OpenOptions::new().write(true).open(&own)?.set_len(len)?;
         }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        if let Some(parent) = own.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&own)?;
         let mut writer = BufWriter::new(file);
         if needs_header {
             writeln!(
@@ -358,6 +548,65 @@ mod tests {
         let (_, _, empty) =
             parse_record("{\"kind\":\"record\",\"task\":0,\"events\":0,\"metrics\":{}}").unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn shard_journal_paths_derive_from_the_base() {
+        let base = PathBuf::from("runs/ck.jsonl");
+        assert_eq!(
+            shard_journal_path(&base, ShardIndex::new(0, 2)),
+            PathBuf::from("runs/ck.shard0of2.jsonl")
+        );
+        assert_eq!(
+            shard_journal_path(Path::new("ck"), ShardIndex::new(3, 8)),
+            PathBuf::from("ck.shard3of8")
+        );
+    }
+
+    #[test]
+    fn shard_journal_discovery_matches_only_the_pattern() {
+        let dir = std::env::temp_dir().join("seg_engine_shard_discovery");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("ck.jsonl");
+        for name in [
+            "ck.shard0of2.jsonl",
+            "ck.shard1of2.jsonl",
+            "ck.shard0of3.jsonl", // different count still matches
+            "ck.jsonl",           // the base itself is not a shard journal
+            "ck.shardXof2.jsonl", // malformed tag
+            "other.shard0of2.jsonl",
+            "ck.shard0of2.csv",
+        ] {
+            std::fs::write(dir.join(name), "").unwrap();
+        }
+        let found = find_shard_journals(&base).unwrap();
+        let names: Vec<String> = found
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "ck.shard0of2.jsonl",
+                "ck.shard0of3.jsonl",
+                "ck.shard1of2.jsonl"
+            ]
+        );
+        // a missing directory is an empty result, not an error
+        assert!(find_shard_journals(&dir.join("nowhere").join("ck.jsonl"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn resume_creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join("seg_engine_ckpt_mkdir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep").join("nested").join("ck.jsonl");
+        let spec = spec(3);
+        let (_completed, _journal) = Checkpoint::resume(&path, &spec).unwrap();
+        assert!(path.exists());
     }
 
     #[test]

@@ -10,18 +10,29 @@
 //! --out FILE.csv     per-replica CSV sink  (default: none — print tables only)
 //! --replicas K       replicas per point    (default: experiment-specific)
 //! --checkpoint FILE  journal completed replicas to FILE and resume from it
+//! --shard I/M        run only shard I of M (requires --checkpoint)
+//! --stream           append --out rows as replicas finish (needs .jsonl)
 //! ```
 //!
 //! With `--checkpoint`, a killed sweep rerun under the same flags skips
 //! every replica already journaled (see [`crate::checkpoint`]); binaries
 //! that run several sweeps derive one journal per sweep from the flag's
 //! path via [`EngineArgs::run_named`].
+//!
+//! With `--shard I/M`, the binary becomes one worker of an M-process
+//! sweep: it runs only the tasks shard `I` owns, journaling them to a
+//! shard journal next to the `--checkpoint` path. Run all M shards
+//! (any mix of hosts sharing the checkpoint directory), then rerun the
+//! same command *without* `--shard` to merge: the resume absorbs every
+//! shard journal, runs any leftovers, and emits output byte-identical
+//! to a single-process run. The `seg_shard` crate's coordinator (and
+//! `segsim shard`) automates exactly this.
 
 use crate::checkpoint::CheckpointError;
 use crate::observe::Observer;
 use crate::run::{Engine, SweepResult};
-use crate::sink::Sink;
-use crate::spec::SweepSpec;
+use crate::sink::{Sink, StreamingSink};
+use crate::spec::{ShardIndex, SweepSpec};
 use seg_analysis::parallel::default_threads;
 use std::path::{Path, PathBuf};
 
@@ -58,6 +69,12 @@ pub struct EngineArgs {
     pub replicas: Option<u32>,
     /// Checkpoint journal for resumable sweeps.
     pub checkpoint: Option<PathBuf>,
+    /// Run only one shard of the task list (`--shard I/M`), journaling
+    /// to a shard journal next to the `--checkpoint` path.
+    pub shard: Option<ShardIndex>,
+    /// Stream `--out` rows as replicas finish instead of buffering to
+    /// the end (`.jsonl` sinks only).
+    pub stream: bool,
 }
 
 impl Default for EngineArgs {
@@ -68,14 +85,16 @@ impl Default for EngineArgs {
             out: None,
             replicas: None,
             checkpoint: None,
+            shard: None,
+            stream: false,
         }
     }
 }
 
 /// Help-text fragment describing the common flags (append to a binary's
 /// usage line).
-pub const ENGINE_USAGE: &str =
-    "[--threads N] [--seed S] [--out FILE.csv|FILE.jsonl] [--replicas K] [--checkpoint FILE.jsonl]";
+pub const ENGINE_USAGE: &str = "[--threads N] [--seed S] [--out FILE.csv|FILE.jsonl] \
+[--replicas K] [--checkpoint FILE.jsonl] [--shard I/M] [--stream]";
 
 impl EngineArgs {
     /// Parses the common flags out of `args`, returning the parsed flags
@@ -114,6 +133,14 @@ impl EngineArgs {
                 }
                 "--out" => out.out = Some(PathBuf::from(value("--out")?)),
                 "--checkpoint" => out.checkpoint = Some(PathBuf::from(value("--checkpoint")?)),
+                "--shard" => {
+                    out.shard = Some(
+                        value("--shard")?
+                            .parse()
+                            .map_err(|e| format!("--shard: {e}"))?,
+                    )
+                }
+                "--stream" => out.stream = true,
                 "--replicas" => {
                     let k: u32 = value("--replicas")?
                         .parse()
@@ -126,16 +153,44 @@ impl EngineArgs {
                 other => rest.push(other.to_string()),
             }
         }
+        if out.shard.is_some() && out.checkpoint.is_none() {
+            return Err(
+                "--shard needs --checkpoint: the shard journals next to that path are \
+                 how the shards get merged"
+                    .into(),
+            );
+        }
+        if out.stream {
+            if out.shard.is_some() {
+                return Err(
+                    "--stream cannot be combined with --shard (rows release in task order, \
+                     which a single shard never completes); stream the merge run instead"
+                        .into(),
+                );
+            }
+            match &out.out {
+                Some(p) if p.extension().is_some_and(|e| e == "jsonl") => {}
+                Some(_) => {
+                    return Err(
+                        "--stream needs a .jsonl --out (CSV columns are only known once \
+                         every replica has run; use the StreamingSink API for fixed columns)"
+                            .into(),
+                    )
+                }
+                None => return Err("--stream needs --out".into()),
+            }
+        }
         Ok((out, rest))
     }
 
     /// An [`Engine`] configured from these flags (progress on when a sink
     /// or checkpoint is requested, since those runs tend to be the long
-    /// ones).
+    /// ones; sharded when `--shard` was given).
     pub fn engine(&self) -> Engine {
         Engine::new()
             .threads(self.threads)
             .progress(self.out.is_some() || self.checkpoint.is_some())
+            .shard_opt(self.shard)
     }
 
     /// The sink selected by `--out`, if any (`.jsonl` extension selects
@@ -150,45 +205,76 @@ impl EngineArgs {
         })
     }
 
-    /// Runs one sweep under these flags: builds the engine and, when
-    /// `--checkpoint` was given, journals/resumes through it.
+    /// Runs one sweep under these flags: builds the engine; journals
+    /// to/resumes from `--checkpoint`; restricts to `--shard`'s tasks
+    /// (the result is then partial — see [`SweepResult::is_complete`]);
+    /// streams `--out` rows as replicas finish under `--stream`.
     ///
     /// # Errors
     ///
-    /// [`CheckpointError`] when the checkpoint cannot be used (see
-    /// [`Engine::run_with_checkpoint`]).
+    /// [`CheckpointError`] when the checkpoint or the streamed output
+    /// cannot be used (see [`Engine::run_with_checkpoint`]).
     pub fn run(
         &self,
         spec: &SweepSpec,
         observers: &[Observer],
     ) -> Result<SweepResult, CheckpointError> {
-        match &self.checkpoint {
-            Some(path) => self.engine().run_with_checkpoint(spec, observers, path),
-            None => Ok(self.engine().run(spec, observers)),
-        }
+        self.run_named("", spec, observers)
     }
 
     /// [`EngineArgs::run`] for binaries that run several sweeps: a
     /// non-empty `name` derives a per-sweep journal from the
-    /// `--checkpoint` path (`ckpt.jsonl` → `ckpt-name.jsonl`), so each
-    /// sweep resumes independently.
+    /// `--checkpoint` path (`ckpt.jsonl` → `ckpt-name.jsonl`) and a
+    /// per-sweep streamed output from the `--out` path, so each sweep
+    /// resumes independently.
     ///
     /// # Errors
     ///
-    /// [`CheckpointError`] when the checkpoint cannot be used.
+    /// [`CheckpointError`] when the checkpoint or the streamed output
+    /// cannot be used.
     pub fn run_named(
         &self,
         name: &str,
         spec: &SweepSpec,
         observers: &[Observer],
     ) -> Result<SweepResult, CheckpointError> {
-        match &self.checkpoint {
-            Some(path) if !name.is_empty() => {
-                let derived = tag_path(path, name, "checkpoint", "jsonl");
-                self.engine().run_with_checkpoint(spec, observers, &derived)
+        let checkpoint: Option<PathBuf> = self
+            .checkpoint
+            .as_ref()
+            .map(|p| tag_path(p, name, "checkpoint", "jsonl"));
+        let stream: Option<StreamingSink> = match (self.stream, self.sink()) {
+            (true, Some(Sink::Csv(path))) => {
+                // the flag parser already rejects this; guard the
+                // programmatic path too — streaming CSV needs its metric
+                // columns up front, and an empty set would silently drop
+                // every metric from the file
+                return Err(CheckpointError::Stream {
+                    path,
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        "streaming CSV needs fixed metric columns; use \
+                         StreamingSink::csv directly, or a .jsonl --out",
+                    ),
+                });
             }
-            _ => self.run(spec, observers),
-        }
+            (true, Some(sink @ Sink::Jsonl(_))) => {
+                // the same per-sweep tagging `seg_bench::write_rows`
+                // applies to buffered output, so the streamed file is the
+                // one the buffered writer would finalize
+                let sink = Sink::Jsonl(tag_path(sink.path(), name, "rows", "csv"));
+                let resume = checkpoint.is_some();
+                Some(
+                    sink.stream(spec, &[], resume)
+                        .map_err(|source| CheckpointError::Stream {
+                            path: sink.path().to_path_buf(),
+                            source,
+                        })?,
+                )
+            }
+            _ => None,
+        };
+        self.engine()
+            .run_full(spec, observers, checkpoint.as_deref(), stream.as_ref())
     }
 
     /// The master seed: the command-line value, or the given default.

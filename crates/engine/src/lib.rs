@@ -24,6 +24,12 @@
 //! - [`Checkpoint`] — a JSON-Lines journal of completed replicas, so a
 //!   multi-hour sweep killed mid-run resumes where it left off
 //!   (`--checkpoint FILE`) with bit-identical output;
+//! - [`ShardIndex`] — one sweep partitioned across OS processes/hosts
+//!   (`--shard I/M`), each journaling its share next to the checkpoint
+//!   path; merging the journals reproduces the single-process output
+//!   byte for byte (the `seg_shard` crate orchestrates this);
+//! - [`StreamingSink`] — rows appended in task order as replicas
+//!   finish, so long sweeps are `tail -f`-able and resumable mid-file;
 //! - progress and throughput reporting (replicas/s, events/s) so
 //!   performance regressions are visible from any sweep.
 //!
@@ -58,12 +64,15 @@ pub mod run;
 pub mod sink;
 pub mod spec;
 
-pub use checkpoint::{spec_fingerprint, Checkpoint, CheckpointError};
+pub use checkpoint::{
+    find_shard_journals, shard_journal_path, spec_fingerprint, Checkpoint, CheckpointError,
+};
 pub use cli::{tag_path, EngineArgs, ENGINE_USAGE};
 pub use observe::Observer;
 pub use replica::{FinalState, ReplicaRecord};
 pub use run::{Engine, PointSummary, SweepResult, ThroughputReport};
-pub use sink::{write_summary_csv, Sink};
+pub use sink::{write_summary_csv, Sink, StreamingSink};
 pub use spec::{
-    derive_replica_seed, ReplicaTask, SeedMode, SweepPoint, SweepSpec, SweepSpecBuilder, Variant,
+    derive_replica_seed, ReplicaTask, SeedMode, ShardIndex, SweepPoint, SweepSpec,
+    SweepSpecBuilder, Variant,
 };

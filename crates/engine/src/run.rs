@@ -4,7 +4,8 @@
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::observe::Observer;
 use crate::replica::{run_replica, ReplicaRecord};
-use crate::spec::{SweepPoint, SweepSpec};
+use crate::sink::StreamingSink;
+use crate::spec::{ShardIndex, SweepPoint, SweepSpec};
 use seg_analysis::bootstrap::{bootstrap_mean_ci, BootstrapCi};
 use seg_analysis::parallel::{default_threads, parallel_map_observed};
 use seg_analysis::stats::Summary;
@@ -40,6 +41,7 @@ use std::time::Instant;
 pub struct Engine {
     threads: usize,
     progress: bool,
+    shard: Option<ShardIndex>,
 }
 
 impl Default for Engine {
@@ -56,6 +58,7 @@ impl Engine {
         Engine {
             threads: default_threads(),
             progress: false,
+            shard: None,
         }
     }
 
@@ -82,9 +85,27 @@ impl Engine {
         self
     }
 
+    /// Restricts the engine to one shard of the task list (round-robin
+    /// by task index, see [`ShardIndex`]): only owned tasks run, and the
+    /// result is *partial* ([`SweepResult::is_complete`] is `false`
+    /// unless the other shards' records were resumed from journals).
+    /// This is the `--shard i/M` building block for multi-process
+    /// sweeps; pair it with a checkpoint so the shards can be merged.
+    pub fn shard(mut self, shard: ShardIndex) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// [`Engine::shard`] with an optional shard (`None` = run
+    /// everything), matching `EngineArgs`-style plumbing.
+    pub fn shard_opt(mut self, shard: Option<ShardIndex>) -> Self {
+        self.shard = shard;
+        self
+    }
+
     /// Runs every replica of the sweep, applying `observers` to each.
     pub fn run(&self, spec: &SweepSpec, observers: &[Observer]) -> SweepResult {
-        self.run_inner(spec, observers, Vec::new(), None)
+        self.run_inner(spec, observers, Vec::new(), None, None)
     }
 
     /// Like [`Engine::run`], journaling every completed replica to the
@@ -92,9 +113,17 @@ impl Engine {
     /// there. A sweep killed mid-run resumes where it left off, and the
     /// merged result is bit-identical to an uninterrupted run.
     ///
+    /// With a [shard](Engine::shard) configured, `path` is the *base*
+    /// journal: this worker appends to its own
+    /// [`shard_journal_path`](crate::checkpoint::shard_journal_path)
+    /// next to it, absorbing the base and every sibling shard journal
+    /// read-only. Without a shard, any sibling shard journals are
+    /// absorbed too — which makes an unsharded resume the merge step of
+    /// a sharded run.
+    ///
     /// # Errors
     ///
-    /// [`CheckpointError`] when the journal is corrupt, belongs to a
+    /// [`CheckpointError`] when a journal is corrupt, belongs to a
     /// different spec, or cannot be read — the run does not start.
     ///
     /// # Panics
@@ -108,16 +137,63 @@ impl Engine {
         observers: &[Observer],
         path: &Path,
     ) -> Result<SweepResult, CheckpointError> {
-        let (completed, journal) = Checkpoint::resume(path, spec)?;
-        let resumed = completed.iter().flatten().count();
-        if self.progress && resumed > 0 {
-            eprintln!(
-                "sweep: resuming from {} ({resumed}/{} replicas already done)",
-                path.display(),
-                spec.task_count()
-            );
+        self.run_full(spec, observers, Some(path), None)
+    }
+
+    /// The general entry point all the `run*` conveniences delegate to:
+    /// optional checkpoint journaling/resume and an optional
+    /// [`StreamingSink`] that receives every record (resumed ones
+    /// included) in task order as soon as it is available.
+    ///
+    /// A streaming sink cannot be combined with a [shard](Engine::shard)
+    /// run: the sink releases rows strictly in task order, and a single
+    /// shard never completes the tasks in between, so nearly every row
+    /// would be parked forever. The combination is rejected up front.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] when a journal cannot be used (see
+    /// [`Engine::run_with_checkpoint`]), or [`CheckpointError::Stream`]
+    /// for the shard + stream combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if appending to the journal or the streaming sink fails
+    /// mid-sweep.
+    pub fn run_full(
+        &self,
+        spec: &SweepSpec,
+        observers: &[Observer],
+        checkpoint: Option<&Path>,
+        stream: Option<&StreamingSink>,
+    ) -> Result<SweepResult, CheckpointError> {
+        if let (Some(stream), Some(shard)) = (stream, self.shard) {
+            return Err(CheckpointError::Stream {
+                path: stream.path().to_path_buf(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!(
+                        "streaming releases rows in task order, which shard {shard} \
+                         alone never completes; stream the merge run instead"
+                    ),
+                ),
+            });
         }
-        Ok(self.run_inner(spec, observers, completed, Some(&journal)))
+        match checkpoint {
+            None => Ok(self.run_inner(spec, observers, Vec::new(), None, stream)),
+            Some(path) => {
+                let (completed, journal) = Checkpoint::resume_sharded(path, spec, self.shard)?;
+                let resumed = completed.iter().flatten().count();
+                if self.progress && resumed > 0 {
+                    eprintln!(
+                        "sweep: resuming from {} ({resumed}/{} replicas already done)",
+                        path.display(),
+                        spec.task_count()
+                    );
+                }
+                Ok(self.run_inner(spec, observers, completed, Some(&journal), stream))
+            }
+        }
     }
 
     fn run_inner(
@@ -126,16 +202,40 @@ impl Engine {
         observers: &[Observer],
         completed: Vec<Option<ReplicaRecord>>,
         journal: Option<&Checkpoint>,
+        stream: Option<&StreamingSink>,
     ) -> SweepResult {
         let tasks = spec.tasks();
         let total = tasks.len();
-        let pending: Vec<usize> = if completed.is_empty() {
-            (0..total).collect()
+        let mut slots = if completed.is_empty() {
+            vec![None; total]
         } else {
-            (0..total).filter(|&i| completed[i].is_none()).collect()
+            completed
         };
+        if let Some(stream) = stream {
+            // resumed records stream out immediately (in task order; the
+            // sink skips whatever an earlier run already wrote)
+            for rec in slots.iter().flatten() {
+                stream
+                    .append(rec)
+                    .unwrap_or_else(|e| panic!("streaming sink append failed: {e}"));
+            }
+        }
+        let owned = |i: usize| self.shard.is_none_or(|s| s.owns(i));
+        let pending: Vec<usize> = (0..total)
+            .filter(|&i| slots[i].is_none() && owned(i))
+            .collect();
+        if self.progress {
+            if let Some(shard) = self.shard {
+                eprintln!(
+                    "sweep: shard {shard} owns {} of {total} tasks ({} still to run)",
+                    shard.task_count(total),
+                    pending.len()
+                );
+            }
+        }
         let started = Instant::now();
-        let initial = total - pending.len();
+        let initial = slots.iter().flatten().count();
+        let target = initial + pending.len();
         let done = AtomicUsize::new(initial);
         let events = AtomicU64::new(0);
         let last_print = Mutex::new(Instant::now());
@@ -149,15 +249,20 @@ impl Engine {
                         .append(rec)
                         .unwrap_or_else(|e| panic!("checkpoint append failed: {e}"));
                 }
+                if let Some(stream) = stream {
+                    stream
+                        .append(rec)
+                        .unwrap_or_else(|e| panic!("streaming sink append failed: {e}"));
+                }
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 let e = events.fetch_add(rec.events, Ordering::Relaxed) + rec.events;
                 if self.progress {
                     let mut last = last_print.lock().expect("progress lock");
-                    if d == total || last.elapsed().as_millis() >= 500 {
+                    if d == target || last.elapsed().as_millis() >= 500 {
                         *last = Instant::now();
                         let secs = started.elapsed().as_secs_f64().max(1e-9);
                         eprintln!(
-                            "sweep: {d}/{total} replicas  ({:.1} replicas/s, {:.2e} events/s)",
+                            "sweep: {d}/{target} replicas  ({:.1} replicas/s, {:.2e} events/s)",
                             (d - initial) as f64 / secs,
                             e as f64 / secs
                         );
@@ -165,21 +270,13 @@ impl Engine {
                 }
             },
         );
-        let records = if completed.is_empty() {
-            fresh
-        } else {
-            let mut slots = completed;
-            for (slot, rec) in pending.into_iter().zip(fresh) {
-                slots[slot] = Some(rec);
-            }
-            slots
-                .into_iter()
-                .map(|r| r.expect("every task completed or resumed"))
-                .collect()
-        };
+        for (slot, rec) in pending.into_iter().zip(fresh) {
+            slots[slot] = Some(rec);
+        }
         SweepResult {
             spec: spec.clone(),
-            records,
+            records: slots.into_iter().flatten().collect(),
+            total_tasks: total,
             threads: self.threads,
             wall_secs: started.elapsed().as_secs_f64(),
         }
@@ -211,10 +308,17 @@ pub struct PointSummary {
 }
 
 /// All records of a finished sweep, in task order.
+///
+/// A run restricted to one [shard](Engine::shard) yields a *partial*
+/// result: only the records that ran (or were resumed from journals)
+/// are present, still in task order. [`SweepResult::is_complete`] says
+/// whether every task of the spec has a record; aggregation methods
+/// operate on whatever is present.
 #[derive(Clone, Debug)]
 pub struct SweepResult {
     spec: SweepSpec,
     records: Vec<ReplicaRecord>,
+    total_tasks: usize,
     threads: usize,
     wall_secs: f64,
 }
@@ -225,15 +329,35 @@ impl SweepResult {
         &self.spec
     }
 
-    /// Every replica record, ordered by task index (point-major).
+    /// Every available replica record, ordered by task index
+    /// (point-major). Complete runs have one per task; shard runs only
+    /// the shard's share (plus whatever was resumed).
     pub fn records(&self) -> &[ReplicaRecord] {
         &self.records
     }
 
-    /// The records of one point.
+    /// Whether every task of the spec has a record (always true outside
+    /// shard runs).
+    pub fn is_complete(&self) -> bool {
+        self.records.len() == self.total_tasks
+    }
+
+    /// How many of the spec's tasks have no record yet (0 outside shard
+    /// runs).
+    pub fn missing_tasks(&self) -> usize {
+        self.total_tasks - self.records.len()
+    }
+
+    /// The available records of one point (all of them in a complete
+    /// run; the shard's share otherwise).
     pub fn point_records(&self, point_index: usize) -> &[ReplicaRecord] {
-        let k = self.spec.replicas() as usize;
-        &self.records[point_index * k..(point_index + 1) * k]
+        let lo = self
+            .records
+            .partition_point(|r| r.task.point_index < point_index);
+        let hi = self
+            .records
+            .partition_point(|r| r.task.point_index <= point_index);
+        &self.records[lo..hi]
     }
 
     /// Throughput of the finished sweep.
@@ -397,6 +521,81 @@ mod tests {
         let b = result.bootstrap_ci(0, "events", 0.95, 200);
         assert_eq!(a, b);
         assert!(a.lo <= a.mean && a.mean <= a.hi);
+    }
+
+    #[test]
+    fn shard_run_is_partial_and_owns_its_tasks() {
+        let spec = small_spec(); // 2 points × 3 replicas = 6 tasks
+        let full = Engine::new().threads(1).run(&spec, &[]);
+        let shard = Engine::new()
+            .threads(2)
+            .shard(ShardIndex::new(1, 2))
+            .run(&spec, &[]);
+        assert!(!shard.is_complete());
+        assert_eq!(shard.missing_tasks(), 3);
+        assert_eq!(shard.records().len(), 3);
+        for rec in shard.records() {
+            assert_eq!(rec.task.task_index % 2, 1);
+            // identical to the same task of the full run
+            let reference = &full.records()[rec.task.task_index];
+            assert_eq!(rec.events, reference.events);
+            assert_eq!(rec.metrics, reference.metrics);
+        }
+        // aggregation works on the partial record set
+        assert_eq!(shard.point_records(0).len(), 1);
+        assert_eq!(shard.point_records(1).len(), 2);
+        assert!(shard.point_mean(0, "events").is_some());
+    }
+
+    #[test]
+    fn sharded_workers_plus_unsharded_resume_reproduce_the_full_run() {
+        let spec = small_spec();
+        let dir = std::env::temp_dir().join("seg_engine_shard_merge");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = dir.join("ck.jsonl");
+        for i in 0..3 {
+            let partial = Engine::new()
+                .threads(1)
+                .shard(ShardIndex::new(i, 3))
+                .run_with_checkpoint(&spec, &[], &base)
+                .unwrap();
+            // each worker absorbs the journals written before it, so
+            // running the shards back-to-back grows the record set by
+            // one shard's share per run (2 tasks each here)
+            assert_eq!(partial.records().len(), 2 * (i as usize + 1));
+            assert_eq!(partial.is_complete(), i == 2);
+        }
+        // the unsharded resume absorbs every shard journal: nothing left
+        // to run, and the merged records equal an uninterrupted run's
+        let merged = Engine::new()
+            .threads(2)
+            .run_with_checkpoint(&spec, &[], &base)
+            .unwrap();
+        assert!(merged.is_complete());
+        let reference = Engine::new().threads(1).run(&spec, &[]);
+        assert_eq!(merged.records().len(), reference.records().len());
+        for (a, b) in merged.records().iter().zip(reference.records()) {
+            assert_eq!(a.task.seed, b.task.seed);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn shard_plus_stream_is_rejected_up_front() {
+        let spec = small_spec();
+        let dir = std::env::temp_dir().join("seg_engine_shard_stream");
+        let _ = std::fs::remove_dir_all(&dir);
+        let stream =
+            crate::sink::StreamingSink::jsonl(&dir.join("rows.jsonl"), &spec, false).unwrap();
+        let err = Engine::new()
+            .shard(ShardIndex::new(0, 2))
+            .run_full(&spec, &[], None, Some(&stream))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("task order"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

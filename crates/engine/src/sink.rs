@@ -5,11 +5,41 @@
 //! one row/object per replica with the parameter point inlined, columns
 //! in a deterministic order, so files are byte-identical across runs and
 //! thread counts.
+//!
+//! Two delivery modes share those formats:
+//!
+//! - [`Sink::write`] buffers until the sweep finishes and writes the
+//!   whole file at once;
+//! - [`StreamingSink`] appends each row the moment its replica
+//!   completes, releasing rows strictly in task order (out-of-order
+//!   completions are parked) so the file on disk is always a prefix of
+//!   the final one — `tail -f` a multi-hour sweep, or kill it and let
+//!   the resumed run append from where the file stops. The final bytes
+//!   are identical to the buffered writer's.
+//!
+//! All sinks create missing parent directories instead of erroring on
+//! first write.
 
+use crate::replica::ReplicaRecord;
 use crate::run::SweepResult;
+use crate::spec::SweepSpec;
 use seg_analysis::csv::CsvWriter;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Creates the missing ancestors of `path`'s directory, so sweeps can
+/// write their first output into a directory that does not exist yet.
+fn create_parent_dirs(path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    Ok(())
+}
 
 /// Where and how to write per-replica rows.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -21,12 +51,14 @@ pub enum Sink {
 }
 
 impl Sink {
-    /// Writes every replica record of `result`.
+    /// Writes every replica record of `result`, creating missing parent
+    /// directories.
     ///
     /// # Errors
     ///
     /// Any I/O error from creating or writing the file.
     pub fn write(&self, result: &SweepResult) -> io::Result<()> {
+        create_parent_dirs(self.path())?;
         match self {
             Sink::Csv(path) => write_records_csv(path, result),
             Sink::Jsonl(path) => write_records_jsonl(path, result),
@@ -39,6 +71,31 @@ impl Sink {
             Sink::Csv(p) | Sink::Jsonl(p) => p,
         }
     }
+
+    /// Opens this sink for streaming: rows append as replicas finish
+    /// instead of buffering to the end (see [`StreamingSink`]).
+    ///
+    /// `metric_columns` fixes the CSV metric columns up front (the
+    /// buffered writer derives them from the finished result; a stream
+    /// cannot). Pass the same set the buffered writer would use — the
+    /// sorted union of metric names — for byte-identical files. JSONL
+    /// rows are self-describing, so the columns are ignored there.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error, and [`io::ErrorKind::InvalidData`] when `resume`
+    /// finds an existing file that does not match this sweep.
+    pub fn stream(
+        &self,
+        spec: &SweepSpec,
+        metric_columns: &[String],
+        resume: bool,
+    ) -> io::Result<StreamingSink> {
+        match self {
+            Sink::Csv(path) => StreamingSink::csv(path, spec, metric_columns, resume),
+            Sink::Jsonl(path) => StreamingSink::jsonl(path, spec, resume),
+        }
+    }
 }
 
 /// The fixed (non-metric) columns, in order.
@@ -46,12 +103,12 @@ const BASE_COLUMNS: [&str; 8] = [
     "point", "replica", "seed", "side", "horizon", "tau", "density", "variant",
 ];
 
-fn base_cells(rec: &crate::replica::ReplicaRecord) -> Vec<String> {
-    let p = rec.task.point;
+fn base_cells(task: &crate::spec::ReplicaTask) -> Vec<String> {
+    let p = task.point;
     vec![
-        rec.task.point_index.to_string(),
-        rec.task.replica.to_string(),
-        rec.task.seed.to_string(),
+        task.point_index.to_string(),
+        task.replica.to_string(),
+        task.seed.to_string(),
         p.side.to_string(),
         p.horizon.to_string(),
         format_f64(p.tau),
@@ -71,49 +128,341 @@ pub(crate) fn format_f64(x: f64) -> String {
     }
 }
 
-fn write_records_csv(path: &Path, result: &SweepResult) -> io::Result<()> {
-    let metrics = result.metric_names();
-    let f = std::fs::File::create(path)?;
-    let mut w = CsvWriter::new(BufWriter::new(f));
-    let header: Vec<String> = BASE_COLUMNS
+/// The CSV header cells for the given metric columns.
+fn csv_header(metrics: &[String]) -> Vec<String> {
+    BASE_COLUMNS
         .iter()
         .map(|s| s.to_string())
         .chain(metrics.iter().cloned())
-        .collect();
-    w.write_row(&header)?;
-    for rec in result.records() {
-        let mut row = base_cells(rec);
-        for m in &metrics {
-            row.push(rec.metric(m).map(format_f64).unwrap_or_default());
-        }
-        w.write_row(&row)?;
+        .collect()
+}
+
+/// The CSV cells of one record under a fixed metric-column set (metrics
+/// the record lacks render as empty cells).
+fn csv_cells(rec: &ReplicaRecord, metrics: &[String]) -> Vec<String> {
+    let mut row = base_cells(&rec.task);
+    for m in metrics {
+        row.push(rec.metric(m).map(format_f64).unwrap_or_default());
     }
-    w.into_inner().flush()
+    row
+}
+
+/// One CSV row (quoting included, trailing newline included) as bytes.
+fn render_csv_row<S: AsRef<str>>(cells: &[S]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    CsvWriter::new(&mut buf)
+        .write_row(cells)
+        .expect("writing to a Vec cannot fail");
+    buf
+}
+
+/// The parameter prefix of a JSONL row — everything before the metrics
+/// — which is a pure function of the task.
+fn jsonl_base(task: &crate::spec::ReplicaTask) -> String {
+    let p = task.point;
+    format!(
+        "{{\"point\":{},\"replica\":{},\"seed\":{},\"side\":{},\"horizon\":{},\"tau\":{},\"density\":{},\"variant\":{}",
+        task.point_index,
+        task.replica,
+        task.seed,
+        p.side,
+        p.horizon,
+        format_f64(p.tau),
+        format_f64(p.density),
+        json_string(&p.variant.label()),
+    )
+}
+
+/// One JSONL object for a record, without the trailing newline.
+fn jsonl_row(rec: &ReplicaRecord) -> String {
+    let mut s = jsonl_base(&rec.task);
+    for (k, v) in &rec.metrics {
+        s.push(',');
+        s.push_str(&json_string(k));
+        s.push(':');
+        s.push_str(&json_number(*v));
+    }
+    s.push('}');
+    s
+}
+
+fn write_records_csv(path: &Path, result: &SweepResult) -> io::Result<()> {
+    let metrics = result.metric_names();
+    let f = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(f);
+    out.write_all(&render_csv_row(&csv_header(&metrics)))?;
+    for rec in result.records() {
+        out.write_all(&render_csv_row(&csv_cells(rec, &metrics)))?;
+    }
+    out.flush()
 }
 
 fn write_records_jsonl(path: &Path, result: &SweepResult) -> io::Result<()> {
     let f = std::fs::File::create(path)?;
     let mut out = BufWriter::new(f);
     for rec in result.records() {
-        let p = rec.task.point;
-        write!(
-            out,
-            "{{\"point\":{},\"replica\":{},\"seed\":{},\"side\":{},\"horizon\":{},\"tau\":{},\"density\":{},\"variant\":{}",
-            rec.task.point_index,
-            rec.task.replica,
-            rec.task.seed,
-            p.side,
-            p.horizon,
-            format_f64(p.tau),
-            format_f64(p.density),
-            json_string(&p.variant.label()),
-        )?;
-        for (k, v) in &rec.metrics {
-            write!(out, ",{}:{}", json_string(k), json_number(*v))?;
-        }
-        writeln!(out, "}}")?;
+        out.write_all(jsonl_row(rec).as_bytes())?;
+        out.write_all(b"\n")?;
     }
     out.flush()
+}
+
+/// Which row format a [`StreamingSink`] emits.
+enum StreamFormat {
+    /// CSV under a fixed metric-column set.
+    Csv { metrics: Vec<String> },
+    /// Self-describing JSON Lines.
+    Jsonl,
+}
+
+struct StreamState {
+    out: BufWriter<File>,
+    /// The next task index to emit; rows before it are already on disk.
+    next: usize,
+    /// Completed records waiting for their predecessors.
+    parked: BTreeMap<usize, ReplicaRecord>,
+}
+
+/// A sink that appends rows **as replicas finish** instead of buffering
+/// the whole sweep — the live-output companion of [`Sink::write`].
+///
+/// Rows are released strictly in task order: a record that completes
+/// early is parked until every earlier task's row is on disk. The file
+/// is therefore always a *prefix* of the final output, regardless of
+/// thread count — identical bytes, just visible earlier.
+///
+/// The sink is checkpoint-aware: opened with `resume`, it scans the
+/// existing file, validates each row against the sweep (by point,
+/// replica and derived seed, so a file written under different flags is
+/// a clean error), drops a torn trailing line the way the checkpoint
+/// journal does, and continues appending after the last complete row.
+/// Feeding it the resumed records plus the fresh ones (what
+/// [`Engine::run_full`](crate::Engine::run_full) does) reproduces the
+/// buffered file byte for byte across any number of kills.
+///
+/// `append` is safe to call from worker threads; duplicates are
+/// ignored.
+pub struct StreamingSink {
+    format: StreamFormat,
+    state: Mutex<StreamState>,
+    path: PathBuf,
+}
+
+impl std::fmt::Debug for StreamingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingSink")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StreamingSink {
+    /// Opens a streaming JSONL sink (resuming an existing file when
+    /// `resume` is set).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error, and [`io::ErrorKind::InvalidData`] when the
+    /// existing file does not match this sweep.
+    pub fn jsonl(path: &Path, spec: &SweepSpec, resume: bool) -> io::Result<StreamingSink> {
+        StreamingSink::open(path, spec, StreamFormat::Jsonl, resume)
+    }
+
+    /// Opens a streaming CSV sink with the metric columns fixed up
+    /// front. Pass the sorted union of the sweep's metric names (what
+    /// [`SweepResult::metric_names`](crate::SweepResult::metric_names)
+    /// returns) to get files byte-identical to the buffered writer's.
+    ///
+    /// # Errors
+    ///
+    /// As [`StreamingSink::jsonl`].
+    pub fn csv(
+        path: &Path,
+        spec: &SweepSpec,
+        metric_columns: &[String],
+        resume: bool,
+    ) -> io::Result<StreamingSink> {
+        StreamingSink::open(
+            path,
+            spec,
+            StreamFormat::Csv {
+                metrics: metric_columns.to_vec(),
+            },
+            resume,
+        )
+    }
+
+    fn open(
+        path: &Path,
+        spec: &SweepSpec,
+        format: StreamFormat,
+        resume: bool,
+    ) -> io::Result<StreamingSink> {
+        create_parent_dirs(path)?;
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let existing =
+            if resume {
+                match std::fs::read(path) {
+                    Ok(bytes) => Some(String::from_utf8(bytes).map_err(|_| {
+                        bad(format!("{}: existing file is not UTF-8", path.display()))
+                    })?),
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+                    Err(e) => return Err(e),
+                }
+            } else {
+                None
+            };
+        let mut next = 0usize;
+        let out = match existing {
+            None => {
+                let mut out = BufWriter::new(File::create(path)?);
+                if let StreamFormat::Csv { metrics } = &format {
+                    out.write_all(&render_csv_row(&csv_header(metrics)))?;
+                    out.flush()?;
+                }
+                out
+            }
+            Some(text) => {
+                // a torn trailing line (the previous run died mid-write)
+                // is dropped and overwritten, like a torn journal line
+                let complete_len = text.rfind('\n').map_or(0, |i| i + 1);
+                let complete = &text[..complete_len];
+                let tasks = spec.tasks();
+                let mut lines = complete.lines();
+                if let StreamFormat::Csv { metrics } = &format {
+                    let header = render_csv_row(&csv_header(metrics));
+                    let expected = &header[..header.len() - 1]; // minus newline
+                    match lines.next() {
+                        None => {} // empty file: the header is rewritten below
+                        Some(line) if line.as_bytes() == expected => {}
+                        Some(_) => {
+                            return Err(bad(format!(
+                                "{}: existing header does not match this sweep's columns; \
+                                 delete the file to start over",
+                                path.display()
+                            )))
+                        }
+                    }
+                }
+                for (k, line) in lines.enumerate() {
+                    let task = tasks.get(k).ok_or_else(|| {
+                        bad(format!(
+                            "{}: more rows than the sweep has tasks; \
+                             delete the file to start over",
+                            path.display()
+                        ))
+                    })?;
+                    // validate the row's FULL parameter prefix — point,
+                    // replica, seed, side, horizon, tau, density and
+                    // variant are all pure functions of the task, so a
+                    // file written under any changed flag differs here
+                    // even when the derived seed happens to agree
+                    let prefix = match &format {
+                        StreamFormat::Csv { .. } => {
+                            let row = render_csv_row(&base_cells(task));
+                            String::from_utf8(row)
+                                .expect("rendered cells are UTF-8")
+                                .trim_end_matches('\n')
+                                .to_string()
+                        }
+                        StreamFormat::Jsonl => jsonl_base(task),
+                    };
+                    let matches = line
+                        .strip_prefix(&prefix)
+                        .is_some_and(|rest| match &format {
+                            // metric cells follow, or none were configured
+                            StreamFormat::Csv { .. } => rest.is_empty() || rest.starts_with(','),
+                            // metrics follow, or the object closes
+                            StreamFormat::Jsonl => rest.starts_with(',') || rest.starts_with('}'),
+                        });
+                    if !matches {
+                        return Err(bad(format!(
+                            "{}: row {} was written by a different sweep (the flags \
+                             changed?); delete the file to start over",
+                            path.display(),
+                            k + 1
+                        )));
+                    }
+                    next = k + 1;
+                }
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(complete_len as u64)?;
+                let mut out = BufWriter::new(OpenOptions::new().append(true).open(path)?);
+                if complete_len == 0 {
+                    if let StreamFormat::Csv { metrics } = &format {
+                        out.write_all(&render_csv_row(&csv_header(metrics)))?;
+                        out.flush()?;
+                    }
+                }
+                out
+            }
+        };
+        Ok(StreamingSink {
+            format,
+            state: Mutex::new(StreamState {
+                out,
+                next,
+                parked: BTreeMap::new(),
+            }),
+            path: path.to_path_buf(),
+        })
+    }
+
+    fn render(&self, rec: &ReplicaRecord) -> Vec<u8> {
+        match &self.format {
+            StreamFormat::Jsonl => {
+                let mut s = jsonl_row(rec);
+                s.push('\n');
+                s.into_bytes()
+            }
+            StreamFormat::Csv { metrics } => render_csv_row(&csv_cells(rec, metrics)),
+        }
+    }
+
+    /// Offers one completed record. Rows already on disk (or already
+    /// parked) are ignored; an in-order record is written straight
+    /// through, an out-of-order one is parked; either way the longest
+    /// in-order prefix is flushed to the file.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from appending.
+    pub fn append(&self, rec: &ReplicaRecord) -> io::Result<()> {
+        let mut st = self.state.lock().expect("streaming sink poisoned");
+        let i = rec.task.task_index;
+        if i < st.next || st.parked.contains_key(&i) {
+            return Ok(());
+        }
+        if i != st.next {
+            st.parked.insert(i, rec.clone());
+            return Ok(());
+        }
+        // the common in-order case writes through without cloning, then
+        // releases whatever parked records it unblocked
+        let bytes = self.render(rec);
+        st.out.write_all(&bytes)?;
+        st.next += 1;
+        loop {
+            let next = st.next;
+            let Some(rec) = st.parked.remove(&next) else {
+                break;
+            };
+            let bytes = self.render(&rec);
+            st.out.write_all(&bytes)?;
+            st.next += 1;
+        }
+        st.out.flush()
+    }
+
+    /// How many rows are on disk (the in-order prefix released so far).
+    pub fn rows_written(&self) -> usize {
+        self.state.lock().expect("streaming sink poisoned").next
+    }
+
+    /// The file being streamed to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
 }
 
 fn json_string(s: &str) -> String {
@@ -149,6 +498,7 @@ fn json_number(x: f64) -> String {
 ///
 /// Any I/O error from creating or writing the file.
 pub fn write_summary_csv(path: &Path, result: &SweepResult, metrics: &[&str]) -> io::Result<()> {
+    create_parent_dirs(path)?;
     let f = std::fs::File::create(path)?;
     let mut w = CsvWriter::new(BufWriter::new(f));
     let mut header: Vec<String> = vec![
@@ -275,6 +625,127 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 1 + r.spec().points().len());
         assert!(lines[0].contains("events_mean"));
+    }
+
+    #[test]
+    fn streaming_jsonl_matches_buffered_bytes() {
+        let r = result();
+        let buffered = tmp("stream_ref.jsonl");
+        Sink::Jsonl(buffered.clone()).write(&r).unwrap();
+        let streamed = tmp("stream_live.jsonl");
+        let _ = std::fs::remove_file(&streamed);
+        let s = StreamingSink::jsonl(&streamed, r.spec(), false).unwrap();
+        // deliver records in a scrambled order: release is still in-order
+        let mut recs: Vec<_> = r.records().to_vec();
+        recs.reverse();
+        for rec in &recs {
+            s.append(rec).unwrap();
+        }
+        assert_eq!(s.rows_written(), r.records().len());
+        assert_eq!(
+            std::fs::read(&buffered).unwrap(),
+            std::fs::read(&streamed).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_csv_matches_buffered_bytes_and_is_prefix_stable() {
+        let r = result();
+        let buffered = tmp("stream_ref.csv");
+        Sink::Csv(buffered.clone()).write(&r).unwrap();
+        let streamed = tmp("stream_live.csv");
+        let _ = std::fs::remove_file(&streamed);
+        let s = StreamingSink::csv(&streamed, r.spec(), &r.metric_names(), false).unwrap();
+        // the out-of-order record parks: nothing beyond the prefix lands
+        s.append(&r.records()[2]).unwrap();
+        assert_eq!(s.rows_written(), 0);
+        s.append(&r.records()[0]).unwrap();
+        assert_eq!(s.rows_written(), 1);
+        let partial = std::fs::read_to_string(&streamed).unwrap();
+        assert_eq!(partial.lines().count(), 2); // header + row 0
+        s.append(&r.records()[1]).unwrap();
+        assert_eq!(s.rows_written(), 3); // parked row 2 released too
+        s.append(&r.records()[3]).unwrap();
+        // duplicates are ignored
+        s.append(&r.records()[1]).unwrap();
+        assert_eq!(
+            std::fs::read(&buffered).unwrap(),
+            std::fs::read(&streamed).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_resume_continues_after_a_torn_line() {
+        let r = result();
+        let reference = tmp("stream_torn_ref.jsonl");
+        Sink::Jsonl(reference.clone()).write(&r).unwrap();
+        let path = tmp("stream_torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let s = StreamingSink::jsonl(&path, r.spec(), false).unwrap();
+            s.append(&r.records()[0]).unwrap();
+            s.append(&r.records()[1]).unwrap();
+        }
+        // tear the file mid-row, as a kill during the third append would
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"point\":1,\"replica\":0,\"se");
+        std::fs::write(&path, &text).unwrap();
+        let s = StreamingSink::jsonl(&path, r.spec(), true).unwrap();
+        assert_eq!(s.rows_written(), 2);
+        for rec in r.records() {
+            s.append(rec).unwrap(); // rows 0-1 ignored, 2-3 appended
+        }
+        assert_eq!(
+            std::fs::read(&reference).unwrap(),
+            std::fs::read(&path).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_resume_rejects_a_foreign_file() {
+        let r = result();
+        let path = tmp("stream_foreign.jsonl");
+        std::fs::write(&path, "{\"point\":0,\"replica\":0,\"seed\":99999}\n").unwrap();
+        let err = StreamingSink::jsonl(&path, r.spec(), true).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // a row whose (point, replica, seed) triple matches but whose
+        // parameters differ — the tau axis changed between runs — is
+        // refused too: validation covers the full parameter prefix
+        let genuine = tmp("stream_foreign_src.jsonl");
+        Sink::Jsonl(genuine.clone()).write(&r).unwrap();
+        let first = std::fs::read_to_string(&genuine)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .replacen("\"tau\":0.4,", "\"tau\":0.9,", 1)
+            + "\n";
+        assert!(first.contains("\"tau\":0.9"));
+        let tampered = tmp("stream_foreign_tau.jsonl");
+        std::fs::write(&tampered, first).unwrap();
+        let err = StreamingSink::jsonl(&tampered, r.spec(), true).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // CSV with a mismatched header is refused the same way
+        let csv = tmp("stream_foreign.csv");
+        std::fs::write(&csv, "alpha,beta\n1,2\n").unwrap();
+        let err = StreamingSink::csv(&csv, r.spec(), &r.metric_names(), true).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sinks_create_missing_parent_directories() {
+        let r = result();
+        let dir = std::env::temp_dir().join("seg_engine_sink_mkdir");
+        let _ = std::fs::remove_dir_all(&dir);
+        let nested = dir.join("a").join("b").join("rows.csv");
+        Sink::Csv(nested.clone()).write(&r).unwrap();
+        assert!(nested.exists());
+        let streamed = dir.join("c").join("rows.jsonl");
+        StreamingSink::jsonl(&streamed, r.spec(), false).unwrap();
+        assert!(streamed.exists());
+        let summary = dir.join("d").join("summary.csv");
+        write_summary_csv(&summary, &r, &["events"]).unwrap();
+        assert!(summary.exists());
     }
 
     #[test]

@@ -153,6 +153,82 @@ pub enum SeedMode {
     CommonRandomNumbers,
 }
 
+/// One shard of a multi-process sweep: which slice of the task list a
+/// worker owns when one [`SweepSpec`] is partitioned across `count`
+/// processes (`--shard index/count`).
+///
+/// The partition is deterministic and round-robin by task index
+/// (`task_index % count == index`), so consecutive replicas of one point
+/// spread across shards and every shard gets a balanced mix of cheap and
+/// expensive points. Because shard ownership is a pure function of the
+/// task index, journals written under *different* `count`s still merge
+/// correctly — records are keyed by global task index, never by shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardIndex {
+    /// This worker's shard number, `0 ≤ index < count`.
+    pub index: u32,
+    /// Total number of shards the sweep is split into.
+    pub count: u32,
+}
+
+impl ShardIndex {
+    /// A validated shard index.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `index < count`.
+    pub fn new(index: u32, count: u32) -> Self {
+        assert!(index < count, "shard index {index} out of range 0..{count}");
+        ShardIndex { index, count }
+    }
+
+    /// Whether this shard owns the task at `task_index`.
+    pub fn owns(&self, task_index: usize) -> bool {
+        task_index as u64 % u64::from(self.count) == u64::from(self.index)
+    }
+
+    /// The task indices this shard owns, out of `task_count` total.
+    pub fn task_indices(&self, task_count: usize) -> Vec<usize> {
+        (self.index as usize..task_count)
+            .step_by(self.count as usize)
+            .collect()
+    }
+
+    /// How many of `task_count` tasks this shard owns.
+    pub fn task_count(&self, task_count: usize) -> usize {
+        let count = self.count as usize;
+        let index = self.index as usize;
+        task_count / count + usize::from(task_count % count > index)
+    }
+}
+
+impl fmt::Display for ShardIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+impl std::str::FromStr for ShardIndex {
+    type Err = String;
+
+    /// Parses the `--shard` syntax `I/M` (e.g. `0/4`): shard `I` of `M`,
+    /// zero-based.
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (i, m) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected I/M (e.g. 0/4), got {s:?}"))?;
+        let index: u32 = i.parse().map_err(|e| format!("shard index: {e}"))?;
+        let count: u32 = m.parse().map_err(|e| format!("shard count: {e}"))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range 0..{count}"));
+        }
+        Ok(ShardIndex { index, count })
+    }
+}
+
 /// A fully expanded sweep: points × replicas, a master seed, and a
 /// per-replica event budget.
 #[derive(Clone, Debug, PartialEq)]
@@ -628,6 +704,44 @@ mod tests {
             .tau(0.5)
             .variant(Variant::TwoSided { tau_hi: 0.4 })
             .build();
+    }
+
+    #[test]
+    fn shards_partition_the_task_list_exactly() {
+        for count in 1..6u32 {
+            for task_count in [0usize, 1, 5, 12, 13] {
+                let mut seen = vec![0u32; task_count];
+                let mut total = 0;
+                for index in 0..count {
+                    let shard = ShardIndex::new(index, count);
+                    let owned = shard.task_indices(task_count);
+                    assert_eq!(owned.len(), shard.task_count(task_count));
+                    total += owned.len();
+                    for i in owned {
+                        assert!(shard.owns(i));
+                        seen[i] += 1;
+                    }
+                }
+                assert_eq!(total, task_count);
+                assert!(seen.iter().all(|&n| n == 1), "a task owned twice or never");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_parsing_round_trips_and_rejects_garbage() {
+        let s: ShardIndex = "2/5".parse().unwrap();
+        assert_eq!(s, ShardIndex::new(2, 5));
+        assert_eq!(s.to_string(), "2/5");
+        for bad in ["", "3", "5/5", "2/0", "a/4", "1/b", "-1/4"] {
+            assert!(bad.parse::<ShardIndex>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_below_count() {
+        let _ = ShardIndex::new(3, 3);
     }
 
     #[test]

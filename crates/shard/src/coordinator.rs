@@ -1,0 +1,305 @@
+//! Spawning and supervising the worker processes of a sharded sweep.
+
+use seg_engine::ShardIndex;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Why a sharded run could not be driven to completion.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A worker process could not be started at all.
+    Spawn {
+        /// The shard whose worker failed to start.
+        shard: ShardIndex,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A worker kept failing after every allowed restart.
+    WorkerFailed {
+        /// The shard whose worker failed.
+        shard: ShardIndex,
+        /// How many times it was started in total.
+        attempts: u32,
+        /// The exit code of the last attempt (`None` = killed by a
+        /// signal).
+        code: Option<i32>,
+    },
+    /// Polling a running worker's status failed — the worker was
+    /// started (and may even have finished its work) but the
+    /// coordinator lost track of it.
+    Wait {
+        /// The shard whose worker could not be polled.
+        shard: ShardIndex,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Spawn { shard, source } => {
+                write!(f, "could not start worker for shard {shard}: {source}")
+            }
+            ShardError::WorkerFailed {
+                shard,
+                attempts,
+                code,
+            } => write!(
+                f,
+                "worker for shard {shard} failed {attempts} time(s) (last exit {}); \
+                 its journal is intact — fix the cause and rerun to resume",
+                code.map_or_else(|| "by signal".to_string(), |c| format!("code {c}")),
+            ),
+            ShardError::Wait { shard, source } => write!(
+                f,
+                "lost track of the worker for shard {shard} (wait failed: {source}); \
+                 its journal is intact — rerun to resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// What a finished coordination run looked like.
+#[derive(Clone, Debug)]
+pub struct CoordinatorReport {
+    /// Wall-clock seconds from first spawn to last exit.
+    pub wall_secs: f64,
+    /// Restarts per shard (all zeros on a healthy run).
+    pub restarts: Vec<u32>,
+}
+
+impl CoordinatorReport {
+    /// Total restarts across all shards.
+    pub fn total_restarts(&self) -> u32 {
+        self.restarts.iter().sum()
+    }
+}
+
+/// Runs the M worker processes of a sharded sweep on this host.
+///
+/// The coordinator is deliberately dumb about *work*: the partition is
+/// arithmetic ([`ShardIndex`]) and recovery is the journals' job. All
+/// it does is process supervision — spawn `program args... --shard i/M`
+/// for every shard, poll for exits, respawn a worker that died (the
+/// fresh process resumes from the shared journals, re-running only the
+/// dead worker's unfinished tasks), and give up cleanly after
+/// `max_restarts` respawns of the same shard.
+///
+/// On error every surviving worker is killed; the journals survive, so
+/// rerunning the coordinator — or running [`merge`](crate::merge())
+/// directly — converges to the same byte-identical output.
+///
+/// # Example
+///
+/// ```no_run
+/// use seg_shard::Coordinator;
+/// // two workers, each running `segsim sweep ... --shard i/2`
+/// let report = Coordinator::new(
+///     "target/release/segsim",
+///     ["sweep", "--side", "64", "--horizon", "2", "--tau", "0.42",
+///      "--replicas", "8", "--checkpoint", "runs/ck.jsonl"],
+///     2,
+/// )
+/// .run()
+/// .unwrap();
+/// println!("done in {:.1}s", report.wall_secs);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Coordinator {
+    program: PathBuf,
+    args: Vec<String>,
+    workers: u32,
+    max_restarts: u32,
+    poll: Duration,
+    quiet: bool,
+}
+
+impl Coordinator {
+    /// A coordinator that runs `workers` processes of
+    /// `program args... --shard i/workers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new<P, I, S>(program: P, args: I, workers: u32) -> Self
+    where
+        P: Into<PathBuf>,
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        assert!(workers > 0, "need at least one worker");
+        Coordinator {
+            program: program.into(),
+            args: args.into_iter().map(Into::into).collect(),
+            workers,
+            max_restarts: 2,
+            poll: Duration::from_millis(100),
+            quiet: true,
+        }
+    }
+
+    /// How often each dead worker may be respawned (default 2).
+    pub fn max_restarts(mut self, n: u32) -> Self {
+        self.max_restarts = n;
+        self
+    }
+
+    /// How often to poll worker exits (default 100 ms).
+    pub fn poll_interval(mut self, d: Duration) -> Self {
+        self.poll = d;
+        self
+    }
+
+    /// Whether worker stdout is discarded (default true — the partial
+    /// tables workers print are noise next to the merged output; their
+    /// stderr, carrying progress and errors, is always inherited).
+    pub fn quiet(mut self, quiet: bool) -> Self {
+        self.quiet = quiet;
+        self
+    }
+
+    fn spawn(&self, shard: ShardIndex) -> Result<Child, ShardError> {
+        Command::new(&self.program)
+            .args(&self.args)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .stdout(if self.quiet {
+                Stdio::null()
+            } else {
+                Stdio::inherit()
+            })
+            .spawn()
+            .map_err(|source| ShardError::Spawn { shard, source })
+    }
+
+    /// Spawns all workers and supervises them to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Spawn`] when a worker cannot be started,
+    /// [`ShardError::WorkerFailed`] when one fails beyond
+    /// `max_restarts`. Surviving workers are killed before returning an
+    /// error; the journals keep everything completed so far.
+    pub fn run(&self) -> Result<CoordinatorReport, ShardError> {
+        let started = Instant::now();
+        let mut restarts = vec![0u32; self.workers as usize];
+        let mut running: Vec<(ShardIndex, Child)> = Vec::new();
+        let kill_all = |running: &mut Vec<(ShardIndex, Child)>| {
+            for (_, child) in running.iter_mut() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        };
+        for i in 0..self.workers {
+            let shard = ShardIndex::new(i, self.workers);
+            match self.spawn(shard) {
+                Ok(child) => running.push((shard, child)),
+                Err(e) => {
+                    kill_all(&mut running);
+                    return Err(e);
+                }
+            }
+        }
+        while !running.is_empty() {
+            let mut i = 0;
+            while i < running.len() {
+                let (shard, child) = &mut running[i];
+                let shard = *shard;
+                match child.try_wait() {
+                    Ok(None) => i += 1,
+                    Ok(Some(status)) if status.success() => {
+                        running.swap_remove(i);
+                    }
+                    Ok(Some(status)) => {
+                        let slot = shard.index as usize;
+                        if restarts[slot] < self.max_restarts {
+                            restarts[slot] += 1;
+                            eprintln!(
+                                "shard {shard}: worker died ({status}); respawning \
+                                 (attempt {}/{}) — journaled replicas are kept",
+                                restarts[slot] + 1,
+                                self.max_restarts + 1
+                            );
+                            match self.spawn(shard) {
+                                Ok(fresh) => running[i].1 = fresh,
+                                Err(e) => {
+                                    kill_all(&mut running);
+                                    return Err(e);
+                                }
+                            }
+                            i += 1;
+                        } else {
+                            let attempts = restarts[slot] + 1;
+                            running.swap_remove(i);
+                            kill_all(&mut running);
+                            return Err(ShardError::WorkerFailed {
+                                shard,
+                                attempts,
+                                code: status.code(),
+                            });
+                        }
+                    }
+                    Err(source) => {
+                        running.swap_remove(i);
+                        kill_all(&mut running);
+                        return Err(ShardError::Wait { shard, source });
+                    }
+                }
+            }
+            std::thread::sleep(self.poll);
+        }
+        Ok(CoordinatorReport {
+            wall_secs: started.elapsed().as_secs_f64(),
+            restarts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_workers_complete_without_restarts() {
+        let report = Coordinator::new("true", Vec::<String>::new(), 3)
+            .run()
+            .unwrap();
+        assert_eq!(report.restarts, vec![0, 0, 0]);
+        assert_eq!(report.total_restarts(), 0);
+        assert!(report.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn failing_worker_is_restarted_then_reported() {
+        let err = Coordinator::new("false", Vec::<String>::new(), 2)
+            .max_restarts(1)
+            .run()
+            .unwrap_err();
+        match err {
+            ShardError::WorkerFailed {
+                shard,
+                attempts,
+                code,
+            } => {
+                assert!(shard.count == 2);
+                assert_eq!(attempts, 2); // first run + one restart
+                assert_eq!(code, Some(1));
+            }
+            other => panic!("expected WorkerFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unspawnable_program_is_a_spawn_error() {
+        let err = Coordinator::new("/nonexistent/worker-binary", Vec::<String>::new(), 1)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, ShardError::Spawn { .. }), "got {err}");
+    }
+}

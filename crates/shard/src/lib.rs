@@ -1,0 +1,59 @@
+//! Multi-process sharded sweep orchestration for `seg_engine`.
+//!
+//! One [`SweepSpec`](seg_engine::SweepSpec) can be bigger than one
+//! process — the paper's heaviest sweeps (Theorem 1/2 scaling,
+//! percolation calibration) want every core of every available host.
+//! This crate turns the engine's single-process checkpoint journal into
+//! a cluster substrate:
+//!
+//! - [`ShardPlan`] — the deterministic partition of a spec's task list
+//!   into M shards (round-robin by task index, balanced across points);
+//! - worker processes — any engine-backed binary run with
+//!   `--shard I/M --checkpoint dir/ck.jsonl` journals its share to a
+//!   shard journal next to the base path (no binary changes needed);
+//! - [`merge()`] — absorbs every shard journal, runs whatever is left
+//!   (a shard killed mid-write loses at most its in-flight replicas),
+//!   and returns the **complete** result, whose sink output is
+//!   byte-identical to a single-process run at any thread count;
+//! - [`Coordinator`] — spawns the M workers on the local host via
+//!   [`std::process`], monitors them, respawns a dead worker (the
+//!   respawned process resumes from the journals and re-runs only the
+//!   dead worker's unfinished tasks), and reports aggregate wall-clock
+//!   so throughput across shards is visible.
+//!
+//! `segsim shard --workers M ...` is the command-line face of the
+//! coordinator; `examples/shard_quickstart.rs` is the library template.
+//!
+//! # Quickstart (in-process view of the protocol)
+//!
+//! ```
+//! use seg_engine::{Engine, ShardIndex, SweepSpec};
+//! use seg_shard::{merge, ShardPlan};
+//!
+//! let spec = SweepSpec::builder()
+//!     .side(32).horizon(1).taus([0.40, 0.45])
+//!     .replicas(2).master_seed(7).build();
+//! let plan = ShardPlan::new(&spec, 2);
+//! assert_eq!(plan.shard_task_counts(), vec![2, 2]);
+//!
+//! let dir = std::env::temp_dir().join("seg_shard_doc");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let base = dir.join("ck.jsonl");
+//! // what the two worker *processes* would do, here in one process:
+//! for shard in plan.shards() {
+//!     Engine::new().shard(shard).run_with_checkpoint(&spec, &[], &base).unwrap();
+//! }
+//! let merged = merge(&spec, &[], &base, 1).unwrap();
+//! assert!(merged.is_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod merge;
+pub mod plan;
+
+pub use coordinator::{Coordinator, CoordinatorReport, ShardError};
+pub use merge::{merge, merge_status, MergeStatus};
+pub use plan::ShardPlan;

@@ -1,0 +1,135 @@
+//! Merging shard journals back into one complete result.
+
+use seg_engine::{
+    find_shard_journals, Checkpoint, CheckpointError, Engine, Observer, SweepResult, SweepSpec,
+};
+use std::path::{Path, PathBuf};
+
+/// How far a sharded sweep has progressed, judged from its journals.
+#[derive(Clone, Debug)]
+pub struct MergeStatus {
+    /// Total tasks in the spec.
+    pub total: usize,
+    /// Tasks some journal (base or shard) has a record for.
+    pub completed: usize,
+    /// The shard journals found next to the base path.
+    pub shard_journals: Vec<PathBuf>,
+}
+
+impl MergeStatus {
+    /// Whether every task is journaled — a merge would run nothing.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.total
+    }
+}
+
+/// Reads the base journal and every shard journal next to it and
+/// reports how much of the sweep they cover. Strictly read-only — no
+/// file is created, truncated or repaired — so it is safe to poll while
+/// workers (or a merge) are live and appending.
+///
+/// # Errors
+///
+/// [`CheckpointError`] when a journal is corrupt or belongs to a
+/// different spec — the same validation a merge would apply.
+pub fn merge_status(spec: &SweepSpec, base: &Path) -> Result<MergeStatus, CheckpointError> {
+    let shard_journals = find_shard_journals(base)?;
+    let completed = Checkpoint::peek(base, spec)?;
+    Ok(MergeStatus {
+        total: completed.len(),
+        completed: completed.iter().flatten().count(),
+        shard_journals,
+    })
+}
+
+/// Merges a sharded sweep: absorbs the base journal and every shard
+/// journal next to it, **runs any tasks no journal covers** (a worker
+/// killed mid-write loses only its in-flight replicas — they rerun
+/// here, on `threads` local threads), journals them to the base path,
+/// and returns the complete [`SweepResult`].
+///
+/// Because replica records are a pure function of their task, the
+/// merged result — and therefore any sink written from it — is
+/// byte-identical to a single-process run of the same spec, regardless
+/// of how many shards ran, on how many hosts, at what thread counts,
+/// or how many times they died and resumed (property-tested in
+/// `tests/shard_property.rs`).
+///
+/// # Errors
+///
+/// [`CheckpointError`] when a journal is corrupt or belongs to a
+/// different spec.
+pub fn merge(
+    spec: &SweepSpec,
+    observers: &[Observer],
+    base: &Path,
+    threads: usize,
+) -> Result<SweepResult, CheckpointError> {
+    let result = Engine::new()
+        .threads(threads)
+        .run_with_checkpoint(spec, observers, base)?;
+    debug_assert!(result.is_complete(), "unsharded resume runs all leftovers");
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seg_engine::ShardIndex;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::builder()
+            .side(28)
+            .horizon(1)
+            .taus([0.4, 0.45])
+            .replicas(2)
+            .master_seed(13)
+            .max_events(500)
+            .build()
+    }
+
+    #[test]
+    fn status_counts_journaled_tasks_across_shards() {
+        let dir = std::env::temp_dir().join("seg_shard_merge_status");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = dir.join("ck.jsonl");
+        let spec = spec();
+        let fresh = merge_status(&spec, &base).unwrap();
+        assert_eq!(fresh.total, 4); // 2 points × 2 replicas
+        assert_eq!(fresh.completed, 0);
+        assert!(!fresh.is_complete());
+        // status is read-only: probing must not create the journal
+        assert!(!base.exists());
+        // one of two shards runs: half the tasks are covered
+        Engine::new()
+            .shard(ShardIndex::new(0, 2))
+            .run_with_checkpoint(&spec, &[], &base)
+            .unwrap();
+        let half = merge_status(&spec, &base).unwrap();
+        assert_eq!(half.completed, 2);
+        assert_eq!(half.shard_journals.len(), 1);
+        let merged = merge(&spec, &[], &base, 2).unwrap();
+        assert!(merged.is_complete());
+        assert!(merge_status(&spec, &base).unwrap().is_complete());
+    }
+
+    #[test]
+    fn merge_completes_missing_shards_locally() {
+        let dir = std::env::temp_dir().join("seg_shard_merge_completes");
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = dir.join("ck.jsonl");
+        let spec = spec();
+        // only shard 1 of 3 ever ran
+        Engine::new()
+            .shard(ShardIndex::new(1, 3))
+            .run_with_checkpoint(&spec, &[], &base)
+            .unwrap();
+        let merged = merge(&spec, &[], &base, 1).unwrap();
+        assert!(merged.is_complete());
+        let reference = Engine::new().threads(1).run(&spec, &[]);
+        for (a, b) in merged.records().iter().zip(reference.records()) {
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+}

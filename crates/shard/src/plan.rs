@@ -1,0 +1,138 @@
+//! The deterministic partition of one sweep across M shards.
+
+use seg_engine::{shard_journal_path, spec_fingerprint, ShardIndex, SweepSpec};
+use std::path::{Path, PathBuf};
+
+/// How one [`SweepSpec`]'s task list splits into M shards.
+///
+/// The partition is pure arithmetic — round-robin by task index, see
+/// [`ShardIndex`] — so every participant (coordinator, workers on other
+/// hosts, the merge step) computes the identical assignment from the
+/// spec alone; nothing is negotiated or stored. The plan object exists
+/// to *inspect* that assignment: per-shard task counts, journal paths,
+/// and the spec fingerprint the journals will be validated against.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    spec: SweepSpec,
+    count: u32,
+}
+
+impl ShardPlan {
+    /// Plans `count` shards over `spec`'s tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(spec: &SweepSpec, count: u32) -> Self {
+        assert!(count > 0, "need at least one shard");
+        ShardPlan {
+            spec: spec.clone(),
+            count,
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.count
+    }
+
+    /// The spec being partitioned.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// The shard indices, `0/M .. (M-1)/M`.
+    pub fn shards(&self) -> impl Iterator<Item = ShardIndex> + '_ {
+        (0..self.count).map(|i| ShardIndex::new(i, self.count))
+    }
+
+    /// How many tasks each shard owns (they differ by at most one).
+    pub fn shard_task_counts(&self) -> Vec<usize> {
+        let total = self.spec.task_count();
+        self.shards().map(|s| s.task_count(total)).collect()
+    }
+
+    /// The task indices shard `i` owns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not below the shard count.
+    pub fn shard_tasks(&self, i: u32) -> Vec<usize> {
+        ShardIndex::new(i, self.count).task_indices(self.spec.task_count())
+    }
+
+    /// The journal each shard appends to, next to the base checkpoint
+    /// path.
+    pub fn journal_paths(&self, base: &Path) -> Vec<PathBuf> {
+        self.shards().map(|s| shard_journal_path(base, s)).collect()
+    }
+
+    /// The fingerprint every journal of this sweep must carry; a worker
+    /// launched with different flags writes a different fingerprint and
+    /// is refused at merge time.
+    pub fn fingerprint(&self) -> u64 {
+        spec_fingerprint(&self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::builder()
+            .side(32)
+            .horizon(1)
+            .taus([0.4, 0.45, 0.5])
+            .replicas(3)
+            .master_seed(5)
+            .build()
+    }
+
+    #[test]
+    fn plan_covers_every_task_exactly_once() {
+        let spec = spec(); // 9 tasks
+        for m in 1..5 {
+            let plan = ShardPlan::new(&spec, m);
+            let mut seen = vec![false; spec.task_count()];
+            for i in 0..m {
+                for t in plan.shard_tasks(i) {
+                    assert!(!seen[t], "task {t} assigned twice");
+                    seen[t] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "a task was never assigned");
+            assert_eq!(
+                plan.shard_task_counts().iter().sum::<usize>(),
+                spec.task_count()
+            );
+        }
+    }
+
+    #[test]
+    fn counts_are_balanced_to_within_one() {
+        let plan = ShardPlan::new(&spec(), 4); // 9 tasks over 4 shards
+        let counts = plan.shard_task_counts();
+        assert_eq!(counts, vec![3, 2, 2, 2]);
+    }
+
+    #[test]
+    fn journal_paths_follow_the_engine_naming() {
+        let plan = ShardPlan::new(&spec(), 2);
+        let paths = plan.journal_paths(Path::new("runs/ck.jsonl"));
+        assert_eq!(paths[0], PathBuf::from("runs/ck.shard0of2.jsonl"));
+        assert_eq!(paths[1], PathBuf::from("runs/ck.shard1of2.jsonl"));
+    }
+
+    #[test]
+    fn fingerprint_matches_the_engine() {
+        let s = spec();
+        assert_eq!(ShardPlan::new(&s, 3).fingerprint(), spec_fingerprint(&s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardPlan::new(&spec(), 0);
+    }
+}

@@ -18,7 +18,10 @@
 //! - [`seg_percolation`] — site percolation, chemical distance, FPP;
 //! - [`seg_analysis`] — statistics, fits and image/CSV output;
 //! - [`seg_engine`] — parallel sweep & replica orchestration (start at
-//!   [`seg_engine::SweepSpec`]).
+//!   [`seg_engine::SweepSpec`]);
+//! - [`seg_shard`] — multi-process sharded sweeps: partition one spec
+//!   across workers/hosts, merge their journals byte-identically (start
+//!   at [`seg_shard::Coordinator`]).
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@ pub use seg_core;
 pub use seg_engine;
 pub use seg_grid;
 pub use seg_percolation;
+pub use seg_shard;
 pub use seg_theory;
 
 /// The most common imports, bundled.
@@ -54,11 +58,12 @@ pub mod prelude {
     };
     pub use seg_core::{Intolerance, ModelConfig, RunReport, Simulation};
     pub use seg_engine::{
-        Checkpoint, CheckpointError, Engine, Observer, SeedMode, Sink, SweepPoint, SweepSpec,
-        Variant,
+        Checkpoint, CheckpointError, Engine, Observer, SeedMode, ShardIndex, Sink, StreamingSink,
+        SweepPoint, SweepSpec, Variant,
     };
     pub use seg_grid::rng::Xoshiro256pp;
     pub use seg_grid::{AgentType, Neighborhood, Point, PrefixSums, Torus, TypeField};
+    pub use seg_shard::{Coordinator, ShardPlan};
     pub use seg_theory::constants::{classify, tau1, tau2, Regime};
     pub use seg_theory::exponents::{exponent_a, exponent_b};
     pub use seg_theory::trigger::f_trigger;

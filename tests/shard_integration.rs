@@ -1,0 +1,193 @@
+//! Multi-process sharding, tested with real `segsim` processes: the
+//! coordinator (`segsim shard`) and hand-run `--shard` workers must
+//! both converge to output byte-identical to a single-process sweep —
+//! including after a worker was killed mid-write.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SEGSIM: &str = env!("CARGO_BIN_EXE_segsim");
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("segsim_shard_integration")
+        .join(tag);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The sweep flags shared by every invocation of one scenario.
+fn sweep_flags(out: &Path) -> Vec<String> {
+    [
+        "--side",
+        "24",
+        "--horizon",
+        "1",
+        "--tau",
+        "0.4,0.45",
+        "--variant",
+        "paper,noise:0.02",
+        "--replicas",
+        "2",
+        "--seed",
+        "11",
+        "--max-events",
+        "400",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain(["--out".to_string(), out.display().to_string()])
+    .collect()
+}
+
+fn run(mode: &str, extra: &[String]) -> std::process::Output {
+    let out = Command::new(SEGSIM)
+        .arg(mode)
+        .args(extra)
+        .output()
+        .expect("spawn segsim");
+    assert!(
+        out.status.success(),
+        "segsim {mode} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+#[test]
+fn coordinator_output_is_byte_identical_to_single_process() {
+    let dir = tmp_dir("coordinator");
+    let single = dir.join("single.csv");
+    let sharded = dir.join("sharded.csv");
+    run("sweep", &sweep_flags(&single));
+    let mut flags = sweep_flags(&sharded);
+    flags.extend([
+        "--workers".to_string(),
+        "2".to_string(),
+        "--checkpoint".to_string(),
+        dir.join("ck.jsonl").display().to_string(),
+    ]);
+    let out = run("shard", &flags);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("across 2 workers"),
+        "missing aggregate throughput line:\n{stdout}"
+    );
+    assert_eq!(
+        fs::read(&single).unwrap(),
+        fs::read(&sharded).unwrap(),
+        "sharded CSV differs from single-process CSV"
+    );
+}
+
+#[test]
+fn hand_run_workers_then_unsharded_merge_match_single_process() {
+    let dir = tmp_dir("manual_workers");
+    let single = dir.join("single.jsonl");
+    let merged = dir.join("merged.jsonl");
+    run("sweep", &sweep_flags(&single));
+    let ck = dir.join("ck.jsonl");
+    // what two hosts sharing a checkpoint directory would run
+    for shard in ["0/2", "1/2"] {
+        let mut flags = sweep_flags(&dir.join(format!("ignored-{}.jsonl", &shard[..1])));
+        flags.extend([
+            "--shard".to_string(),
+            shard.to_string(),
+            "--checkpoint".to_string(),
+            ck.display().to_string(),
+        ]);
+        let out = run("sweep", &flags);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // the first worker cannot see the second's records
+        if shard == "0/2" {
+            assert!(
+                stdout.contains("partial result"),
+                "no partial note:\n{stdout}"
+            );
+        }
+    }
+    // the merge step is the same command without --shard
+    let mut flags = sweep_flags(&merged);
+    flags.extend(["--checkpoint".to_string(), ck.display().to_string()]);
+    run("sweep", &flags);
+    assert_eq!(
+        fs::read(&single).unwrap(),
+        fs::read(&merged).unwrap(),
+        "merged JSONL differs from single-process JSONL"
+    );
+}
+
+#[test]
+fn coordinator_converges_after_a_worker_died_mid_write() {
+    let dir = tmp_dir("dead_worker");
+    let single = dir.join("single.csv");
+    let sharded = dir.join("sharded.csv");
+    run("sweep", &sweep_flags(&single));
+    // fabricate the aftermath of a worker killed mid-append: its journal
+    // holds a valid header, one record... and a torn half-line
+    let ck = dir.join("ck.jsonl");
+    {
+        let mut flags = sweep_flags(&dir.join("ignored.csv"));
+        flags.extend([
+            "--shard".to_string(),
+            "0/2".to_string(),
+            "--checkpoint".to_string(),
+            ck.display().to_string(),
+        ]);
+        run("sweep", &flags);
+        let shard0 = dir.join("ck.shard0of2.jsonl");
+        let text = fs::read_to_string(&shard0).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.truncate(2); // header + first record
+        let mut torn = lines.join("\n");
+        torn.push('\n');
+        torn.push_str("{\"kind\":\"record\",\"task\":2,\"events\":9,\"met");
+        fs::write(&shard0, torn).unwrap();
+    }
+    // rerunning the coordinator resumes the journals, re-runs the lost
+    // replicas, and still emits identical bytes
+    let mut flags = sweep_flags(&sharded);
+    flags.extend([
+        "--workers".to_string(),
+        "2".to_string(),
+        "--checkpoint".to_string(),
+        ck.display().to_string(),
+    ]);
+    run("shard", &flags);
+    assert_eq!(
+        fs::read(&single).unwrap(),
+        fs::read(&sharded).unwrap(),
+        "post-kill sharded CSV differs from single-process CSV"
+    );
+}
+
+#[test]
+fn streamed_jsonl_matches_buffered_and_survives_kills() {
+    let dir = tmp_dir("stream");
+    let buffered = dir.join("buffered.jsonl");
+    let streamed = dir.join("streamed.jsonl");
+    run("sweep", &sweep_flags(&buffered));
+    // --stream appends rows as replicas finish; with a checkpoint it
+    // resumes mid-file, so a second run only confirms the prefix
+    let mut flags = sweep_flags(&streamed);
+    flags.extend([
+        "--stream".to_string(),
+        "--checkpoint".to_string(),
+        dir.join("stream-ck.jsonl").display().to_string(),
+    ]);
+    run("sweep", &flags);
+    assert_eq!(fs::read(&buffered).unwrap(), fs::read(&streamed).unwrap());
+    // tear the streamed file the way a kill mid-append would and resume
+    let text = fs::read_to_string(&streamed).unwrap();
+    let cut = text.len() - 17;
+    fs::write(&streamed, &text[..cut]).unwrap();
+    run("sweep", &flags);
+    assert_eq!(
+        fs::read(&buffered).unwrap(),
+        fs::read(&streamed).unwrap(),
+        "resumed streamed JSONL differs from buffered JSONL"
+    );
+}
