@@ -1,0 +1,93 @@
+//! Criterion benchmarks for the fused flip kernel and the O(1)-step ring
+//! dynamics — the two hot paths every experiment burns its time in.
+//!
+//! Absolute tracked numbers live in `BENCH_kernel.json` (written by the
+//! `bench_kernel` binary); this bench gives criterion-style relative
+//! timings and throughput for local iteration:
+//!
+//! ```text
+//! cargo bench -p seg-bench --bench kernel
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use seg_bench::kernel::{
+    ring_sim, twod_sim, FlipStream, KAWASAKI_MAX_ATTEMPTS, RING_N, TWOD_HORIZONS,
+};
+use seg_core::ring::RingKawasaki;
+
+/// 2-D fused kernel: flips/s across horizons (window sizes 9..289).
+fn bench_twod_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_2d_flips");
+    const FLIPS_PER_ITER: u64 = 1000;
+    g.throughput(Throughput::Elements(FLIPS_PER_ITER));
+    for w in TWOD_HORIZONS {
+        g.bench_with_input(BenchmarkId::new("w", w), &w, |b, &w| {
+            let mut sim = twod_sim(w);
+            let t = sim.torus();
+            let mut stream = FlipStream::new(7, t.len() as u64);
+            b.iter(|| {
+                for _ in 0..FLIPS_PER_ITER {
+                    let i = stream.next_index();
+                    sim.force_flip_at(t.from_index(i));
+                }
+                sim.flips()
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Ring Glauber: steps/s for a full run to stability at n = 2000. The
+/// step count of the fixed seed is deterministic, so criterion's
+/// throughput line reads directly in steps/s.
+fn bench_ring_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_ring");
+    let steps = {
+        let mut sim = ring_sim(7);
+        let mut n = 0u64;
+        while sim.step().is_some() {
+            n += 1;
+        }
+        n
+    };
+    g.throughput(Throughput::Elements(steps));
+    g.bench_function(&format!("glauber_n{RING_N}"), |b| {
+        b.iter_batched(
+            || ring_sim(7),
+            |mut sim| {
+                while sim.step().is_some() {}
+                sim
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    // attempts are capped: a configuration can absorb into endless
+    // rejections, and this seed's count is deterministic either way
+    let run_kawasaki = |k: &mut RingKawasaki| {
+        let mut n = 0u64;
+        for _ in 0..KAWASAKI_MAX_ATTEMPTS {
+            if k.try_swap().is_none() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    };
+    let attempts = run_kawasaki(&mut RingKawasaki::new(ring_sim(7)));
+    g.throughput(Throughput::Elements(attempts));
+    g.bench_function(&format!("kawasaki_n{RING_N}"), |b| {
+        b.iter_batched(
+            || RingKawasaki::new(ring_sim(7)),
+            |mut k| {
+                run_kawasaki(&mut k);
+                k
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_twod_kernel, bench_ring_kernel);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Deterministic workloads and timers for the flip-kernel benchmarks.
+//!
+//! Shared between the `kernel` criterion bench (relative timings) and the
+//! `bench_kernel` binary (absolute flips/s written to `BENCH_kernel.json`,
+//! the tracked perf baseline). Workloads are fully deterministic: the 2-D
+//! case drives [`seg_core::Simulation::force_flip_at`] with an LCG point
+//! stream (flip cost is state-independent, so this isolates the kernel),
+//! the ring cases run the real dynamics to stability from seeded initial
+//! conditions.
+
+use seg_core::ring::{RingKawasaki, RingSim};
+use seg_core::{ModelConfig, Simulation};
+use std::time::{Duration, Instant};
+
+/// Grid side for the 2-D kernel workload.
+pub const TWOD_SIDE: u32 = 256;
+/// Horizons measured by the 2-D kernel workload.
+pub const TWOD_HORIZONS: [u32; 4] = [1, 2, 4, 8];
+/// Ring length for the 1-D workloads.
+pub const RING_N: usize = 2000;
+/// Ring horizon for the 1-D workloads.
+pub const RING_W: u32 = 8;
+/// Intolerance for all workloads (the segregating regime).
+pub const TAU: f64 = 0.45;
+
+/// Per-realization cap on Kawasaki swap attempts. `try_swap` returns
+/// `None` only when an unhappy set empties; a configuration can instead
+/// absorb into endless rejections (pairs remain, no swap helps), so an
+/// uncapped drive could spin forever. Typical realizations at these
+/// parameters stick within a few hundred attempts.
+pub const KAWASAKI_MAX_ATTEMPTS: u64 = 100_000;
+
+/// A splitmix-style stream of cell indices below `universe`.
+#[derive(Clone, Debug)]
+pub struct FlipStream {
+    state: u64,
+    universe: u64,
+}
+
+impl FlipStream {
+    /// A deterministic stream over `0..universe`.
+    pub fn new(seed: u64, universe: u64) -> Self {
+        FlipStream {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            universe,
+        }
+    }
+
+    /// The next pseudo-random index.
+    #[inline]
+    pub fn next_index(&mut self) -> usize {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.state >> 33) % self.universe) as usize
+    }
+}
+
+/// The 2-D simulation the kernel workload flips in.
+pub fn twod_sim(w: u32) -> Simulation {
+    ModelConfig::new(TWOD_SIDE, w, TAU).seed(1).build()
+}
+
+/// A fresh ring realization for the 1-D Glauber workload.
+pub fn ring_sim(seed: u64) -> RingSim {
+    RingSim::random(RING_N, RING_W, TAU, 0.5, seed)
+}
+
+/// Measures 2-D kernel throughput: `force_flip_at` on an LCG point
+/// stream for at least `budget`, returning flips per second.
+pub fn measure_twod_flips(w: u32, budget: Duration) -> f64 {
+    let mut sim = twod_sim(w);
+    let t = sim.torus();
+    let mut stream = FlipStream::new(7, t.len() as u64);
+    // warm up caches and branch predictors
+    for _ in 0..1000 {
+        let i = stream.next_index();
+        sim.force_flip_at(t.from_index(i));
+    }
+    let mut flips = 0u64;
+    let batch = 4096u64;
+    let t0 = Instant::now();
+    loop {
+        for _ in 0..batch {
+            let i = stream.next_index();
+            sim.force_flip_at(t.from_index(i));
+        }
+        flips += batch;
+        if t0.elapsed() >= budget {
+            break;
+        }
+    }
+    flips as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Measures ring Glauber throughput: full runs to stability over fresh
+/// seeded realizations, returning effective steps per second (setup
+/// excluded from the clock).
+pub fn measure_ring_steps(budget: Duration) -> f64 {
+    let mut steps = 0u64;
+    let mut timed = Duration::ZERO;
+    let mut seed = 0u64;
+    while timed < budget {
+        let mut sim = ring_sim(seed);
+        seed += 1;
+        let f0 = sim.flips();
+        let t0 = Instant::now();
+        while sim.step().is_some() {}
+        timed += t0.elapsed();
+        steps += sim.flips() - f0;
+    }
+    steps as f64 / timed.as_secs_f64()
+}
+
+/// Measures ring Kawasaki throughput: swap attempts until the process
+/// sticks (or [`KAWASAKI_MAX_ATTEMPTS`]), over fresh seeded
+/// realizations, returning attempts per second.
+pub fn measure_kawasaki_attempts(budget: Duration) -> f64 {
+    let mut attempts = 0u64;
+    let mut timed = Duration::ZERO;
+    let mut seed = 0u64;
+    while timed < budget {
+        let mut k = RingKawasaki::new(ring_sim(seed));
+        seed += 1;
+        let t0 = Instant::now();
+        for _ in 0..KAWASAKI_MAX_ATTEMPTS {
+            if k.try_swap().is_none() {
+                break;
+            }
+            attempts += 1;
+        }
+        timed += t0.elapsed();
+    }
+    attempts as f64 / timed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_stream_is_deterministic_and_in_range() {
+        let mut a = FlipStream::new(3, 100);
+        let mut b = FlipStream::new(3, 100);
+        for _ in 0..50 {
+            let x = a.next_index();
+            assert_eq!(x, b.next_index());
+            assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn measurements_produce_positive_rates() {
+        let budget = Duration::from_millis(10);
+        assert!(measure_twod_flips(1, budget) > 0.0);
+        assert!(measure_ring_steps(budget) > 0.0);
+        assert!(measure_kawasaki_attempts(budget) > 0.0);
+    }
+}

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernel;
+
 /// The base seed used by all harness binaries (printed in every banner so
 /// runs are reproducible).
 pub const BASE_SEED: u64 = 0x5E67_2017;

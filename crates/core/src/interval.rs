@@ -8,9 +8,8 @@
 //! argument fails: a flip can decrease alignment), so the runner is
 //! budget-capped and reports whether a stable state was reached.
 
-use crate::sim::IndexedSet;
 use seg_grid::rng::Xoshiro256pp;
-use seg_grid::{Point, Torus, TypeField, WindowCounts};
+use seg_grid::{ClassTable, IndexedSet, Point, Torus, TypeField, WindowCounts};
 
 /// Integer two-sided comfort thresholds over a neighborhood of size `N`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,6 +64,12 @@ impl ComfortBand {
     pub fn is_flippable(&self, same_count: u32) -> bool {
         !self.is_content(same_count) && self.flip_makes_content(same_count)
     }
+
+    /// The class table for the fused flip kernel: tracked = flippable
+    /// under this band, unhappy = discontent.
+    pub fn class_table(&self) -> ClassTable {
+        ClassTable::build_same_count(self.n_size, |s| (self.is_flippable(s), !self.is_content(s)))
+    }
 }
 
 /// The §V two-sided model.
@@ -73,7 +78,10 @@ pub struct IntervalSim {
     field: TypeField,
     counts: WindowCounts,
     band: ComfortBand,
+    classes: ClassTable,
     flippable: IndexedSet,
+    /// Incrementally-maintained number of discontent agents.
+    discontent: usize,
     rng: Xoshiro256pp,
     flips: u64,
 }
@@ -89,18 +97,23 @@ impl IntervalSim {
         let counts = WindowCounts::new(&field, horizon);
         assert_eq!(band.n_size, counts.neighborhood_size());
         let torus = field.torus();
+        let classes = band.class_table();
         let mut flippable = IndexedSet::new(torus.len());
+        let mut discontent = 0;
         for i in 0..torus.len() {
-            let s = counts.same_count_index(i, field.get_index(i));
-            if band.is_flippable(s) {
+            let c = classes.class(field.get_index(i), counts.plus_count_index(i));
+            if c & ClassTable::TRACKED != 0 {
                 flippable.insert(i);
             }
+            discontent += usize::from(c & ClassTable::UNHAPPY != 0);
         }
         IntervalSim {
             field,
             counts,
             band,
+            classes,
             flippable,
+            discontent,
             rng,
             flips: 0,
         }
@@ -135,32 +148,11 @@ impl IntervalSim {
         self.flippable.len()
     }
 
-    /// Number of discontent agents (either side of the band).
+    /// Number of discontent agents (either side of the band). Maintained
+    /// incrementally by the fused flip kernel, so this is O(1).
+    #[inline]
     pub fn discontent_count(&self) -> usize {
-        let t = self.field.torus();
-        (0..t.len())
-            .filter(|i| {
-                let s = self.counts.same_count_index(*i, self.field.get_index(*i));
-                !self.band.is_content(s)
-            })
-            .count()
-    }
-
-    fn refresh_around(&mut self, at: Point) {
-        let w = self.counts.horizon() as i64;
-        let t = self.field.torus();
-        for dy in -w..=w {
-            for dx in -w..=w {
-                let v = t.offset(at, dx, dy);
-                let vi = t.index(v);
-                let s = self.counts.same_count_index(vi, self.field.get_index(vi));
-                if self.band.is_flippable(s) {
-                    self.flippable.insert(vi);
-                } else {
-                    self.flippable.remove(vi);
-                }
-            }
-        }
+        self.discontent
     }
 
     /// One step: flips a uniformly chosen flippable agent. `None` when no
@@ -169,9 +161,15 @@ impl IntervalSim {
         let i = self.flippable.sample(&mut self.rng)?;
         let at = self.field.torus().from_index(i);
         let new_type = self.field.flip(at);
-        self.counts.apply_flip(at, new_type);
         self.flips += 1;
-        self.refresh_around(at);
+        let delta = self.counts.apply_flip_fused(
+            at,
+            new_type,
+            &self.field,
+            &self.classes,
+            &mut self.flippable,
+        );
+        self.discontent = (self.discontent as i64 + delta) as usize;
         Some(at)
     }
 
@@ -184,7 +182,7 @@ impl IntervalSim {
                 return true;
             }
         }
-        self.flippable.len() == 0
+        self.flippable.is_empty()
     }
 }
 
@@ -246,8 +244,9 @@ mod tests {
     fn bookkeeping_consistent_after_steps() {
         let mut sim = IntervalSim::random(48, 2, 0.4, 0.85, 5);
         sim.run(2_000);
-        // recompute flippable set from scratch
+        // recompute flippable set and discontent total from scratch
         let t = sim.field().torus();
+        let mut discontent = 0;
         for i in 0..t.len() {
             let s = sim.counts.same_count_index(i, sim.field.get_index(i));
             assert_eq!(
@@ -255,7 +254,9 @@ mod tests {
                 sim.flippable.contains(i),
                 "divergence at {i}"
             );
+            discontent += usize::from(!sim.band.is_content(s));
         }
+        assert_eq!(discontent, sim.discontent_count(), "discontent diverged");
     }
 
     #[test]

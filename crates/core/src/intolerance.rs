@@ -1,5 +1,7 @@
 //! Integer happiness thresholds (§II-A) and flip feasibility.
 
+use seg_grid::ClassTable;
+
 /// The intolerance parameter in its exact integer form.
 ///
 /// The paper sets `τ = ⌈τ̃N⌉ / N` where `τ̃ ∈ [0, 1]` and `N = (2w+1)²`:
@@ -102,6 +104,18 @@ impl Intolerance {
     pub fn is_super_unhappy(&self, same_count: u32) -> bool {
         self.is_flippable(same_count)
     }
+
+    /// The per-type lookup table `class[type][plus_count] → {flippable,
+    /// happy, stuck}` consumed by the fused flip kernel
+    /// ([`seg_grid::WindowCounts::apply_flip_fused`]): tracked = flippable
+    /// under the paper's rule, unhappy = `S < τN`.
+    pub fn class_table(&self) -> ClassTable {
+        ClassTable::build_same_count(self.n_size, |s| {
+            // s = 0 is unreachable (an agent counts itself); guard it so
+            // building the table never evaluates flip arithmetic on it
+            (s >= 1 && self.is_flippable(s), !self.is_happy(s))
+        })
+    }
 }
 
 impl std::fmt::Display for Intolerance {
@@ -119,6 +133,7 @@ impl std::fmt::Display for Intolerance {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use seg_grid::AgentType;
 
     #[test]
     fn threshold_is_ceiling() {
@@ -172,6 +187,21 @@ mod tests {
         // a strongly outnumbered agent is super-unhappy
         let s2 = 4;
         assert!(i.is_super_unhappy(s2)); // 25 − 4 + 1 = 22 ≥ 18
+    }
+
+    #[test]
+    fn class_table_matches_predicates() {
+        for (n, tau) in [(25u32, 0.4), (25, 0.6), (49, 0.42), (9, 0.5)] {
+            let i = Intolerance::new(n, tau);
+            let ct = i.class_table();
+            for s in 1..=n {
+                // a Plus agent with S pluses, a Minus agent with N−S pluses
+                for (ty, pc) in [(AgentType::Plus, s), (AgentType::Minus, n - s)] {
+                    assert_eq!(ct.tracked(ty, pc), i.is_flippable(s), "n={n} τ={tau} s={s}");
+                    assert_eq!(ct.unhappy(ty, pc), !i.is_happy(s), "n={n} τ={tau} s={s}");
+                }
+            }
+        }
     }
 
     #[test]

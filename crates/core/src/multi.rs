@@ -10,9 +10,8 @@
 //! id. With `k = 2` this coincides with the paper's model.
 
 use crate::intolerance::Intolerance;
-use crate::sim::IndexedSet;
 use seg_grid::rng::Xoshiro256pp;
-use seg_grid::{Point, Torus};
+use seg_grid::{IndexedSet, Point, Torus};
 
 /// A `k`-type Glauber segregation model.
 #[derive(Clone, Debug)]
@@ -191,7 +190,7 @@ impl MultiSim {
                 return true;
             }
         }
-        self.flippable.len() == 0
+        self.flippable.is_empty()
     }
 
     /// Per-type totals across the torus.

@@ -11,9 +11,27 @@
 
 use crate::intolerance::Intolerance;
 use seg_grid::rng::Xoshiro256pp;
-use seg_grid::AgentType;
+use seg_grid::{AgentType, IndexedSet};
+
+/// Iterates the `2w + 1` ring indices of the window centered at `i`.
+#[inline]
+fn window_indices(n: usize, w: usize, i: usize) -> impl Iterator<Item = usize> {
+    let start = (i + n - w) % n;
+    (0..=2 * w).map(move |d| {
+        let j = start + d;
+        if j >= n {
+            j - n
+        } else {
+            j
+        }
+    })
+}
 
 /// The 1-D Glauber model on a ring.
+///
+/// The flippable agents are kept in an incrementally-maintained
+/// [`IndexedSet`], so a step is O(1) sampling plus an O(w) window repair —
+/// per-step cost is independent of the ring length `n`.
 #[derive(Clone, Debug)]
 pub struct RingSim {
     types: Vec<AgentType>,
@@ -21,6 +39,8 @@ pub struct RingSim {
     same: Vec<u32>,
     horizon: u32,
     intol: Intolerance,
+    /// agents that are unhappy and made happy by a flip
+    flippable: IndexedSet,
     rng: Xoshiro256pp,
     flips: u64,
 }
@@ -48,6 +68,7 @@ impl RingSim {
         let intol = Intolerance::new(2 * w + 1, tau_tilde);
         let mut sim = RingSim {
             same: vec![0; n],
+            flippable: IndexedSet::new(n),
             types,
             horizon: w,
             intol,
@@ -68,6 +89,7 @@ impl RingSim {
         let intol = Intolerance::new(2 * w + 1, tau_tilde);
         let mut sim = RingSim {
             same: vec![0; types.len()],
+            flippable: IndexedSet::new(types.len()),
             types,
             horizon: w,
             intol,
@@ -78,17 +100,23 @@ impl RingSim {
         sim
     }
 
+    /// Recomputes same counts and the flippable set from scratch.
     fn rebuild_counts(&mut self) {
         let n = self.types.len();
         let w = self.horizon as usize;
         for i in 0..n {
             let me = self.types[i];
             let mut s = 0u32;
-            for d in 0..=(2 * w) {
-                let j = (i + n + d - w) % n;
+            for j in window_indices(n, w, i) {
                 s += u32::from(self.types[j] == me);
             }
             self.same[i] = s;
+        }
+        self.flippable.clear();
+        for i in 0..n {
+            if self.intol.is_flippable(self.same[i]) {
+                self.flippable.insert(i);
+            }
         }
     }
 
@@ -122,31 +150,39 @@ impl RingSim {
         self.intol.is_happy(self.same[i])
     }
 
-    /// Indices of currently flippable agents.
-    pub fn flippable(&self) -> Vec<usize> {
-        (0..self.len())
-            .filter(|i| self.intol.is_flippable(self.same[*i]))
-            .collect()
+    /// Number of currently flippable agents (O(1)).
+    #[inline]
+    pub fn flippable_count(&self) -> usize {
+        self.flippable.len()
     }
 
-    fn flip(&mut self, i: usize) {
+    /// Whether the process is stable (no flippable agent), O(1).
+    #[inline]
+    pub fn is_stable(&self) -> bool {
+        self.flippable.is_empty()
+    }
+
+    /// Indices of currently flippable agents, ascending. O(f log f)
+    /// convenience accessor over the maintained set; the dynamics itself
+    /// samples the set directly.
+    pub fn flippable(&self) -> Vec<usize> {
+        self.flippable.sorted()
+    }
+
+    /// Updates types and same counts for a flip of agent `i`, without
+    /// touching the flippable set or the flip counter — the shared core of
+    /// [`RingSim::flip`] and the Kawasaki trial moves.
+    fn flip_counts(&mut self, i: usize) {
         let n = self.len();
         let w = self.horizon as usize;
         let old = self.types[i];
         self.types[i] = old.flipped();
-        self.flips += 1;
-        // update same counts in the window around i
-        for d in 0..=(2 * w) {
-            let j = (i + n + d - w) % n;
+        for j in window_indices(n, w, i) {
             if j == i {
-                // the agent itself: recount fully (cheap)
-                let me = self.types[i];
-                let mut s = 0u32;
-                for e in 0..=(2 * w) {
-                    let k = (i + n + e - w) % n;
-                    s += u32::from(self.types[k] == me);
-                }
-                self.same[i] = s;
+                // the agent itself: S(i) maps to (2w+1) + 1 − S_old(i)
+                // (every neighbor changes sides relative to it, and it
+                // still counts itself)
+                self.same[i] = self.intol.neighborhood_size() + 1 - self.same[i];
             } else {
                 // neighbor j: one member of its window changed type
                 if self.types[j] == old {
@@ -158,14 +194,31 @@ impl RingSim {
         }
     }
 
-    /// One Glauber step: flips a uniformly chosen flippable agent.
-    /// Returns the flipped index, or `None` when stable.
-    pub fn step(&mut self) -> Option<usize> {
-        let f = self.flippable();
-        if f.is_empty() {
-            return None;
+    /// Reclassifies every agent whose window contains `i` against the
+    /// maintained flippable set.
+    fn reclassify_window(&mut self, i: usize) {
+        let n = self.len();
+        let w = self.horizon as usize;
+        for j in window_indices(n, w, i) {
+            if self.intol.is_flippable(self.same[j]) {
+                self.flippable.insert(j);
+            } else {
+                self.flippable.remove(j);
+            }
         }
-        let i = f[self.rng.next_below(f.len() as u64) as usize];
+    }
+
+    fn flip(&mut self, i: usize) {
+        self.flip_counts(i);
+        self.flips += 1;
+        self.reclassify_window(i);
+    }
+
+    /// One Glauber step: flips a uniformly chosen flippable agent.
+    /// Returns the flipped index, or `None` when stable. O(1) sampling
+    /// plus O(w) repair — independent of the ring length.
+    pub fn step(&mut self) -> Option<usize> {
+        let i = self.flippable.sample(&mut self.rng)?;
         self.flip(i);
         Some(i)
     }
@@ -177,7 +230,7 @@ impl RingSim {
                 return true;
             }
         }
-        self.flippable().is_empty()
+        self.is_stable()
     }
 
     /// Lengths of maximal same-type runs around the ring (the 1-D
@@ -221,16 +274,43 @@ impl RingSim {
 
 /// The 1-D Kawasaki (swap) model of Brandt et al.: unhappy agents of
 /// opposite types swap iff the swap makes both happy.
+///
+/// The unhappy agents of each type are kept in incrementally-maintained
+/// [`IndexedSet`]s, so picking a candidate pair is O(1) instead of two
+/// O(n) scans per attempt; a rejected swap restores the counts from an
+/// O(w) snapshot instead of four full window walks.
 #[derive(Clone, Debug)]
 pub struct RingKawasaki {
     inner: RingSim,
+    /// unhappy `(+1)` agents
+    unhappy_plus: IndexedSet,
+    /// unhappy `(-1)` agents
+    unhappy_minus: IndexedSet,
+    /// reusable `(index, same_count)` snapshot for the rejected-swap undo
+    undo: Vec<(u32, u32)>,
     swaps: u64,
 }
 
 impl RingKawasaki {
     /// Wraps a [`RingSim`] (its Glauber stepper is not used).
     pub fn new(inner: RingSim) -> Self {
-        RingKawasaki { inner, swaps: 0 }
+        let mut unhappy_plus = IndexedSet::new(inner.len());
+        let mut unhappy_minus = IndexedSet::new(inner.len());
+        for i in 0..inner.len() {
+            if !inner.is_happy(i) {
+                match inner.types[i] {
+                    AgentType::Plus => unhappy_plus.insert(i),
+                    AgentType::Minus => unhappy_minus.insert(i),
+                }
+            }
+        }
+        RingKawasaki {
+            inner,
+            unhappy_plus,
+            unhappy_minus,
+            undo: Vec::new(),
+            swaps: 0,
+        }
     }
 
     /// Access the ring state.
@@ -243,29 +323,88 @@ impl RingKawasaki {
         self.swaps
     }
 
+    /// Indices of currently unhappy `(+1)` agents, ascending.
+    pub fn unhappy_plus(&self) -> Vec<usize> {
+        self.unhappy_plus.sorted()
+    }
+
+    /// Indices of currently unhappy `(-1)` agents, ascending.
+    pub fn unhappy_minus(&self) -> Vec<usize> {
+        self.unhappy_minus.sorted()
+    }
+
+    /// Re-evaluates the unhappy-per-type membership of every agent whose
+    /// window contains `i`.
+    fn reclassify_unhappy(&mut self, i: usize) {
+        let n = self.inner.len();
+        let w = self.inner.horizon as usize;
+        for j in window_indices(n, w, i) {
+            let unhappy = !self.inner.is_happy(j);
+            match self.inner.types[j] {
+                AgentType::Plus => {
+                    self.unhappy_minus.remove(j);
+                    if unhappy {
+                        self.unhappy_plus.insert(j);
+                    } else {
+                        self.unhappy_plus.remove(j);
+                    }
+                }
+                AgentType::Minus => {
+                    self.unhappy_plus.remove(j);
+                    if unhappy {
+                        self.unhappy_minus.insert(j);
+                    } else {
+                        self.unhappy_minus.remove(j);
+                    }
+                }
+            }
+        }
+    }
+
     /// Attempts one swap of a uniformly chosen unhappy (+1)/(-1) pair.
     /// `Some(true)` on success, `Some(false)` on rejection, `None` when no
-    /// opposite-type unhappy pair exists.
+    /// opposite-type unhappy pair exists. Only completed swaps advance the
+    /// inner flip counter (a rejected attempt leaves the state — counters
+    /// included — untouched).
     pub fn try_swap(&mut self) -> Option<bool> {
-        let unhappy_plus: Vec<usize> = (0..self.inner.len())
-            .filter(|i| self.inner.types[*i] == AgentType::Plus && !self.inner.is_happy(*i))
-            .collect();
-        let unhappy_minus: Vec<usize> = (0..self.inner.len())
-            .filter(|i| self.inner.types[*i] == AgentType::Minus && !self.inner.is_happy(*i))
-            .collect();
-        if unhappy_plus.is_empty() || unhappy_minus.is_empty() {
+        if self.unhappy_plus.is_empty() || self.unhappy_minus.is_empty() {
             return None;
         }
-        let a = unhappy_plus[self.inner.rng.next_below(unhappy_plus.len() as u64) as usize];
-        let b = unhappy_minus[self.inner.rng.next_below(unhappy_minus.len() as u64) as usize];
-        self.inner.flip(a);
-        self.inner.flip(b);
+        let a = self
+            .unhappy_plus
+            .sample(&mut self.inner.rng)
+            .expect("checked non-empty");
+        let b = self
+            .unhappy_minus
+            .sample(&mut self.inner.rng)
+            .expect("checked non-empty");
+        // snapshot the touched counts before the trial move so a rejection
+        // is an O(w) restore instead of two more full flips
+        let n = self.inner.len();
+        let w = self.inner.horizon as usize;
+        self.undo.clear();
+        for j in window_indices(n, w, a).chain(window_indices(n, w, b)) {
+            self.undo.push((j as u32, self.inner.same[j]));
+        }
+        // swapping opposite types == flipping both
+        self.inner.flip_counts(a);
+        self.inner.flip_counts(b);
         if self.inner.is_happy(a) && self.inner.is_happy(b) {
+            self.inner.flips += 2;
             self.swaps += 1;
+            self.inner.reclassify_window(a);
+            self.inner.reclassify_window(b);
+            self.reclassify_unhappy(a);
+            self.reclassify_unhappy(b);
             Some(true)
         } else {
-            self.inner.flip(a);
-            self.inner.flip(b);
+            // revert: types directly, counts from the snapshot (values
+            // were all captured pre-trial, so restore order is irrelevant)
+            self.inner.types[a] = self.inner.types[a].flipped();
+            self.inner.types[b] = self.inner.types[b].flipped();
+            for &(j, s) in &self.undo {
+                self.inner.same[j as usize] = s;
+            }
             Some(false)
         }
     }

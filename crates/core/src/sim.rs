@@ -2,69 +2,7 @@
 
 use crate::intolerance::Intolerance;
 use seg_grid::rng::Xoshiro256pp;
-use seg_grid::{AgentType, Point, Torus, TypeField, WindowCounts};
-
-/// A set of cell indices with O(1) insert, remove and uniform sampling —
-/// the *flippable* agents (unhappy, and made happy by a flip).
-#[derive(Clone, Debug)]
-pub(crate) struct IndexedSet {
-    items: Vec<u32>,
-    /// position of each cell in `items`, or `u32::MAX` when absent.
-    pos: Vec<u32>,
-}
-
-impl IndexedSet {
-    pub(crate) fn new(capacity: usize) -> Self {
-        IndexedSet {
-            items: Vec::new(),
-            pos: vec![u32::MAX; capacity],
-        }
-    }
-
-    #[inline]
-    pub(crate) fn len(&self) -> usize {
-        self.items.len()
-    }
-
-    #[inline]
-    pub(crate) fn contains(&self, i: usize) -> bool {
-        self.pos[i] != u32::MAX
-    }
-
-    #[inline]
-    pub(crate) fn insert(&mut self, i: usize) {
-        if self.pos[i] == u32::MAX {
-            self.pos[i] = self.items.len() as u32;
-            self.items.push(i as u32);
-        }
-    }
-
-    #[inline]
-    pub(crate) fn remove(&mut self, i: usize) {
-        let p = self.pos[i];
-        if p == u32::MAX {
-            return;
-        }
-        let last = *self.items.last().expect("non-empty when pos is set");
-        self.items[p as usize] = last;
-        self.pos[last as usize] = p;
-        self.items.pop();
-        self.pos[i] = u32::MAX;
-    }
-
-    #[inline]
-    pub(crate) fn sample(&self, rng: &mut Xoshiro256pp) -> Option<usize> {
-        if self.items.is_empty() {
-            None
-        } else {
-            Some(self.items[rng.next_below(self.items.len() as u64) as usize] as usize)
-        }
-    }
-
-    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.items.iter().map(|i| *i as usize)
-    }
-}
+use seg_grid::{AgentType, ClassTable, IndexedSet, Point, Torus, TypeField, WindowCounts};
 
 /// Summary of a [`Simulation::run_to_stable`] call.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -116,7 +54,11 @@ pub struct Simulation {
     field: TypeField,
     counts: WindowCounts,
     intol: Intolerance,
+    /// `intol`'s classes, precomputed for the fused flip kernel.
+    classes: ClassTable,
     flippable: IndexedSet,
+    /// Incrementally-maintained number of unhappy agents.
+    unhappy: usize,
     rng: Xoshiro256pp,
     time: f64,
     flips: u64,
@@ -144,18 +86,23 @@ impl Simulation {
             counts.neighborhood_size()
         );
         let torus = field.torus();
+        let classes = intol.class_table();
         let mut flippable = IndexedSet::new(torus.len());
+        let mut unhappy = 0;
         for i in 0..torus.len() {
-            let s = counts.same_count_index(i, field.get_index(i));
-            if intol.is_flippable(s) {
+            let c = classes.class(field.get_index(i), counts.plus_count_index(i));
+            if c & ClassTable::TRACKED != 0 {
                 flippable.insert(i);
             }
+            unhappy += usize::from(c & ClassTable::UNHAPPY != 0);
         }
         Simulation {
             field,
             counts,
             intol,
+            classes,
             flippable,
+            unhappy,
             rng,
             time: 0.0,
             flips: 0,
@@ -216,15 +163,11 @@ impl Simulation {
         self.intol.is_happy(self.same_count(u))
     }
 
-    /// Number of currently unhappy agents.
+    /// Number of currently unhappy agents. Maintained incrementally by the
+    /// fused flip kernel, so this is O(1).
+    #[inline]
     pub fn unhappy_count(&self) -> usize {
-        let t = self.torus();
-        (0..t.len())
-            .filter(|i| {
-                let s = self.counts.same_count_index(*i, self.field.get_index(*i));
-                !self.intol.is_happy(s)
-            })
-            .count()
+        self.unhappy
     }
 
     /// Number of currently flippable agents (unhappy and improvable). The
@@ -237,7 +180,7 @@ impl Simulation {
     /// Whether the process has reached a stable state.
     #[inline]
     pub fn is_stable(&self) -> bool {
-        self.flippable.len() == 0
+        self.flippable.is_empty()
     }
 
     /// Performs one effective event: advances the exponential clock, flips
@@ -259,23 +202,19 @@ impl Simulation {
     /// [`Simulation::step`].
     pub fn force_flip_at(&mut self, at: Point) -> FlipEvent {
         let new_type = self.field.flip(at);
-        self.counts.apply_flip(at, new_type);
         self.flips += 1;
-        // Re-evaluate every agent whose neighborhood contains `at`.
-        let w = self.horizon() as i64;
-        let t = self.torus();
-        for dy in -w..=w {
-            for dx in -w..=w {
-                let v = t.offset(at, dx, dy);
-                let vi = t.index(v);
-                let s = self.counts.same_count_index(vi, self.field.get_index(vi));
-                if self.intol.is_flippable(s) {
-                    self.flippable.insert(vi);
-                } else {
-                    self.flippable.remove(vi);
-                }
-            }
-        }
+        // One fused pass over the window: count delta, reclassification of
+        // every agent whose neighborhood contains `at`, and the unhappy
+        // delta — same insert/remove order as the historical two-pass
+        // update, so seeded trajectories are unchanged.
+        let unhappy_delta = self.counts.apply_flip_fused(
+            at,
+            new_type,
+            &self.field,
+            &self.classes,
+            &mut self.flippable,
+        );
+        self.unhappy = (self.unhappy as i64 + unhappy_delta) as usize;
         FlipEvent {
             at,
             new_type,
@@ -319,20 +258,23 @@ impl Simulation {
         }
     }
 
-    /// Full consistency audit: recomputes counts and the flippable set
-    /// from scratch and compares. O(n²·N); for tests and debugging.
+    /// Full consistency audit: recomputes counts, the flippable set and
+    /// the unhappy total from scratch and compares. O(n²·N); for tests and
+    /// debugging.
     pub fn audit(&self) -> bool {
         if !self.counts.verify_against(&self.field) {
             return false;
         }
         let t = self.torus();
+        let mut unhappy = 0;
         for i in 0..t.len() {
             let s = self.counts.same_count_index(i, self.field.get_index(i));
             if self.intol.is_flippable(s) != self.flippable.contains(i) {
                 return false;
             }
+            unhappy += usize::from(!self.intol.is_happy(s));
         }
-        true
+        unhappy == self.unhappy
     }
 
     /// Iterates the currently flippable agents (arbitrary order).
@@ -359,39 +301,26 @@ impl Simulation {
             "intolerance must match the window size"
         );
         self.intol = intol;
+        self.classes = intol.class_table();
         let t = self.torus();
+        self.unhappy = 0;
         for i in 0..t.len() {
-            let s = self.counts.same_count_index(i, self.field.get_index(i));
-            if self.intol.is_flippable(s) {
+            let c = self
+                .classes
+                .class(self.field.get_index(i), self.counts.plus_count_index(i));
+            if c & ClassTable::TRACKED != 0 {
                 self.flippable.insert(i);
             } else {
                 self.flippable.remove(i);
             }
+            self.unhappy += usize::from(c & ClassTable::UNHAPPY != 0);
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::config::ModelConfig;
-
-    #[test]
-    fn indexed_set_basic_ops() {
-        let mut s = IndexedSet::new(10);
-        assert_eq!(s.len(), 0);
-        s.insert(3);
-        s.insert(7);
-        s.insert(3); // idempotent
-        assert_eq!(s.len(), 2);
-        assert!(s.contains(3) && s.contains(7));
-        s.remove(3);
-        assert!(!s.contains(3));
-        s.remove(3); // idempotent
-        assert_eq!(s.len(), 1);
-        let mut rng = Xoshiro256pp::seed_from_u64(1);
-        assert_eq!(s.sample(&mut rng), Some(7));
-    }
 
     #[test]
     fn uniform_field_is_immediately_stable() {

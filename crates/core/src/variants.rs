@@ -14,9 +14,9 @@
 //!   the Kawasaki ring model of Brandt et al.).
 
 use crate::intolerance::Intolerance;
-use crate::sim::{IndexedSet, Simulation};
+use crate::sim::Simulation;
 use seg_grid::rng::Xoshiro256pp;
-use seg_grid::{AgentType, Point, TypeField, WindowCounts};
+use seg_grid::{AgentType, ClassTable, IndexedSet, Point, TypeField, WindowCounts};
 
 /// The local update rule of a [`VariantSim`].
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -40,6 +40,8 @@ pub struct VariantSim {
     field: TypeField,
     counts: WindowCounts,
     intol: Intolerance,
+    /// Classes for the fused kernel: tracked = unhappy (eligible to act).
+    classes: ClassTable,
     /// Agents currently eligible to act (unhappy).
     active: IndexedSet,
     rule: UpdateRule,
@@ -67,10 +69,15 @@ impl VariantSim {
         let counts = WindowCounts::new(&field, horizon);
         assert_eq!(intol.neighborhood_size(), counts.neighborhood_size());
         let torus = field.torus();
+        // this rule's tracked set is the *unhappy* agents, not the
+        // flippable ones — flippability is re-tested at act time
+        let classes = ClassTable::build_same_count(intol.neighborhood_size(), |s| {
+            let unhappy = !intol.is_happy(s);
+            (unhappy, unhappy)
+        });
         let mut active = IndexedSet::new(torus.len());
         for i in 0..torus.len() {
-            let s = counts.same_count_index(i, field.get_index(i));
-            if !intol.is_happy(s) {
+            if classes.tracked(field.get_index(i), counts.plus_count_index(i)) {
                 active.insert(i);
             }
         }
@@ -78,6 +85,7 @@ impl VariantSim {
             field,
             counts,
             intol,
+            classes,
             active,
             rule,
             rng,
@@ -100,28 +108,11 @@ impl VariantSim {
         self.active.len()
     }
 
-    fn refresh_around(&mut self, at: Point) {
-        let w = self.counts.horizon() as i64;
-        let t = self.field.torus();
-        for dy in -w..=w {
-            for dx in -w..=w {
-                let v = t.offset(at, dx, dy);
-                let vi = t.index(v);
-                let s = self.counts.same_count_index(vi, self.field.get_index(vi));
-                if self.intol.is_happy(s) {
-                    self.active.remove(vi);
-                } else {
-                    self.active.insert(vi);
-                }
-            }
-        }
-    }
-
     fn flip(&mut self, at: Point) {
         let new_type = self.field.flip(at);
-        self.counts.apply_flip(at, new_type);
         self.flips += 1;
-        self.refresh_around(at);
+        self.counts
+            .apply_flip_fused(at, new_type, &self.field, &self.classes, &mut self.active);
     }
 
     /// One ring of an unhappy agent's clock: acts per the rule. Returns

@@ -12,7 +12,11 @@
 //! - [`PrefixSums`] — wrap-aware 2-D prefix sums giving O(1) counts of `+1`
 //!   agents in any rectangle or l∞ ball;
 //! - [`WindowCounts`] — incremental per-agent neighborhood counts, updated in
-//!   O((2w+1)²) per flip — the hot path of the dynamics;
+//!   O((2w+1)²) per flip — the hot path of the dynamics; its fused kernel
+//!   [`WindowCounts::apply_flip_fused`] also reclassifies every touched
+//!   agent against a [`ClassTable`] in the same pass;
+//! - [`IndexedSet`] — the O(1) insert/remove/sample index set behind every
+//!   incrementally-maintained agent set of the dynamics layers;
 //! - [`BlockGrid`] — the renormalization into `m`-blocks used by the paper's
 //!   good/bad-block percolation arguments (§IV-B);
 //! - [`Annulus`] — the annular firewall geometry of Lemma 9;
@@ -42,6 +46,7 @@
 mod annulus;
 mod block;
 mod field;
+mod indexed_set;
 mod neighborhood;
 pub mod path;
 mod prefix;
@@ -52,8 +57,9 @@ mod window;
 pub use annulus::Annulus;
 pub use block::{BlockCoord, BlockGrid};
 pub use field::{AgentType, TypeField};
+pub use indexed_set::IndexedSet;
 pub use neighborhood::Neighborhood;
 pub use path::{shortest_block_path, BlockPath};
 pub use prefix::PrefixSums;
 pub use torus::{Point, Torus};
-pub use window::WindowCounts;
+pub use window::{ClassTable, WindowCounts};

@@ -82,10 +82,21 @@ impl Torus {
     }
 
     /// Reduces a possibly-unreduced signed coordinate modulo `n`.
+    ///
+    /// Coordinates within one period of range (`-n ≤ c < 2n`) — the common
+    /// case in flip loops, where offsets are bounded by the window radius —
+    /// take a branch-free add/sub fast path with no division; anything
+    /// farther falls back to the double-remainder reduction.
     #[inline]
     pub fn wrap(&self, c: i64) -> u32 {
         let n = self.n as i64;
-        (((c % n) + n) % n) as u32
+        if -n <= c && c < 2 * n {
+            let c = c + i64::from(c < 0) * n;
+            let c = c - i64::from(c >= n) * n;
+            c as u32
+        } else {
+            (((c % n) + n) % n) as u32
+        }
     }
 
     /// Constructs the point `(x mod n, y mod n)`.
@@ -214,6 +225,31 @@ mod tests {
         assert_eq!(t.wrap(10), 0);
         assert_eq!(t.wrap(25), 5);
         assert_eq!(t.wrap(-25), 5);
+    }
+
+    #[test]
+    fn wrap_fast_path_agrees_with_reference_over_two_periods() {
+        // the add/sub fast path covers [-n, 2n); sweep well past it on
+        // both sides so the boundary handoff to the `%` fallback is hit
+        for n in [1u32, 2, 3, 7, 10, 64, 101] {
+            let t = Torus::new(n);
+            let ni = n as i64;
+            for c in (-2 * ni - 3)..=(2 * ni + 3) {
+                let reference = c.rem_euclid(ni) as u32;
+                assert_eq!(t.wrap(c), reference, "n={n} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn offset_agrees_with_reference_over_two_periods() {
+        let t = Torus::new(9);
+        let p = t.point(4, 7);
+        for d in -18i64..=18 {
+            let q = t.offset(p, d, -d);
+            assert_eq!(q.x, (4 + d).rem_euclid(9) as u32);
+            assert_eq!(q.y, (7 - d).rem_euclid(9) as u32);
+        }
     }
 
     #[test]

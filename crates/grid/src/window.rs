@@ -1,6 +1,100 @@
 //! Incremental per-agent neighborhood counts — the dynamics hot path.
 
-use crate::{AgentType, Point, Torus, TypeField};
+use crate::{AgentType, IndexedSet, Point, Torus, TypeField};
+
+/// A per-type lookup table classifying an agent by the number of `+1`
+/// agents in its window: `class[type][plus_count] → {tracked?, unhappy?}`.
+///
+/// The dynamics layers derive one table from their happiness rule
+/// (`Intolerance`, comfort bands, …) and hand it to
+/// [`WindowCounts::apply_flip_fused`], which then classifies every cell a
+/// flip touches with two array loads instead of re-running the threshold
+/// arithmetic. Two independent bits are stored per entry:
+///
+/// - [`ClassTable::TRACKED`] — the agent belongs in the caller's
+///   incrementally-maintained [`IndexedSet`] (e.g. *flippable* for the
+///   paper's rule, *unhappy* for the flip-when-unhappy variant);
+/// - [`ClassTable::UNHAPPY`] — the agent is unhappy/discontent, used to
+///   maintain unhappy counts incrementally.
+///
+/// The three paper classes *flippable* / *happy* / *stuck* correspond to
+/// `TRACKED|UNHAPPY`, `0`, and `UNHAPPY` respectively under the paper's
+/// rule.
+#[derive(Clone, Debug)]
+pub struct ClassTable {
+    n_size: u32,
+    /// `bits[(ty as usize) * (N + 1) + plus_count]`; `Minus` rows first.
+    bits: Box<[u8]>,
+}
+
+impl ClassTable {
+    /// Bit 0: the agent belongs in the tracked [`IndexedSet`].
+    pub const TRACKED: u8 = 1;
+    /// Bit 1: the agent is unhappy (counts toward the unhappy total).
+    pub const UNHAPPY: u8 = 2;
+
+    /// Builds a table for windows of size `n_size` from a classifier
+    /// `classify(type, plus_count) -> (tracked, unhappy)` evaluated over
+    /// every `plus_count ∈ 0..=n_size`.
+    ///
+    /// Entries for impossible states (a `Plus` agent with `plus_count = 0`,
+    /// a `Minus` agent with `plus_count = N` — the agent counts itself) are
+    /// built but never read by the fused kernel.
+    pub fn build(n_size: u32, mut classify: impl FnMut(AgentType, u32) -> (bool, bool)) -> Self {
+        let stride = n_size as usize + 1;
+        let mut bits = vec![0u8; 2 * stride].into_boxed_slice();
+        for ty in [AgentType::Minus, AgentType::Plus] {
+            for pc in 0..=n_size {
+                let (tracked, unhappy) = classify(ty, pc);
+                bits[(ty as usize) * stride + pc as usize] =
+                    u8::from(tracked) * Self::TRACKED + u8::from(unhappy) * Self::UNHAPPY;
+            }
+        }
+        ClassTable { n_size, bits }
+    }
+
+    /// Builds a table from a *same-type-count* classifier: the type →
+    /// plus-count mapping (`S = plus_count` for a `Plus` agent, `S = N −
+    /// plus_count` for a `Minus` agent) is applied here, once, so callers
+    /// state their rule purely in terms of `S`. `classify(s)` is evaluated
+    /// for every `s ∈ 0..=N`; `s = 0` is unreachable in live states (an
+    /// agent counts itself) and its entries are never read by the fused
+    /// kernel, but `classify` must tolerate it.
+    pub fn build_same_count(n_size: u32, mut classify: impl FnMut(u32) -> (bool, bool)) -> Self {
+        Self::build(n_size, |ty, pc| {
+            let s = match ty {
+                AgentType::Plus => pc,
+                AgentType::Minus => n_size - pc,
+            };
+            classify(s)
+        })
+    }
+
+    /// The window size `N` the table was built for.
+    #[inline]
+    pub fn n_size(&self) -> u32 {
+        self.n_size
+    }
+
+    /// The raw class bits for an agent of type `ty` whose window holds
+    /// `plus_count` `+1` agents.
+    #[inline]
+    pub fn class(&self, ty: AgentType, plus_count: u32) -> u8 {
+        self.bits[(ty as usize) * (self.n_size as usize + 1) + plus_count as usize]
+    }
+
+    /// Whether the agent belongs in the tracked set.
+    #[inline]
+    pub fn tracked(&self, ty: AgentType, plus_count: u32) -> bool {
+        self.class(ty, plus_count) & Self::TRACKED != 0
+    }
+
+    /// Whether the agent is unhappy.
+    #[inline]
+    pub fn unhappy(&self, ty: AgentType, plus_count: u32) -> bool {
+        self.class(ty, plus_count) & Self::UNHAPPY != 0
+    }
+}
 
 /// For every agent `u`, the number of `+1` agents in its neighborhood
 /// `N(u)` (the l∞ ball of radius `w` centered at `u`, self included).
@@ -153,21 +247,97 @@ impl WindowCounts {
     /// `new_type` is the type of the agent *after* the flip. Exactly the
     /// `(2w+1)²` cells whose ball contains `z` are updated.
     pub fn apply_flip(&mut self, z: Point, new_type: AgentType) {
-        let w = self.horizon as i64;
-        let delta: i64 = match new_type {
+        let delta: u32 = match new_type {
             AgentType::Plus => 1,
-            AgentType::Minus => -1,
+            AgentType::Minus => 0u32.wrapping_sub(1),
         };
-        let n = self.torus.side() as usize;
-        for dy in -w..=w {
-            let y = self.torus.wrap(z.y as i64 + dy) as usize;
-            let row = y * n;
-            for dx in -w..=w {
-                let x = self.torus.wrap(z.x as i64 + dx) as usize;
-                let cell = &mut self.plus[row + x];
-                *cell = (*cell as i64 + delta) as u32;
+        let n = self.torus.side();
+        let d = 2 * self.horizon + 1;
+        // wrap once per flip; walk the window with carry-style increments
+        let x0 = self.torus.wrap(z.x as i64 - self.horizon as i64);
+        let mut y = self.torus.wrap(z.y as i64 - self.horizon as i64);
+        for _ in 0..d {
+            let row = y as usize * n as usize;
+            let mut x = x0;
+            for _ in 0..d {
+                let cell = &mut self.plus[row + x as usize];
+                *cell = cell.wrapping_add(delta);
+                x += 1;
+                if x == n {
+                    x = 0;
+                }
+            }
+            y += 1;
+            if y == n {
+                y = 0;
             }
         }
+    }
+
+    /// The fused flip kernel: one pass over the `(2w+1)²` window that both
+    /// propagates the count delta **and** reclassifies every touched agent
+    /// against `classes`, feeding the caller's `tracked` set in row-major
+    /// window order. Returns the net change in the number of unhappy
+    /// agents, so callers can maintain their unhappy totals incrementally.
+    ///
+    /// `field` must already reflect the flip (i.e. `field.get(z) ==
+    /// new_type`); the flipped agent's *old* class is evaluated with its
+    /// old type, every other agent keeps its type across the flip.
+    ///
+    /// This performs exactly the insert/remove sequence that calling
+    /// [`WindowCounts::apply_flip`] followed by a row-major classification
+    /// sweep over the window would, so trajectories that sample from
+    /// `tracked` are bit-identical to the unfused two-pass update.
+    pub fn apply_flip_fused(
+        &mut self,
+        z: Point,
+        new_type: AgentType,
+        field: &TypeField,
+        classes: &ClassTable,
+        tracked: &mut IndexedSet,
+    ) -> i64 {
+        debug_assert_eq!(field.get(z), new_type, "field must be flipped first");
+        debug_assert_eq!(classes.n_size(), self.neighborhood_size());
+        let delta: u32 = match new_type {
+            AgentType::Plus => 1,
+            AgentType::Minus => 0u32.wrapping_sub(1),
+        };
+        let n = self.torus.side();
+        let d = 2 * self.horizon + 1;
+        let zi = self.torus.index(z);
+        let old_type = new_type.flipped();
+        let x0 = self.torus.wrap(z.x as i64 - self.horizon as i64);
+        let mut y = self.torus.wrap(z.y as i64 - self.horizon as i64);
+        let mut unhappy_delta: i64 = 0;
+        for _ in 0..d {
+            let row = y as usize * n as usize;
+            let mut x = x0;
+            for _ in 0..d {
+                let i = row + x as usize;
+                let old_pc = self.plus[i];
+                let new_pc = old_pc.wrapping_add(delta);
+                self.plus[i] = new_pc;
+                let ty = field.get_index(i);
+                let ty_before = if i == zi { old_type } else { ty };
+                let was = classes.class(ty_before, old_pc);
+                let now = classes.class(ty, new_pc);
+                unhappy_delta += i64::from(now >> 1) - i64::from(was >> 1);
+                if now & ClassTable::TRACKED != 0 {
+                    tracked.insert(i);
+                } else {
+                    tracked.remove(i);
+                }
+                x += 1;
+                if x == n {
+                    x = 0;
+                }
+            }
+            y += 1;
+            if y == n {
+                y = 0;
+            }
+        }
+        unhappy_delta
     }
 
     /// Recomputes from scratch and asserts agreement — a debugging aid used
@@ -253,5 +423,107 @@ mod tests {
         let t = Torus::new(8);
         let f = TypeField::uniform(t, AgentType::Plus);
         let _ = WindowCounts::new(&f, 4); // 2*4+1 = 9 > 8
+    }
+
+    /// A `τ = 0.4`-style table over N = 25: tracked = flippable.
+    fn example_table() -> ClassTable {
+        let n = 25u32;
+        let thr = 10u32;
+        ClassTable::build(n, |ty, pc| {
+            let s = match ty {
+                AgentType::Plus => pc,
+                AgentType::Minus => n - pc,
+            };
+            let happy = s >= thr;
+            let improvable = n - s + 1 >= thr;
+            (!happy && improvable, !happy)
+        })
+    }
+
+    #[test]
+    fn class_table_bits() {
+        let ct = example_table();
+        assert_eq!(ct.n_size(), 25);
+        // a Plus agent with 12 pluses around it: happy
+        assert!(!ct.tracked(AgentType::Plus, 12) && !ct.unhappy(AgentType::Plus, 12));
+        // a Plus agent with 5 pluses: unhappy, flip gives 25-5+1 = 21 ≥ 10
+        assert!(ct.tracked(AgentType::Plus, 5) && ct.unhappy(AgentType::Plus, 5));
+        // a Minus agent with 20 pluses: S = 5, same classification
+        assert_eq!(ct.class(AgentType::Minus, 20), ct.class(AgentType::Plus, 5));
+    }
+
+    #[test]
+    fn fused_kernel_matches_two_pass_update() {
+        let t = Torus::new(19);
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let ct = example_table();
+        // reference: field + counts updated with apply_flip, set rebuilt
+        // by a row-major window sweep after each flip
+        let mut f_ref = TypeField::random(t, 0.5, &mut rng);
+        let mut wc_ref = WindowCounts::new(&f_ref, 2);
+        let mut set_ref = IndexedSet::new(t.len());
+        for i in 0..t.len() {
+            if ct.tracked(f_ref.get_index(i), wc_ref.plus_count_index(i)) {
+                set_ref.insert(i);
+            }
+        }
+        let mut f = f_ref.clone();
+        let mut wc = wc_ref.clone();
+        let mut set = set_ref.clone();
+        let mut unhappy = (0..t.len())
+            .filter(|&i| ct.unhappy(f.get_index(i), wc.plus_count_index(i)))
+            .count() as i64;
+        for _ in 0..200 {
+            let p = t.from_index(rng.next_below(t.len() as u64) as usize);
+            // reference: two passes
+            let new_ref = f_ref.flip(p);
+            wc_ref.apply_flip(p, new_ref);
+            let w = 2i64;
+            for dy in -w..=w {
+                for dx in -w..=w {
+                    let v = t.offset(p, dx, dy);
+                    let vi = t.index(v);
+                    if ct.tracked(f_ref.get_index(vi), wc_ref.plus_count_index(vi)) {
+                        set_ref.insert(vi);
+                    } else {
+                        set_ref.remove(vi);
+                    }
+                }
+            }
+            // fused: one pass
+            let new = f.flip(p);
+            unhappy += wc.apply_flip_fused(p, new, &f, &ct, &mut set);
+            assert!(wc.verify_against(&f));
+            // identical membership AND identical internal order
+            let a: Vec<usize> = set.iter().collect();
+            let b: Vec<usize> = set_ref.iter().collect();
+            assert_eq!(a, b, "fused set diverged from two-pass set");
+            let brute_unhappy = (0..t.len())
+                .filter(|&i| ct.unhappy(f.get_index(i), wc.plus_count_index(i)))
+                .count() as i64;
+            assert_eq!(unhappy, brute_unhappy, "incremental unhappy count diverged");
+        }
+    }
+
+    #[test]
+    fn fused_kernel_wraps_across_edges() {
+        // flips at the corner exercise the wrap-around fast paths
+        let t = Torus::new(9);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let mut f = TypeField::random(t, 0.5, &mut rng);
+        let mut wc = WindowCounts::new(&f, 4); // window diameter 9 = side
+        let ct = ClassTable::build(81, |ty, pc| {
+            let s = match ty {
+                AgentType::Plus => pc,
+                AgentType::Minus => 81 - pc,
+            };
+            (s < 33, s < 33)
+        });
+        let mut set = IndexedSet::new(t.len());
+        for corner in [t.point(0, 0), t.point(8, 8), t.point(0, 8), t.point(8, 0)] {
+            let new = f.flip(corner);
+            wc.apply_flip_fused(corner, new, &f, &ct, &mut set);
+            assert!(wc.verify_against(&f), "corner {corner} diverged");
+        }
     }
 }
