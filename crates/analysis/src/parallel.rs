@@ -37,6 +37,30 @@ pub fn parallel_map_observed<T: Send>(
     job: impl Fn(usize) -> T + Sync,
     on_done: impl Fn(usize, &T) + Sync,
 ) -> Vec<T> {
+    parallel_map_halting(tasks, threads, job, on_done, || false)
+        .into_iter()
+        .map(|s| s.expect("no halt requested, so every slot is filled"))
+        .collect()
+}
+
+/// [`parallel_map_observed`] that can stop early: `halt()` is consulted
+/// before each task is claimed, and once it returns `true` no further
+/// tasks start — tasks already running finish normally (and still reach
+/// `on_done`), so nothing is ever half-done. The result has `Some` for
+/// every completed task and `None` for the tasks that never ran. The
+/// sweep engine uses this for graceful shutdown: a drained sweep stops
+/// claiming replicas, journals what finished, and resumes later.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or propagates the first panicking job.
+pub fn parallel_map_halting<T: Send>(
+    tasks: usize,
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+    on_done: impl Fn(usize, &T) + Sync,
+    halt: impl Fn() -> bool + Sync,
+) -> Vec<Option<T>> {
     assert!(threads > 0, "need at least one thread");
     if tasks == 0 {
         return Vec::new();
@@ -49,6 +73,9 @@ pub fn parallel_map_observed<T: Send>(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
+                if halt() {
+                    break;
+                }
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= tasks {
                     break;
@@ -61,9 +88,6 @@ pub fn parallel_map_observed<T: Send>(
     });
     drop(slot_ptrs);
     slots
-        .into_iter()
-        .map(|s| s.expect("every slot filled"))
-        .collect()
 }
 
 /// The number of worker threads to use by default: the parallelism
@@ -132,6 +156,32 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let _ = parallel_map(1, 0, |i| i);
+    }
+
+    #[test]
+    fn halting_map_stops_claiming_but_finishes_in_flight_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let started = AtomicUsize::new(0);
+        // halt as soon as 3 tasks have started: the rest never run
+        let out = parallel_map_halting(
+            100,
+            1,
+            |i| {
+                started.fetch_add(1, Ordering::Relaxed);
+                i * 10
+            },
+            |_, _| {},
+            || started.load(Ordering::Relaxed) >= 3,
+        );
+        let done: Vec<usize> = out.iter().flatten().copied().collect();
+        assert_eq!(done, vec![0, 10, 20]);
+        assert!(out[3..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn halting_map_without_halt_fills_every_slot() {
+        let out = parallel_map_halting(10, 4, |i| i, |_, _| {}, || false);
+        assert!(out.iter().all(Option::is_some));
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct MultiSim {
     counts: Vec<u32>,
     intol: Intolerance,
     flippable: IndexedSet,
+    /// happy[i] mirrors `is_happy_at(i)`, maintained incrementally so
+    /// `unhappy_count` never rescans (the k-type analogue of the 2-type
+    /// `ClassTable` bookkeeping).
+    happy: Vec<bool>,
+    /// Number of `false` entries in `happy`.
+    unhappy: usize,
     rng: Xoshiro256pp,
     flips: u64,
 }
@@ -53,6 +59,8 @@ impl MultiSim {
             types,
             intol,
             flippable: IndexedSet::new(torus.len()),
+            happy: vec![false; torus.len()],
+            unhappy: 0,
             rng,
             flips: 0,
         };
@@ -74,8 +82,14 @@ impl MultiSim {
                 }
             }
         }
+        self.unhappy = 0;
         for i in 0..self.torus.len() {
-            if self.eligible(i) {
+            let h = self.is_happy_at(i);
+            self.happy[i] = h;
+            if !h {
+                self.unhappy += 1;
+            }
+            if !h && self.best_retype(i).is_some() {
                 self.flippable.insert(i);
             } else {
                 self.flippable.remove(i);
@@ -103,8 +117,9 @@ impl MultiSim {
         self.counts[self.torus.index(p) * self.k as usize + t as usize]
     }
 
-    /// Whether the agent at cell `i` is happy.
-    fn happy(&self, i: usize) -> bool {
+    /// Whether the agent at cell `i` is happy, computed from the counts
+    /// (the maintained `happy` vector caches exactly this).
+    fn is_happy_at(&self, i: usize) -> bool {
         let me = self.types[i] as usize;
         self.intol.is_happy(self.counts[i * self.k as usize + me])
     }
@@ -134,13 +149,10 @@ impl MultiSim {
         best.map(|(_, t)| t)
     }
 
-    fn eligible(&self, i: usize) -> bool {
-        !self.happy(i) && self.best_retype(i).is_some()
-    }
-
-    /// Number of unhappy agents.
+    /// Number of unhappy agents — O(1), maintained incrementally by
+    /// [`MultiSim::step`] instead of rescanning every cell.
     pub fn unhappy_count(&self) -> usize {
-        (0..self.torus.len()).filter(|i| !self.happy(*i)).count()
+        self.unhappy
     }
 
     /// Number of agents eligible to act.
@@ -173,7 +185,19 @@ impl MultiSim {
             for dx in -w..=w {
                 let v = self.torus.offset(at, dx, dy);
                 let vi = self.torus.index(v);
-                if self.eligible(vi) {
+                // only cells inside the window saw their counts (or, for
+                // the actor, their type) change, so reclassifying them
+                // keeps the happy vector and unhappy counter exact
+                let h = self.is_happy_at(vi);
+                if h != self.happy[vi] {
+                    self.happy[vi] = h;
+                    if h {
+                        self.unhappy -= 1;
+                    } else {
+                        self.unhappy += 1;
+                    }
+                }
+                if !h && self.best_retype(vi).is_some() {
                     self.flippable.insert(vi);
                 } else {
                     self.flippable.remove(vi);
@@ -273,15 +297,37 @@ mod tests {
         }
         // rebuild and compare
         let snapshot = sim.counts.clone();
+        let happy_snapshot = sim.happy.clone();
+        let unhappy_snapshot = sim.unhappy_count();
         let flippable_snapshot: Vec<bool> = (0..sim.torus.len())
             .map(|i| sim.flippable.contains(i))
             .collect();
         sim.rebuild();
         assert_eq!(snapshot, sim.counts, "incremental counts diverged");
+        assert_eq!(happy_snapshot, sim.happy, "happy vector diverged");
+        assert_eq!(
+            unhappy_snapshot,
+            sim.unhappy_count(),
+            "unhappy counter diverged"
+        );
         let rebuilt: Vec<bool> = (0..sim.torus.len())
             .map(|i| sim.flippable.contains(i))
             .collect();
         assert_eq!(flippable_snapshot, rebuilt, "eligibility diverged");
+    }
+
+    #[test]
+    fn maintained_unhappy_count_matches_a_rescan_along_a_trajectory() {
+        let mut sim = MultiSim::random(20, 2, 3, 0.4, 17);
+        for step in 0..300 {
+            let rescan = (0..sim.torus.len())
+                .filter(|&i| !sim.is_happy_at(i))
+                .count();
+            assert_eq!(sim.unhappy_count(), rescan, "diverged at step {step}");
+            if sim.step().is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! --replicas K       replicas per point    (default: experiment-specific)
 //! --checkpoint FILE  journal completed replicas to FILE and resume from it
 //! --shard I/M        run only shard I of M (requires --checkpoint)
-//! --stream           append --out rows as replicas finish (needs .jsonl)
+//! --stream           append --out rows as replicas finish (CSV or .jsonl)
 //! ```
 //!
 //! With `--checkpoint`, a killed sweep rerun under the same flags skips
@@ -73,7 +73,12 @@ pub struct EngineArgs {
     /// to a shard journal next to the `--checkpoint` path.
     pub shard: Option<ShardIndex>,
     /// Stream `--out` rows as replicas finish instead of buffering to
-    /// the end (`.jsonl` sinks only).
+    /// the end. CSV sinks write their header up front from the
+    /// predicted metric columns
+    /// ([`expected_metric_columns`](crate::sink::expected_metric_columns)),
+    /// so this works for both formats unless a
+    /// [`Observer::Custom`](crate::Observer) makes the columns
+    /// unknowable.
     pub stream: bool,
 }
 
@@ -168,16 +173,8 @@ impl EngineArgs {
                         .into(),
                 );
             }
-            match &out.out {
-                Some(p) if p.extension().is_some_and(|e| e == "jsonl") => {}
-                Some(_) => {
-                    return Err(
-                        "--stream needs a .jsonl --out (CSV columns are only known once \
-                         every replica has run; use the StreamingSink API for fixed columns)"
-                            .into(),
-                    )
-                }
-                None => return Err("--stream needs --out".into()),
+            if out.out.is_none() {
+                return Err("--stream needs --out".into());
             }
         }
         Ok((out, rest))
@@ -243,33 +240,38 @@ impl EngineArgs {
             .as_ref()
             .map(|p| tag_path(p, name, "checkpoint", "jsonl"));
         let stream: Option<StreamingSink> = match (self.stream, self.sink()) {
-            (true, Some(Sink::Csv(path))) => {
-                // the flag parser already rejects this; guard the
-                // programmatic path too — streaming CSV needs its metric
-                // columns up front, and an empty set would silently drop
-                // every metric from the file
-                return Err(CheckpointError::Stream {
-                    path,
-                    source: std::io::Error::new(
-                        std::io::ErrorKind::InvalidInput,
-                        "streaming CSV needs fixed metric columns; use \
-                         StreamingSink::csv directly, or a .jsonl --out",
-                    ),
-                });
-            }
-            (true, Some(sink @ Sink::Jsonl(_))) => {
+            (true, Some(sink)) => {
+                // a streaming CSV needs its metric columns up front; they
+                // are predicted from the spec + observers, which only a
+                // Custom observer defeats (JSONL rows are self-describing
+                // and need no prediction)
+                let columns = match &sink {
+                    Sink::Jsonl(_) => Vec::new(),
+                    Sink::Csv(path) => crate::sink::expected_metric_columns(spec, observers)
+                        .ok_or_else(|| CheckpointError::Stream {
+                            path: path.clone(),
+                            source: std::io::Error::new(
+                                std::io::ErrorKind::InvalidInput,
+                                "streaming CSV cannot predict the metric columns of a \
+                                 Custom observer; use StreamingSink::csv directly, or a \
+                                 .jsonl --out",
+                            ),
+                        })?,
+                };
                 // the same per-sweep tagging `seg_bench::write_rows`
                 // applies to buffered output, so the streamed file is the
                 // one the buffered writer would finalize
-                let sink = Sink::Jsonl(tag_path(sink.path(), name, "rows", "csv"));
+                let sink = match sink {
+                    Sink::Jsonl(path) => Sink::Jsonl(tag_path(&path, name, "rows", "jsonl")),
+                    Sink::Csv(path) => Sink::Csv(tag_path(&path, name, "rows", "csv")),
+                };
                 let resume = checkpoint.is_some();
-                Some(
-                    sink.stream(spec, &[], resume)
-                        .map_err(|source| CheckpointError::Stream {
-                            path: sink.path().to_path_buf(),
-                            source,
-                        })?,
-                )
+                Some(sink.stream(spec, &columns, resume).map_err(|source| {
+                    CheckpointError::Stream {
+                        path: sink.path().to_path_buf(),
+                        source,
+                    }
+                })?)
             }
             _ => None,
         };
@@ -339,6 +341,63 @@ mod tests {
         assert_eq!(a.checkpoint, Some(PathBuf::from("ck.jsonl")));
         let (b, _) = EngineArgs::parse(&[]).unwrap();
         assert!(b.checkpoint.is_none());
+    }
+
+    #[test]
+    fn streamed_csv_is_byte_identical_to_buffered_csv() {
+        use crate::observe::Observer;
+        use crate::run::Engine;
+        use crate::spec::Variant;
+        let dir = std::env::temp_dir().join("seg_engine_cli_stream_csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // a mixed-variant sweep: the column union spans variants
+        let spec = SweepSpec::builder()
+            .side(24)
+            .horizon(1)
+            .tau(0.42)
+            .variants([Variant::Paper, Variant::RingGlauber, Variant::Kawasaki])
+            .replicas(2)
+            .max_events(500)
+            .master_seed(13)
+            .build();
+        let observers = [Observer::TerminalStats];
+        let streamed = dir.join("rows.csv");
+        let (a, _) = EngineArgs::parse(&[
+            "--out".to_string(),
+            streamed.to_string_lossy().into_owned(),
+            "--stream".to_string(),
+            "--threads".to_string(),
+            "2".to_string(),
+        ])
+        .unwrap();
+        a.run(&spec, &observers).unwrap();
+        let buffered = dir.join("buffered.csv");
+        let result = Engine::new().threads(1).run(&spec, &observers);
+        Sink::Csv(buffered.clone()).write(&result).unwrap();
+        assert_eq!(
+            std::fs::read(&buffered).unwrap(),
+            std::fs::read(&streamed).unwrap(),
+            "streamed CSV differs from buffered CSV"
+        );
+    }
+
+    #[test]
+    fn streamed_csv_with_custom_observer_is_a_clean_error() {
+        use crate::observe::Observer;
+        let dir = std::env::temp_dir().join("seg_engine_cli_stream_custom");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (a, _) = EngineArgs::parse(&[
+            "--out".to_string(),
+            dir.join("rows.csv").to_string_lossy().into_owned(),
+            "--stream".to_string(),
+        ])
+        .unwrap();
+        let spec = SweepSpec::builder().side(24).horizon(1).tau(0.4).build();
+        let err = a
+            .run(&spec, &[Observer::custom(|_, _, _| vec![])])
+            .unwrap_err();
+        assert!(err.to_string().contains("Custom"), "got: {err}");
     }
 
     #[test]

@@ -30,8 +30,14 @@
 //!   byte for byte (the `seg_shard` crate orchestrates this);
 //! - [`StreamingSink`] — rows appended in task order as replicas
 //!   finish, so long sweeps are `tail -f`-able and resumable mid-file;
-//! - progress and throughput reporting (replicas/s, events/s) so
-//!   performance regressions are visible from any sweep.
+//! - progress and throughput reporting (replicas/s, events/s) — printed
+//!   to stderr ([`Engine::progress`]) or delivered live to an
+//!   [`Engine::on_progress`] callback — plus cooperative cancellation
+//!   ([`Engine::cancel_flag`]), which together form the programmatic
+//!   job-submission API `segsim serve` schedules on: build a
+//!   [`SweepSpec`], call [`Engine::run_full`] with a checkpoint and a
+//!   streaming sink, read progress from the callback, drain with the
+//!   flag.
 //!
 //! # Quickstart
 //!
@@ -69,9 +75,9 @@ pub use checkpoint::{
 };
 pub use cli::{tag_path, EngineArgs, ENGINE_USAGE};
 pub use observe::Observer;
-pub use replica::{FinalState, ReplicaRecord};
-pub use run::{Engine, PointSummary, SweepResult, ThroughputReport};
-pub use sink::{write_summary_csv, Sink, StreamingSink};
+pub use replica::{variant_metric_names, FinalState, ReplicaRecord};
+pub use run::{Engine, PointSummary, ProgressFn, SweepProgress, SweepResult, ThroughputReport};
+pub use sink::{expected_metric_columns, write_summary_csv, Sink, StreamingSink};
 pub use spec::{
     derive_replica_seed, ReplicaTask, SeedMode, ShardIndex, SweepPoint, SweepSpec,
     SweepSpecBuilder, Variant,

@@ -76,6 +76,35 @@ impl Observer {
         Observer::Custom(Arc::new(f))
     }
 
+    /// The metric names this observer adds to a replica of `variant`, or
+    /// `None` when they cannot be known without running the closure
+    /// ([`Observer::Custom`]). Kept in lockstep with [`Observer::apply`]
+    /// (enforced by a test); used to predict sink columns up front for
+    /// streaming CSV output.
+    pub fn metric_names(&self, variant: &crate::spec::Variant) -> Option<Vec<&'static str>> {
+        use crate::spec::Variant;
+        match self {
+            Observer::TerminalStats => Some(match variant {
+                Variant::Paper => vec![
+                    "unhappy",
+                    "happy_fraction",
+                    "interface",
+                    "largest_cluster",
+                    "plus_fraction",
+                ],
+                Variant::FlipWhenUnhappy | Variant::Noise(_) | Variant::TwoSided { .. } => {
+                    vec!["unhappy", "interface", "largest_cluster", "plus_fraction"]
+                }
+                Variant::Kawasaki => vec!["interface", "largest_cluster", "plus_fraction"],
+                Variant::MultiType { .. } => vec!["unhappy", "largest_cluster"],
+                Variant::RingGlauber | Variant::RingKawasaki | Variant::Probe => vec![],
+            }),
+            // artifact-only observers add no metrics
+            Observer::Trace { .. } | Observer::Snapshot { .. } => Some(vec![]),
+            Observer::Custom(_) => None,
+        }
+    }
+
     /// Applies this observer to a finished replica, inserting its metrics.
     ///
     /// # Errors
@@ -196,4 +225,57 @@ pub fn write_trace(dir: &Path, task: &ReplicaTask, trace: &[TracePoint]) -> io::
         ]);
     }
     write_csv_file(&artifact_path(dir, task, "trace", "csv"), &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::{run_replica, variant_metric_names};
+    use crate::spec::{SweepSpec, Variant};
+
+    #[test]
+    fn terminal_stats_metric_names_match_what_apply_inserts() {
+        for v in [
+            Variant::Paper,
+            Variant::FlipWhenUnhappy,
+            Variant::Noise(0.05),
+            Variant::Kawasaki,
+            Variant::RingGlauber,
+            Variant::RingKawasaki,
+            Variant::TwoSided { tau_hi: 0.9 },
+            Variant::MultiType { k: 3 },
+            Variant::Probe,
+        ] {
+            let spec = SweepSpec::builder()
+                .side(24)
+                .horizon(1)
+                .tau(0.42)
+                .variant(v)
+                .max_events(500)
+                .master_seed(7)
+                .build();
+            let rec = run_replica(&spec.tasks()[0], &[Observer::TerminalStats]);
+            let mut predicted: Vec<&str> = variant_metric_names(&v);
+            predicted.extend(
+                Observer::TerminalStats
+                    .metric_names(&v)
+                    .expect("TerminalStats is predictable"),
+            );
+            predicted.sort_unstable();
+            let actual: Vec<&str> = rec.metrics.keys().map(String::as_str).collect();
+            assert_eq!(predicted, actual, "{v}: prediction diverged");
+        }
+    }
+
+    #[test]
+    fn custom_observers_are_unpredictable_artifact_ones_empty() {
+        let v = Variant::Paper;
+        assert!(Observer::custom(|_, _, _| vec![])
+            .metric_names(&v)
+            .is_none());
+        assert_eq!(
+            Observer::Snapshot { dir: "x".into() }.metric_names(&v),
+            Some(vec![])
+        );
+    }
 }

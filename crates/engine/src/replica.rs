@@ -84,6 +84,25 @@ impl ReplicaRecord {
     }
 }
 
+/// The metric names [`run_replica`] itself records for a `variant`
+/// replica, before any observer runs — a pure function of the variant,
+/// kept in lockstep with `run_replica`'s inserts (enforced by a test).
+/// Together with [`Observer::metric_names`] this predicts a sweep's
+/// sink columns up front, which is what lets a streaming CSV write its
+/// header before any replica has run.
+pub fn variant_metric_names(variant: &Variant) -> Vec<&'static str> {
+    match variant {
+        Variant::Paper => vec!["events", "sim_time", "terminated"],
+        Variant::FlipWhenUnhappy | Variant::Noise(_) => vec!["events"],
+        Variant::Kawasaki => vec!["events", "failed_attempts"],
+        Variant::RingGlauber => vec!["events", "mean_run", "terminated"],
+        Variant::RingKawasaki => vec!["events", "mean_run"],
+        Variant::TwoSided { .. } => vec!["discontent", "events", "terminated"],
+        Variant::MultiType { .. } => vec!["events", "terminated"],
+        Variant::Probe => vec!["events"],
+    }
+}
+
 /// Runs one replica to completion (or its event budget), applies the
 /// observers, and returns the record.
 ///
@@ -242,6 +261,11 @@ mod tests {
         ] {
             let rec = run_replica(&task_for(v, 2_000), &[]);
             assert!(rec.metrics.contains_key("events"), "{v}: missing events");
+            // the prediction matches what actually ran, exactly
+            let mut predicted: Vec<&str> = variant_metric_names(&v);
+            predicted.sort_unstable();
+            let actual: Vec<&str> = rec.metrics.keys().map(String::as_str).collect();
+            assert_eq!(predicted, actual, "{v}: predicted metrics diverged");
         }
     }
 

@@ -7,13 +7,41 @@ use crate::replica::{run_replica, ReplicaRecord};
 use crate::sink::StreamingSink;
 use crate::spec::{ShardIndex, SweepPoint, SweepSpec};
 use seg_analysis::bootstrap::{bootstrap_mean_ci, BootstrapCi};
-use seg_analysis::parallel::{default_threads, parallel_map_observed};
+use seg_analysis::parallel::{default_threads, parallel_map_halting};
 use seg_analysis::stats::Summary;
 use seg_grid::rng::Xoshiro256pp;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// A live progress sample of a running sweep, delivered to
+/// [`Engine::on_progress`] each time a replica completes.
+///
+/// `done` counts every record the run holds so far (resumed ones
+/// included); `total` is what `done` reaches when this run finishes (the
+/// whole sweep, or just the owned share of a [shard](Engine::shard)
+/// run). The rates cover the *fresh* work of this run only — resumed
+/// records cost no wall time, so they are excluded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepProgress {
+    /// Records available so far (resumed + freshly completed).
+    pub done: usize,
+    /// Records this run will hold when it finishes.
+    pub total: usize,
+    /// Records that were resumed from a checkpoint (never re-run).
+    pub resumed: usize,
+    /// Wall-clock seconds since the run started.
+    pub wall_secs: f64,
+    /// Freshly completed replicas per wall-clock second.
+    pub replicas_per_sec: f64,
+    /// Effective dynamics events (flips/swaps) per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// A progress callback: called on whichever worker thread finished the
+/// replica, so it must be cheap and thread-safe.
+pub type ProgressFn = dyn Fn(SweepProgress) + Send + Sync;
 
 /// Runs [`SweepSpec`]s on a worker pool.
 ///
@@ -37,11 +65,25 @@ use std::time::Instant;
 /// let result = Engine::new().threads(2).run(&spec, &[]);
 /// assert_eq!(result.records().len(), 4);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Engine {
     threads: usize,
     progress: bool,
     shard: Option<ShardIndex>,
+    on_progress: Option<Arc<ProgressFn>>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.threads)
+            .field("progress", &self.progress)
+            .field("shard", &self.shard)
+            .field("on_progress", &self.on_progress.as_ref().map(|_| ".."))
+            .field("cancel", &self.cancel)
+            .finish()
+    }
 }
 
 impl Default for Engine {
@@ -59,6 +101,8 @@ impl Engine {
             threads: default_threads(),
             progress: false,
             shard: None,
+            on_progress: None,
+            cancel: None,
         }
     }
 
@@ -82,6 +126,34 @@ impl Engine {
     /// events/s).
     pub fn progress(mut self, enabled: bool) -> Self {
         self.progress = enabled;
+        self
+    }
+
+    /// Installs a live progress callback: `f` receives a
+    /// [`SweepProgress`] sample each time a replica completes, on the
+    /// worker thread that ran it. This is the programmatic counterpart
+    /// of [`Engine::progress`]'s stderr lines — services and dashboards
+    /// read live replicas/s here instead of parsing output. The callback
+    /// must be cheap; heavy consumers should copy the sample out and
+    /// return.
+    pub fn on_progress<F>(mut self, f: F) -> Self
+    where
+        F: Fn(SweepProgress) + Send + Sync + 'static,
+    {
+        self.on_progress = Some(Arc::new(f));
+        self
+    }
+
+    /// Installs a cooperative cancellation flag. Once the flag turns
+    /// `true`, workers stop claiming new replicas; replicas already in
+    /// flight finish normally and are journaled/streamed like any other.
+    /// The run then returns a *partial* [`SweepResult`]
+    /// ([`SweepResult::is_complete`] is `false`) — with a checkpoint,
+    /// rerunning the same spec resumes exactly where the cancel cut in.
+    /// This is the graceful-shutdown building block `segsim serve`
+    /// drains with.
+    pub fn cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -239,7 +311,7 @@ impl Engine {
         let done = AtomicUsize::new(initial);
         let events = AtomicU64::new(0);
         let last_print = Mutex::new(Instant::now());
-        let fresh = parallel_map_observed(
+        let fresh = parallel_map_halting(
             pending.len(),
             self.threads,
             |i| run_replica(&tasks[pending[i]], observers),
@@ -256,11 +328,21 @@ impl Engine {
                 }
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 let e = events.fetch_add(rec.events, Ordering::Relaxed) + rec.events;
+                let secs = started.elapsed().as_secs_f64().max(1e-9);
+                if let Some(cb) = &self.on_progress {
+                    cb(SweepProgress {
+                        done: d,
+                        total: target,
+                        resumed: initial,
+                        wall_secs: secs,
+                        replicas_per_sec: (d - initial) as f64 / secs,
+                        events_per_sec: e as f64 / secs,
+                    });
+                }
                 if self.progress {
                     let mut last = last_print.lock().expect("progress lock");
                     if d == target || last.elapsed().as_millis() >= 500 {
                         *last = Instant::now();
-                        let secs = started.elapsed().as_secs_f64().max(1e-9);
                         eprintln!(
                             "sweep: {d}/{target} replicas  ({:.1} replicas/s, {:.2e} events/s)",
                             (d - initial) as f64 / secs,
@@ -269,9 +351,14 @@ impl Engine {
                     }
                 }
             },
+            || {
+                self.cancel
+                    .as_ref()
+                    .is_some_and(|c| c.load(Ordering::Relaxed))
+            },
         );
         for (slot, rec) in pending.into_iter().zip(fresh) {
-            slots[slot] = Some(rec);
+            slots[slot] = rec;
         }
         SweepResult {
             spec: spec.clone(),
@@ -309,11 +396,12 @@ pub struct PointSummary {
 
 /// All records of a finished sweep, in task order.
 ///
-/// A run restricted to one [shard](Engine::shard) yields a *partial*
-/// result: only the records that ran (or were resumed from journals)
-/// are present, still in task order. [`SweepResult::is_complete`] says
-/// whether every task of the spec has a record; aggregation methods
-/// operate on whatever is present.
+/// A run restricted to one [shard](Engine::shard), or stopped early via
+/// [`Engine::cancel_flag`], yields a *partial* result: only the records
+/// that ran (or were resumed from journals) are present, still in task
+/// order. [`SweepResult::is_complete`] says whether every task of the
+/// spec has a record; aggregation methods operate on whatever is
+/// present.
 #[derive(Clone, Debug)]
 pub struct SweepResult {
     spec: SweepSpec,
@@ -337,13 +425,13 @@ impl SweepResult {
     }
 
     /// Whether every task of the spec has a record (always true outside
-    /// shard runs).
+    /// shard and cancelled runs).
     pub fn is_complete(&self) -> bool {
         self.records.len() == self.total_tasks
     }
 
     /// How many of the spec's tasks have no record yet (0 outside shard
-    /// runs).
+    /// and cancelled runs).
     pub fn missing_tasks(&self) -> usize {
         self.total_tasks - self.records.len()
     }
@@ -596,6 +684,69 @@ mod tests {
             err.to_string().contains("task order"),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn progress_callback_sees_every_completion_and_final_totals() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spec = small_spec(); // 6 tasks
+        let calls = Arc::new(AtomicUsize::new(0));
+        let last = Arc::new(Mutex::new(None::<SweepProgress>));
+        let (c, l) = (calls.clone(), last.clone());
+        let result = Engine::new()
+            .threads(2)
+            .on_progress(move |p| {
+                c.fetch_add(1, Ordering::Relaxed);
+                let mut slot = l.lock().unwrap();
+                if slot.is_none_or(|prev| p.done >= prev.done) {
+                    *slot = Some(p);
+                }
+            })
+            .run(&spec, &[]);
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        let p = last.lock().unwrap().expect("at least one sample");
+        assert_eq!(p.done, 6);
+        assert_eq!(p.total, 6);
+        assert_eq!(p.resumed, 0);
+        assert!(p.replicas_per_sec > 0.0);
+        assert!(result.is_complete());
+    }
+
+    #[test]
+    fn cancelled_run_is_partial_and_resumes_from_its_checkpoint() {
+        use std::sync::atomic::AtomicBool;
+        let spec = small_spec();
+        let dir = std::env::temp_dir().join("seg_engine_cancel");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ck = dir.join("ck.jsonl");
+        // cancel after the second completion: the run stops claiming
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = flag.clone();
+        let partial = Engine::new()
+            .threads(1)
+            .on_progress(move |p| {
+                if p.done >= 2 {
+                    f.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+            })
+            .cancel_flag(flag)
+            .run_with_checkpoint(&spec, &[], &ck)
+            .unwrap();
+        assert!(!partial.is_complete());
+        assert!(partial.records().len() >= 2);
+        assert!(partial.missing_tasks() > 0);
+        // resuming without the flag finishes the rest, byte-identically
+        let resumed = Engine::new()
+            .threads(2)
+            .run_with_checkpoint(&spec, &[], &ck)
+            .unwrap();
+        assert!(resumed.is_complete());
+        let reference = Engine::new().threads(1).run(&spec, &[]);
+        for (a, b) in resumed.records().iter().zip(reference.records()) {
+            assert_eq!(a.task.seed, b.task.seed);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.metrics, b.metrics);
+        }
     }
 
     #[test]

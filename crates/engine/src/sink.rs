@@ -103,6 +103,33 @@ const BASE_COLUMNS: [&str; 8] = [
     "point", "replica", "seed", "side", "horizon", "tau", "density", "variant",
 ];
 
+/// Predicts the metric columns a sweep will produce — the sorted union,
+/// over every point's variant, of the dynamics' own metrics
+/// ([`crate::replica::variant_metric_names`]) and each observer's
+/// ([`crate::observe::Observer::metric_names`]) — without running
+/// anything. `None` when an [`Observer::Custom`](crate::Observer::Custom) makes the set
+/// unknowable up front.
+///
+/// The prediction equals [`SweepResult::metric_names`] of the finished
+/// sweep (both sides are property-tested), which is what lets a
+/// streaming CSV sink write the buffered writer's exact header before
+/// the first replica runs.
+pub fn expected_metric_columns(
+    spec: &SweepSpec,
+    observers: &[crate::observe::Observer],
+) -> Option<Vec<String>> {
+    // the names are &'static and repeat across points, so union into a
+    // set of slices; nothing allocates until the final conversion
+    let mut names: std::collections::BTreeSet<&'static str> = std::collections::BTreeSet::new();
+    for point in spec.points() {
+        names.extend(crate::replica::variant_metric_names(&point.variant));
+        for o in observers {
+            names.extend(o.metric_names(&point.variant)?);
+        }
+    }
+    Some(names.into_iter().map(String::from).collect())
+}
+
 fn base_cells(task: &crate::spec::ReplicaTask) -> Vec<String> {
     let p = task.point;
     vec![

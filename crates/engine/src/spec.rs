@@ -76,11 +76,68 @@ impl Variant {
             Variant::Probe => "probe".into(),
         }
     }
+
+    /// The flag spelling that [parses](str::parse) back to this variant
+    /// (`noise:EPS`, `two-sided:TAU_HI`, `multi:K`, plain names
+    /// otherwise) — what `--variant` takes on the command line and the
+    /// serve API takes in request bodies.
+    pub fn flag(&self) -> String {
+        match self {
+            Variant::Paper => "paper".into(),
+            Variant::FlipWhenUnhappy => "flip-when-unhappy".into(),
+            Variant::Noise(eps) => format!("noise:{eps}"),
+            Variant::Kawasaki => "kawasaki".into(),
+            Variant::RingGlauber => "ring-glauber".into(),
+            Variant::RingKawasaki => "ring-kawasaki".into(),
+            Variant::TwoSided { tau_hi } => format!("two-sided:{tau_hi}"),
+            Variant::MultiType { k } => format!("multi:{k}"),
+            // not constructible from a flag, so never round-tripped
+            Variant::Probe => "probe".into(),
+        }
+    }
 }
 
 impl fmt::Display for Variant {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for Variant {
+    type Err = String;
+
+    /// Parses the flag syntax of [`Variant::flag`]. [`Variant::Probe`]
+    /// is deliberately not parseable — it only makes sense with a
+    /// programmatic [`Observer::Custom`](crate::Observer::Custom).
+    fn from_str(raw: &str) -> Result<Self, String> {
+        match raw {
+            "paper" => Ok(Variant::Paper),
+            "flip-when-unhappy" => Ok(Variant::FlipWhenUnhappy),
+            "kawasaki" => Ok(Variant::Kawasaki),
+            "ring-glauber" => Ok(Variant::RingGlauber),
+            "ring-kawasaki" => Ok(Variant::RingKawasaki),
+            other => {
+                if let Some(eps) = other.strip_prefix("noise:") {
+                    let eps: f64 = eps.parse().map_err(|e| format!("noise: {e}"))?;
+                    Ok(Variant::Noise(eps))
+                } else if let Some(hi) = other.strip_prefix("two-sided:") {
+                    let tau_hi: f64 = hi.parse().map_err(|e| format!("two-sided: {e}"))?;
+                    Ok(Variant::TwoSided { tau_hi })
+                } else if let Some(k) = other.strip_prefix("multi:") {
+                    let k: u8 = k.parse().map_err(|e| format!("multi: {e}"))?;
+                    if k < 2 {
+                        return Err("multi:K needs at least two types".into());
+                    }
+                    Ok(Variant::MultiType { k })
+                } else {
+                    Err(format!(
+                        "unknown variant {other} (expected paper, flip-when-unhappy, \
+                         noise:EPS, kawasaki, ring-glauber, ring-kawasaki, \
+                         two-sided:TAU_HI, multi:K)"
+                    ))
+                }
+            }
+        }
     }
 }
 
@@ -681,6 +738,25 @@ mod tests {
         assert_eq!(Variant::TwoSided { tau_hi: 0.9 }.label(), "two-sided(0.9)");
         assert_eq!(Variant::MultiType { k: 4 }.label(), "multi(4)");
         assert_eq!(Variant::Probe.label(), "probe");
+    }
+
+    #[test]
+    fn variant_flags_round_trip_through_from_str() {
+        for v in [
+            Variant::Paper,
+            Variant::FlipWhenUnhappy,
+            Variant::Noise(0.01),
+            Variant::Kawasaki,
+            Variant::RingGlauber,
+            Variant::RingKawasaki,
+            Variant::TwoSided { tau_hi: 0.875 },
+            Variant::MultiType { k: 4 },
+        ] {
+            assert_eq!(v.flag().parse::<Variant>().unwrap(), v);
+        }
+        for bad in ["bogus", "noise:x", "two-sided:", "multi:1", "multi:x"] {
+            assert!(bad.parse::<Variant>().is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Routing and endpoint semantics — the part of the service that knows
+//! what `/v1/sweeps` means.
+//!
+//! | endpoint | verb | what it does |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness + per-state job counts |
+//! | `/v1/sweeps` | POST | submit a sweep (JSON body); dedup by spec fingerprint |
+//! | `/v1/jobs/:id` | GET | status, progress, live replicas/s |
+//! | `/v1/jobs/:id/rows` | GET | NDJSON result rows, chunked, in task order; `?from=K` skips the first K rows |
+//! | `/v1/shutdown` | POST | graceful drain: stop accepting, journal in-flight work, exit |
+//!
+//! The row stream serves the bytes of the job's streaming-sink file
+//! verbatim, so a finished job's stream is byte-identical to
+//! `segsim sweep --stream --out rows.jsonl` under the same parameters.
+//! Streaming follows a *live* job: rows are chunked out as replicas
+//! finish, and the stream terminates when the job completes (or fails —
+//! check the status endpoint when a stream ends short).
+
+use crate::http::{write_json, ChunkedBody, Request};
+use crate::jobs::{Job, JobManager, JobState, SubmitOutcome, SweepRequest};
+use crate::json::{escape_str, Json};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often a live row stream polls the sink file for new rows.
+const ROWS_POLL: Duration = Duration::from_millis(20);
+
+/// Shared state every connection handler routes against.
+pub struct ApiContext {
+    /// The job store/queue/worker pool.
+    pub manager: Arc<JobManager>,
+    /// Set by `/v1/shutdown`; the accept loop watches it.
+    pub shutdown: Arc<AtomicBool>,
+    /// The bound address (the shutdown handler pokes it to unblock
+    /// `accept`).
+    pub local_addr: SocketAddr,
+    /// When the server started, for `/healthz` uptime.
+    pub started: Instant,
+}
+
+fn error_body(msg: &str) -> String {
+    format!("{{\"error\":{}}}", escape_str(msg))
+}
+
+/// Handles one request, writing the full response to `out`. Returns
+/// whether the connection may be kept alive.
+///
+/// # Errors
+///
+/// Only socket-level failures; application-level problems become 4xx/5xx
+/// responses.
+pub fn handle<W: Write>(req: &Request, out: &mut W, ctx: &ApiContext) -> io::Result<bool> {
+    let keep = req.keep_alive;
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let counts = ctx.manager.counts();
+            let jobs: Vec<String> = counts
+                .iter()
+                .map(|(k, v)| format!("{}:{v}", escape_str(k)))
+                .collect();
+            let body = format!(
+                "{{\"status\":\"ok\",\"uptime_secs\":{:.1},\"jobs\":{{{}}}}}",
+                ctx.started.elapsed().as_secs_f64(),
+                jobs.join(",")
+            );
+            write_json(out, 200, &body, keep)?;
+            Ok(keep)
+        }
+        ("POST", ["v1", "sweeps"]) => {
+            let parsed = std::str::from_utf8(&req.body)
+                .map_err(|_| "body is not UTF-8".to_string())
+                .and_then(Json::parse)
+                .and_then(|json| SweepRequest::from_json(&json));
+            let request = match parsed {
+                Ok(r) => r,
+                Err(e) => {
+                    write_json(out, 400, &error_body(&e), keep)?;
+                    return Ok(keep);
+                }
+            };
+            if ctx.shutdown.load(Ordering::Relaxed) {
+                write_json(out, 503, &error_body("server is draining"), false)?;
+                return Ok(false);
+            }
+            let (job, outcome) = match ctx.manager.submit(request) {
+                Ok(x) => x,
+                Err(e) => {
+                    write_json(out, 500, &error_body(&e.to_string()), keep)?;
+                    return Ok(keep);
+                }
+            };
+            let (status, cached) = match outcome {
+                SubmitOutcome::Cached => (200, true),
+                SubmitOutcome::InFlight | SubmitOutcome::Fresh => (202, false),
+            };
+            write_json(out, status, &job.status_json(Some(cached)), keep)?;
+            Ok(keep)
+        }
+        ("GET", ["v1", "jobs", id]) => match ctx.manager.get(id) {
+            Some(job) => {
+                write_json(out, 200, &job.status_json(None), keep)?;
+                Ok(keep)
+            }
+            None => {
+                write_json(out, 404, &error_body("no such job"), keep)?;
+                Ok(keep)
+            }
+        },
+        ("GET", ["v1", "jobs", id, "rows"]) => {
+            let job = match ctx.manager.get(id) {
+                Some(job) => job,
+                None => {
+                    write_json(out, 404, &error_body("no such job"), keep)?;
+                    return Ok(keep);
+                }
+            };
+            let from: usize = match req.query_param("from").map(str::parse).transpose() {
+                Ok(v) => v.unwrap_or(0),
+                Err(_) => {
+                    write_json(
+                        out,
+                        400,
+                        &error_body("from must be a non-negative integer"),
+                        keep,
+                    )?;
+                    return Ok(keep);
+                }
+            };
+            stream_rows(&job, from, out, keep, &ctx.shutdown)?;
+            Ok(keep)
+        }
+        ("POST", ["v1", "shutdown"]) => {
+            write_json(out, 200, "{\"status\":\"draining\"}", false)?;
+            ctx.shutdown.store(true, Ordering::Relaxed);
+            ctx.manager.drain();
+            // poke the accept loop so it observes the flag
+            let _ = TcpStream::connect(ctx.local_addr);
+            Ok(false)
+        }
+        (_, ["healthz"])
+        | (_, ["v1", "sweeps"])
+        | (_, ["v1", "shutdown"])
+        | (_, ["v1", "jobs", ..]) => {
+            write_json(out, 405, &error_body("method not allowed"), keep)?;
+            Ok(keep)
+        }
+        _ => {
+            write_json(out, 404, &error_body("no such endpoint"), keep)?;
+            Ok(keep)
+        }
+    }
+}
+
+/// Reads whatever the sink file holds past `offset` (absent file =
+/// nothing yet).
+fn read_new(path: &std::path::Path, offset: u64) -> io::Result<Vec<u8>> {
+    match std::fs::File::open(path) {
+        Ok(mut f) => {
+            f.seek(SeekFrom::Start(offset))?;
+            let mut buf = Vec::new();
+            f.read_to_end(&mut buf)?;
+            Ok(buf)
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Streams the job's NDJSON rows as a chunked body, following the file
+/// while the job is live. Rows are released whole-line (a torn tail
+/// mid-append is held back until its newline lands), in task order,
+/// skipping the first `from` — which is what makes an interrupted
+/// client resumable: count the rows you got, reconnect with `?from=K`.
+fn stream_rows<W: Write>(
+    job: &Arc<Job>,
+    from: usize,
+    out: &mut W,
+    keep_alive: bool,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let total = job.spec.task_count();
+    let path = job.rows_path();
+    let mut body = ChunkedBody::start(out, 200, "application/x-ndjson", keep_alive)?;
+    let mut offset = 0u64;
+    let mut seen = 0usize; // complete rows observed in the file
+    loop {
+        // order matters: sample the state *before* reading, so a job
+        // finishing between the two is caught by the next read
+        let state = job.state();
+        let bytes = read_new(&path, offset)?;
+        let complete_len = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let mut cursor = 0usize;
+        while cursor < complete_len {
+            let end = bytes[cursor..complete_len]
+                .iter()
+                .position(|&b| b == b'\n')
+                .expect("complete region ends in newline")
+                + cursor
+                + 1;
+            if seen >= from {
+                body.chunk(&bytes[cursor..end])?;
+            }
+            seen += 1;
+            cursor = end;
+        }
+        offset += complete_len as u64;
+        if seen >= total {
+            break;
+        }
+        match state {
+            JobState::Done | JobState::Failed(_) if complete_len == 0 => break,
+            // a draining server must not pin this connection open: end
+            // the stream cleanly, the client resumes with ?from=K
+            _ if shutdown.load(Ordering::Relaxed) => break,
+            _ => std::thread::sleep(ROWS_POLL),
+        }
+    }
+    body.finish()
+}

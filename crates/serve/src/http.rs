@@ -1,0 +1,431 @@
+//! A minimal HTTP/1.1 layer over `std::io` streams.
+//!
+//! Just enough of RFC 9112 for the service: request-line + header
+//! parsing with hard size limits, `Content-Length` bodies (no request
+//! chunked encoding), keep-alive bookkeeping, and two response shapes —
+//! fixed-length JSON and `Transfer-Encoding: chunked` for streams whose
+//! length is unknown up front (the NDJSON row streams).
+//!
+//! Everything here is transport; routing and semantics live in
+//! [`crate::api`].
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request line + headers, bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on the number of header lines.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path part of the target, query string removed.
+    pub path: String,
+    /// Query parameters in order of appearance (no percent-decoding —
+    /// the API's values are plain integers and hex ids).
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// The first value of a (lower-case) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes are not a well-formed request (respond 400, close).
+    Malformed(String),
+    /// The declared body exceeds the configured cap (respond 413,
+    /// close — the body was not read).
+    BodyTooLarge {
+        /// What the request declared.
+        declared: u64,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The socket failed mid-read (just close).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one line terminated by `\n`, enforcing the head-size budget.
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            // EOF: clean only if nothing was read yet
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(HttpError::Malformed("EOF mid-line".into()))
+            };
+        }
+        let take = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => i + 1,
+            None => buf.len(),
+        };
+        if take > *budget {
+            return Err(HttpError::Malformed("request head too large".into()));
+        }
+        *budget -= take;
+        let found_newline = buf[take - 1] == b'\n';
+        line.extend_from_slice(&buf[..take]);
+        r.consume(take);
+        if found_newline {
+            while matches!(line.last(), Some(b'\n' | b'\r')) {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes".into()));
+        }
+    }
+}
+
+/// Reads one request off the stream.
+///
+/// Returns `Ok(None)` on a clean EOF *before* any byte of a request —
+/// the peer closed an idle keep-alive connection, which is not an
+/// error.
+///
+/// # Errors
+///
+/// [`HttpError::Malformed`] for bytes that are not a request,
+/// [`HttpError::BodyTooLarge`] when `Content-Length` exceeds
+/// `max_body` (the body is left unread), [`HttpError::Io`] for socket
+/// failures.
+pub fn read_request<R: BufRead>(r: &mut R, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match read_line(r, &mut budget)? {
+        None => return Ok(None),
+        Some(l) if l.is_empty() => return Err(HttpError::Malformed("empty request line".into())),
+        Some(l) => l,
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v.to_string()),
+        _ => return Err(HttpError::Malformed("bad request line".into())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed(format!("unsupported {version}")));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget)?
+            .ok_or_else(|| HttpError::Malformed("EOF in headers".into()))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::Malformed("too many headers".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':' ({line:?})")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => version == "HTTP/1.1",
+    };
+    let content_length: u64 = match find("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length {v:?}")))?,
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::Malformed(
+            "chunked request bodies are not supported".into(),
+        ));
+    }
+    if content_length > max_body as u64 {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    let mut body = vec![0u8; content_length as usize];
+    r.read_exact(&mut body)?;
+    let (path, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_raw
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// The standard reason phrase for the status codes the service uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a fixed-length response.
+///
+/// # Errors
+///
+/// Any I/O error from the socket.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes a JSON response (the service's default shape).
+///
+/// # Errors
+///
+/// Any I/O error from the socket.
+pub fn write_json<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write_response(w, status, "application/json", body.as_bytes(), keep_alive)
+}
+
+/// A chunked-transfer response body: call [`ChunkedBody::chunk`] any
+/// number of times, then [`ChunkedBody::finish`]. The constructor
+/// writes the response head, so the status is committed up front.
+pub struct ChunkedBody<'w, W: Write> {
+    w: &'w mut W,
+    finished: bool,
+}
+
+impl<'w, W: Write> ChunkedBody<'w, W> {
+    /// Starts a chunked response with the given status and content type.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from writing the head.
+    pub fn start(
+        w: &'w mut W,
+        status: u16,
+        content_type: &str,
+        keep_alive: bool,
+    ) -> io::Result<Self> {
+        write!(
+            w,
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n\r\n",
+            reason(status),
+            if keep_alive { "keep-alive" } else { "close" },
+        )?;
+        Ok(ChunkedBody { w, finished: false })
+    }
+
+    /// Sends one chunk (empty input sends nothing — an empty chunk would
+    /// terminate the stream) and flushes, so consumers tailing a live
+    /// job see rows as they land.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the socket.
+    pub fn chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Terminates the stream with the zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the socket.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.finished = true;
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+impl<W: Write> Drop for ChunkedBody<'_, W> {
+    fn drop(&mut self) {
+        // a dropped-without-finish stream is deliberately left
+        // unterminated so the client sees a truncated body rather than a
+        // clean end; flush whatever was already written
+        if !self.finished {
+            let _ = self.w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let r = parse("GET /v1/jobs/abc/rows?from=3&x HTTP/1.1\r\nHost: h\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/jobs/abc/rows");
+        assert_eq!(r.query_param("from"), Some("3"));
+        assert_eq!(r.query_param("x"), Some(""));
+        assert!(r.keep_alive);
+        assert_eq!(r.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn parses_a_post_body_and_connection_close() {
+        let r =
+            parse("POST /v1/sweeps HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\nabcd")
+                .unwrap()
+                .unwrap();
+        assert_eq!(r.body, b"abcd");
+        assert!(!r.keep_alive);
+        // HTTP/1.0 defaults to close
+        let r10 = parse("GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!r10.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_garbage_is_malformed() {
+        assert!(parse("").unwrap().is_none());
+        assert!(matches!(
+            parse("garbage\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbad header\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_bodies_and_heads_are_rejected() {
+        let err = parse("POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::BodyTooLarge { declared: 9999, .. }
+        ));
+        let huge = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn fixed_and_chunked_responses_render() {
+        let mut out = Vec::new();
+        write_json(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        {
+            let mut c = ChunkedBody::start(&mut out, 200, "application/x-ndjson", false).unwrap();
+            c.chunk(b"{\"a\":1}\n").unwrap();
+            c.chunk(b"").unwrap(); // no-op, must not terminate
+            c.chunk(b"{\"b\":2}\n").unwrap();
+            c.finish().unwrap();
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transfer-encoding: chunked"));
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+}

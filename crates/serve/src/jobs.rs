@@ -1,0 +1,815 @@
+//! The job subsystem: sweep requests, the fingerprint-keyed job store,
+//! the worker pool that schedules jobs on [`seg_engine`], and the
+//! on-disk layout that makes all of it survive restarts.
+//!
+//! # Layout
+//!
+//! Every job lives in `data_dir/jobs/<id>/`, where `<id>` is the hex
+//! [`spec_fingerprint`] of the job's [`SweepSpec`] — the same
+//! fingerprint the checkpoint journals validate against, so the job id
+//! *is* the cache key:
+//!
+//! - `request.json` — the normalized request, written before the job is
+//!   first scheduled; a restarted server rebuilds the spec from it;
+//! - `ck.jsonl` — the engine's checkpoint journal (one line per
+//!   finished replica);
+//! - `rows.jsonl` — the [`StreamingSink`](seg_engine::StreamingSink)
+//!   output, appended in task order; `GET /v1/jobs/:id/rows` streams
+//!   these bytes verbatim, so they are byte-identical to
+//!   `segsim sweep --stream --out rows.jsonl` under the same
+//!   parameters;
+//! - `done.json` — written only when every task has a record; its
+//!   presence is what makes a resubmitted identical spec a cache hit
+//!   (no recomputation), even across restarts.
+//!
+//! A job killed mid-run (crash, `kill -9`, drain) leaves `request.json`
+//! plus partial journals; the next start re-enqueues it and the engine
+//! resumes from `ck.jsonl`, skipping every journaled replica.
+
+use crate::json::{escape_str, format_f64, Json};
+use seg_engine::{spec_fingerprint, Engine, Observer, Sink, SweepProgress, SweepSpec, Variant};
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Caps on a single request, so one client cannot park the service on a
+/// sweep that never finishes (documented in `docs/SERVING.md`).
+pub const MAX_SIDE: u32 = 4096;
+/// Maximum points × replicas of one request.
+pub const MAX_TASKS: usize = 1_000_000;
+
+/// A validated, normalized sweep request — the JSON-body counterpart of
+/// `segsim sweep`'s flags, mapping onto the identical [`SweepSpec`] (so
+/// results are byte-compatible between the CLI and the service).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRequest {
+    /// Grid sides (`side`, scalar or array).
+    pub sides: Vec<u32>,
+    /// Horizons (`horizon`).
+    pub horizons: Vec<u32>,
+    /// Intolerances (`tau`).
+    pub taus: Vec<f64>,
+    /// Initial densities (`density`, optional — defaults to 0.5).
+    pub densities: Vec<f64>,
+    /// Variants in [`Variant::flag`] spelling (optional — defaults to
+    /// `paper`).
+    pub variants: Vec<Variant>,
+    /// Replicas per point (`replicas`, default 1).
+    pub replicas: u32,
+    /// Master seed (`seed`, default 0).
+    pub seed: u64,
+    /// Per-replica event budget (`max_events`, default unlimited).
+    pub max_events: Option<u64>,
+}
+
+fn axis_u32(body: &Json, key: &str) -> Result<Vec<u32>, String> {
+    match body.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_list()
+            .into_iter()
+            .map(|x| {
+                x.as_u64()
+                    .filter(|&n| n <= u32::MAX as u64)
+                    .map(|n| n as u32)
+                    .ok_or_else(|| format!("{key}: expected a non-negative integer, got {x}"))
+            })
+            .collect(),
+    }
+}
+
+fn axis_f64(body: &Json, key: &str) -> Result<Vec<f64>, String> {
+    match body.get(key) {
+        None => Ok(Vec::new()),
+        Some(v) => v
+            .as_list()
+            .into_iter()
+            .map(|x| {
+                x.as_f64()
+                    .ok_or_else(|| format!("{key}: expected a number, got {x}"))
+            })
+            .collect(),
+    }
+}
+
+impl SweepRequest {
+    /// Parses and validates a request body.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field — the body of
+    /// the 400 response.
+    pub fn from_json(body: &Json) -> Result<SweepRequest, String> {
+        if !matches!(body, Json::Obj(_)) {
+            return Err("request body must be a JSON object".into());
+        }
+        const KNOWN: [&str; 8] = [
+            "side",
+            "horizon",
+            "tau",
+            "density",
+            "variant",
+            "replicas",
+            "seed",
+            "max_events",
+        ];
+        if let Json::Obj(pairs) = body {
+            for (k, _) in pairs {
+                if !KNOWN.contains(&k.as_str()) {
+                    return Err(format!(
+                        "unknown field {k:?} (expected one of {})",
+                        KNOWN.join(", ")
+                    ));
+                }
+            }
+        }
+        let variants = match body.get("variant") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_list()
+                .into_iter()
+                .map(|x| {
+                    x.as_str()
+                        .ok_or_else(|| format!("variant: expected a string, got {x}"))?
+                        .parse::<Variant>()
+                        .map_err(|e| format!("variant: {e}"))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let scalar_u64 = |key: &str, default: u64| -> Result<u64, String> {
+            match body.get(key) {
+                None => Ok(default),
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("{key}: expected a non-negative integer, got {v}")),
+            }
+        };
+        let req = SweepRequest {
+            sides: axis_u32(body, "side")?,
+            horizons: axis_u32(body, "horizon")?,
+            taus: axis_f64(body, "tau")?,
+            densities: axis_f64(body, "density")?,
+            variants,
+            replicas: u32::try_from(scalar_u64("replicas", 1)?)
+                .map_err(|_| "replicas: out of range".to_string())?,
+            seed: scalar_u64("seed", 0)?,
+            max_events: body
+                .get("max_events")
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| {
+                        format!("max_events: expected a non-negative integer, got {v}")
+                    })
+                })
+                .transpose()?,
+        };
+        req.validate()?;
+        Ok(req)
+    }
+
+    /// The same sanity checks `segsim sweep` applies to its flags, so a
+    /// bad request is a 400 instead of a panic inside
+    /// [`SweepSpec::builder`].
+    fn validate(&self) -> Result<(), String> {
+        if self.sides.is_empty() || self.horizons.is_empty() || self.taus.is_empty() {
+            return Err("a sweep needs side, horizon and tau".into());
+        }
+        if self.replicas == 0 {
+            return Err("replicas must be at least 1".into());
+        }
+        let min_side = *self.sides.iter().min().expect("non-empty");
+        let max_horizon = *self.horizons.iter().max().expect("non-empty");
+        if min_side == 0 {
+            return Err("side must be at least 1".into());
+        }
+        if 2 * max_horizon as u64 >= min_side as u64 {
+            return Err(format!(
+                "horizon {max_horizon} too large for side {min_side} (need 2w+1 <= n)"
+            ));
+        }
+        if self.sides.iter().any(|&n| n > MAX_SIDE) {
+            return Err(format!("side values are capped at {MAX_SIDE}"));
+        }
+        if self.taus.iter().any(|t| !(0.0..=1.0).contains(t)) {
+            return Err("tau values must lie in [0, 1]".into());
+        }
+        if self.densities.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err("density values must lie in [0, 1]".into());
+        }
+        let max_tau = self.taus.iter().cloned().fold(0.0f64, f64::max);
+        for v in &self.variants {
+            match v {
+                Variant::TwoSided { tau_hi }
+                    if !(0.0..=1.0).contains(tau_hi) || *tau_hi < max_tau =>
+                {
+                    return Err(format!(
+                        "two-sided:{tau_hi} needs tau <= tau_hi <= 1 for every tau"
+                    ));
+                }
+                Variant::Noise(eps) if !(0.0..=1.0).contains(eps) => {
+                    return Err(format!("noise:{eps} needs 0 <= eps <= 1"));
+                }
+                _ => {}
+            }
+        }
+        let points = self.sides.len()
+            * self.horizons.len()
+            * self.taus.len()
+            * self.densities.len().max(1)
+            * self.variants.len().max(1);
+        let tasks = points.saturating_mul(self.replicas as usize);
+        if tasks > MAX_TASKS {
+            return Err(format!(
+                "{points} points x {} replicas = {tasks} tasks exceeds the {MAX_TASKS}-task cap",
+                self.replicas
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds the spec exactly the way `segsim sweep` builds it from the
+    /// equivalent flags — same defaults, same point order — so the
+    /// fingerprint (and therefore every output byte) matches the CLI.
+    pub fn build_spec(&self) -> SweepSpec {
+        let mut builder = SweepSpec::builder()
+            .sides(self.sides.iter().copied())
+            .horizons(self.horizons.iter().copied())
+            .taus(self.taus.iter().copied())
+            .replicas(self.replicas)
+            .master_seed(self.seed);
+        if let Some(budget) = self.max_events {
+            builder = builder.max_events(budget);
+        }
+        if !self.densities.is_empty() {
+            builder = builder.densities(self.densities.iter().copied());
+        }
+        if !self.variants.is_empty() {
+            builder = builder.variants(self.variants.iter().copied());
+        }
+        builder.build()
+    }
+
+    /// The normalized request as JSON — what `request.json` holds, and
+    /// what [`SweepRequest::from_json`] parses back on recovery.
+    pub fn to_json(&self) -> String {
+        let num = |x: f64| Json::Num(x);
+        let mut pairs: Vec<(String, Json)> = vec![
+            (
+                "side".into(),
+                Json::Arr(self.sides.iter().map(|&n| num(n as f64)).collect()),
+            ),
+            (
+                "horizon".into(),
+                Json::Arr(self.horizons.iter().map(|&n| num(n as f64)).collect()),
+            ),
+            (
+                "tau".into(),
+                Json::Arr(self.taus.iter().map(|&t| num(t)).collect()),
+            ),
+        ];
+        if !self.densities.is_empty() {
+            pairs.push((
+                "density".into(),
+                Json::Arr(self.densities.iter().map(|&p| num(p)).collect()),
+            ));
+        }
+        if !self.variants.is_empty() {
+            pairs.push((
+                "variant".into(),
+                Json::Arr(self.variants.iter().map(|v| Json::Str(v.flag())).collect()),
+            ));
+        }
+        pairs.push(("replicas".into(), num(self.replicas as f64)));
+        pairs.push(("seed".into(), num(self.seed as f64)));
+        if let Some(b) = self.max_events {
+            pairs.push(("max_events".into(), num(b as f64)));
+        }
+        Json::Obj(pairs).to_string()
+    }
+}
+
+/// Where a job stands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobState {
+    /// Waiting for a job worker.
+    Queued,
+    /// A worker is running its sweep.
+    Running,
+    /// Every task has a record; `rows.jsonl` is final.
+    Done,
+    /// The sweep errored (message inside). The journals are kept, so
+    /// resubmitting after fixing the cause resumes rather than restarts.
+    Failed(String),
+}
+
+impl JobState {
+    /// The wire spelling used in status responses.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One submitted sweep.
+#[derive(Debug)]
+pub struct Job {
+    /// The fingerprint id (16 hex digits).
+    pub id: String,
+    /// The normalized request.
+    pub request: SweepRequest,
+    /// The spec the request builds.
+    pub spec: SweepSpec,
+    /// The job's directory under `data_dir/jobs/`.
+    pub dir: PathBuf,
+    state: Mutex<JobState>,
+    progress: Mutex<SweepProgress>,
+}
+
+impl Job {
+    /// The job's current state.
+    pub fn state(&self) -> JobState {
+        self.state.lock().expect("job state poisoned").clone()
+    }
+
+    /// The latest progress sample.
+    pub fn progress(&self) -> SweepProgress {
+        *self.progress.lock().expect("job progress poisoned")
+    }
+
+    /// The path row streams read from.
+    pub fn rows_path(&self) -> PathBuf {
+        self.dir.join("rows.jsonl")
+    }
+
+    /// The status document `GET /v1/jobs/:id` returns. `cached` is set
+    /// on submit responses to say whether the finished artifact was
+    /// served from the fingerprint cache.
+    pub fn status_json(&self, cached: Option<bool>) -> String {
+        let state = self.state();
+        let p = self.progress();
+        let mut s = format!(
+            "{{\"id\":{},\"state\":{},\"points\":{},\"replicas\":{},\"tasks\":{}",
+            escape_str(&self.id),
+            escape_str(state.label()),
+            self.spec.points().len(),
+            self.spec.replicas(),
+            self.spec.task_count(),
+        );
+        if let Some(cached) = cached {
+            s.push_str(&format!(",\"cached\":{cached}"));
+        }
+        if let JobState::Failed(e) = &state {
+            s.push_str(&format!(",\"error\":{}", escape_str(e)));
+        }
+        s.push_str(&format!(
+            ",\"progress\":{{\"done\":{},\"total\":{},\"resumed\":{},\"replicas_per_sec\":{},\"events_per_sec\":{},\"wall_secs\":{}}}}}",
+            p.done,
+            p.total,
+            p.resumed,
+            format_f64(p.replicas_per_sec),
+            format_f64(p.events_per_sec),
+            format_f64(p.wall_secs),
+        ));
+        s
+    }
+}
+
+/// What [`JobManager::submit`] found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// A new job was created and enqueued.
+    Fresh,
+    /// The identical spec is already queued or running — the caller
+    /// shares it.
+    InFlight,
+    /// The identical spec already finished: the artifact is served from
+    /// the cache, nothing recomputes.
+    Cached,
+}
+
+/// The job store + queue + worker pool, shared across connection
+/// handlers.
+#[derive(Debug)]
+pub struct JobManager {
+    data_dir: PathBuf,
+    engine_threads: usize,
+    drain: Arc<AtomicBool>,
+    jobs: Mutex<BTreeMap<String, Arc<Job>>>,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    cvar: Condvar,
+}
+
+impl JobManager {
+    /// A manager writing under `data_dir` (created if missing), running
+    /// each job's sweep on `engine_threads` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the data directory.
+    pub fn new(data_dir: PathBuf, engine_threads: usize) -> io::Result<JobManager> {
+        std::fs::create_dir_all(data_dir.join("jobs"))?;
+        Ok(JobManager {
+            data_dir,
+            engine_threads,
+            drain: Arc::new(AtomicBool::new(false)),
+            jobs: Mutex::new(BTreeMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            cvar: Condvar::new(),
+        })
+    }
+
+    /// The flag the server's drain sets; jobs pass it to
+    /// [`Engine::cancel_flag`] so a shutdown stops replica claiming.
+    pub fn drain_flag(&self) -> Arc<AtomicBool> {
+        self.drain.clone()
+    }
+
+    /// Re-registers every job found on disk: finished jobs become cache
+    /// entries, unfinished ones are re-enqueued (their checkpoint
+    /// journal makes the rerun a resume). Returns
+    /// `(finished, requeued)` counts.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from scanning the jobs directory; a single
+    /// unreadable job directory is skipped with a stderr note instead.
+    pub fn recover(&self) -> io::Result<(usize, usize)> {
+        let (mut finished, mut requeued) = (0, 0);
+        for entry in std::fs::read_dir(self.data_dir.join("jobs"))? {
+            let dir = entry?.path();
+            let request_path = dir.join("request.json");
+            let text = match std::fs::read_to_string(&request_path) {
+                Ok(t) => t,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => {
+                    eprintln!("serve: skipping {}: {e}", request_path.display());
+                    continue;
+                }
+            };
+            let request = match Json::parse(&text).and_then(|j| SweepRequest::from_json(&j)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("serve: skipping {}: {e}", request_path.display());
+                    continue;
+                }
+            };
+            let spec = request.build_spec();
+            let id = format!("{:016x}", spec_fingerprint(&spec));
+            if dir.file_name().is_none_or(|n| n.to_string_lossy() != id) {
+                eprintln!(
+                    "serve: skipping {}: directory name does not match the spec fingerprint {id}",
+                    dir.display()
+                );
+                continue;
+            }
+            let done = dir.join("done.json").exists();
+            let total = spec.task_count();
+            let job = Arc::new(Job {
+                id: id.clone(),
+                request,
+                spec,
+                dir,
+                state: Mutex::new(if done {
+                    JobState::Done
+                } else {
+                    JobState::Queued
+                }),
+                progress: Mutex::new(SweepProgress {
+                    done: if done { total } else { 0 },
+                    total,
+                    resumed: 0,
+                    wall_secs: 0.0,
+                    replicas_per_sec: 0.0,
+                    events_per_sec: 0.0,
+                }),
+            });
+            self.jobs
+                .lock()
+                .expect("jobs poisoned")
+                .insert(id, job.clone());
+            if done {
+                finished += 1;
+            } else {
+                requeued += 1;
+                self.enqueue(job);
+            }
+        }
+        Ok((finished, requeued))
+    }
+
+    /// Submits a request: returns the (possibly pre-existing) job and
+    /// what happened. A fresh job has its `request.json` written before
+    /// this returns, so a crash right after the response never loses
+    /// the submission.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the job directory or writing
+    /// `request.json`.
+    pub fn submit(&self, request: SweepRequest) -> io::Result<(Arc<Job>, SubmitOutcome)> {
+        let spec = request.build_spec();
+        let id = format!("{:016x}", spec_fingerprint(&spec));
+        let mut jobs = self.jobs.lock().expect("jobs poisoned");
+        if let Some(job) = jobs.get(&id) {
+            let outcome = match job.state() {
+                JobState::Done => SubmitOutcome::Cached,
+                // a failed job is retried on resubmit: back into the queue
+                JobState::Failed(_) => {
+                    *job.state.lock().expect("job state poisoned") = JobState::Queued;
+                    self.enqueue(job.clone());
+                    SubmitOutcome::Fresh
+                }
+                _ => SubmitOutcome::InFlight,
+            };
+            return Ok((job.clone(), outcome));
+        }
+        let dir = self.data_dir.join("jobs").join(&id);
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join("request.json"), request.to_json())?;
+        let total = spec.task_count();
+        let job = Arc::new(Job {
+            id: id.clone(),
+            request,
+            spec,
+            dir,
+            state: Mutex::new(JobState::Queued),
+            progress: Mutex::new(SweepProgress {
+                done: 0,
+                total,
+                resumed: 0,
+                wall_secs: 0.0,
+                replicas_per_sec: 0.0,
+                events_per_sec: 0.0,
+            }),
+        });
+        jobs.insert(id, job.clone());
+        drop(jobs);
+        self.enqueue(job.clone());
+        Ok((job, SubmitOutcome::Fresh))
+    }
+
+    fn enqueue(&self, job: Arc<Job>) {
+        self.queue.lock().expect("queue poisoned").push_back(job);
+        self.cvar.notify_one();
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: &str) -> Option<Arc<Job>> {
+        self.jobs.lock().expect("jobs poisoned").get(id).cloned()
+    }
+
+    /// Per-state job counts, for `/healthz`.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::from([("queued", 0), ("running", 0), ("done", 0), ("failed", 0)]);
+        for job in self.jobs.lock().expect("jobs poisoned").values() {
+            *out.get_mut(job.state().label()).expect("known label") += 1;
+        }
+        out
+    }
+
+    /// Initiates drain: running sweeps stop claiming replicas (finishing
+    /// and journaling the ones in flight), queued jobs stay on disk for
+    /// the next start, and every waiting worker wakes up to exit.
+    pub fn drain(&self) {
+        self.drain.store(true, Ordering::Relaxed);
+        self.cvar.notify_all();
+    }
+
+    /// One job worker: pops jobs until drained. Run this on N threads
+    /// for N-way job parallelism.
+    pub fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue poisoned");
+                loop {
+                    if self.drain.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if let Some(job) = q.pop_front() {
+                        break job;
+                    }
+                    q = self.cvar.wait(q).expect("queue poisoned");
+                }
+            };
+            self.run_job(&job);
+        }
+    }
+
+    fn run_job(&self, job: &Arc<Job>) {
+        *job.state.lock().expect("job state poisoned") = JobState::Running;
+        eprintln!(
+            "serve: job {} started ({} tasks)",
+            job.id,
+            job.spec.task_count()
+        );
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(job)));
+        let state = match outcome {
+            Ok(Ok(true)) => JobState::Done,
+            // drained mid-run: the journal holds what finished; the next
+            // start re-enqueues and resumes
+            Ok(Ok(false)) => JobState::Queued,
+            Ok(Err(e)) => JobState::Failed(e),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "job panicked".into());
+                JobState::Failed(msg)
+            }
+        };
+        match &state {
+            JobState::Done => eprintln!("serve: job {} done", job.id),
+            JobState::Queued => eprintln!("serve: job {} drained, will resume", job.id),
+            JobState::Failed(e) => eprintln!("serve: job {} failed: {e}", job.id),
+            JobState::Running => unreachable!(),
+        }
+        *job.state.lock().expect("job state poisoned") = state;
+    }
+
+    /// Runs the sweep with checkpoint + streaming sink. `Ok(true)` means
+    /// complete, `Ok(false)` a drain cut the run short.
+    fn execute(&self, job: &Arc<Job>) -> Result<bool, String> {
+        let stream = Sink::Jsonl(job.rows_path())
+            .stream(&job.spec, &[], true)
+            .map_err(|e| e.to_string())?;
+        let progress_job = job.clone();
+        let engine = Engine::new()
+            .threads(self.engine_threads)
+            .progress(true)
+            .on_progress(move |p| {
+                *progress_job.progress.lock().expect("job progress poisoned") = p;
+            })
+            .cancel_flag(self.drain.clone());
+        let result = engine
+            .run_full(
+                &job.spec,
+                &[Observer::TerminalStats],
+                Some(&job.dir.join("ck.jsonl")),
+                Some(&stream),
+            )
+            .map_err(|e| e.to_string())?;
+        if !result.is_complete() {
+            return Ok(false);
+        }
+        let t = result.throughput();
+        std::fs::write(
+            job.dir.join("done.json"),
+            format!(
+                "{{\"tasks\":{},\"wall_secs\":{},\"replicas_per_sec\":{}}}",
+                result.records().len(),
+                format_f64(t.wall_secs),
+                format_f64(t.replicas_per_sec),
+            ),
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_json(extra: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"side": 24, "horizon": 1, "tau": [0.4, 0.45]{extra}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("seg_serve_jobs").join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn request_round_trips_through_its_json() {
+        let req = SweepRequest::from_json(&request_json(
+            r#", "density": 0.4, "variant": ["paper", "noise:0.01"],
+                "replicas": 3, "seed": 9, "max_events": 500"#,
+        ))
+        .unwrap();
+        assert_eq!(req.sides, vec![24]);
+        assert_eq!(req.taus, vec![0.4, 0.45]);
+        assert_eq!(req.variants, vec![Variant::Paper, Variant::Noise(0.01)]);
+        let back = SweepRequest::from_json(&Json::parse(&req.to_json()).unwrap()).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(
+            spec_fingerprint(&req.build_spec()),
+            spec_fingerprint(&back.build_spec())
+        );
+    }
+
+    #[test]
+    fn requests_validate_before_the_builder_can_panic() {
+        for (extra, needle) in [
+            (r#", "replicas": 0"#, "replicas"),
+            (r#", "tau": 1.5"#, "tau"),
+            (r#", "horizon": 12"#, "horizon"),
+            (r#", "variant": "two-sided:0.1""#, "two-sided"),
+            (r#", "variant": "multi:1""#, "multi"),
+            (r#", "variant": "noise:2""#, "noise"),
+            (r#", "variant": "noise:-0.5""#, "noise"),
+            (r#", "variant": "bogus""#, "unknown variant"),
+            (r#", "bogus": 1"#, "unknown field"),
+            (r#", "replicas": 1000000000"#, "cap"),
+            (r#", "side": 100000"#, "capped"),
+            (r#", "seed": -3"#, "seed"),
+        ] {
+            let err = SweepRequest::from_json(&request_json(extra)).unwrap_err();
+            assert!(err.contains(needle), "{extra}: got {err:?}");
+        }
+        assert!(SweepRequest::from_json(&Json::parse("{}").unwrap())
+            .unwrap_err()
+            .contains("needs side"));
+        assert!(SweepRequest::from_json(&Json::parse("[1]").unwrap())
+            .unwrap_err()
+            .contains("object"));
+    }
+
+    #[test]
+    fn submit_deduplicates_by_fingerprint() {
+        let mgr = JobManager::new(tmp("dedup"), 1).unwrap();
+        let req = SweepRequest::from_json(&request_json(r#", "max_events": 100"#)).unwrap();
+        let (a, outcome_a) = mgr.submit(req.clone()).unwrap();
+        assert_eq!(outcome_a, SubmitOutcome::Fresh);
+        let (b, outcome_b) = mgr.submit(req.clone()).unwrap();
+        assert_eq!(outcome_b, SubmitOutcome::InFlight);
+        assert_eq!(a.id, b.id);
+        // a different seed is a different job
+        let mut other = req;
+        other.seed = 1;
+        let (c, _) = mgr.submit(other).unwrap();
+        assert_ne!(a.id, c.id);
+        assert!(a.dir.join("request.json").exists());
+    }
+
+    #[test]
+    fn jobs_run_to_done_and_recover_as_cache_hits() {
+        let dir = tmp("run_and_recover");
+        let req = SweepRequest::from_json(&request_json(r#", "replicas": 2, "max_events": 200"#))
+            .unwrap();
+        let id;
+        {
+            let mgr = JobManager::new(dir.clone(), 2).unwrap();
+            let (job, _) = mgr.submit(req.clone()).unwrap();
+            id = job.id.clone();
+            // run the queue inline: drain first so the loop exits once idle
+            mgr.run_job(&job);
+            assert_eq!(job.state(), JobState::Done);
+            assert_eq!(job.progress().done, job.spec.task_count());
+            assert!(job.rows_path().exists());
+            assert!(job.dir.join("done.json").exists());
+        }
+        // a fresh manager over the same data dir sees the finished job
+        let mgr = JobManager::new(dir, 2).unwrap();
+        let (finished, requeued) = mgr.recover().unwrap();
+        assert_eq!((finished, requeued), (1, 0));
+        let (job, outcome) = mgr.submit(req).unwrap();
+        assert_eq!(job.id, id);
+        assert_eq!(outcome, SubmitOutcome::Cached);
+        assert!(job.status_json(Some(true)).contains("\"cached\":true"));
+    }
+
+    #[test]
+    fn drained_jobs_requeue_on_recovery() {
+        let dir = tmp("drain_recover");
+        let req = SweepRequest::from_json(&request_json(r#", "replicas": 2"#)).unwrap();
+        {
+            let mgr = JobManager::new(dir.clone(), 1).unwrap();
+            // drain before running: the worker claims nothing
+            let (job, _) = mgr.submit(req.clone()).unwrap();
+            mgr.drain();
+            mgr.run_job(&job);
+            assert_eq!(job.state(), JobState::Queued);
+            assert!(!job.dir.join("done.json").exists());
+        }
+        let mgr = JobManager::new(dir, 1).unwrap();
+        let (finished, requeued) = mgr.recover().unwrap();
+        assert_eq!((finished, requeued), (0, 1));
+        let job = mgr.get(&format!("{:016x}", spec_fingerprint(&req.build_spec())));
+        assert_eq!(job.unwrap().state(), JobState::Queued);
+    }
+
+    #[test]
+    fn status_json_is_wellformed() {
+        let mgr = JobManager::new(tmp("status"), 1).unwrap();
+        let req = SweepRequest::from_json(&request_json("")).unwrap();
+        let (job, _) = mgr.submit(req).unwrap();
+        let doc = Json::parse(&job.status_json(None)).unwrap();
+        assert_eq!(doc.get("state").unwrap().as_str(), Some("queued"));
+        assert_eq!(doc.get("tasks").unwrap().as_u64(), Some(2));
+        assert!(doc.get("cached").is_none());
+        assert_eq!(
+            doc.get("progress").unwrap().get("total").unwrap().as_u64(),
+            Some(2)
+        );
+    }
+}

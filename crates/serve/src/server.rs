@@ -1,0 +1,305 @@
+//! The server shell: socket, bounded connection pool, job workers,
+//! graceful shutdown.
+//!
+//! Two thread pools with distinct purposes:
+//!
+//! - **connection handlers** (`conn_threads` of them) read requests and
+//!   write responses; the accept loop feeds them through a *bounded*
+//!   channel, so a flood of connections backpressures into the OS
+//!   accept queue instead of spawning without limit;
+//! - **job workers** (`workers` of them) pop the job queue and run
+//!   sweeps on the engine, each with its own engine thread budget.
+//!
+//! Shutdown (`POST /v1/shutdown`) drains in order: the accept loop
+//! stops, connection handlers finish their current exchange, running
+//! sweeps stop claiming replicas (the ones in flight are journaled by
+//! the engine as always), and [`Server::run`] returns. Nothing is lost:
+//! queued and half-done jobs resume from their journals on the next
+//! start.
+
+use crate::api::{self, ApiContext};
+use crate::http::{read_request, write_json, HttpError};
+use crate::jobs::JobManager;
+use crate::json::escape_str;
+use seg_analysis::parallel::default_threads;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything `segsim serve` is configured by.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// `HOST:PORT` to bind; port `0` picks a free port (the bound
+    /// address is printed on stdout and available from
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Job workers: how many sweeps run concurrently.
+    pub workers: u32,
+    /// Engine threads per job; `0` divides
+    /// [`default_threads`] by the worker count.
+    pub engine_threads: usize,
+    /// Where jobs, journals and results live (created if missing).
+    pub data_dir: PathBuf,
+    /// Connection-handler threads (the concurrent-client budget).
+    pub conn_threads: usize,
+    /// Request-body cap in bytes; larger submissions get 413.
+    pub max_body: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".into(),
+            workers: 2,
+            engine_threads: 0,
+            data_dir: PathBuf::from("segsim-serve"),
+            conn_threads: 16,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving instance: lets callers learn the
+/// ephemeral port before entering the accept loop (what
+/// `examples/serve_quickstart.rs` does).
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServeConfig,
+    /// `config.engine_threads` with `0` resolved to the auto value.
+    engine_threads: usize,
+    manager: Arc<JobManager>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the socket, prepares the data directory, and recovers the
+    /// jobs a previous process left behind (finished ones become cache
+    /// entries, unfinished ones re-enqueue and will resume from their
+    /// checkpoint journals).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding or from the data directory.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let workers = config.workers.max(1);
+        let engine_threads = if config.engine_threads == 0 {
+            (default_threads() / workers as usize).max(1)
+        } else {
+            config.engine_threads
+        };
+        let manager = Arc::new(JobManager::new(config.data_dir.clone(), engine_threads)?);
+        let (finished, requeued) = manager.recover()?;
+        if finished + requeued > 0 {
+            eprintln!(
+                "serve: recovered {finished} finished and {requeued} unfinished job(s) from {}",
+                config.data_dir.display()
+            );
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+            engine_threads,
+            manager,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a shutdown request drains the instance.
+    ///
+    /// The first stdout line is always
+    /// `serve: listening on http://HOST:PORT` — scripts (and the
+    /// integration tests) parse it to find an ephemerally bound port.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the accept loop.
+    pub fn run(self) -> io::Result<()> {
+        let Server {
+            listener,
+            local_addr,
+            config,
+            engine_threads,
+            manager,
+            shutdown,
+        } = self;
+        println!("serve: listening on http://{local_addr}");
+        io::stdout().flush()?;
+        eprintln!(
+            "serve: {} job worker(s) x {} engine thread(s), {} connection handler(s), data in {}",
+            config.workers.max(1),
+            engine_threads,
+            config.conn_threads.max(1),
+            config.data_dir.display()
+        );
+        let ctx = Arc::new(ApiContext {
+            manager: manager.clone(),
+            shutdown: shutdown.clone(),
+            local_addr,
+            started: Instant::now(),
+        });
+
+        let mut job_workers = Vec::new();
+        for i in 0..config.workers.max(1) {
+            let manager = manager.clone();
+            job_workers.push(
+                std::thread::Builder::new()
+                    .name(format!("job-worker-{i}"))
+                    .spawn(move || manager.worker_loop())
+                    .expect("spawn job worker"),
+            );
+        }
+
+        // connections flow through a bounded queue: when every handler is
+        // busy and the queue is full, the accept loop itself blocks, and
+        // further clients wait in the OS backlog
+        let (tx, rx) = sync_channel::<TcpStream>(64);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut conn_workers = Vec::new();
+        for i in 0..config.conn_threads.max(1) {
+            let rx = rx.clone();
+            let ctx = ctx.clone();
+            let max_body = config.max_body;
+            conn_workers.push(
+                std::thread::Builder::new()
+                    .name(format!("conn-{i}"))
+                    .spawn(move || connection_worker(&rx, &ctx, max_body))
+                    .expect("spawn connection handler"),
+            );
+        }
+
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match stream {
+                Ok(s) => {
+                    if tx.send(s).is_err() {
+                        break; // every handler is gone; nothing to do
+                    }
+                }
+                Err(e) => eprintln!("serve: accept failed: {e}"),
+            }
+        }
+        eprintln!(
+            "serve: draining ({} connection handler(s) finishing)",
+            conn_workers.len()
+        );
+        drop(tx); // handlers drain the queue, then see the hangup
+        for w in conn_workers {
+            let _ = w.join();
+        }
+        manager.drain(); // idempotent; covers shutdown paths that raced
+        for w in job_workers {
+            let _ = w.join();
+        }
+        eprintln!("serve: drained, journals flushed");
+        Ok(())
+    }
+}
+
+fn connection_worker(rx: &Mutex<Receiver<TcpStream>>, ctx: &ApiContext, max_body: usize) {
+    loop {
+        let stream = match rx.lock().expect("connection queue poisoned").recv() {
+            Ok(s) => s,
+            Err(_) => return, // accept loop hung up and the queue is empty
+        };
+        if let Err(e) = handle_connection(stream, ctx, max_body) {
+            eprintln!("serve: connection error: {e}");
+        }
+    }
+}
+
+/// Runs the keep-alive request loop of one connection.
+fn handle_connection(stream: TcpStream, ctx: &ApiContext, max_body: usize) -> io::Result<()> {
+    // generous, but bounded: a dead peer must not pin a handler forever
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader, max_body) {
+            Ok(None) => return Ok(()), // clean close between requests
+            Ok(Some(req)) => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    api::handle(&req, &mut writer, ctx)
+                }));
+                match outcome {
+                    // a draining server closes even willing keep-alive
+                    // connections between requests, or a steady poller
+                    // could stall the drain indefinitely
+                    Ok(Ok(true)) => {
+                        if ctx.shutdown.load(Ordering::Relaxed) {
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    Ok(Ok(false)) => return Ok(()),
+                    Ok(Err(e)) => return Err(e),
+                    Err(_) => {
+                        // a handler bug must not take the server down
+                        let _ =
+                            write_json(&mut writer, 500, "{\"error\":\"internal error\"}", false);
+                        return Ok(());
+                    }
+                }
+            }
+            Err(HttpError::Malformed(m)) => {
+                let _ = write_json(
+                    &mut writer,
+                    400,
+                    &format!("{{\"error\":{}}}", escape_str(&m)),
+                    false,
+                );
+                return Ok(());
+            }
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                let _ = write_json(
+                    &mut writer,
+                    413,
+                    &format!(
+                        "{{\"error\":\"body of {declared} bytes exceeds the {limit}-byte limit\"}}"
+                    ),
+                    false,
+                );
+                // drain (bounded) what the client already sent before
+                // closing: unread bytes at close make the kernel RST the
+                // connection, which can discard the 413 still sitting in
+                // the client's receive buffer
+                let mut remaining = declared.min(16 * 1024 * 1024);
+                let mut sink = [0u8; 16 * 1024];
+                while remaining > 0 {
+                    let want = sink.len().min(remaining as usize);
+                    match std::io::Read::read(&mut reader, &mut sink[..want]) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => remaining -= n as u64,
+                    }
+                }
+                return Ok(());
+            }
+            Err(HttpError::Io(_)) => return Ok(()), // peer went away
+        }
+    }
+}
+
+/// Binds and serves in one call — the `segsim serve` entry point.
+///
+/// # Errors
+///
+/// As [`Server::bind`] and [`Server::run`].
+pub fn serve(config: ServeConfig) -> io::Result<()> {
+    Server::bind(config)?.run()
+}

@@ -38,6 +38,20 @@
 //! journal. When all shards finish, the journals are merged and the
 //! table/`--out`/`--summary` output is **byte-identical** to a
 //! single-process `segsim sweep` run.
+//!
+//! Simulation as a service (the [`seg_serve`] mode):
+//!
+//! ```text
+//! segsim serve [--addr HOST:PORT] [--workers N] [--threads T]
+//!        [--data DIR] [--conn-threads C] [--max-body BYTES]
+//! ```
+//!
+//! A long-lived HTTP service over the same engine: `POST /v1/sweeps`
+//! submits the JSON equivalent of `segsim sweep`'s flags, jobs are
+//! cached by spec fingerprint, `GET /v1/jobs/:id/rows` streams result
+//! rows (byte-identical to `segsim sweep --stream --out`), and a killed
+//! server resumes unfinished jobs from their checkpoint journals on the
+//! next start. See `docs/SERVING.md`.
 
 use self_organized_segregation::prelude::*;
 use self_organized_segregation::seg_analysis::csv::write_csv_file;
@@ -142,6 +156,8 @@ const USAGE: &str = "usage: segsim --side N --horizon W --tau T \
        segsim sweep --side N,.. --horizon W,.. --tau T,.. [--density P,..] \
 [--variant V,..] [--max-events N] [--snapshots DIR] [--summary FILE.csv] <engine flags>\n\
        segsim shard --workers M <sweep flags>\n\
+       segsim serve [--addr HOST:PORT] [--workers N] [--threads T] [--data DIR] \
+[--conn-threads C] [--max-body BYTES]\n\
 \n\
 variants: paper | flip-when-unhappy | noise:EPS | kawasaki | ring-glauber | \
 ring-kawasaki | two-sided:TAU_HI | multi:K\n\
@@ -152,7 +168,12 @@ rerunning without --shard, or use `shard`).\n\
 `shard` runs the whole M-process sweep: it spawns M `sweep --shard i/M` \
 workers sharing the --checkpoint journals (a temp journal is derived when \
 the flag is absent), respawns dead workers, merges, and emits output \
-byte-identical to a single-process `sweep`.";
+byte-identical to a single-process `sweep`.\n\
+`serve` runs the sweep engine as an HTTP service (default 127.0.0.1:8080): \
+POST /v1/sweeps submits the JSON equivalent of `sweep` flags, jobs are \
+cached by spec fingerprint under --data, GET /v1/jobs/ID/rows streams rows \
+byte-identical to `sweep --stream --out`, POST /v1/shutdown drains. \
+See docs/SERVING.md.";
 
 /// Options of the `sweep` subcommand not covered by [`EngineArgs`].
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -176,36 +197,6 @@ where
         .collect()
 }
 
-fn parse_variant(raw: &str) -> Result<Variant, String> {
-    match raw {
-        "paper" => Ok(Variant::Paper),
-        "flip-when-unhappy" => Ok(Variant::FlipWhenUnhappy),
-        "kawasaki" => Ok(Variant::Kawasaki),
-        "ring-glauber" => Ok(Variant::RingGlauber),
-        "ring-kawasaki" => Ok(Variant::RingKawasaki),
-        other => {
-            if let Some(eps) = other.strip_prefix("noise:") {
-                let eps: f64 = eps.parse().map_err(|e| format!("--variant noise: {e}"))?;
-                Ok(Variant::Noise(eps))
-            } else if let Some(hi) = other.strip_prefix("two-sided:") {
-                let tau_hi: f64 = hi
-                    .parse()
-                    .map_err(|e| format!("--variant two-sided: {e}"))?;
-                Ok(Variant::TwoSided { tau_hi })
-            } else if let Some(k) = other.strip_prefix("multi:") {
-                let k: u8 = k.parse().map_err(|e| format!("--variant multi: {e}"))?;
-                Ok(Variant::MultiType { k })
-            } else {
-                Err(format!(
-                    "unknown variant {other} (expected paper, flip-when-unhappy, \
-                     noise:EPS, kawasaki, ring-glauber, ring-kawasaki, \
-                     two-sided:TAU_HI, multi:K)"
-                ))
-            }
-        }
-    }
-}
-
 fn parse_sweep_args(args: &[String]) -> Result<(SweepOptions, EngineArgs), String> {
     let (engine_args, rest) = EngineArgs::parse(args)?;
     let mut o = SweepOptions::default();
@@ -222,7 +213,11 @@ fn parse_sweep_args(args: &[String]) -> Result<(SweepOptions, EngineArgs), Strin
             "--variant" => {
                 o.variants = value("--variant")?
                     .split(',')
-                    .map(|s| parse_variant(s.trim()))
+                    .map(|s| {
+                        s.trim()
+                            .parse::<Variant>()
+                            .map_err(|e| format!("--variant: {e}"))
+                    })
                     .collect::<Result<_, _>>()?
             }
             "--max-events" => {
@@ -381,23 +376,6 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
     write_sinks(&o, &engine_args, &result)
 }
 
-/// The `--variant` spelling that parses back to `v` (the inverse of
-/// [`parse_variant`], used to hand the coordinator's flags to workers).
-fn variant_flag(v: &Variant) -> String {
-    match v {
-        Variant::Paper => "paper".into(),
-        Variant::FlipWhenUnhappy => "flip-when-unhappy".into(),
-        Variant::Noise(eps) => format!("noise:{eps}"),
-        Variant::Kawasaki => "kawasaki".into(),
-        Variant::RingGlauber => "ring-glauber".into(),
-        Variant::RingKawasaki => "ring-kawasaki".into(),
-        Variant::TwoSided { tau_hi } => format!("two-sided:{tau_hi}"),
-        Variant::MultiType { k } => format!("multi:{k}"),
-        // not constructible from the CLI, so never round-tripped
-        Variant::Probe => "probe".into(),
-    }
-}
-
 fn join<T: std::fmt::Display>(xs: &[T]) -> String {
     xs.iter()
         .map(|x| x.to_string())
@@ -425,7 +403,7 @@ fn worker_args(
         a.extend(["--density".into(), join(&o.densities)]);
     }
     if !o.variants.is_empty() {
-        let variants: Vec<String> = o.variants.iter().map(variant_flag).collect();
+        let variants: Vec<String> = o.variants.iter().map(Variant::flag).collect();
         a.extend(["--variant".into(), variants.join(",")]);
     }
     if let Some(budget) = o.max_events {
@@ -529,17 +507,61 @@ fn run_shard(args: &[String]) -> Result<(), String> {
     write_sinks(&o, &engine_args, &result)
 }
 
+/// Parses the `serve` subcommand flags into a [`ServeConfig`] and runs
+/// the service until it is drained via `POST /v1/shutdown`.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?.clone(),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if config.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--threads" => {
+                config.engine_threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--data" => config.data_dir = PathBuf::from(value("--data")?),
+            "--conn-threads" => {
+                config.conn_threads = value("--conn-threads")?
+                    .parse()
+                    .map_err(|e| format!("--conn-threads: {e}"))?;
+                if config.conn_threads == 0 {
+                    return Err("--conn-threads must be at least 1".into());
+                }
+            }
+            "--max-body" => {
+                config.max_body = value("--max-body")?
+                    .parse()
+                    .map_err(|e| format!("--max-body: {e}"))?
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    serve(config).map_err(|e| format!("serve: {e}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(mode @ ("sweep" | "shard")) = args.first().map(String::as_str) {
+    if let Some(mode @ ("sweep" | "shard" | "serve")) = args.first().map(String::as_str) {
         if args[1..].iter().any(|a| a == "--help" || a == "-h") {
             println!("{USAGE}\nengine flags: {ENGINE_USAGE}");
             return ExitCode::SUCCESS;
         }
-        let run = if mode == "sweep" {
-            run_sweep
-        } else {
-            run_shard
+        let run = match mode {
+            "sweep" => run_sweep,
+            "shard" => run_shard,
+            _ => run_serve,
         };
         return match run(&args[1..]) {
             Ok(()) => ExitCode::SUCCESS,
@@ -728,22 +750,6 @@ mod tests {
         assert!(
             parse_sweep_args(&args("--side 64 --horizon 2 --tau 0.4 --variant bogus")).is_err()
         );
-    }
-
-    #[test]
-    fn variant_flags_round_trip_through_the_parser() {
-        for v in [
-            Variant::Paper,
-            Variant::FlipWhenUnhappy,
-            Variant::Noise(0.01),
-            Variant::Kawasaki,
-            Variant::RingGlauber,
-            Variant::RingKawasaki,
-            Variant::TwoSided { tau_hi: 0.875 },
-            Variant::MultiType { k: 4 },
-        ] {
-            assert_eq!(parse_variant(&variant_flag(&v)).unwrap(), v);
-        }
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   [`seg_engine::SweepSpec`]);
 //! - [`seg_shard`] — multi-process sharded sweeps: partition one spec
 //!   across workers/hosts, merge their journals byte-identically (start
-//!   at [`seg_shard::Coordinator`]).
+//!   at [`seg_shard::Coordinator`]);
+//! - [`seg_serve`] — simulation as a service: `segsim serve` accepts
+//!   sweep requests over HTTP, schedules them on the engine with a
+//!   fingerprint-keyed result cache, and streams rows back (start at
+//!   [`seg_serve::ServeConfig`]).
 //!
 //! # Quickstart
 //!
@@ -44,6 +48,7 @@ pub use seg_core;
 pub use seg_engine;
 pub use seg_grid;
 pub use seg_percolation;
+pub use seg_serve;
 pub use seg_shard;
 pub use seg_theory;
 
@@ -63,6 +68,7 @@ pub mod prelude {
     };
     pub use seg_grid::rng::Xoshiro256pp;
     pub use seg_grid::{AgentType, Neighborhood, Point, PrefixSums, Torus, TypeField};
+    pub use seg_serve::{serve, ServeConfig, SweepRequest};
     pub use seg_shard::{Coordinator, ShardPlan};
     pub use seg_theory::constants::{classify, tau1, tau2, Regime};
     pub use seg_theory::exponents::{exponent_a, exponent_b};

@@ -1,0 +1,458 @@
+//! The service guarantees, tested with real `segsim serve` processes
+//! over loopback HTTP: row streams byte-identical to the batch CLI, the
+//! fingerprint cache, journal-backed resume across a `kill -9`, clean
+//! rejection of malformed/oversized requests, and ≥ 8 concurrent
+//! streaming clients without deadlock or row interleaving.
+//!
+//! Server stderr goes to `serve-<tag>.log` under `SERVE_TEST_LOG_DIR`
+//! (or the test temp dir), which CI uploads on failure.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SEGSIM: &str = env!("CARGO_BIN_EXE_segsim");
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("segsim_serve_integration")
+        .join(tag);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn log_path(tag: &str) -> PathBuf {
+    let dir = std::env::var_os("SERVE_TEST_LOG_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("segsim_serve_integration"));
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("serve-{tag}.log"))
+}
+
+/// A running `segsim serve` process bound to an ephemeral port.
+struct ServerProc {
+    child: Child,
+    addr: String,
+    log: PathBuf,
+}
+
+impl ServerProc {
+    /// Starts the server on port 0 and reads the bound address off its
+    /// first stdout line. Stderr appends to the per-tag log so restarts
+    /// of one scenario share a file.
+    fn start(tag: &str, data_dir: &Path, workers: u32) -> ServerProc {
+        let log = log_path(tag);
+        let log_file = fs::File::options()
+            .create(true)
+            .append(true)
+            .open(&log)
+            .unwrap();
+        let mut child = Command::new(SEGSIM)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--workers",
+                &workers.to_string(),
+                "--data",
+                &data_dir.display().to_string(),
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::from(log_file))
+            .spawn()
+            .expect("spawn segsim serve");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let first = lines
+            .next()
+            .expect("server printed nothing")
+            .expect("read server stdout");
+        let addr = first
+            .strip_prefix("serve: listening on http://")
+            .unwrap_or_else(|| panic!("unexpected first line: {first}"))
+            .to_string();
+        ServerProc { child, addr, log }
+    }
+
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Waits (bounded) for the process to exit on its own, returning
+    /// whether it exited successfully.
+    fn wait_exit(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => return status.success(),
+                None if Instant::now() > deadline => return false,
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// A one-shot HTTP exchange (`Connection: close`), returning
+/// `(status, headers, body)` with chunked bodies decoded.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .unwrap();
+    // best-effort: a server rejecting an oversized body responds and
+    // closes without reading it, which makes this write fail with EPIPE
+    let _ = stream.write_all(body.as_bytes());
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head")
+        + 4;
+    let head = String::from_utf8(raw[..head_end].to_vec()).unwrap();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = &raw[head_end..];
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        decode_chunked(payload)
+    } else {
+        payload.to_vec()
+    };
+    (status, head, body)
+}
+
+fn decode_chunked(mut raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = raw
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(
+            std::str::from_utf8(&raw[..line_end]).expect("ascii size"),
+            16,
+        )
+        .expect("hex chunk size");
+        raw = &raw[line_end + 2..];
+        if size == 0 {
+            return out;
+        }
+        out.extend_from_slice(&raw[..size]);
+        assert_eq!(&raw[size..size + 2], b"\r\n", "chunk not CRLF-terminated");
+        raw = &raw[size + 2..];
+    }
+}
+
+/// Pulls `"field":"value"` out of a JSON response without a parser.
+fn json_str_field(body: &[u8], field: &str) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let key = format!("\"{field}\":\"");
+    let start = text.find(&key)? + key.len();
+    let end = text[start..].find('"')? + start;
+    Some(text[start..end].to_string())
+}
+
+fn poll_until_state(addr: &str, id: &str, want: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, _, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
+        assert_eq!(status, 200, "status poll failed");
+        let state = json_str_field(&body, "state").expect("state field");
+        if state == want {
+            return;
+        }
+        assert!(
+            state != "failed",
+            "job failed while waiting for {want}: {}",
+            String::from_utf8_lossy(&body)
+        );
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for state {want} (currently {state})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The request body mirroring `sweep_flags` below.
+const SMALL_BODY: &str = r#"{"side": 24, "horizon": 1, "tau": [0.4, 0.45],
+    "variant": ["paper", "noise:0.02"], "replicas": 2, "seed": 11, "max_events": 400}"#;
+
+fn small_sweep_flags(out: &Path) -> Vec<String> {
+    [
+        "--side",
+        "24",
+        "--horizon",
+        "1",
+        "--tau",
+        "0.4,0.45",
+        "--variant",
+        "paper,noise:0.02",
+        "--replicas",
+        "2",
+        "--seed",
+        "11",
+        "--max-events",
+        "400",
+        "--stream",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain(["--out".to_string(), out.display().to_string()])
+    .collect()
+}
+
+fn run_sweep(flags: &[String]) {
+    let out = Command::new(SEGSIM)
+        .arg("sweep")
+        .args(flags)
+        .output()
+        .expect("spawn segsim sweep");
+    assert!(
+        out.status.success(),
+        "segsim sweep failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn round_trip_streams_cli_identical_rows_and_caches_resubmits() {
+    let dir = tmp_dir("round_trip");
+    let reference = dir.join("ref.jsonl");
+    run_sweep(&small_sweep_flags(&reference));
+    let reference = fs::read(&reference).unwrap();
+
+    let mut server = ServerProc::start("round_trip", &dir.join("data"), 2);
+    let addr = server.addr.clone();
+
+    let (status, _, body) = http(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.starts_with(b"{\"status\":\"ok\""));
+
+    let (status, _, body) = http(&addr, "POST", "/v1/sweeps", SMALL_BODY);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("\"cached\":false"));
+    let id = json_str_field(&body, "id").expect("job id");
+
+    // the row stream follows the live job and ends when it completes —
+    // byte-identical to `segsim sweep --stream --out`
+    let (status, head, rows) = http(&addr, "GET", &format!("/v1/jobs/{id}/rows"), "");
+    assert_eq!(status, 200);
+    assert!(head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked"));
+    assert_eq!(rows, reference, "served rows differ from CLI rows");
+    poll_until_state(&addr, &id, "done", Duration::from_secs(60));
+
+    // resubmitting the identical spec hits the fingerprint cache
+    let (status, _, body) = http(&addr, "POST", "/v1/sweeps", SMALL_BODY);
+    assert_eq!(status, 200);
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("\"cached\":true"), "not cached: {text}");
+    assert!(text.contains("\"state\":\"done\""));
+
+    // ?from=K resumes mid-stream: exactly the suffix after K rows
+    let (_, _, tail) = http(&addr, "GET", &format!("/v1/jobs/{id}/rows?from=2"), "");
+    let suffix: Vec<u8> = reference
+        .split_inclusive(|&b| b == b'\n')
+        .skip(2)
+        .flatten()
+        .copied()
+        .collect();
+    assert_eq!(tail, suffix, "?from=2 is not the 2-row suffix");
+
+    // unknown ids and endpoints are clean 404s
+    assert_eq!(http(&addr, "GET", "/v1/jobs/ffffffffffffffff", "").0, 404);
+    assert_eq!(http(&addr, "GET", "/nope", "").0, 404);
+    assert_eq!(http(&addr, "GET", "/v1/sweeps", "").0, 405);
+
+    // graceful shutdown: drains and exits 0
+    let (status, _, _) = http(&addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(
+        server.wait_exit(Duration::from_secs(30)),
+        "server did not drain after /v1/shutdown"
+    );
+}
+
+#[test]
+fn killed_server_resumes_the_job_from_its_journal() {
+    let dir = tmp_dir("kill_resume");
+    // enough replicas that the job is reliably mid-flight when killed
+    let body = r#"{"side": 32, "horizon": 1, "tau": 0.42, "replicas": 200,
+        "seed": 7, "max_events": 300}"#;
+    let flags: Vec<String> = [
+        "--side",
+        "32",
+        "--horizon",
+        "1",
+        "--tau",
+        "0.42",
+        "--replicas",
+        "200",
+        "--seed",
+        "7",
+        "--max-events",
+        "300",
+        "--stream",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain([
+        "--out".to_string(),
+        dir.join("ref.jsonl").display().to_string(),
+    ])
+    .collect();
+    run_sweep(&flags);
+    let reference = fs::read(dir.join("ref.jsonl")).unwrap();
+
+    let data = dir.join("data");
+    let mut server = ServerProc::start("kill_resume", &data, 1);
+    let (status, _, body_out) = http(&server.addr, "POST", "/v1/sweeps", body);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body_out));
+    let id = json_str_field(&body_out, "id").expect("job id");
+
+    // wait until at least one replica is journaled, then kill -9
+    let ck = data.join("jobs").join(&id).join("ck.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let journaled = fs::read_to_string(&ck)
+            .map(|t| t.lines().count())
+            .unwrap_or(0);
+        if journaled >= 2 {
+            break; // header + at least one record
+        }
+        assert!(Instant::now() < deadline, "no replica journaled in time");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.kill();
+    let journal_lines_at_kill = fs::read_to_string(&ck).unwrap().lines().count();
+    assert!(journal_lines_at_kill >= 2);
+
+    // a fresh process over the same data dir re-enqueues and resumes
+    let server = ServerProc::start("kill_resume", &data, 1);
+    poll_until_state(&server.addr, &id, "done", Duration::from_secs(120));
+    let (_, _, rows) = http(&server.addr, "GET", &format!("/v1/jobs/{id}/rows"), "");
+    assert_eq!(rows, reference, "post-restart rows differ from CLI rows");
+    let log = fs::read_to_string(&server.log).unwrap();
+    assert!(
+        log.contains("resuming from"),
+        "server log shows no checkpoint resume:\n{log}"
+    );
+    assert!(log.contains("recovered"), "no recovery note:\n{log}");
+}
+
+#[test]
+fn malformed_oversized_and_invalid_requests_are_rejected_cleanly() {
+    let dir = tmp_dir("rejects");
+    let server = ServerProc::start("rejects", &dir.join("data"), 1);
+    let addr = &server.addr;
+
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", "this is not json");
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", r#"{"side": 24}"#);
+    assert_eq!(status, 400);
+    assert!(String::from_utf8_lossy(&body).contains("needs side, horizon and tau"));
+    let (status, _, _) = http(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        r#"{"side": 24, "horizon": 1, "tau": 1.5}"#,
+    );
+    assert_eq!(status, 400);
+    let (status, _, _) = http(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        r#"{"side": 24, "horizon": 1, "tau": 0.4, "bogus": true}"#,
+    );
+    assert_eq!(status, 400);
+
+    // an oversized body is refused without reading it
+    let huge = "x".repeat(2 * 1024 * 1024);
+    let (status, _, _) = http(addr, "POST", "/v1/sweeps", &huge);
+    assert_eq!(status, 413);
+
+    // the server is still healthy afterwards
+    let (status, _, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+}
+
+#[test]
+fn eight_concurrent_clients_stream_identical_rows_live() {
+    let dir = tmp_dir("concurrent");
+    let body = r#"{"side": 32, "horizon": 1, "tau": 0.42, "replicas": 60,
+        "seed": 3, "max_events": 300}"#;
+    let flags: Vec<String> = [
+        "--side",
+        "32",
+        "--horizon",
+        "1",
+        "--tau",
+        "0.42",
+        "--replicas",
+        "60",
+        "--seed",
+        "3",
+        "--max-events",
+        "300",
+        "--stream",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain([
+        "--out".to_string(),
+        dir.join("ref.jsonl").display().to_string(),
+    ])
+    .collect();
+    run_sweep(&flags);
+    let reference = fs::read(dir.join("ref.jsonl")).unwrap();
+
+    let server = ServerProc::start("concurrent", &dir.join("data"), 1);
+    let addr = server.addr.clone();
+    let (status, _, out) = http(&addr, "POST", "/v1/sweeps", body);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&out));
+    let id = json_str_field(&out, "id").expect("job id");
+
+    // 8 clients tail the live job concurrently; every stream must end
+    // complete, in order, and byte-identical — no interleaving, no
+    // deadlock
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let id = id.clone();
+            std::thread::spawn(move || http(&addr, "GET", &format!("/v1/jobs/{id}/rows"), ""))
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let (status, _, rows) = h.join().expect("client thread");
+        assert_eq!(status, 200, "client {i}");
+        assert_eq!(rows, reference, "client {i} got different bytes");
+    }
+    poll_until_state(&addr, &id, "done", Duration::from_secs(60));
+}
