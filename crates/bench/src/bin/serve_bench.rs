@@ -1,0 +1,447 @@
+//! Serving throughput baseline: hammers a live `segsim serve` instance
+//! with concurrent clients, writes `BENCH_serve.json`, and optionally
+//! gates against a committed baseline.
+//!
+//! ```text
+//! serve_bench [--quick] [--clients K] [--addr HOST:PORT]
+//!             [--out PATH] [--check BASELINE] [--tolerance F]
+//! ```
+//!
+//! - `--quick` — a smaller workload (CI smoke budget);
+//! - `--clients K` — concurrent client threads (default 6);
+//! - `--addr HOST:PORT` — benchmark an already-running server instead of
+//!   the in-process one this binary spins up on an ephemeral port;
+//! - `--out PATH` — where to write the JSON (default `BENCH_serve.json`);
+//! - `--check BASELINE` — compare each metric against the committed
+//!   baseline JSON and exit non-zero on a regression beyond tolerance.
+//!   Throughput metrics fail below `tolerance × baseline`; latency
+//!   metrics (`*_ms`) are *lower-is-better* and fail above
+//!   `baseline / tolerance` (default 0.5 either way, i.e. only a >2×
+//!   swing fails — machine-to-machine noise passes);
+//! - `--tolerance F` — the regression factor for `--check`.
+//!
+//! The workload has three phases, exercising the three request shapes a
+//! serving deployment mixes:
+//!
+//! 1. **fresh submits** — K clients submit J distinct sweeps and poll
+//!    each to completion → `jobs_per_s` (end-to-end, engine included);
+//! 2. **cache hits** — K clients resubmit the finished specs; every
+//!    request answers from the fingerprint cache → `cache_hit_per_s`
+//!    plus `cache_hit_p50_ms` / `cache_hit_p99_ms` request latency;
+//! 3. **row re-streams** — K clients re-stream every job's NDJSON rows
+//!    → `rows_streamed_per_s`.
+//!
+//! See `docs/PERFORMANCE.md` for how the baseline is tracked across PRs.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Args {
+    quick: bool,
+    clients: Option<usize>,
+    addr: Option<String>,
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        clients: None,
+        addr: None,
+        out: "BENCH_serve.json".to_string(),
+        check: None,
+        tolerance: 0.5,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--clients" => {
+                args.clients = Some(value("--clients").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --clients: {e}");
+                    std::process::exit(2);
+                }))
+            }
+            "--addr" => args.addr = Some(value("--addr")),
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance").parse().unwrap_or_else(|e| {
+                    eprintln!("bad --tolerance: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve_bench [--quick] [--clients K] [--addr HOST:PORT] \
+                     [--out PATH] [--check BASELINE] [--tolerance F]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Workload sizing for one run.
+struct Workload {
+    /// Distinct sweeps submitted and run to completion in phase 1.
+    jobs: usize,
+    /// Cache-hit resubmits in phase 2.
+    resubmits: usize,
+    /// Full row re-streams in phase 3.
+    restreams: usize,
+    /// Concurrent client threads.
+    clients: usize,
+    /// Replicas per sweep (each replica is one NDJSON row).
+    replicas: usize,
+    /// Event budget per replica.
+    max_events: usize,
+}
+
+impl Workload {
+    fn new(quick: bool, clients: Option<usize>) -> Workload {
+        // Quick mode reduces only the *iteration counts*; the per-job
+        // shape (replicas, event budget) and client count are identical
+        // to full mode, so quick rates stay comparable to the committed
+        // full-mode baseline (`--check BENCH_serve.json`). Shrinking the
+        // job shape instead halves rows-per-request amortization and
+        // makes the gate fail spuriously.
+        Workload {
+            jobs: if quick { 12 } else { 24 },
+            resubmits: if quick { 120 } else { 300 },
+            restreams: if quick { 24 } else { 48 },
+            clients: clients.unwrap_or(6),
+            replicas: 8,
+            max_events: 1_000,
+        }
+    }
+
+    /// The request body of job `i` — same shape, distinct seed, so every
+    /// job has a distinct fingerprint but identical cost.
+    fn body(&self, i: usize) -> String {
+        format!(
+            "{{\"side\": 24, \"horizon\": 1, \"tau\": 0.42, \"replicas\": {}, \
+             \"seed\": {}, \"max_events\": {}}}",
+            self.replicas,
+            1000 + i,
+            self.max_events
+        )
+    }
+}
+
+/// A one-shot HTTP exchange (`Connection: close`), returning
+/// `(status, body)` with chunked bodies decoded.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("set read timeout");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write request head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head")
+        + 4;
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let payload = &raw[head_end..];
+    let body = if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        decode_chunked(payload)
+    } else {
+        payload.to_vec()
+    };
+    (status, body)
+}
+
+fn decode_chunked(mut raw: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = raw
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(
+            std::str::from_utf8(&raw[..line_end]).expect("ascii size"),
+            16,
+        )
+        .expect("hex chunk size");
+        raw = &raw[line_end + 2..];
+        if size == 0 {
+            return out;
+        }
+        out.extend_from_slice(&raw[..size]);
+        raw = &raw[size + 2..];
+    }
+}
+
+/// Pulls `"field":"value"` out of a JSON response without a parser.
+fn json_str_field(body: &[u8], field: &str) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let key = format!("\"{field}\":\"");
+    let start = text.find(&key)? + key.len();
+    let end = text[start..].find('"')? + start;
+    Some(text[start..end].to_string())
+}
+
+/// Runs `total` work items across `clients` threads; `work(i)` handles
+/// item `i`. Returns the wall time of the whole fan-out.
+fn fan_out<F>(clients: usize, total: usize, work: F) -> Duration
+where
+    F: Fn(usize) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return;
+                }
+                work(i);
+            });
+        }
+    });
+    started.elapsed()
+}
+
+/// The exact `q`-quantile of a sample set (sorted copy, nearest-rank).
+fn quantile_ms(samples: &[Duration], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "no latency samples");
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args = parse_args();
+    let w = Workload::new(args.quick, args.clients);
+    println!(
+        "serve_bench: {} mode, {} jobs x {} replicas, {} clients",
+        if args.quick { "quick" } else { "full" },
+        w.jobs,
+        w.replicas,
+        w.clients,
+    );
+
+    // an external --addr benchmarks that deployment; otherwise spin up
+    // the server in-process on an ephemeral port and a scratch data dir
+    let mut server_thread = None;
+    let addr = match &args.addr {
+        Some(a) => a.clone(),
+        None => {
+            let data = std::env::temp_dir().join(format!("serve_bench_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&data);
+            let server = seg_serve::Server::bind(seg_serve::ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                data_dir: data,
+                ..Default::default()
+            })
+            .expect("bind benchmark server");
+            let addr = server.local_addr().to_string();
+            server_thread = Some(std::thread::spawn(move || server.run()));
+            addr
+        }
+    };
+    println!("  target: {addr}");
+
+    // phase 1: fresh submits, polled to completion — end-to-end job rate
+    let ids: Mutex<Vec<String>> = Mutex::new(vec![String::new(); w.jobs]);
+    let wall = fan_out(w.clients, w.jobs, |i| {
+        let (status, body) = http(&addr, "POST", "/v1/sweeps", &w.body(i));
+        assert!(
+            status == 202 || status == 200,
+            "submit {i} got {status}: {}",
+            String::from_utf8_lossy(&body)
+        );
+        let id = json_str_field(&body, "id").expect("job id");
+        loop {
+            let (status, body) = http(&addr, "GET", &format!("/v1/jobs/{id}"), "");
+            assert_eq!(status, 200, "status poll failed");
+            match json_str_field(&body, "state")
+                .expect("state field")
+                .as_str()
+            {
+                "done" => break,
+                "failed" => panic!("job {id} failed: {}", String::from_utf8_lossy(&body)),
+                _ => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        ids.lock().expect("ids lock")[i] = id;
+    });
+    let ids = ids.into_inner().expect("ids lock");
+    let jobs_per_s = w.jobs as f64 / wall.as_secs_f64();
+    println!(
+        "  fresh jobs        {:>4} in {:>6.2}s: {jobs_per_s:>8.2} jobs/s",
+        w.jobs,
+        wall.as_secs_f64()
+    );
+
+    // phase 2: resubmits of finished specs — pure cache-hit latency
+    let latencies: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(w.resubmits));
+    let wall = fan_out(w.clients, w.resubmits, |i| {
+        let started = Instant::now();
+        let (status, body) = http(&addr, "POST", "/v1/sweeps", &w.body(i % w.jobs));
+        let elapsed = started.elapsed();
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert!(
+            String::from_utf8_lossy(&body).contains("\"cached\":true"),
+            "resubmit {i} missed the cache"
+        );
+        latencies.lock().expect("latency lock").push(elapsed);
+    });
+    let latencies = latencies.into_inner().expect("latency lock");
+    let cache_hit_per_s = w.resubmits as f64 / wall.as_secs_f64();
+    let p50 = quantile_ms(&latencies, 0.50);
+    let p99 = quantile_ms(&latencies, 0.99);
+    println!(
+        "  cache hits        {:>4} in {:>6.2}s: {cache_hit_per_s:>8.2} req/s, \
+         p50 {p50:.2} ms, p99 {p99:.2} ms",
+        w.resubmits,
+        wall.as_secs_f64()
+    );
+
+    // phase 3: full row re-streams of finished jobs — row throughput
+    let rows = AtomicUsize::new(0);
+    let wall = fan_out(w.clients, w.restreams, |i| {
+        let id = &ids[i % w.jobs];
+        let (status, body) = http(&addr, "GET", &format!("/v1/jobs/{id}/rows"), "");
+        assert_eq!(status, 200, "re-stream {i} failed");
+        let n = body.iter().filter(|&&b| b == b'\n').count();
+        assert_eq!(
+            n, w.replicas,
+            "re-stream {i}: {n} rows, want {}",
+            w.replicas
+        );
+        rows.fetch_add(n, Ordering::Relaxed);
+    });
+    let rows = rows.into_inner();
+    let rows_per_s = rows as f64 / wall.as_secs_f64();
+    println!(
+        "  re-streamed rows {:>5} in {:>6.2}s: {rows_per_s:>8.2} rows/s",
+        rows,
+        wall.as_secs_f64()
+    );
+
+    if let Some(handle) = server_thread {
+        let (status, _) = http(&addr, "POST", "/v1/shutdown", "");
+        assert_eq!(status, 200, "shutdown failed");
+        handle
+            .join()
+            .expect("server thread")
+            .expect("server run failed");
+    }
+
+    let metrics: Vec<(&str, f64)> = vec![
+        ("jobs_per_s", jobs_per_s),
+        ("cache_hit_per_s", cache_hit_per_s),
+        ("cache_hit_p50_ms", p50),
+        ("cache_hit_p99_ms", p99),
+        ("rows_streamed_per_s", rows_per_s),
+    ];
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"bench_serve/v1\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", args.quick));
+    json.push_str(&format!(
+        "  \"params\": {{\"jobs\": {}, \"resubmits\": {}, \"restreams\": {}, \
+         \"clients\": {}, \"replicas\": {}, \"max_events\": {}}},\n",
+        w.jobs, w.resubmits, w.restreams, w.clients, w.replicas, w.max_events
+    ));
+    json.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        json.push_str(&format!("    \"{k}\": {v:.2}{sep}\n"));
+    }
+    json.push_str("  }\n}\n");
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&args.out, &json).expect("write bench JSON");
+    println!("wrote {}", args.out);
+
+    if let Some(baseline_path) = args.check {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let mut failed = false;
+        println!(
+            "checking against {baseline_path} (tolerance {:.2}):",
+            args.tolerance
+        );
+        for (k, v) in &metrics {
+            let Some(base) = extract_metric(&baseline, k) else {
+                println!("  {k}: not in baseline, skipped");
+                continue;
+            };
+            // latency is lower-is-better: the gate inverts for *_ms
+            let (ok, direction) = if k.ends_with("_ms") {
+                (*v <= base / args.tolerance, "ceiling")
+            } else {
+                (*v >= args.tolerance * base, "floor")
+            };
+            println!(
+                "  {k}: {v:.2} vs baseline {base:.2} ({}%, {direction}) {}",
+                (100.0 * v / base).round(),
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            failed |= !ok;
+        }
+        if failed {
+            eprintln!(
+                "serving performance regressed beyond the {:.2} tolerance factor",
+                args.tolerance
+            );
+            std::process::exit(1);
+        }
+        println!("all metrics within tolerance");
+    }
+}
+
+/// Extracts `"key": <number>` from a flat JSON document we wrote
+/// ourselves (no nesting of the same key, numbers unquoted).
+fn extract_metric(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

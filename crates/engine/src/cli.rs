@@ -243,8 +243,8 @@ impl EngineArgs {
             (true, Some(sink)) => {
                 // a streaming CSV needs its metric columns up front; they
                 // are predicted from the spec + observers, which only a
-                // Custom observer defeats (JSONL rows are self-describing
-                // and need no prediction)
+                // Custom observer without declared names defeats (JSONL
+                // rows are self-describing and need no prediction)
                 let columns = match &sink {
                     Sink::Jsonl(_) => Vec::new(),
                     Sink::Csv(path) => crate::sink::expected_metric_columns(spec, observers)
@@ -253,8 +253,9 @@ impl EngineArgs {
                             source: std::io::Error::new(
                                 std::io::ErrorKind::InvalidInput,
                                 "streaming CSV cannot predict the metric columns of a \
-                                 Custom observer; use StreamingSink::csv directly, or a \
-                                 .jsonl --out",
+                                 Custom observer without declared names; use \
+                                 Observer::custom_named, StreamingSink::csv directly, \
+                                 or a .jsonl --out",
                             ),
                         })?,
                 };
@@ -379,6 +380,51 @@ mod tests {
             std::fs::read(&buffered).unwrap(),
             std::fs::read(&streamed).unwrap(),
             "streamed CSV differs from buffered CSV"
+        );
+    }
+
+    #[test]
+    fn streamed_csv_works_with_a_named_custom_observer() {
+        use crate::observe::Observer;
+        use crate::run::Engine;
+        let dir = std::env::temp_dir().join("seg_engine_cli_stream_custom_named");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = SweepSpec::builder()
+            .side(24)
+            .horizon(1)
+            .tau(0.42)
+            .replicas(2)
+            .max_events(500)
+            .master_seed(13)
+            .build();
+        let make_observers = || {
+            [Observer::custom_named(["zeta_score"], |task, _, _| {
+                vec![("zeta_score".into(), task.replica as f64 * 0.5)]
+            })]
+        };
+        let streamed = dir.join("rows.csv");
+        let (a, _) = EngineArgs::parse(&[
+            "--out".to_string(),
+            streamed.to_string_lossy().into_owned(),
+            "--stream".to_string(),
+            "--threads".to_string(),
+            "2".to_string(),
+        ])
+        .unwrap();
+        a.run(&spec, &make_observers()).unwrap();
+        let buffered = dir.join("buffered.csv");
+        let result = Engine::new().threads(1).run(&spec, &make_observers());
+        Sink::Csv(buffered.clone()).write(&result).unwrap();
+        assert_eq!(
+            std::fs::read(&buffered).unwrap(),
+            std::fs::read(&streamed).unwrap(),
+            "streamed CSV differs from buffered CSV"
+        );
+        let header = std::fs::read_to_string(&streamed).unwrap();
+        assert!(
+            header.lines().next().unwrap().contains("zeta_score"),
+            "declared column missing from header"
         );
     }
 

@@ -46,7 +46,17 @@ pub enum Observer {
     },
     /// A caller-supplied measurement. The closure receives a replica-
     /// seeded RNG so randomized estimators stay deterministic per task.
-    Custom(Arc<CustomFn>),
+    ///
+    /// When `names` is set ([`Observer::custom_named`]), the observer
+    /// declares its metric columns up front, which is what lets a
+    /// streaming CSV sink predict its header; the closure may then only
+    /// insert declared names ([`Observer::apply`] rejects others).
+    Custom {
+        /// The measurement closure.
+        f: Arc<CustomFn>,
+        /// Declared metric names, or `None` when unpredictable.
+        names: Option<Arc<[String]>>,
+    },
 }
 
 impl std::fmt::Debug for Observer {
@@ -59,13 +69,19 @@ impl std::fmt::Debug for Observer {
                 .field("dir", dir)
                 .finish(),
             Observer::Snapshot { dir } => f.debug_struct("Snapshot").field("dir", dir).finish(),
-            Observer::Custom(_) => f.write_str("Custom(..)"),
+            Observer::Custom { names, .. } => f
+                .debug_struct("Custom")
+                .field("names", names)
+                .finish_non_exhaustive(),
         }
     }
 }
 
 impl Observer {
-    /// Wraps a closure as a [`Observer::Custom`].
+    /// Wraps a closure as a [`Observer::Custom`] with *undeclared*
+    /// metric names: the sweep still runs and buffers fine, but a
+    /// streaming CSV sink cannot predict its header (use
+    /// [`Observer::custom_named`] for that).
     pub fn custom<F>(f: F) -> Self
     where
         F: Fn(&ReplicaTask, &FinalState, &mut Xoshiro256pp) -> Vec<(String, f64)>
@@ -73,19 +89,53 @@ impl Observer {
             + Sync
             + 'static,
     {
-        Observer::Custom(Arc::new(f))
+        Observer::Custom {
+            f: Arc::new(f),
+            names: None,
+        }
+    }
+
+    /// Wraps a closure as a [`Observer::Custom`] that declares its
+    /// metric names up front, which makes it streamable to CSV
+    /// (`--stream` with a `.csv --out` works because
+    /// [`crate::sink::expected_metric_columns`] can include `names` in
+    /// the predicted header).
+    ///
+    /// The declaration is a contract: [`Observer::apply`] fails with
+    /// [`io::ErrorKind::InvalidData`] if the closure ever returns a
+    /// metric outside `names`, so the streamed header can never silently
+    /// drop a column. Declared-but-unproduced names are allowed (their
+    /// cells render empty), but for byte-identical streamed and buffered
+    /// files each declared name should show up in at least one replica.
+    pub fn custom_named<I, F>(names: I, f: F) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+        F: Fn(&ReplicaTask, &FinalState, &mut Xoshiro256pp) -> Vec<(String, f64)>
+            + Send
+            + Sync
+            + 'static,
+    {
+        Observer::Custom {
+            f: Arc::new(f),
+            names: Some(names.into_iter().map(Into::into).collect()),
+        }
     }
 
     /// The metric names this observer adds to a replica of `variant`, or
-    /// `None` when they cannot be known without running the closure
-    /// ([`Observer::Custom`]). Kept in lockstep with [`Observer::apply`]
-    /// (enforced by a test); used to predict sink columns up front for
-    /// streaming CSV output.
-    pub fn metric_names(&self, variant: &crate::spec::Variant) -> Option<Vec<&'static str>> {
+    /// `None` when they cannot be known without running the closure (a
+    /// [`Observer::Custom`] built with [`Observer::custom`]; one built
+    /// with [`Observer::custom_named`] returns its declaration). Kept in
+    /// lockstep with [`Observer::apply`] (enforced by a test); used to
+    /// predict sink columns up front for streaming CSV output.
+    pub fn metric_names(&self, variant: &crate::spec::Variant) -> Option<Vec<String>> {
         use crate::spec::Variant;
+        fn owned(names: &[&str]) -> Vec<String> {
+            names.iter().map(|s| s.to_string()).collect()
+        }
         match self {
-            Observer::TerminalStats => Some(match variant {
-                Variant::Paper => vec![
+            Observer::TerminalStats => Some(owned(match variant {
+                Variant::Paper => &[
                     "unhappy",
                     "happy_fraction",
                     "interface",
@@ -93,15 +143,15 @@ impl Observer {
                     "plus_fraction",
                 ],
                 Variant::FlipWhenUnhappy | Variant::Noise(_) | Variant::TwoSided { .. } => {
-                    vec!["unhappy", "interface", "largest_cluster", "plus_fraction"]
+                    &["unhappy", "interface", "largest_cluster", "plus_fraction"]
                 }
-                Variant::Kawasaki => vec!["interface", "largest_cluster", "plus_fraction"],
-                Variant::MultiType { .. } => vec!["unhappy", "largest_cluster"],
-                Variant::RingGlauber | Variant::RingKawasaki | Variant::Probe => vec![],
-            }),
+                Variant::Kawasaki => &["interface", "largest_cluster", "plus_fraction"],
+                Variant::MultiType { .. } => &["unhappy", "largest_cluster"],
+                Variant::RingGlauber | Variant::RingKawasaki | Variant::Probe => &[],
+            })),
             // artifact-only observers add no metrics
             Observer::Trace { .. } | Observer::Snapshot { .. } => Some(vec![]),
-            Observer::Custom(_) => None,
+            Observer::Custom { names, .. } => names.as_ref().map(|n| n.to_vec()),
         }
     }
 
@@ -109,7 +159,9 @@ impl Observer {
     ///
     /// # Errors
     ///
-    /// I/O errors from artifact output.
+    /// I/O errors from artifact output, and
+    /// [`io::ErrorKind::InvalidData`] when a [`Observer::custom_named`]
+    /// closure returns a metric outside its declaration.
     pub fn apply(
         &self,
         task: &ReplicaTask,
@@ -181,11 +233,23 @@ impl Observer {
                 }
                 Ok(())
             }
-            Observer::Custom(f) => {
+            Observer::Custom { f, names } => {
                 // salt the replica seed so observer draws never overlap the
                 // dynamics' stream
                 let mut rng = Xoshiro256pp::seed_from_u64(task.seed ^ 0x0B5E_7AE5_u64);
                 for (k, v) in f(task, state, &mut rng) {
+                    if let Some(declared) = names {
+                        if !declared.iter().any(|d| d == &k) {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!(
+                                    "custom observer produced undeclared metric `{k}` \
+                                     (declared: {declared:?}); the declaration is what a \
+                                     streaming CSV header was built from"
+                                ),
+                            ));
+                        }
+                    }
                     metrics.insert(k, v);
                 }
                 Ok(())
@@ -255,7 +319,10 @@ mod tests {
                 .master_seed(7)
                 .build();
             let rec = run_replica(&spec.tasks()[0], &[Observer::TerminalStats]);
-            let mut predicted: Vec<&str> = variant_metric_names(&v);
+            let mut predicted: Vec<String> = variant_metric_names(&v)
+                .into_iter()
+                .map(String::from)
+                .collect();
             predicted.extend(
                 Observer::TerminalStats
                     .metric_names(&v)
@@ -277,5 +344,46 @@ mod tests {
             Observer::Snapshot { dir: "x".into() }.metric_names(&v),
             Some(vec![])
         );
+    }
+
+    #[test]
+    fn named_custom_observers_declare_their_columns() {
+        let o = Observer::custom_named(["alpha", "beta"], |_, _, _| {
+            vec![("alpha".into(), 1.0), ("beta".into(), 2.0)]
+        });
+        assert_eq!(
+            o.metric_names(&Variant::Paper),
+            Some(vec!["alpha".to_string(), "beta".to_string()])
+        );
+        let spec = SweepSpec::builder()
+            .side(16)
+            .horizon(1)
+            .tau(0.42)
+            .max_events(100)
+            .master_seed(3)
+            .build();
+        let rec = run_replica(&spec.tasks()[0], &[o]);
+        assert_eq!(rec.metrics["alpha"], 1.0);
+        assert_eq!(rec.metrics["beta"], 2.0);
+    }
+
+    #[test]
+    fn undeclared_metrics_from_a_named_custom_observer_are_an_error() {
+        let o = Observer::custom_named(["alpha"], |_, _, _| vec![("rogue".into(), 9.0)]);
+        let spec = SweepSpec::builder()
+            .side(16)
+            .horizon(1)
+            .tau(0.42)
+            .max_events(100)
+            .master_seed(3)
+            .build();
+        let task = spec.tasks()[0];
+        let mut metrics = std::collections::BTreeMap::new();
+        // the closure ignores the state, so the unit variant suffices
+        let err = o
+            .apply(&task, &FinalState::Probe, &mut metrics)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("rogue"), "got: {err}");
     }
 }

@@ -107,8 +107,10 @@ const BASE_COLUMNS: [&str; 8] = [
 /// over every point's variant, of the dynamics' own metrics
 /// ([`crate::replica::variant_metric_names`]) and each observer's
 /// ([`crate::observe::Observer::metric_names`]) — without running
-/// anything. `None` when an [`Observer::Custom`](crate::Observer::Custom) makes the set
-/// unknowable up front.
+/// anything. `None` when an [`Observer::Custom`](crate::Observer::Custom)
+/// *without declared names* makes the set unknowable up front (one built
+/// with [`Observer::custom_named`](crate::Observer::custom_named)
+/// contributes its declaration and predicts fine).
 ///
 /// The prediction equals [`SweepResult::metric_names`] of the finished
 /// sweep (both sides are property-tested), which is what lets a
@@ -118,16 +120,18 @@ pub fn expected_metric_columns(
     spec: &SweepSpec,
     observers: &[crate::observe::Observer],
 ) -> Option<Vec<String>> {
-    // the names are &'static and repeat across points, so union into a
-    // set of slices; nothing allocates until the final conversion
-    let mut names: std::collections::BTreeSet<&'static str> = std::collections::BTreeSet::new();
+    let mut names: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
     for point in spec.points() {
-        names.extend(crate::replica::variant_metric_names(&point.variant));
+        names.extend(
+            crate::replica::variant_metric_names(&point.variant)
+                .into_iter()
+                .map(String::from),
+        );
         for o in observers {
             names.extend(o.metric_names(&point.variant)?);
         }
     }
-    Some(names.into_iter().map(String::from).collect())
+    Some(names.into_iter().collect())
 }
 
 fn base_cells(task: &crate::spec::ReplicaTask) -> Vec<String> {

@@ -1,0 +1,48 @@
+//! The observability substrate shared by the engine, the shard
+//! coordinator and the serve front end.
+//!
+//! Two small, std-only pieces:
+//!
+//! - [`mod@metrics`] — a process-wide [`Registry`] of [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`Histogram`]s (p50/p99 readout),
+//!   rendered on demand in the Prometheus text exposition format
+//!   (`GET /metrics` in `segsim serve` is exactly
+//!   [`Registry::render`] of [`metrics()`]);
+//! - [`trace`] — a lock-cheap span/event [`Tracer`] writing into a
+//!   bounded in-memory ring, with optional JSONL export
+//!   (`segsim serve --trace-out FILE`).
+//!
+//! Everything is updated through atomics or a single short-lived mutex,
+//! so instrumenting a hot seam (the engine's per-replica completion
+//! hook, the serve HTTP layer) costs a handful of atomic adds — the
+//! kernel regression gate (`bench_kernel --check`) stays green with the
+//! instrumentation on, which is the overhead budget this crate is held
+//! to.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use seg_obs::{metrics, Histogram};
+//!
+//! let requests = metrics().counter("doc_requests_total", "requests served", &[]);
+//! requests.inc();
+//! let lat = metrics().histogram(
+//!     "doc_request_seconds",
+//!     "request latency",
+//!     &[("endpoint", "/demo")],
+//!     Histogram::LATENCY_BUCKETS,
+//! );
+//! lat.observe(0.004);
+//! let text = metrics().render();
+//! assert!(text.contains("doc_requests_total 1"));
+//! assert!(text.contains("doc_request_seconds_bucket{endpoint=\"/demo\",le=\"0.005\"} 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{metrics, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use trace::{tracer, Span, TraceEvent, Tracer};

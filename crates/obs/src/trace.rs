@@ -1,0 +1,269 @@
+//! A lock-cheap span/event tracer with a bounded in-memory ring.
+//!
+//! Call sites record either instantaneous events ([`Tracer::event`]) or
+//! timed spans ([`Tracer::span`], whose guard records the duration on
+//! drop). Records land in a bounded ring (oldest dropped first) and —
+//! when an output file is attached via [`Tracer::set_output`] — are
+//! also appended as JSONL, one object per line:
+//!
+//! ```text
+//! {"t_us":123456,"kind":"span","name":"serve.request","detail":"/v1/sweeps","dur_us":1834}
+//! {"t_us":125001,"kind":"event","name":"engine.sweep_start","detail":"8 tasks"}
+//! ```
+//!
+//! `t_us` is microseconds since the tracer was created, `dur_us` is the
+//! span duration (absent for events). The ring holds the most recent
+//! [`Tracer::CAPACITY`] records regardless of export.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The process-wide tracer.
+///
+/// Created lazily on first use; `--trace-out` attaches a JSONL sink to
+/// exactly this instance.
+pub fn tracer() -> &'static Tracer {
+    static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+    GLOBAL.get_or_init(Tracer::new)
+}
+
+/// One recorded trace entry (an event, or a completed span).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Microseconds since the tracer was created.
+    pub t_us: u64,
+    /// Static name, dot-namespaced by subsystem (`serve.request`,
+    /// `engine.sweep`, `shard.respawn`).
+    pub name: &'static str,
+    /// Free-form detail (a path, a job id, a count).
+    pub detail: String,
+    /// Span duration in microseconds; `None` for instantaneous events.
+    pub dur_us: Option<u64>,
+}
+
+impl TraceEvent {
+    /// The JSONL line for this record (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let kind = if self.dur_us.is_some() {
+            "span"
+        } else {
+            "event"
+        };
+        let mut s = format!(
+            "{{\"t_us\":{},\"kind\":\"{kind}\",\"name\":\"{}\",\"detail\":\"{}\"",
+            self.t_us,
+            self.name,
+            escape(&self.detail)
+        );
+        if let Some(d) = self.dur_us {
+            s.push_str(&format!(",\"dur_us\":{d}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Inner {
+    ring: VecDeque<TraceEvent>,
+    out: Option<BufWriter<File>>,
+}
+
+/// A bounded-ring span/event recorder.
+///
+/// One short-lived mutex guards the ring and the optional JSONL sink;
+/// recording is a push + (when attached) a buffered write, so tracing a
+/// request path costs microseconds.
+pub struct Tracer {
+    started: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// How many records the in-memory ring retains.
+    pub const CAPACITY: usize = 4096;
+
+    /// A fresh tracer with an empty ring and no output file.
+    pub fn new() -> Self {
+        Tracer {
+            started: Instant::now(),
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(64),
+                out: None,
+            }),
+        }
+    }
+
+    /// Attaches a JSONL output file; every subsequent record is
+    /// appended to it (the ring keeps working regardless).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error when the file cannot be created.
+    pub fn set_output(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        self.inner.lock().unwrap().out = Some(BufWriter::new(file));
+        Ok(())
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&self, name: &'static str, detail: impl Into<String>) {
+        self.record(TraceEvent {
+            t_us: self.started.elapsed().as_micros() as u64,
+            name,
+            detail: detail.into(),
+            dur_us: None,
+        });
+    }
+
+    /// Starts a timed span; the returned guard records it on drop.
+    pub fn span(&self, name: &'static str, detail: impl Into<String>) -> Span<'_> {
+        Span {
+            tracer: self,
+            name,
+            detail: detail.into(),
+            begun: Instant::now(),
+        }
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(out) = inner.out.as_mut() {
+            let _ = writeln!(out, "{}", ev.to_json());
+            let _ = out.flush();
+        }
+        if inner.ring.len() == Self::CAPACITY {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(ev);
+    }
+
+    /// The current ring contents, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().ring.iter().cloned().collect()
+    }
+
+    /// How many records the ring currently holds.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().ring.len()
+    }
+
+    /// Whether nothing has been recorded (or everything has been
+    /// evicted — the ring is bounded).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Guard for a timed span; records the span on drop.
+///
+/// Returned by [`Tracer::span`]; just let it fall out of scope at the
+/// end of the timed region.
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    detail: String,
+    begun: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.tracer.record(TraceEvent {
+            t_us: self.tracer.started.elapsed().as_micros() as u64,
+            name: self.name,
+            detail: std::mem::take(&mut self.detail),
+            dur_us: Some(self.begun.elapsed().as_micros() as u64),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_and_spans_land_in_the_ring() {
+        let t = Tracer::new();
+        t.event("test.event", "hello");
+        {
+            let _s = t.span("test.span", "work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "test.event");
+        assert_eq!(snap[0].dur_us, None);
+        assert_eq!(snap[1].name, "test.span");
+        assert!(
+            snap[1].dur_us.unwrap() >= 1_000,
+            "span too short: {:?}",
+            snap[1]
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let t = Tracer::new();
+        for i in 0..(Tracer::CAPACITY + 10) {
+            t.event("test.flood", format!("{i}"));
+        }
+        assert_eq!(t.len(), Tracer::CAPACITY);
+        let snap = t.snapshot();
+        // Oldest 10 evicted: the first surviving record is #10.
+        assert_eq!(snap[0].detail, "10");
+    }
+
+    #[test]
+    fn jsonl_export_writes_one_object_per_line() {
+        let dir = std::env::temp_dir().join(format!("seg_obs_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let t = Tracer::new();
+        t.set_output(&path).unwrap();
+        t.event("test.a", "x\"y");
+        {
+            let _s = t.span("test.b", "z");
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"event\""));
+        assert!(lines[0].contains("\"detail\":\"x\\\"y\""));
+        assert!(lines[1].contains("\"kind\":\"span\""));
+        assert!(lines[1].contains("\"dur_us\":"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_tracer_reports_empty() {
+        let t = Tracer::new();
+        assert!(t.is_empty());
+        t.event("test.one", "");
+        assert!(!t.is_empty());
+    }
+}

@@ -4,10 +4,18 @@
 //! | endpoint | verb | what it does |
 //! |---|---|---|
 //! | `/healthz` | GET | liveness + per-state job counts |
+//! | `/metrics` | GET | Prometheus text exposition of the process-wide [`seg_obs`] registry |
+//! | `/dashboard` | GET | self-contained HTML status page with per-job throughput charts |
 //! | `/v1/sweeps` | POST | submit a sweep (JSON body); dedup by spec fingerprint |
-//! | `/v1/jobs/:id` | GET | status, progress, live replicas/s |
+//! | `/v1/jobs/:id` | GET | status, progress, live replicas/s, queue/cache figures |
 //! | `/v1/jobs/:id/rows` | GET | NDJSON result rows, chunked, in task order; `?from=K` skips the first K rows |
 //! | `/v1/shutdown` | POST | graceful drain: stop accepting, journal in-flight work, exit |
+//!
+//! Every request is counted into
+//! `serve_http_requests_total{endpoint,method,status}` and timed into
+//! the `serve_http_request_seconds{endpoint}` histogram; the endpoint
+//! label is the route *pattern* (`/v1/jobs/:id`), never the raw path, so
+//! the label space stays bounded no matter what clients request.
 //!
 //! The row stream serves the bytes of the job's streaming-sink file
 //! verbatim, so a finished job's stream is byte-identical to
@@ -16,7 +24,7 @@
 //! finish, and the stream terminates when the job completes (or fails —
 //! check the status endpoint when a stream ends short).
 
-use crate::http::{write_json, ChunkedBody, Request};
+use crate::http::{write_json, write_response, ChunkedBody, Request};
 use crate::jobs::{Job, JobManager, JobState, SubmitOutcome, SweepRequest};
 use crate::json::{escape_str, Json};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -45,17 +53,77 @@ fn error_body(msg: &str) -> String {
     format!("{{\"error\":{}}}", escape_str(msg))
 }
 
+/// The route *pattern* a path matches — the bounded-cardinality
+/// `endpoint` label of the request metrics.
+fn endpoint_label(segments: &[&str]) -> &'static str {
+    match segments {
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["dashboard"] => "/dashboard",
+        ["v1", "sweeps"] => "/v1/sweeps",
+        ["v1", "jobs", _] => "/v1/jobs/:id",
+        ["v1", "jobs", _, "rows"] => "/v1/jobs/:id/rows",
+        ["v1", "shutdown"] => "/v1/shutdown",
+        _ => "other",
+    }
+}
+
 /// Handles one request, writing the full response to `out`. Returns
 /// whether the connection may be kept alive.
+///
+/// Each call records one sample into the request counter and the
+/// per-endpoint latency histogram, and one `serve.request` span into
+/// the tracer.
 ///
 /// # Errors
 ///
 /// Only socket-level failures; application-level problems become 4xx/5xx
 /// responses.
 pub fn handle<W: Write>(req: &Request, out: &mut W, ctx: &ApiContext) -> io::Result<bool> {
-    let keep = req.keep_alive;
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
+    let endpoint = endpoint_label(&segments);
+    let started = Instant::now();
+    let _span = seg_obs::tracer().span("serve.request", format!("{} {}", req.method, req.path));
+    let status = std::cell::Cell::new(0u16);
+    let result = route(req, &segments, out, ctx, &status);
+    let m = seg_obs::metrics();
+    m.counter(
+        "serve_http_requests_total",
+        "HTTP requests handled, by route pattern, method and status",
+        &[
+            ("endpoint", endpoint),
+            ("method", &req.method),
+            ("status", &status.get().to_string()),
+        ],
+    )
+    .inc();
+    m.histogram(
+        "serve_http_request_seconds",
+        "request handling latency, by route pattern",
+        &[("endpoint", endpoint)],
+        seg_obs::Histogram::LATENCY_BUCKETS,
+    )
+    .observe_duration(started.elapsed());
+    result
+}
+
+/// The routing match itself; records the response status it committed
+/// into `status` (streaming responses report the status of their head).
+fn route<W: Write>(
+    req: &Request,
+    segments: &[&str],
+    out: &mut W,
+    ctx: &ApiContext,
+    status: &std::cell::Cell<u16>,
+) -> io::Result<bool> {
+    let keep = req.keep_alive;
+    // shadows the imported writer so every existing arm records its
+    // status as a side effect of responding
+    let write_json = |out: &mut W, code: u16, body: &str, keep: bool| {
+        status.set(code);
+        write_json(out, code, body, keep)
+    };
+    match (req.method.as_str(), segments) {
         ("GET", ["healthz"]) => {
             let counts = ctx.manager.counts();
             let jobs: Vec<String> = counts
@@ -68,6 +136,24 @@ pub fn handle<W: Write>(req: &Request, out: &mut W, ctx: &ApiContext) -> io::Res
                 jobs.join(",")
             );
             write_json(out, 200, &body, keep)?;
+            Ok(keep)
+        }
+        ("GET", ["metrics"]) => {
+            status.set(200);
+            let body = seg_obs::metrics().render();
+            write_response(
+                out,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                body.as_bytes(),
+                keep,
+            )?;
+            Ok(keep)
+        }
+        ("GET", ["dashboard"]) => {
+            status.set(200);
+            let body = crate::dashboard::render(ctx);
+            write_response(out, 200, "text/html; charset=utf-8", body.as_bytes(), keep)?;
             Ok(keep)
         }
         ("POST", ["v1", "sweeps"]) => {
@@ -102,7 +188,8 @@ pub fn handle<W: Write>(req: &Request, out: &mut W, ctx: &ApiContext) -> io::Res
         }
         ("GET", ["v1", "jobs", id]) => match ctx.manager.get(id) {
             Some(job) => {
-                write_json(out, 200, &job.status_json(None), keep)?;
+                let body = job.status_json_with_scheduling(None, &ctx.manager.scheduling());
+                write_json(out, 200, &body, keep)?;
                 Ok(keep)
             }
             None => {
@@ -130,6 +217,7 @@ pub fn handle<W: Write>(req: &Request, out: &mut W, ctx: &ApiContext) -> io::Res
                     return Ok(keep);
                 }
             };
+            status.set(200);
             stream_rows(&job, from, out, keep, &ctx.shutdown)?;
             Ok(keep)
         }
@@ -142,6 +230,8 @@ pub fn handle<W: Write>(req: &Request, out: &mut W, ctx: &ApiContext) -> io::Res
             Ok(false)
         }
         (_, ["healthz"])
+        | (_, ["metrics"])
+        | (_, ["dashboard"])
         | (_, ["v1", "sweeps"])
         | (_, ["v1", "shutdown"])
         | (_, ["v1", "jobs", ..]) => {
@@ -184,6 +274,11 @@ fn stream_rows<W: Write>(
 ) -> io::Result<()> {
     let total = job.spec.task_count();
     let path = job.rows_path();
+    let rows_streamed = seg_obs::metrics().counter(
+        "serve_rows_streamed_total",
+        "result rows sent to row-stream clients",
+        &[],
+    );
     let mut body = ChunkedBody::start(out, 200, "application/x-ndjson", keep_alive)?;
     let mut offset = 0u64;
     let mut seen = 0usize; // complete rows observed in the file
@@ -203,6 +298,7 @@ fn stream_rows<W: Write>(
                 + 1;
             if seen >= from {
                 body.chunk(&bytes[cursor..end])?;
+                rows_streamed.inc();
             }
             seen += 1;
             cursor = end;

@@ -1,0 +1,143 @@
+//! `GET /dashboard` — a self-contained HTML status page.
+//!
+//! One request, one document: no JavaScript, no external assets. The
+//! page lists every job with its state and progress, and embeds one
+//! [`seg_analysis::svg::LineChart`] per job that has progress history —
+//! replicas/s and events/s over wall-clock time, sampled from the same
+//! [`Engine::on_progress`](seg_engine::Engine::on_progress) stream that
+//! feeds the `/v1/jobs/:id` progress document. Refreshing the page is
+//! the update mechanism (a `<meta http-equiv="refresh">` does it every
+//! two seconds).
+
+use crate::api::ApiContext;
+use crate::jobs::JobState;
+use seg_analysis::svg::{LineChart, Series};
+use std::fmt::Write as _;
+
+/// Escapes text for an HTML context.
+fn escape_html(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the dashboard document for the server's current state.
+pub fn render(ctx: &ApiContext) -> String {
+    let counts = ctx.manager.counts();
+    let sched = ctx.manager.scheduling();
+    let mut page = String::with_capacity(16 * 1024);
+    page.push_str(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <meta http-equiv=\"refresh\" content=\"2\">\n<title>segsim serve</title>\n\
+         <style>\n\
+         body { font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a2e; }\n\
+         h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }\n\
+         table { border-collapse: collapse; } td, th { padding: 0.25rem 0.9rem; \
+         border-bottom: 1px solid #ddd; text-align: left; font-variant-numeric: tabular-nums; }\n\
+         .charts svg { max-width: 100%; height: auto; }\n\
+         .state-done { color: #2ca02c; } .state-failed { color: #d62728; }\n\
+         .state-running { color: #1f77b4; } .state-queued { color: #888; }\n\
+         </style>\n</head>\n<body>\n",
+    );
+    let _ = write!(
+        page,
+        "<h1>segsim serve &mdash; {}</h1>\n<p>up {:.0}s &middot; queue depth {} &middot; \
+         active jobs {} &middot; cache {} hit / {} miss</p>\n",
+        ctx.local_addr,
+        ctx.started.elapsed().as_secs_f64(),
+        sched.queue_depth,
+        sched.active_jobs,
+        sched.cache_hits,
+        sched.cache_misses,
+    );
+    let summary: Vec<String> = counts.iter().map(|(k, v)| format!("{v} {k}")).collect();
+    let _ = writeln!(page, "<p>jobs: {}</p>", summary.join(", "));
+
+    let jobs = ctx.manager.jobs_snapshot();
+    if jobs.is_empty() {
+        page.push_str("<p><em>No jobs yet. POST a sweep to /v1/sweeps.</em></p>\n");
+    }
+    page.push_str(
+        "<table>\n<tr><th>job</th><th>state</th><th>progress</th>\
+         <th>replicas/s</th><th>events/s</th></tr>\n",
+    );
+    for job in &jobs {
+        let state = job.state();
+        let p = job.progress();
+        let _ = writeln!(
+            page,
+            "<tr><td><code>{}</code></td><td class=\"state-{}\">{}</td>\
+             <td>{}/{}</td><td>{:.1}</td><td>{:.2e}</td></tr>",
+            escape_html(&job.id),
+            state.label(),
+            match &state {
+                JobState::Failed(e) => escape_html(&format!("failed: {e}")),
+                s => s.label().to_string(),
+            },
+            p.done,
+            p.total,
+            p.replicas_per_sec,
+            p.events_per_sec,
+        );
+    }
+    page.push_str("</table>\n<div class=\"charts\">\n");
+
+    for job in &jobs {
+        let history = job.history();
+        if history.is_empty() {
+            continue; // nothing to plot yet — the row above still shows it
+        }
+        let replicas: Vec<(f64, f64)> = history
+            .iter()
+            .map(|s| (s.wall_secs, s.replicas_per_sec))
+            .collect();
+        let events: Vec<(f64, f64)> = history
+            .iter()
+            .map(|s| (s.wall_secs, s.events_per_sec))
+            .collect();
+        let _ = writeln!(
+            page,
+            "<h2>job <code>{}</code> &mdash; throughput</h2>",
+            escape_html(&job.id)
+        );
+        let mut replicas_chart = LineChart::new(
+            format!("job {} replicas/s", job.id),
+            "wall-clock s",
+            "replicas/s",
+        );
+        replicas_chart.series(Series::new("replicas/s", replicas, 0));
+        page.push_str(&replicas_chart.render());
+        page.push('\n');
+        let mut events_chart = LineChart::new(
+            format!("job {} events/s", job.id),
+            "wall-clock s",
+            "events/s",
+        );
+        events_chart.series(Series::new("events/s", events, 1));
+        page.push_str(&events_chart.render());
+        page.push('\n');
+    }
+    page.push_str("</div>\n</body>\n</html>\n");
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn html_escaping_covers_the_special_characters() {
+        assert_eq!(
+            escape_html(r#"<b>&"x"</b>"#),
+            "&lt;b&gt;&amp;&quot;x&quot;&lt;/b&gt;"
+        );
+    }
+}

@@ -39,6 +39,8 @@ use std::sync::{Arc, Condvar, Mutex};
 pub const MAX_SIDE: u32 = 4096;
 /// Maximum points × replicas of one request.
 pub const MAX_TASKS: usize = 1_000_000;
+/// Progress samples each job retains for the dashboard sparklines.
+pub const HISTORY_CAP: usize = 240;
 
 /// A validated, normalized sweep request — the JSON-body counterpart of
 /// `segsim sweep`'s flags, mapping onto the identical [`SweepSpec`] (so
@@ -328,6 +330,7 @@ pub struct Job {
     pub dir: PathBuf,
     state: Mutex<JobState>,
     progress: Mutex<SweepProgress>,
+    history: Mutex<VecDeque<SweepProgress>>,
 }
 
 impl Job {
@@ -344,6 +347,26 @@ impl Job {
     /// The path row streams read from.
     pub fn rows_path(&self) -> PathBuf {
         self.dir.join("rows.jsonl")
+    }
+
+    /// The retained progress samples, oldest first (bounded at
+    /// [`HISTORY_CAP`] — long sweeps keep their most recent window).
+    /// This is what `GET /dashboard` plots.
+    pub fn history(&self) -> Vec<SweepProgress> {
+        self.history
+            .lock()
+            .expect("job history poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    fn push_history(&self, p: SweepProgress) {
+        let mut h = self.history.lock().expect("job history poisoned");
+        if h.len() == HISTORY_CAP {
+            h.pop_front();
+        }
+        h.push_back(p);
     }
 
     /// The status document `GET /v1/jobs/:id` returns. `cached` is set
@@ -377,6 +400,40 @@ impl Job {
         ));
         s
     }
+
+    /// [`Job::status_json`] extended with the manager's scheduling
+    /// figures — queue depth, concurrently running jobs, and the
+    /// fingerprint cache's hit/miss counters — so clients can make
+    /// scheduling decisions from the status response alone instead of
+    /// scraping `/metrics`.
+    pub fn status_json_with_scheduling(
+        &self,
+        cached: Option<bool>,
+        s: &SchedulingSnapshot,
+    ) -> String {
+        let mut doc = self.status_json(cached);
+        debug_assert!(doc.ends_with('}'));
+        doc.pop();
+        doc.push_str(&format!(
+            ",\"queue_depth\":{},\"active_jobs\":{},\"cache\":{{\"hit\":{},\"miss\":{}}}}}",
+            s.queue_depth, s.active_jobs, s.cache_hits, s.cache_misses
+        ));
+        doc
+    }
+}
+
+/// A point-in-time copy of the manager's scheduling figures, read from
+/// the [`seg_obs`] registry (the same numbers `GET /metrics` exports).
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulingSnapshot {
+    /// Jobs waiting for a worker.
+    pub queue_depth: u64,
+    /// Jobs a worker is currently running.
+    pub active_jobs: u64,
+    /// Submissions answered from the fingerprint cache.
+    pub cache_hits: u64,
+    /// Submissions that created a fresh job.
+    pub cache_misses: u64,
 }
 
 /// What [`JobManager::submit`] found.
@@ -402,6 +459,46 @@ pub struct JobManager {
     jobs: Mutex<BTreeMap<String, Arc<Job>>>,
     queue: Mutex<VecDeque<Arc<Job>>>,
     cvar: Condvar,
+    obs: ManagerMetrics,
+}
+
+/// The manager's handles into the process-wide [`seg_obs`] registry.
+#[derive(Debug)]
+struct ManagerMetrics {
+    queue_depth: Arc<seg_obs::Gauge>,
+    active_jobs: Arc<seg_obs::Gauge>,
+    cache_hits: Arc<seg_obs::Counter>,
+    cache_misses: Arc<seg_obs::Counter>,
+    cache_inflight: Arc<seg_obs::Counter>,
+}
+
+impl ManagerMetrics {
+    fn register() -> Self {
+        let m = seg_obs::metrics();
+        ManagerMetrics {
+            queue_depth: m.gauge("serve_queue_depth", "jobs waiting for a job worker", &[]),
+            active_jobs: m.gauge(
+                "serve_active_jobs",
+                "jobs currently running on a worker",
+                &[],
+            ),
+            cache_hits: m.counter(
+                "serve_cache_hits_total",
+                "submissions answered from the fingerprint cache",
+                &[],
+            ),
+            cache_misses: m.counter(
+                "serve_cache_misses_total",
+                "submissions that created a fresh job",
+                &[],
+            ),
+            cache_inflight: m.counter(
+                "serve_cache_inflight_total",
+                "submissions that joined an already queued or running job",
+                &[],
+            ),
+        }
+    }
 }
 
 impl JobManager {
@@ -420,7 +517,21 @@ impl JobManager {
             jobs: Mutex::new(BTreeMap::new()),
             queue: Mutex::new(VecDeque::new()),
             cvar: Condvar::new(),
+            obs: ManagerMetrics::register(),
         })
+    }
+
+    /// The scheduling figures the status endpoint embeds — queue depth
+    /// and active jobs from the gauges, cache traffic from the counters.
+    /// Counters are process-wide and cumulative (a second manager in the
+    /// same process shares them).
+    pub fn scheduling(&self) -> SchedulingSnapshot {
+        SchedulingSnapshot {
+            queue_depth: self.obs.queue_depth.get().max(0.0) as u64,
+            active_jobs: self.obs.active_jobs.get().max(0.0) as u64,
+            cache_hits: self.obs.cache_hits.get(),
+            cache_misses: self.obs.cache_misses.get(),
+        }
     }
 
     /// The flag the server's drain sets; jobs pass it to
@@ -487,6 +598,7 @@ impl JobManager {
                     replicas_per_sec: 0.0,
                     events_per_sec: 0.0,
                 }),
+                history: Mutex::new(VecDeque::new()),
             });
             self.jobs
                 .lock()
@@ -517,17 +629,25 @@ impl JobManager {
         let mut jobs = self.jobs.lock().expect("jobs poisoned");
         if let Some(job) = jobs.get(&id) {
             let outcome = match job.state() {
-                JobState::Done => SubmitOutcome::Cached,
+                JobState::Done => {
+                    self.obs.cache_hits.inc();
+                    SubmitOutcome::Cached
+                }
                 // a failed job is retried on resubmit: back into the queue
                 JobState::Failed(_) => {
                     *job.state.lock().expect("job state poisoned") = JobState::Queued;
                     self.enqueue(job.clone());
+                    self.obs.cache_misses.inc();
                     SubmitOutcome::Fresh
                 }
-                _ => SubmitOutcome::InFlight,
+                _ => {
+                    self.obs.cache_inflight.inc();
+                    SubmitOutcome::InFlight
+                }
             };
             return Ok((job.clone(), outcome));
         }
+        self.obs.cache_misses.inc();
         let dir = self.data_dir.join("jobs").join(&id);
         std::fs::create_dir_all(&dir)?;
         std::fs::write(dir.join("request.json"), request.to_json())?;
@@ -546,6 +666,7 @@ impl JobManager {
                 replicas_per_sec: 0.0,
                 events_per_sec: 0.0,
             }),
+            history: Mutex::new(VecDeque::new()),
         });
         jobs.insert(id, job.clone());
         drop(jobs);
@@ -554,13 +675,26 @@ impl JobManager {
     }
 
     fn enqueue(&self, job: Arc<Job>) {
-        self.queue.lock().expect("queue poisoned").push_back(job);
+        let mut q = self.queue.lock().expect("queue poisoned");
+        q.push_back(job);
+        self.obs.queue_depth.set(q.len() as f64);
+        drop(q);
         self.cvar.notify_one();
     }
 
     /// Looks a job up by id.
     pub fn get(&self, id: &str) -> Option<Arc<Job>> {
         self.jobs.lock().expect("jobs poisoned").get(id).cloned()
+    }
+
+    /// Every registered job, ordered by id — the dashboard's job list.
+    pub fn jobs_snapshot(&self) -> Vec<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("jobs poisoned")
+            .values()
+            .cloned()
+            .collect()
     }
 
     /// Per-state job counts, for `/healthz`.
@@ -591,6 +725,7 @@ impl JobManager {
                         return;
                     }
                     if let Some(job) = q.pop_front() {
+                        self.obs.queue_depth.set(q.len() as f64);
                         break job;
                     }
                     q = self.cvar.wait(q).expect("queue poisoned");
@@ -607,7 +742,10 @@ impl JobManager {
             job.id,
             job.spec.task_count()
         );
+        self.obs.active_jobs.inc();
+        let _span = seg_obs::tracer().span("serve.job", job.id.clone());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(job)));
+        self.obs.active_jobs.dec();
         let state = match outcome {
             Ok(Ok(true)) => JobState::Done,
             // drained mid-run: the journal holds what finished; the next
@@ -644,6 +782,7 @@ impl JobManager {
             .progress(true)
             .on_progress(move |p| {
                 *progress_job.progress.lock().expect("job progress poisoned") = p;
+                progress_job.push_history(p);
             })
             .cancel_flag(self.drain.clone());
         let result = engine

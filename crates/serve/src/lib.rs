@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod dashboard;
 pub mod http;
 pub mod jobs;
 pub mod json;
@@ -49,6 +50,6 @@ pub mod server;
 
 pub use api::ApiContext;
 pub use http::{ChunkedBody, HttpError, Request};
-pub use jobs::{Job, JobManager, JobState, SubmitOutcome, SweepRequest};
+pub use jobs::{Job, JobManager, JobState, SchedulingSnapshot, SubmitOutcome, SweepRequest};
 pub use json::Json;
 pub use server::{serve, ServeConfig, Server};

@@ -48,6 +48,9 @@ pub struct ServeConfig {
     pub conn_threads: usize,
     /// Request-body cap in bytes; larger submissions get 413.
     pub max_body: usize,
+    /// Attach the process-wide [`seg_obs`] tracer to this JSONL file
+    /// (`--trace-out`); `None` keeps tracing in-memory only.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +62,7 @@ impl Default for ServeConfig {
             data_dir: PathBuf::from("segsim-serve"),
             conn_threads: 16,
             max_body: 1024 * 1024,
+            trace_out: None,
         }
     }
 }
@@ -87,6 +91,10 @@ impl Server {
     ///
     /// Any I/O error from binding or from the data directory.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        if let Some(path) = &config.trace_out {
+            seg_obs::tracer().set_output(path)?;
+            eprintln!("serve: tracing to {}", path.display());
+        }
         let workers = config.workers.max(1);
         let engine_threads = if config.engine_threads == 0 {
             (default_threads() / workers as usize).max(1)
@@ -212,12 +220,20 @@ impl Server {
 }
 
 fn connection_worker(rx: &Mutex<Receiver<TcpStream>>, ctx: &ApiContext, max_body: usize) {
+    let active = seg_obs::metrics().gauge(
+        "serve_active_connections",
+        "connections currently held by a handler",
+        &[],
+    );
     loop {
         let stream = match rx.lock().expect("connection queue poisoned").recv() {
             Ok(s) => s,
             Err(_) => return, // accept loop hung up and the queue is empty
         };
-        if let Err(e) = handle_connection(stream, ctx, max_body) {
+        active.inc();
+        let outcome = handle_connection(stream, ctx, max_body);
+        active.dec();
+        if let Err(e) = outcome {
             eprintln!("serve: connection error: {e}");
         }
     }

@@ -188,6 +188,27 @@ impl Coordinator {
     /// error; the journals keep everything completed so far.
     pub fn run(&self) -> Result<CoordinatorReport, ShardError> {
         let started = Instant::now();
+        let m = seg_obs::metrics();
+        let workers_running = m.gauge(
+            "shard_workers_running",
+            "worker processes currently alive under this coordinator",
+            &[],
+        );
+        let respawn_counter = m.counter(
+            "shard_worker_respawns_total",
+            "worker processes respawned after dying",
+            &[],
+        );
+        let heartbeats: Vec<_> = (0..self.workers)
+            .map(|i| {
+                m.gauge(
+                    "shard_worker_heartbeat_seconds",
+                    "seconds since the coordinator last observed this worker alive",
+                    &[("shard", &i.to_string())],
+                )
+            })
+            .collect();
+        let mut last_seen = vec![Instant::now(); self.workers as usize];
         let mut restarts = vec![0u32; self.workers as usize];
         let mut running: Vec<(ShardIndex, Child)> = Vec::new();
         let kill_all = |running: &mut Vec<(ShardIndex, Child)>| {
@@ -207,12 +228,19 @@ impl Coordinator {
             }
         }
         while !running.is_empty() {
+            workers_running.set(running.len() as f64);
+            for (slot, seen) in last_seen.iter().enumerate() {
+                heartbeats[slot].set(seen.elapsed().as_secs_f64());
+            }
             let mut i = 0;
             while i < running.len() {
                 let (shard, child) = &mut running[i];
                 let shard = *shard;
                 match child.try_wait() {
-                    Ok(None) => i += 1,
+                    Ok(None) => {
+                        last_seen[shard.index as usize] = Instant::now();
+                        i += 1;
+                    }
                     Ok(Some(status)) if status.success() => {
                         running.swap_remove(i);
                     }
@@ -220,6 +248,8 @@ impl Coordinator {
                         let slot = shard.index as usize;
                         if restarts[slot] < self.max_restarts {
                             restarts[slot] += 1;
+                            respawn_counter.inc();
+                            seg_obs::tracer().event("shard.respawn", format!("shard {shard}"));
                             eprintln!(
                                 "shard {shard}: worker died ({status}); respawning \
                                  (attempt {}/{}) — journaled replicas are kept",
@@ -254,6 +284,7 @@ impl Coordinator {
             }
             std::thread::sleep(self.poll);
         }
+        workers_running.set(0.0);
         Ok(CoordinatorReport {
             wall_secs: started.elapsed().as_secs_f64(),
             restarts,

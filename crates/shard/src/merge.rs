@@ -35,11 +35,25 @@ impl MergeStatus {
 pub fn merge_status(spec: &SweepSpec, base: &Path) -> Result<MergeStatus, CheckpointError> {
     let shard_journals = find_shard_journals(base)?;
     let completed = Checkpoint::peek(base, spec)?;
-    Ok(MergeStatus {
+    let status = MergeStatus {
         total: completed.len(),
         completed: completed.iter().flatten().count(),
         shard_journals,
-    })
+    };
+    let m = seg_obs::metrics();
+    m.gauge(
+        "shard_merge_completed_tasks",
+        "tasks covered by some journal at the last merge-status probe",
+        &[],
+    )
+    .set(status.completed as f64);
+    m.gauge(
+        "shard_merge_total_tasks",
+        "total tasks of the spec at the last merge-status probe",
+        &[],
+    )
+    .set(status.total as f64);
+    Ok(status)
 }
 
 /// Merges a sharded sweep: absorbs the base journal and every shard
@@ -65,6 +79,10 @@ pub fn merge(
     base: &Path,
     threads: usize,
 ) -> Result<SweepResult, CheckpointError> {
+    seg_obs::metrics()
+        .counter("shard_merges_total", "merge runs completed", &[])
+        .inc();
+    let _span = seg_obs::tracer().span("shard.merge", base.display().to_string());
     let result = Engine::new()
         .threads(threads)
         .run_with_checkpoint(spec, observers, base)?;

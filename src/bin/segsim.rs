@@ -157,7 +157,7 @@ const USAGE: &str = "usage: segsim --side N --horizon W --tau T \
 [--variant V,..] [--max-events N] [--snapshots DIR] [--summary FILE.csv] <engine flags>\n\
        segsim shard --workers M <sweep flags>\n\
        segsim serve [--addr HOST:PORT] [--workers N] [--threads T] [--data DIR] \
-[--conn-threads C] [--max-body BYTES]\n\
+[--conn-threads C] [--max-body BYTES] [--trace-out FILE.jsonl]\n\
 \n\
 variants: paper | flip-when-unhappy | noise:EPS | kawasaki | ring-glauber | \
 ring-kawasaki | two-sided:TAU_HI | multi:K\n\
@@ -545,6 +545,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--max-body: {e}"))?
             }
+            "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }

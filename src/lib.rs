@@ -25,7 +25,10 @@
 //! - [`seg_serve`] — simulation as a service: `segsim serve` accepts
 //!   sweep requests over HTTP, schedules them on the engine with a
 //!   fingerprint-keyed result cache, and streams rows back (start at
-//!   [`seg_serve::ServeConfig`]).
+//!   [`seg_serve::ServeConfig`]);
+//! - [`seg_obs`] — std-only observability: the process-wide metrics
+//!   registry behind `GET /metrics` and the span/event tracer behind
+//!   `--trace-out` (start at [`seg_obs::metrics()`]).
 //!
 //! # Quickstart
 //!
@@ -47,6 +50,7 @@ pub use seg_analysis;
 pub use seg_core;
 pub use seg_engine;
 pub use seg_grid;
+pub use seg_obs;
 pub use seg_percolation;
 pub use seg_serve;
 pub use seg_shard;

@@ -456,3 +456,180 @@ fn eight_concurrent_clients_stream_identical_rows_live() {
     }
     poll_until_state(&addr, &id, "done", Duration::from_secs(60));
 }
+
+/// Splits one Prometheus sample line into `(name, labels, value)`.
+fn parse_sample(line: &str) -> (String, String, f64) {
+    let (head, value) = line.rsplit_once(' ').expect("sample has a value");
+    let value: f64 = value
+        .parse()
+        .unwrap_or_else(|e| panic!("bad sample value in {line:?}: {e}"));
+    match head.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest.strip_suffix('}').expect("labels close");
+            (name.to_string(), labels.to_string(), value)
+        }
+        None => (head.to_string(), String::new(), value),
+    }
+}
+
+/// Validates a full exposition document line by line and returns every
+/// sample as `(name, labels, value)`.
+fn validate_exposition(text: &str) -> Vec<(String, String, f64)> {
+    let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().expect("comment kind");
+            let name = parts
+                .next()
+                .unwrap_or_else(|| panic!("bare comment: {line:?}"));
+            assert!(parts.next().is_some(), "HELP/TYPE without text: {line:?}");
+            match kind {
+                "HELP" => {}
+                "TYPE" => {
+                    assert!(typed.insert(name.to_string()), "duplicate TYPE for {name}");
+                }
+                other => panic!("unknown comment kind {other} in {line:?}"),
+            }
+            continue;
+        }
+        let (name, labels, value) = parse_sample(line);
+        // every sample belongs to a TYPEd family (histogram samples get
+        // _bucket/_sum/_count suffixes on the family name)
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s))
+            .filter(|f| typed.contains(*f))
+            .unwrap_or(&name);
+        assert!(typed.contains(family), "sample {name} precedes its # TYPE");
+        samples.push((name, labels, value));
+    }
+    samples
+}
+
+fn sample_value<'a>(
+    samples: &'a [(String, String, f64)],
+    name: &str,
+    labels_contain: &[&str],
+) -> Option<&'a (String, String, f64)> {
+    samples
+        .iter()
+        .find(|(n, l, _)| n == name && labels_contain.iter().all(|want| l.contains(want)))
+}
+
+#[test]
+fn metrics_endpoint_exposes_valid_prometheus_text_under_load() {
+    let dir = tmp_dir("metrics");
+    let server = ServerProc::start("metrics", &dir.join("data"), 2);
+    let addr = &server.addr;
+
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", SMALL_BODY);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let id = json_str_field(&body, "id").expect("job id");
+
+    // scrape mid-load: the job was just submitted, so the document must
+    // already be well-formed while the engine is running
+    let (status, head, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "wrong exposition content type:\n{head}"
+    );
+    validate_exposition(&String::from_utf8(body).expect("utf-8 exposition"));
+
+    // stream the rows (counts into serve_rows_streamed_total), finish
+    // the job, and hit the cache once
+    let (_, _, rows) = http(addr, "GET", &format!("/v1/jobs/{id}/rows"), "");
+    let row_count = rows.iter().filter(|&&b| b == b'\n').count() as f64;
+    assert!(row_count >= 8.0, "expected the 8-task sweep's rows");
+    poll_until_state(addr, &id, "done", Duration::from_secs(60));
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", SMALL_BODY);
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("\"cached\":true"));
+
+    let (_, _, body) = http(addr, "GET", "/metrics", "");
+    let text = String::from_utf8(body).expect("utf-8 exposition");
+    let samples = validate_exposition(&text);
+
+    // the counters reflect exactly what this test just did
+    let (_, _, submits) = sample_value(
+        &samples,
+        "serve_http_requests_total",
+        &[
+            "endpoint=\"/v1/sweeps\"",
+            "method=\"POST\"",
+            "status=\"202\"",
+        ],
+    )
+    .expect("a 202 submit was counted");
+    assert!(*submits >= 1.0, "submit count {submits}");
+    let (_, _, hits) = sample_value(&samples, "serve_cache_hits_total", &[]).expect("hit counter");
+    assert!(*hits >= 1.0, "cache hit not counted");
+    let (_, _, misses) =
+        sample_value(&samples, "serve_cache_misses_total", &[]).expect("miss counter");
+    assert!(*misses >= 1.0, "fresh submit not counted as a miss");
+    let (_, _, streamed) =
+        sample_value(&samples, "serve_rows_streamed_total", &[]).expect("rows counter");
+    assert!(
+        *streamed >= row_count,
+        "rows streamed {streamed} < rows received {row_count}"
+    );
+    let (_, _, replicas) =
+        sample_value(&samples, "engine_replicas_total", &[]).expect("engine counter");
+    assert!(*replicas >= 8.0, "engine ran {replicas} replicas");
+
+    // the request histogram is cumulative and self-consistent
+    let (_, _, inf) = sample_value(
+        &samples,
+        "serve_http_request_seconds_bucket",
+        &["endpoint=\"/v1/sweeps\"", "le=\"+Inf\""],
+    )
+    .expect("+Inf bucket");
+    let (_, _, count) = sample_value(
+        &samples,
+        "serve_http_request_seconds_count",
+        &["endpoint=\"/v1/sweeps\""],
+    )
+    .expect("histogram count");
+    assert_eq!(*inf, *count, "+Inf bucket must equal the sample count");
+    assert!(*count >= 2.0, "both submits should be timed");
+}
+
+#[test]
+fn dashboard_serves_html_with_charts_for_jobs_with_history() {
+    let dir = tmp_dir("dashboard");
+    let server = ServerProc::start("dashboard", &dir.join("data"), 1);
+    let addr = &server.addr;
+
+    // an empty server still renders a complete page
+    let (status, head, body) = http(addr, "GET", "/dashboard", "");
+    assert_eq!(status, 200);
+    assert!(head
+        .to_ascii_lowercase()
+        .contains("content-type: text/html"));
+    let text = String::from_utf8(body).expect("utf-8 html");
+    assert!(text.starts_with("<!DOCTYPE html>"), "not an HTML document");
+    assert!(text.contains("</html>"), "page truncated");
+    assert!(text.contains("No jobs yet"), "empty state missing");
+
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", SMALL_BODY);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let id = json_str_field(&body, "id").expect("job id");
+    poll_until_state(addr, &id, "done", Duration::from_secs(60));
+
+    let (status, _, body) = http(addr, "GET", "/dashboard", "");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("utf-8 html");
+    assert!(text.contains(&id), "job id missing from dashboard");
+    let svgs = text.matches("<svg").count();
+    assert!(
+        svgs >= 2,
+        "want the job's replicas/s and events/s charts, found {svgs} <svg>"
+    );
+    assert!(text.contains("</html>"), "page truncated");
+}
