@@ -257,7 +257,7 @@ fn scan_journal(
             reason,
         };
         if lineno == 0 {
-            let (fp, ntasks) = parse_header(line).map_err(corrupt)?;
+            let (fp, ntasks) = parse_header_line(line).map_err(corrupt)?;
             if fp != fingerprint || ntasks != tasks.len() as u64 {
                 return Err(CheckpointError::SpecMismatch {
                     path: path.to_path_buf(),
@@ -266,7 +266,7 @@ fn scan_journal(
             scan.needs_header = false;
             continue;
         }
-        let (index, events, metrics) = parse_record(line).map_err(corrupt)?;
+        let (index, events, metrics) = parse_record_line(line).map_err(corrupt)?;
         let slot = completed
             .get_mut(index)
             .ok_or_else(|| corrupt(format!("task index {index} out of range")))?;
@@ -391,11 +391,7 @@ impl Checkpoint {
         let file = OpenOptions::new().create(true).append(true).open(&own)?;
         let mut writer = BufWriter::new(file);
         if needs_header {
-            writeln!(
-                writer,
-                "{{\"kind\":\"header\",\"fingerprint\":{fingerprint},\"tasks\":{}}}",
-                tasks.len()
-            )?;
+            writeln!(writer, "{}", header_line(fingerprint, tasks.len()))?;
             writer.flush()?;
         }
         Ok((
@@ -413,28 +409,54 @@ impl Checkpoint {
     ///
     /// Any I/O error from the append.
     pub fn append(&self, rec: &ReplicaRecord) -> io::Result<()> {
-        let mut line = format!(
-            "{{\"kind\":\"record\",\"task\":{},\"events\":{},\"metrics\":{{",
-            rec.task.task_index, rec.events
-        );
-        for (i, (k, v)) in rec.metrics.iter().enumerate() {
-            if i > 0 {
-                line.push(',');
-            }
-            // metric names are identifier-like; quote verbatim
-            line.push('"');
-            line.push_str(k);
-            line.push_str("\":");
-            line.push_str(&format_f64(*v));
-        }
-        line.push_str("}}");
+        let line = record_line(rec);
         let mut w = self.writer.lock().expect("checkpoint writer poisoned");
         writeln!(w, "{line}")?;
         w.flush()
     }
 }
 
-fn parse_header(line: &str) -> Result<(u64, u64), String> {
+/// The header line of a journal for a spec with `tasks` tasks and the
+/// given [`spec_fingerprint`], without the trailing newline. Fleet
+/// workers build in-memory journals with this plus [`record_line`], so
+/// an uploaded shard journal is byte-compatible with one the engine
+/// wrote to disk.
+pub fn header_line(fingerprint: u64, tasks: usize) -> String {
+    format!("{{\"kind\":\"header\",\"fingerprint\":{fingerprint},\"tasks\":{tasks}}}")
+}
+
+/// One record's journal line, without the trailing newline — the exact
+/// bytes [`Checkpoint::append`] writes. Metric values use the same
+/// shortest-round-trip formatting as the sinks, so journals built from
+/// this merge bit-identically.
+pub fn record_line(rec: &ReplicaRecord) -> String {
+    let mut line = format!(
+        "{{\"kind\":\"record\",\"task\":{},\"events\":{},\"metrics\":{{",
+        rec.task.task_index, rec.events
+    );
+    for (i, (k, v)) in rec.metrics.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        // metric names are identifier-like; quote verbatim
+        line.push('"');
+        line.push_str(k);
+        line.push_str("\":");
+        line.push_str(&format_f64(*v));
+    }
+    line.push_str("}}");
+    line
+}
+
+/// Parses a journal header line into `(fingerprint, tasks)` — the public
+/// counterpart of what [`Checkpoint::resume`] does per file, for readers
+/// that ingest journals from other transports (e.g. a fleet upload
+/// body).
+///
+/// # Errors
+///
+/// A human-readable reason when the line is not a valid header.
+pub fn parse_header_line(line: &str) -> Result<(u64, u64), String> {
     let rest = line
         .strip_prefix("{\"kind\":\"header\",\"fingerprint\":")
         .ok_or("first line is not a checkpoint header")?;
@@ -449,7 +471,13 @@ fn parse_header(line: &str) -> Result<(u64, u64), String> {
     Ok((fp, ntasks))
 }
 
-fn parse_record(line: &str) -> Result<(usize, u64, BTreeMap<String, f64>), String> {
+/// Parses a journal record line into `(task index, events, metrics)` —
+/// see [`parse_header_line`].
+///
+/// # Errors
+///
+/// A human-readable reason when the line is not a valid record.
+pub fn parse_record_line(line: &str) -> Result<(usize, u64, BTreeMap<String, f64>), String> {
     let rest = line
         .strip_prefix("{\"kind\":\"record\",\"task\":")
         .ok_or("line is not a record")?;
@@ -536,9 +564,9 @@ mod tests {
     #[test]
     fn header_and_record_round_trip() {
         let (fp, n) =
-            parse_header("{\"kind\":\"header\",\"fingerprint\":123,\"tasks\":4}").unwrap();
+            parse_header_line("{\"kind\":\"header\",\"fingerprint\":123,\"tasks\":4}").unwrap();
         assert_eq!((fp, n), (123, 4));
-        let (i, e, m) = parse_record(
+        let (i, e, m) = parse_record_line(
             "{\"kind\":\"record\",\"task\":2,\"events\":9,\"metrics\":{\"a\":1.5,\"b\":-inf}}",
         )
         .unwrap();
@@ -546,7 +574,8 @@ mod tests {
         assert_eq!(m.get("a"), Some(&1.5));
         assert_eq!(m.get("b"), Some(&f64::NEG_INFINITY));
         let (_, _, empty) =
-            parse_record("{\"kind\":\"record\",\"task\":0,\"events\":0,\"metrics\":{}}").unwrap();
+            parse_record_line("{\"kind\":\"record\",\"task\":0,\"events\":0,\"metrics\":{}}")
+                .unwrap();
         assert!(empty.is_empty());
     }
 
@@ -617,8 +646,8 @@ mod tests {
             "not json at all",
             "{\"kind\":\"record\",\"task\":2,\"events\":9,\"metrics\":{\"a\":}}",
         ] {
-            assert!(parse_record(bad).is_err(), "accepted {bad:?}");
+            assert!(parse_record_line(bad).is_err(), "accepted {bad:?}");
         }
-        assert!(parse_header("{\"kind\":\"header\"}").is_err());
+        assert!(parse_header_line("{\"kind\":\"header\"}").is_err());
     }
 }

@@ -1,0 +1,268 @@
+//! Shard-index claims for `--shard auto`: workers sharing a checkpoint
+//! directory pick a free shard index without a coordinator.
+//!
+//! Each claimed index `I` of `M` is marked by a *heartbeat file* next to
+//! the shard journals: [`shard_journal_path`]`(base, I/M)` with the
+//! extension swapped to `hb` (`ck.jsonl` → `ck.shard0of2.hb`). The file
+//! holds a text stamp `NONCE UNIX_SECS`; a background thread rewrites
+//! the stamp roughly once a second while the claim is held, and dropping
+//! the claim removes the file. A worker that dies with `kill -9` leaves
+//! its heartbeat file behind, but the stamp stops advancing — once it is
+//! older than the staleness window the index is claimable again, and the
+//! journal the dead worker already wrote is absorbed by whoever takes
+//! over (records are keyed by task index, so nothing is lost or rerun).
+//!
+//! Two arbiters make concurrent claims safe without file locks:
+//!
+//! - a *missing* file is claimed with `create_new`, which exactly one
+//!   process wins;
+//! - a *stale* file is taken over by writing one's own nonce, waiting a
+//!   beat, and reading it back — when several workers race, the last
+//!   writer's nonce is what persists, so at most one sees its own.
+
+use crate::checkpoint::shard_journal_path;
+use crate::spec::ShardIndex;
+use std::fs::OpenOptions;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// How old a heartbeat stamp must be before the index counts as
+/// abandoned and may be taken over.
+pub const DEFAULT_STALE: Duration = Duration::from_secs(30);
+
+/// How long a takeover waits between writing its nonce and reading it
+/// back — the race-resolution beat.
+const TAKEOVER_SETTLE: Duration = Duration::from_millis(50);
+
+/// The heartbeat file marking shard `shard` of the sweep journaled at
+/// `base` as claimed: the shard journal path with its extension swapped
+/// to `hb`.
+pub fn claim_path(base: &Path, shard: ShardIndex) -> PathBuf {
+    shard_journal_path(base, shard).with_extension("hb")
+}
+
+fn now_secs() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs())
+}
+
+fn fresh_nonce() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64);
+    format!(
+        "{}-{}-{}",
+        std::process::id(),
+        nanos,
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+/// Reads a heartbeat stamp back as `(nonce, unix_secs)`; `None` when the
+/// file is unreadable or malformed (e.g. a concurrent writer has created
+/// it but not written the stamp yet — the caller treats that as fresh).
+fn read_stamp(path: &Path) -> Option<(String, u64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let (nonce, ts) = text.trim().split_once(' ')?;
+    Some((nonce.to_string(), ts.parse().ok()?))
+}
+
+fn write_stamp(path: &Path, nonce: &str) -> io::Result<()> {
+    // a short single write is effectively atomic for readers that only
+    // parse complete stamps; a torn read is treated as fresh and retried
+    let mut f = OpenOptions::new().write(true).truncate(true).open(path)?;
+    writeln!(f, "{nonce} {}", now_secs())
+}
+
+/// A held claim on one shard index of a shared checkpoint directory.
+///
+/// While alive, a background thread keeps the heartbeat file's stamp
+/// advancing; dropping the claim stops the thread and removes the file,
+/// freeing the index immediately (a killed process instead frees it when
+/// the stamp goes stale).
+#[derive(Debug)]
+pub struct ShardClaim {
+    shard: ShardIndex,
+    hb: PathBuf,
+    stop: Arc<AtomicBool>,
+    beat: Option<JoinHandle<()>>,
+}
+
+impl ShardClaim {
+    /// Scans the `count` heartbeat files next to `base` in index order
+    /// and claims the first index that is free (no heartbeat file) or
+    /// abandoned (stamp older than `stale`).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::WouldBlock`] when every index is live-claimed;
+    /// other I/O errors from the filesystem.
+    pub fn acquire(base: &Path, count: u32, stale: Duration) -> io::Result<ShardClaim> {
+        assert!(count > 0, "need at least one shard");
+        if let Some(parent) = base.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let nonce = fresh_nonce();
+        for index in 0..count {
+            let shard = ShardIndex::new(index, count);
+            let hb = claim_path(base, shard);
+            match OpenOptions::new().write(true).create_new(true).open(&hb) {
+                Ok(mut f) => {
+                    // we won the create race: stamp and hold the index
+                    writeln!(f, "{nonce} {}", now_secs())?;
+                    return Ok(ShardClaim::hold(shard, hb, nonce));
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {}
+                Err(e) => return Err(e),
+            }
+            let age = match read_stamp(&hb) {
+                // unreadable stamp: a concurrent claimer is mid-write —
+                // treat as fresh and move on
+                None => 0,
+                Some((_, ts)) => now_secs().saturating_sub(ts),
+            };
+            if Duration::from_secs(age) < stale {
+                continue; // live claim, next index
+            }
+            // stale: write our nonce, wait a beat, and keep the index
+            // only if our nonce is what persisted (last writer wins, so
+            // at most one of several racing stealers sees its own)
+            if write_stamp(&hb, &nonce).is_err() {
+                continue; // holder removed the file mid-race; next index
+            }
+            std::thread::sleep(TAKEOVER_SETTLE);
+            match read_stamp(&hb) {
+                Some((n, _)) if n == nonce => {
+                    return Ok(ShardClaim::hold(shard, hb, nonce));
+                }
+                _ => continue,
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "all {count} shard indices of {} are claimed by live workers",
+                base.display()
+            ),
+        ))
+    }
+
+    fn hold(shard: ShardIndex, hb: PathBuf, nonce: String) -> ShardClaim {
+        let stop = Arc::new(AtomicBool::new(false));
+        let beat = {
+            let (stop, hb) = (stop.clone(), hb.clone());
+            std::thread::spawn(move || {
+                let mut since_beat = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(50));
+                    since_beat += Duration::from_millis(50);
+                    if since_beat >= Duration::from_secs(1) {
+                        since_beat = Duration::ZERO;
+                        let _ = write_stamp(&hb, &nonce);
+                    }
+                }
+            })
+        };
+        ShardClaim {
+            shard,
+            hb,
+            stop,
+            beat: Some(beat),
+        }
+    }
+
+    /// The claimed shard index.
+    pub fn shard(&self) -> ShardIndex {
+        self.shard
+    }
+
+    /// The heartbeat file this claim keeps stamped.
+    pub fn heartbeat_file(&self) -> &Path {
+        &self.hb
+    }
+}
+
+impl Drop for ShardClaim {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(beat) = self.beat.take() {
+            let _ = beat.join();
+        }
+        let _ = std::fs::remove_file(&self.hb);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("seg_engine_claim").join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ck.jsonl")
+    }
+
+    #[test]
+    fn claims_indices_in_order_and_frees_on_drop() {
+        let base = tmp("order");
+        let a = ShardClaim::acquire(&base, 2, DEFAULT_STALE).unwrap();
+        assert_eq!(a.shard(), ShardIndex::new(0, 2));
+        assert!(a.heartbeat_file().exists());
+        let b = ShardClaim::acquire(&base, 2, DEFAULT_STALE).unwrap();
+        assert_eq!(b.shard(), ShardIndex::new(1, 2));
+        let err = ShardClaim::acquire(&base, 2, DEFAULT_STALE).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        let hb = a.heartbeat_file().to_path_buf();
+        drop(a);
+        assert!(!hb.exists(), "drop must remove the heartbeat file");
+        let c = ShardClaim::acquire(&base, 2, DEFAULT_STALE).unwrap();
+        assert_eq!(c.shard(), ShardIndex::new(0, 2));
+    }
+
+    #[test]
+    fn stale_heartbeat_is_taken_over() {
+        let base = tmp("stale");
+        // a dead worker's file: stamp from the epoch, nobody refreshing
+        std::fs::write(claim_path(&base, ShardIndex::new(0, 2)), "dead-1-0 0\n").unwrap();
+        let claim = ShardClaim::acquire(&base, 2, Duration::from_secs(5)).unwrap();
+        assert_eq!(claim.shard(), ShardIndex::new(0, 2));
+    }
+
+    #[test]
+    fn fresh_heartbeat_is_respected() {
+        let base = tmp("fresh");
+        let path = claim_path(&base, ShardIndex::new(0, 2));
+        std::fs::write(&path, format!("other-1-0 {}\n", now_secs())).unwrap();
+        let claim = ShardClaim::acquire(&base, 2, Duration::from_secs(30)).unwrap();
+        assert_eq!(claim.shard(), ShardIndex::new(1, 2));
+        // the live holder's stamp was not clobbered
+        let (nonce, _) = read_stamp(&path).unwrap();
+        assert_eq!(nonce, "other-1-0");
+    }
+
+    #[test]
+    fn concurrent_acquires_never_share_an_index() {
+        let base = tmp("race");
+        let claims: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| ShardClaim::acquire(&base, 4, DEFAULT_STALE)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut indices: Vec<u32> = claims
+            .into_iter()
+            .map(|c| c.unwrap().shard().index)
+            .collect();
+        indices.sort_unstable();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+    }
+}

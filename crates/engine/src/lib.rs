@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod claim;
 pub mod cli;
 pub mod observe;
 pub mod replica;
@@ -71,8 +72,10 @@ pub mod sink;
 pub mod spec;
 
 pub use checkpoint::{
-    find_shard_journals, shard_journal_path, spec_fingerprint, Checkpoint, CheckpointError,
+    find_shard_journals, header_line, parse_header_line, parse_record_line, record_line,
+    shard_journal_path, spec_fingerprint, Checkpoint, CheckpointError,
 };
+pub use claim::{claim_path, ShardClaim};
 pub use cli::{tag_path, EngineArgs, ENGINE_USAGE};
 pub use observe::Observer;
 pub use replica::{variant_metric_names, FinalState, ReplicaRecord};

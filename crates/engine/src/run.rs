@@ -140,6 +140,7 @@ pub struct Engine {
     threads: usize,
     progress: bool,
     shard: Option<ShardIndex>,
+    subset: Option<Arc<Vec<usize>>>,
     on_progress: Option<Arc<ProgressFn>>,
     cancel: Option<Arc<AtomicBool>>,
 }
@@ -150,6 +151,7 @@ impl std::fmt::Debug for Engine {
             .field("threads", &self.threads)
             .field("progress", &self.progress)
             .field("shard", &self.shard)
+            .field("subset", &self.subset)
             .field("on_progress", &self.on_progress.as_ref().map(|_| ".."))
             .field("cancel", &self.cancel)
             .finish()
@@ -171,6 +173,7 @@ impl Engine {
             threads: default_threads(),
             progress: false,
             shard: None,
+            subset: None,
             on_progress: None,
             cancel: None,
         }
@@ -242,6 +245,23 @@ impl Engine {
     /// everything), matching `EngineArgs`-style plumbing.
     pub fn shard_opt(mut self, shard: Option<ShardIndex>) -> Self {
         self.shard = shard;
+        self
+    }
+
+    /// Restricts the engine to an *explicit* set of task indices — the
+    /// dynamic counterpart of [`Engine::shard`]'s round-robin split.
+    /// Fleet workers run exactly the indices a coordinator assigned
+    /// (typically a re-partition of a job's missing set, see
+    /// `seg_shard::repartition`), and the result is partial unless the
+    /// subset covers every task. Indices are sorted and deduplicated;
+    /// out-of-range indices simply never match a task. Composes with
+    /// [`Engine::shard`] as an intersection, though fleet dispatch uses
+    /// one or the other.
+    pub fn task_subset<I: IntoIterator<Item = usize>>(mut self, tasks: I) -> Self {
+        let mut v: Vec<usize> = tasks.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        self.subset = Some(Arc::new(v));
         self
     }
 
@@ -321,6 +341,23 @@ impl Engine {
                 ),
             });
         }
+        if let (Some(stream), Some(subset)) = (stream, &self.subset) {
+            if subset.len() < spec.task_count() {
+                return Err(CheckpointError::Stream {
+                    path: stream.path().to_path_buf(),
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!(
+                            "streaming releases rows in task order, which a subset of \
+                             {} of {} tasks alone never completes; stream the merge \
+                             run instead",
+                            subset.len(),
+                            spec.task_count()
+                        ),
+                    ),
+                });
+            }
+        }
         match checkpoint {
             None => Ok(self.run_inner(spec, observers, Vec::new(), None, stream)),
             Some(path) => {
@@ -363,8 +400,13 @@ impl Engine {
             }
         }
         let owned = |i: usize| self.shard.is_none_or(|s| s.owns(i));
+        let assigned = |i: usize| {
+            self.subset
+                .as_ref()
+                .is_none_or(|s| s.binary_search(&i).is_ok())
+        };
         let pending: Vec<usize> = (0..total)
-            .filter(|&i| slots[i].is_none() && owned(i))
+            .filter(|&i| slots[i].is_none() && owned(i) && assigned(i))
             .collect();
         if self.progress {
             if let Some(shard) = self.shard {
@@ -504,6 +546,25 @@ impl SweepResult {
     /// and cancelled runs).
     pub fn missing_tasks(&self) -> usize {
         self.total_tasks - self.records.len()
+    }
+
+    /// The task indices with no record yet, ascending — the work-stealing
+    /// input: a fleet coordinator re-partitions exactly this set among
+    /// live workers (see `seg_shard::repartition`). Empty for complete
+    /// runs. Records are held in task order, so this is a single merge
+    /// walk.
+    pub fn missing_task_indices(&self) -> Vec<usize> {
+        let mut missing = Vec::with_capacity(self.missing_tasks());
+        let mut recs = self.records.iter().peekable();
+        for i in 0..self.total_tasks {
+            match recs.peek() {
+                Some(r) if r.task.task_index == i => {
+                    recs.next();
+                }
+                _ => missing.push(i),
+            }
+        }
+        missing
     }
 
     /// The available records of one point (all of them in a complete
@@ -737,6 +798,62 @@ mod tests {
             assert_eq!(a.events, b.events);
             assert_eq!(a.metrics, b.metrics);
         }
+    }
+
+    #[test]
+    fn task_subset_runs_exactly_the_assigned_indices() {
+        let spec = small_spec(); // 6 tasks
+        let full = Engine::new().threads(1).run(&spec, &[]);
+        let subset = Engine::new()
+            .threads(2)
+            .task_subset([4, 1, 1, 99]) // unsorted, duplicated, out of range
+            .run(&spec, &[]);
+        assert!(!subset.is_complete());
+        assert_eq!(subset.records().len(), 2);
+        assert_eq!(subset.missing_task_indices(), vec![0, 2, 3, 5]);
+        for rec in subset.records() {
+            assert!([1, 4].contains(&rec.task.task_index));
+            let reference = &full.records()[rec.task.task_index];
+            assert_eq!(rec.events, reference.events);
+            assert_eq!(rec.metrics, reference.metrics);
+        }
+    }
+
+    #[test]
+    fn missing_task_indices_match_missing_count() {
+        let spec = small_spec();
+        let full = Engine::new().threads(1).run(&spec, &[]);
+        assert!(full.missing_task_indices().is_empty());
+        let shard = Engine::new()
+            .threads(1)
+            .shard(ShardIndex::new(0, 2))
+            .run(&spec, &[]);
+        let missing = shard.missing_task_indices();
+        assert_eq!(missing.len(), shard.missing_tasks());
+        assert_eq!(missing, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn partial_subset_plus_stream_is_rejected_up_front() {
+        let spec = small_spec();
+        let dir = std::env::temp_dir().join("seg_engine_subset_stream");
+        let _ = std::fs::remove_dir_all(&dir);
+        let stream =
+            crate::sink::StreamingSink::jsonl(&dir.join("rows.jsonl"), &spec, false).unwrap();
+        let err = Engine::new()
+            .task_subset([0, 2])
+            .run_full(&spec, &[], None, Some(&stream))
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("task order"),
+            "unexpected error: {err}"
+        );
+        // a subset covering every task streams fine
+        let all = Engine::new()
+            .task_subset(0..spec.task_count())
+            .run_full(&spec, &[], None, Some(&stream))
+            .unwrap();
+        assert!(all.is_complete());
     }
 
     #[test]

@@ -10,6 +10,15 @@
 //! | `/v1/jobs/:id` | GET | status, progress, live replicas/s, queue/cache figures |
 //! | `/v1/jobs/:id/rows` | GET | NDJSON result rows, chunked, in task order; `?from=K` skips the first K rows |
 //! | `/v1/shutdown` | POST | graceful drain: stop accepting, journal in-flight work, exit |
+//! | `/v1/workers/register` | POST | fleet only: a `segsim work` process joins, gets a worker id |
+//! | `/v1/workers/:id/heartbeat` | POST | fleet only: keep the worker live (404 = re-register) |
+//! | `/v1/workers/:id/claim` | POST | fleet only: ask for an assignment (doubles as a heartbeat) |
+//! | `/v1/workers` | GET | fleet only: every known worker with heartbeat age and claim state |
+//! | `/v1/jobs/:id/journal` | POST | fleet only: upload a shard journal (`?worker=ID&epoch=N`, NDJSON body) |
+//!
+//! The `/v1/workers*` and journal endpoints answer 404 unless the
+//! server runs with `--fleet`; the protocol is documented in
+//! `docs/FLEET.md`.
 //!
 //! Every request is counted into
 //! `serve_http_requests_total{endpoint,method,status}` and timed into
@@ -40,6 +49,9 @@ const ROWS_POLL: Duration = Duration::from_millis(20);
 pub struct ApiContext {
     /// The job store/queue/worker pool.
     pub manager: Arc<JobManager>,
+    /// The fleet worker registry when the server runs with `--fleet`;
+    /// `None` turns every `/v1/workers*` endpoint into a 404.
+    pub fleet: Option<Arc<crate::fleet::FleetRegistry>>,
     /// Set by `/v1/shutdown`; the accept loop watches it.
     pub shutdown: Arc<AtomicBool>,
     /// The bound address (the shutdown handler pokes it to unblock
@@ -63,7 +75,12 @@ fn endpoint_label(segments: &[&str]) -> &'static str {
         ["v1", "sweeps"] => "/v1/sweeps",
         ["v1", "jobs", _] => "/v1/jobs/:id",
         ["v1", "jobs", _, "rows"] => "/v1/jobs/:id/rows",
+        ["v1", "jobs", _, "journal"] => "/v1/jobs/:id/journal",
         ["v1", "shutdown"] => "/v1/shutdown",
+        ["v1", "workers"] => "/v1/workers",
+        ["v1", "workers", "register"] => "/v1/workers/register",
+        ["v1", "workers", _, "heartbeat"] => "/v1/workers/:id/heartbeat",
+        ["v1", "workers", _, "claim"] => "/v1/workers/:id/claim",
         _ => "other",
     }
 }
@@ -221,6 +238,114 @@ fn route<W: Write>(
             stream_rows(&job, from, out, keep, &ctx.shutdown)?;
             Ok(keep)
         }
+        ("POST", ["v1", "workers", "register"]) => match &ctx.fleet {
+            None => {
+                write_json(out, 404, &error_body("fleet mode is off"), keep)?;
+                Ok(keep)
+            }
+            Some(fleet) => {
+                let id = fleet.register();
+                eprintln!("serve: fleet worker {id} registered");
+                write_json(
+                    out,
+                    200,
+                    &format!("{{\"worker_id\":{}}}", escape_str(&id)),
+                    keep,
+                )?;
+                Ok(keep)
+            }
+        },
+        ("POST", ["v1", "workers", id, "heartbeat"]) => match &ctx.fleet {
+            None => {
+                write_json(out, 404, &error_body("fleet mode is off"), keep)?;
+                Ok(keep)
+            }
+            Some(fleet) if fleet.heartbeat(id) => {
+                write_json(out, 200, "{\"ok\":true}", keep)?;
+                Ok(keep)
+            }
+            Some(_) => {
+                write_json(out, 404, &error_body("unknown worker"), keep)?;
+                Ok(keep)
+            }
+        },
+        ("POST", ["v1", "workers", id, "claim"]) => match &ctx.fleet {
+            None => {
+                write_json(out, 404, &error_body("fleet mode is off"), keep)?;
+                Ok(keep)
+            }
+            Some(fleet) => match fleet.claim(id) {
+                None => {
+                    write_json(out, 404, &error_body("unknown worker"), keep)?;
+                    Ok(keep)
+                }
+                Some(None) => {
+                    write_json(out, 200, "{\"idle\":true}", keep)?;
+                    Ok(keep)
+                }
+                Some(Some(a)) => {
+                    let tasks: Vec<String> = a.tasks.iter().map(usize::to_string).collect();
+                    let body = format!(
+                        "{{\"job\":{},\"epoch\":{},\"request\":{},\"tasks\":[{}]}}",
+                        escape_str(&a.job_id),
+                        a.epoch,
+                        a.request_json,
+                        tasks.join(",")
+                    );
+                    eprintln!(
+                        "serve: fleet worker {id} claimed {} task(s) of job {} (epoch {})",
+                        a.tasks.len(),
+                        a.job_id,
+                        a.epoch
+                    );
+                    write_json(out, 200, &body, keep)?;
+                    Ok(keep)
+                }
+            },
+        },
+        ("GET", ["v1", "workers"]) => match &ctx.fleet {
+            None => {
+                write_json(out, 404, &error_body("fleet mode is off"), keep)?;
+                Ok(keep)
+            }
+            Some(fleet) => {
+                fleet.live_workers(); // refresh ages before reporting
+                write_json(out, 200, &fleet.workers_json(), keep)?;
+                Ok(keep)
+            }
+        },
+        ("POST", ["v1", "jobs", id, "journal"]) => {
+            let fleet = match &ctx.fleet {
+                Some(f) => f,
+                None => {
+                    write_json(out, 404, &error_body("fleet mode is off"), keep)?;
+                    return Ok(keep);
+                }
+            };
+            let job = match ctx.manager.get(id) {
+                Some(job) => job,
+                None => {
+                    write_json(out, 404, &error_body("no such job"), keep)?;
+                    return Ok(keep);
+                }
+            };
+            let worker = req.query_param("worker").unwrap_or("unknown");
+            match seg_shard::ingest_journal(&req.body[..], &job.spec) {
+                Ok(records) => {
+                    let accepted = fleet.accept_upload(worker, &job.id, records);
+                    eprintln!(
+                        "serve: fleet worker {worker} uploaded {accepted} record(s) for job {}",
+                        job.id
+                    );
+                    write_json(out, 200, &format!("{{\"accepted\":{accepted}}}"), keep)?;
+                    Ok(keep)
+                }
+                Err(e) => {
+                    write_json(out, 400, &error_body(&e), keep)?;
+                    Ok(keep)
+                }
+            }
+        }
         ("POST", ["v1", "shutdown"]) => {
             write_json(out, 200, "{\"status\":\"draining\"}", false)?;
             ctx.shutdown.store(true, Ordering::Relaxed);
@@ -234,7 +359,8 @@ fn route<W: Write>(
         | (_, ["dashboard"])
         | (_, ["v1", "sweeps"])
         | (_, ["v1", "shutdown"])
-        | (_, ["v1", "jobs", ..]) => {
+        | (_, ["v1", "jobs", ..])
+        | (_, ["v1", "workers", ..]) => {
             write_json(out, 405, &error_body("method not allowed"), keep)?;
             Ok(keep)
         }

@@ -1,0 +1,417 @@
+//! Fleet mode: the coordinator-side registry of remote workers.
+//!
+//! Under `segsim serve --fleet`, the server stops running sweeps alone:
+//! each job's missing task set is re-partitioned among whatever workers
+//! are *live* (heartbeat younger than the fleet timeout) and offered as
+//! [`Assignment`]s; `segsim work --join COORD_ADDR` processes claim one,
+//! run exactly the assigned task indices, and stream the resulting shard
+//! journal back as NDJSON. The registry is deliberately dumb transport
+//! state — who is alive, what is offered, what came back; the
+//! scheduling loop that consumes it lives in
+//! [`JobManager`](crate::jobs::JobManager), and the correctness story
+//! (any partition of tasks merges bit-identically) lives in
+//! [`seg_shard::steal`].
+//!
+//! Failure handling is epoch-based: every re-partition bumps the job's
+//! epoch and replaces the *offered* (unclaimed) assignments. A worker
+//! that dies or hangs after claiming simply stops heartbeating; once its
+//! stamp ages past the timeout the epoch reports
+//! [`EpochHealth::Stalled`], the coordinator counts a re-dispatch and
+//! re-partitions. Uploads from superseded epochs are still accepted —
+//! records are keyed by task index and deduplicated by the scheduling
+//! loop, so a slow worker's work is never wasted, only its monopoly.
+
+use seg_engine::ReplicaRecord;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How often the coordinator's scheduling loop polls the registry.
+pub const FLEET_POLL: Duration = Duration::from_millis(50);
+
+/// One share of a job's missing tasks, offered to (or claimed by) a
+/// worker.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// The job the tasks belong to.
+    pub job_id: String,
+    /// The re-partition round that produced this share.
+    pub epoch: u64,
+    /// The job's normalized request document — everything a worker
+    /// needs to rebuild the identical [`SweepSpec`](seg_engine::SweepSpec).
+    pub request_json: String,
+    /// The task indices to run.
+    pub tasks: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct WorkerEntry {
+    last_seen: Instant,
+    assignment: Option<(String, u64)>, // (job_id, epoch) claimed
+}
+
+#[derive(Debug)]
+struct Offered {
+    assignment: Assignment,
+    at: Instant,
+}
+
+#[derive(Debug, Default)]
+struct FleetState {
+    next_id: u64,
+    workers: BTreeMap<String, WorkerEntry>,
+    offered: VecDeque<Offered>,
+    uploads: BTreeMap<String, Vec<ReplicaRecord>>,
+}
+
+/// Where one re-partition epoch of a job stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochHealth {
+    /// Every share was claimed and uploaded; recompute the missing set.
+    Complete,
+    /// Shares are offered or being worked by live workers.
+    Working,
+    /// A share is held by a worker whose heartbeat went stale, or sat
+    /// unclaimed past the timeout — re-partition among the survivors.
+    Stalled,
+}
+
+/// The handles fleet mode keeps in the process-wide [`seg_obs`]
+/// registry.
+#[derive(Debug)]
+struct FleetMetrics {
+    live: std::sync::Arc<seg_obs::Gauge>,
+    redispatch: std::sync::Arc<seg_obs::Counter>,
+    uploads: std::sync::Arc<seg_obs::Counter>,
+}
+
+impl FleetMetrics {
+    fn register() -> Self {
+        let m = seg_obs::metrics();
+        FleetMetrics {
+            live: m.gauge(
+                "fleet_workers_live",
+                "registered workers with a heartbeat younger than the fleet timeout",
+                &[],
+            ),
+            redispatch: m.counter(
+                "fleet_shard_redispatch_total",
+                "task shares re-partitioned because a worker died or went stale",
+                &[],
+            ),
+            uploads: m.counter(
+                "fleet_journal_records_total",
+                "replica records accepted from worker journal uploads",
+                &[],
+            ),
+        }
+    }
+}
+
+/// The shared worker/assignment/upload state behind the
+/// `/v1/workers/*` and `/v1/jobs/:id/journal` endpoints.
+#[derive(Debug)]
+pub struct FleetRegistry {
+    timeout: Duration,
+    state: Mutex<FleetState>,
+    obs: FleetMetrics,
+}
+
+impl FleetRegistry {
+    /// A registry declaring workers stale after `timeout` without a
+    /// heartbeat.
+    pub fn new(timeout: Duration) -> FleetRegistry {
+        FleetRegistry {
+            timeout,
+            state: Mutex::new(FleetState::default()),
+            obs: FleetMetrics::register(),
+        }
+    }
+
+    /// The staleness window workers must heartbeat within.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FleetState> {
+        self.state.lock().expect("fleet state poisoned")
+    }
+
+    /// Registers a new worker and returns its id (`w1`, `w2`, ...).
+    pub fn register(&self) -> String {
+        let mut st = self.lock();
+        st.next_id += 1;
+        let id = format!("w{}", st.next_id);
+        st.workers.insert(
+            id.clone(),
+            WorkerEntry {
+                last_seen: Instant::now(),
+                assignment: None,
+            },
+        );
+        id
+    }
+
+    /// Refreshes a worker's heartbeat; `false` when the id is unknown
+    /// (the worker should re-register).
+    pub fn heartbeat(&self, id: &str) -> bool {
+        match self.lock().workers.get_mut(id) {
+            Some(w) => {
+                w.last_seen = Instant::now();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// A worker asks for work (doubling as a heartbeat). `None` = the
+    /// id is unknown; `Some(None)` = nothing offered right now;
+    /// `Some(Some(a))` = the share is now claimed by this worker.
+    pub fn claim(&self, id: &str) -> Option<Option<Assignment>> {
+        let mut st = self.lock();
+        match st.workers.get_mut(id) {
+            None => return None,
+            Some(w) => w.last_seen = Instant::now(),
+        }
+        let offered = st.offered.pop_front();
+        match offered {
+            None => Some(None),
+            Some(o) => {
+                let key = (o.assignment.job_id.clone(), o.assignment.epoch);
+                st.workers.get_mut(id).expect("checked above").assignment = Some(key);
+                Some(Some(o.assignment))
+            }
+        }
+    }
+
+    /// Accepts a worker's uploaded records for a job (already parsed and
+    /// spec-validated by the caller), clears the worker's claim, and
+    /// returns how many records were queued for the scheduling loop.
+    pub fn accept_upload(&self, worker: &str, job_id: &str, records: Vec<ReplicaRecord>) -> usize {
+        let n = records.len();
+        let mut st = self.lock();
+        if let Some(w) = st.workers.get_mut(worker) {
+            w.last_seen = Instant::now();
+            w.assignment = None;
+        }
+        st.uploads
+            .entry(job_id.to_string())
+            .or_default()
+            .extend(records);
+        self.obs.uploads.add(n as u64);
+        n
+    }
+
+    /// Drains the records uploaded for a job since the last call.
+    pub fn take_uploads(&self, job_id: &str) -> Vec<ReplicaRecord> {
+        self.lock().uploads.remove(job_id).unwrap_or_default()
+    }
+
+    /// The ids of workers with a fresh heartbeat, ascending. Also the
+    /// metrics sweep: updates the live-worker gauge and each worker's
+    /// heartbeat-age gauge, and forgets workers dead for over ten
+    /// timeouts.
+    pub fn live_workers(&self) -> Vec<String> {
+        let mut st = self.lock();
+        let now = Instant::now();
+        let forget = self.timeout * 10;
+        st.workers
+            .retain(|_, w| now.duration_since(w.last_seen) < forget);
+        let m = seg_obs::metrics();
+        let mut live = Vec::new();
+        for (id, w) in &st.workers {
+            let age = now.duration_since(w.last_seen);
+            m.gauge(
+                "fleet_worker_heartbeat_seconds",
+                "seconds since this worker's last heartbeat",
+                &[("worker", id)],
+            )
+            .set(age.as_secs_f64());
+            if age < self.timeout {
+                live.push(id.clone());
+            }
+        }
+        self.obs.live.set(live.len() as f64);
+        live
+    }
+
+    /// Whether any worker has ever registered and not been forgotten.
+    pub fn has_worker(&self) -> bool {
+        !self.lock().workers.is_empty()
+    }
+
+    /// Waits up to the fleet timeout for a first worker to register
+    /// (checking `drain` so a shutdown is not held up). Returns whether
+    /// a worker is present.
+    pub fn wait_for_worker(&self, drain: &AtomicBool) -> bool {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if self.has_worker() {
+                return true;
+            }
+            if drain.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(FLEET_POLL);
+        }
+    }
+
+    /// Replaces the job's offered shares with a fresh epoch's partition.
+    /// Claimed shares are untouched — their workers either upload (the
+    /// records dedupe) or go stale (the next health check catches them).
+    /// Empty shares are skipped.
+    pub fn dispatch(&self, job_id: &str, epoch: u64, request_json: &str, shares: Vec<Vec<usize>>) {
+        let mut st = self.lock();
+        st.offered.retain(|o| o.assignment.job_id != job_id);
+        let at = Instant::now();
+        for tasks in shares {
+            if tasks.is_empty() {
+                continue;
+            }
+            st.offered.push_back(Offered {
+                assignment: Assignment {
+                    job_id: job_id.to_string(),
+                    epoch,
+                    request_json: request_json.to_string(),
+                    tasks,
+                },
+                at,
+            });
+        }
+    }
+
+    /// Where the job's current epoch stands (see [`EpochHealth`]).
+    pub fn epoch_health(&self, job_id: &str, epoch: u64) -> EpochHealth {
+        let st = self.lock();
+        let now = Instant::now();
+        let offered: Vec<&Offered> = st
+            .offered
+            .iter()
+            .filter(|o| o.assignment.job_id == job_id && o.assignment.epoch == epoch)
+            .collect();
+        if offered
+            .iter()
+            .any(|o| now.duration_since(o.at) >= self.timeout)
+        {
+            return EpochHealth::Stalled; // nobody claimed in time
+        }
+        let mut claimed = false;
+        for w in st.workers.values() {
+            if w.assignment.as_ref() == Some(&(job_id.to_string(), epoch)) {
+                if now.duration_since(w.last_seen) >= self.timeout {
+                    return EpochHealth::Stalled; // holder went dark
+                }
+                claimed = true;
+            }
+        }
+        if offered.is_empty() && !claimed {
+            EpochHealth::Complete
+        } else {
+            EpochHealth::Working
+        }
+    }
+
+    /// Counts one re-dispatch in `fleet_shard_redispatch_total`.
+    pub fn note_redispatch(&self) {
+        self.obs.redispatch.inc();
+    }
+
+    /// The `GET /v1/workers` document: every known worker with its
+    /// heartbeat age and claim state.
+    pub fn workers_json(&self) -> String {
+        let st = self.lock();
+        let now = Instant::now();
+        let entries: Vec<String> = st
+            .workers
+            .iter()
+            .map(|(id, w)| {
+                let mut s = format!(
+                    "{{\"id\":{},\"age_secs\":{:.3},\"busy\":{}",
+                    crate::json::escape_str(id),
+                    now.duration_since(w.last_seen).as_secs_f64(),
+                    w.assignment.is_some(),
+                );
+                if let Some((job, epoch)) = &w.assignment {
+                    s.push_str(&format!(
+                        ",\"job\":{},\"epoch\":{epoch}",
+                        crate::json::escape_str(job)
+                    ));
+                }
+                s.push('}');
+                s
+            })
+            .collect();
+        format!(
+            "{{\"timeout_secs\":{:.3},\"workers\":[{}]}}",
+            self.timeout.as_secs_f64(),
+            entries.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(timeout_ms: u64) -> FleetRegistry {
+        FleetRegistry::new(Duration::from_millis(timeout_ms))
+    }
+
+    #[test]
+    fn register_heartbeat_and_claim_cycle() {
+        let f = registry(200);
+        assert!(!f.has_worker());
+        let id = f.register();
+        assert_eq!(id, "w1");
+        assert!(f.heartbeat(&id));
+        assert!(!f.heartbeat("w99"));
+        assert!(f.claim(&id).unwrap().is_none());
+        assert!(f.claim("w99").is_none());
+        f.dispatch("job", 1, "{}", vec![vec![0, 2], vec![1]]);
+        let a = f.claim(&id).unwrap().unwrap();
+        assert_eq!(a.tasks, vec![0, 2]);
+        assert_eq!(a.epoch, 1);
+        assert_eq!(f.epoch_health("job", 1), EpochHealth::Working);
+        assert_eq!(f.live_workers(), vec!["w1".to_string()]);
+    }
+
+    #[test]
+    fn stale_claim_holder_stalls_the_epoch() {
+        let f = registry(50);
+        let id = f.register();
+        f.dispatch("job", 1, "{}", vec![vec![0]]);
+        let _ = f.claim(&id).unwrap().unwrap();
+        assert_eq!(f.epoch_health("job", 1), EpochHealth::Working);
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(f.epoch_health("job", 1), EpochHealth::Stalled);
+        assert!(f.live_workers().is_empty());
+    }
+
+    #[test]
+    fn unclaimed_offer_goes_stale_and_dispatch_replaces_offers() {
+        let f = registry(50);
+        let _ = f.register();
+        f.dispatch("job", 1, "{}", vec![vec![0], vec![]]);
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(f.epoch_health("job", 1), EpochHealth::Stalled);
+        f.dispatch("job", 2, "{}", vec![vec![0]]);
+        assert_eq!(f.epoch_health("job", 2), EpochHealth::Working);
+        // epoch 1's offers are gone; with nothing offered or claimed it
+        // reads complete
+        assert_eq!(f.epoch_health("job", 1), EpochHealth::Complete);
+    }
+
+    #[test]
+    fn uploads_queue_and_drain_and_clear_the_claim() {
+        let f = registry(200);
+        let id = f.register();
+        f.dispatch("job", 1, "{}", vec![vec![0]]);
+        let _ = f.claim(&id).unwrap().unwrap();
+        assert_eq!(f.accept_upload(&id, "job", Vec::new()), 0);
+        assert_eq!(f.epoch_health("job", 1), EpochHealth::Complete);
+        assert!(f.take_uploads("job").is_empty());
+        assert!(f.workers_json().contains("\"busy\":false"));
+    }
+}

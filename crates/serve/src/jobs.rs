@@ -26,8 +26,12 @@
 //! plus partial journals; the next start re-enqueues it and the engine
 //! resumes from `ck.jsonl`, skipping every journaled replica.
 
+use crate::fleet::{EpochHealth, FleetRegistry, FLEET_POLL};
 use crate::json::{escape_str, format_f64, Json};
-use seg_engine::{spec_fingerprint, Engine, Observer, Sink, SweepProgress, SweepSpec, Variant};
+use seg_engine::{
+    spec_fingerprint, Checkpoint, Engine, Observer, Sink, SweepProgress, SweepSpec, Variant,
+};
+use seg_shard::repartition;
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
 use std::path::PathBuf;
@@ -460,6 +464,7 @@ pub struct JobManager {
     queue: Mutex<VecDeque<Arc<Job>>>,
     cvar: Condvar,
     obs: ManagerMetrics,
+    fleet: Option<Arc<FleetRegistry>>,
 }
 
 /// The manager's handles into the process-wide [`seg_obs`] registry.
@@ -518,7 +523,17 @@ impl JobManager {
             queue: Mutex::new(VecDeque::new()),
             cvar: Condvar::new(),
             obs: ManagerMetrics::register(),
+            fleet: None,
         })
+    }
+
+    /// Turns this manager into a fleet coordinator: before a job runs
+    /// locally, its missing tasks are dispatched to the registry's live
+    /// workers (see `JobManager::execute_fleet`).
+    #[must_use]
+    pub fn with_fleet(mut self, fleet: Arc<FleetRegistry>) -> JobManager {
+        self.fleet = Some(fleet);
+        self
     }
 
     /// The scheduling figures the status endpoint embeds — queue depth
@@ -772,7 +787,17 @@ impl JobManager {
 
     /// Runs the sweep with checkpoint + streaming sink. `Ok(true)` means
     /// complete, `Ok(false)` a drain cut the run short.
+    ///
+    /// Under `--fleet` the heavy lifting happens first in
+    /// [`JobManager::execute_fleet`], which fills the checkpoint journal
+    /// from remote workers; the local engine pass below then *resumes*
+    /// that journal, re-runs only what no worker delivered, and streams
+    /// the rows — so the fleet path reuses the exact code path whose
+    /// output is proven byte-identical to `segsim sweep --stream`.
     fn execute(&self, job: &Arc<Job>) -> Result<bool, String> {
+        if let Some(fleet) = &self.fleet {
+            self.execute_fleet(job, fleet)?;
+        }
         let stream = Sink::Jsonl(job.rows_path())
             .stream(&job.spec, &[], true)
             .map_err(|e| e.to_string())?;
@@ -808,6 +833,121 @@ impl JobManager {
         )
         .map_err(|e| e.to_string())?;
         Ok(true)
+    }
+
+    /// The fleet phase: dispatch the job's missing tasks to live remote
+    /// workers, absorb the shard journals they upload into the job's
+    /// checkpoint journal, and re-partition whenever a worker dies or
+    /// goes stale (counting `fleet_shard_redispatch_total`). Returns
+    /// once no live worker remains, the journal is complete, or a drain
+    /// begins — the caller's local pass finishes whatever is left.
+    ///
+    /// Correctness invariants: uploaded records are deduplicated by task
+    /// index against the journal (late uploads from superseded epochs
+    /// are harmless), and the journal is only ever *appended* — the
+    /// local resume that follows treats fleet-computed and
+    /// locally-computed records identically.
+    fn execute_fleet(&self, job: &Arc<Job>, fleet: &FleetRegistry) -> Result<(), String> {
+        let stringify = |e: seg_engine::CheckpointError| e.to_string();
+        let ck = job.dir.join("ck.jsonl");
+        let (completed, journal) = Checkpoint::resume(&ck, &job.spec).map_err(stringify)?;
+        let total = job.spec.task_count();
+        let mut done: Vec<bool> = completed.iter().map(Option::is_some).collect();
+        drop(completed);
+        if !fleet.wait_for_worker(&self.drain) {
+            eprintln!(
+                "serve: job {}: no fleet worker joined within {:.0?}, running locally",
+                job.id,
+                fleet.timeout()
+            );
+            return Ok(());
+        }
+        let request_json = job.request.to_json();
+        let set_progress = |done_count: usize| {
+            let p = SweepProgress {
+                done: done_count,
+                total,
+                resumed: done_count,
+                wall_secs: 0.0,
+                replicas_per_sec: 0.0,
+                events_per_sec: 0.0,
+            };
+            *job.progress.lock().expect("job progress poisoned") = p;
+            job.push_history(p);
+        };
+        let mut epoch = 0u64;
+        'epochs: loop {
+            if self.drain.load(Ordering::Relaxed) {
+                break;
+            }
+            let missing: Vec<usize> = (0..total).filter(|&i| !done[i]).collect();
+            if missing.is_empty() {
+                break;
+            }
+            let live = fleet.live_workers();
+            if live.is_empty() {
+                eprintln!(
+                    "serve: job {}: no live fleet worker, finishing {} task(s) locally",
+                    job.id,
+                    missing.len()
+                );
+                break;
+            }
+            epoch += 1;
+            let shares = repartition(&missing, live.len());
+            fleet.dispatch(&job.id, epoch, &request_json, shares);
+            eprintln!(
+                "serve: job {} epoch {epoch}: {} missing task(s) over {} live worker(s)",
+                job.id,
+                missing.len(),
+                live.len()
+            );
+            loop {
+                if self.drain.load(Ordering::Relaxed) {
+                    break 'epochs;
+                }
+                for rec in fleet.take_uploads(&job.id) {
+                    let i = rec.task.task_index;
+                    if i < total && !done[i] {
+                        journal.append(&rec).map_err(|e| e.to_string())?;
+                        done[i] = true;
+                    }
+                }
+                let done_count = done.iter().filter(|&&d| d).count();
+                set_progress(done_count);
+                if done_count == total {
+                    break 'epochs;
+                }
+                match fleet.epoch_health(&job.id, epoch) {
+                    EpochHealth::Complete => break, // recompute the missing set
+                    EpochHealth::Working => std::thread::sleep(FLEET_POLL),
+                    EpochHealth::Stalled => {
+                        fleet.note_redispatch();
+                        eprintln!(
+                            "serve: job {} epoch {epoch}: worker stalled, re-dispatching",
+                            job.id
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        // absorb any uploads that raced the exit before the journal
+        // handle closes
+        for rec in fleet.take_uploads(&job.id) {
+            let i = rec.task.task_index;
+            if i < total && !done[i] {
+                journal.append(&rec).map_err(|e| e.to_string())?;
+                done[i] = true;
+            }
+        }
+        let done_count = done.iter().filter(|&&d| d).count();
+        set_progress(done_count);
+        eprintln!(
+            "serve: job {}: fleet delivered {done_count}/{total} task(s)",
+            job.id
+        );
+        Ok(())
     }
 }
 

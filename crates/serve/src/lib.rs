@@ -27,7 +27,15 @@
 //! - **graceful shutdown is a drain** — running sweeps stop claiming
 //!   replicas ([`Engine::cancel_flag`](seg_engine::Engine::cancel_flag)),
 //!   in-flight replicas are journaled, and the process exits with
-//!   nothing lost.
+//!   nothing lost;
+//! - **a fleet is just remote shards** — under `--fleet` the server
+//!   becomes a coordinator: each job's missing tasks are re-partitioned
+//!   ([`seg_shard::repartition`]) among live `segsim work` processes,
+//!   the shard journals they upload are merged into the job's
+//!   checkpoint, and the final local resume+stream pass keeps the rows
+//!   byte-identical even when workers are killed mid-job
+//!   (`tests/fleet_integration.rs` proves it; protocol in
+//!   `docs/FLEET.md`).
 //!
 //! Endpoints, the request schema, curl examples and the capacity knobs
 //! are documented in `docs/SERVING.md`. Start programmatically with
@@ -43,13 +51,17 @@
 
 pub mod api;
 pub mod dashboard;
+pub mod fleet;
 pub mod http;
 pub mod jobs;
 pub mod json;
 pub mod server;
+pub mod worker;
 
 pub use api::ApiContext;
+pub use fleet::{Assignment, EpochHealth, FleetRegistry};
 pub use http::{ChunkedBody, HttpError, Request};
 pub use jobs::{Job, JobManager, JobState, SchedulingSnapshot, SubmitOutcome, SweepRequest};
 pub use json::Json;
 pub use server::{serve, ServeConfig, Server};
+pub use worker::{run_worker, WorkerConfig};

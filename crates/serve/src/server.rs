@@ -18,6 +18,7 @@
 //! start.
 
 use crate::api::{self, ApiContext};
+use crate::fleet::FleetRegistry;
 use crate::http::{read_request, write_json, HttpError};
 use crate::jobs::JobManager;
 use crate::json::escape_str;
@@ -51,6 +52,13 @@ pub struct ServeConfig {
     /// Attach the process-wide [`seg_obs`] tracer to this JSONL file
     /// (`--trace-out`); `None` keeps tracing in-memory only.
     pub trace_out: Option<PathBuf>,
+    /// Fleet mode (`--fleet`): accept `segsim work` workers and
+    /// dispatch each job's tasks to them (see `docs/FLEET.md`).
+    pub fleet: bool,
+    /// How long a worker may go without a heartbeat before its share is
+    /// re-dispatched (`--fleet-timeout SECS`); also how long a job waits
+    /// for a first worker before running locally.
+    pub fleet_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +71,8 @@ impl Default for ServeConfig {
             conn_threads: 16,
             max_body: 1024 * 1024,
             trace_out: None,
+            fleet: false,
+            fleet_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -78,6 +88,7 @@ pub struct Server {
     /// `config.engine_threads` with `0` resolved to the auto value.
     engine_threads: usize,
     manager: Arc<JobManager>,
+    fleet: Option<Arc<FleetRegistry>>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -101,7 +112,18 @@ impl Server {
         } else {
             config.engine_threads
         };
-        let manager = Arc::new(JobManager::new(config.data_dir.clone(), engine_threads)?);
+        let fleet = config
+            .fleet
+            .then(|| Arc::new(FleetRegistry::new(config.fleet_timeout)));
+        let mut manager = JobManager::new(config.data_dir.clone(), engine_threads)?;
+        if let Some(f) = &fleet {
+            eprintln!(
+                "serve: fleet mode on (worker timeout {:.0?})",
+                config.fleet_timeout
+            );
+            manager = manager.with_fleet(f.clone());
+        }
+        let manager = Arc::new(manager);
         let (finished, requeued) = manager.recover()?;
         if finished + requeued > 0 {
             eprintln!(
@@ -117,6 +139,7 @@ impl Server {
             config,
             engine_threads,
             manager,
+            fleet,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -142,6 +165,7 @@ impl Server {
             config,
             engine_threads,
             manager,
+            fleet,
             shutdown,
         } = self;
         println!("serve: listening on http://{local_addr}");
@@ -155,6 +179,7 @@ impl Server {
         );
         let ctx = Arc::new(ApiContext {
             manager: manager.clone(),
+            fleet,
             shutdown: shutdown.clone(),
             local_addr,
             started: Instant::now(),

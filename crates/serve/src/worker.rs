@@ -1,0 +1,305 @@
+//! The fleet worker: the client half of `segsim serve --fleet`.
+//!
+//! `segsim work --join COORD_ADDR` runs [`run_worker`]: register with
+//! the coordinator, poll for an [`Assignment`](crate::fleet::Assignment)
+//! (the claim poll doubles as a heartbeat), run exactly the assigned
+//! task indices through the ordinary [`Engine`],
+//! and stream the resulting shard journal back as NDJSON. Because
+//! replica seeds derive from task indices alone, the records a worker
+//! returns are bit-identical to what the coordinator would have
+//! computed itself — the fleet changes *where* replicas run, never what
+//! they say.
+//!
+//! The client is deliberately thin: a blocking `Connection: close` HTTP
+//! call per interaction on [`std::net::TcpStream`], no state beyond the
+//! worker id. Crash-safety falls out of the server protocol — a worker
+//! that dies or hangs mid-assignment simply stops heartbeating, and the
+//! coordinator re-partitions its share among the survivors
+//! ([`seg_shard::repartition`]). Uploads are split into
+//! [`UPLOAD_BATCH_BYTES`] batches (each a self-contained journal with
+//! its own header line) so they stay under the server's request-body
+//! cap.
+
+use crate::jobs::SweepRequest;
+use crate::json::Json;
+use seg_engine::{header_line, record_line, spec_fingerprint, Engine, Observer};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upload bodies are flushed at this size so a big share never trips
+/// the server's `--max-body` cap (default 1 MiB). Each batch is a
+/// complete journal; the coordinator deduplicates by task index.
+pub const UPLOAD_BATCH_BYTES: usize = 512 * 1024;
+
+/// How often the heartbeat thread stamps while an assignment runs.
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(300);
+
+/// Consecutive failed coordinator calls before the worker gives up and
+/// exits cleanly (the coordinator is gone, not coming back).
+const MAX_CONSECUTIVE_FAILURES: u32 = 40;
+
+/// What `segsim work` parsed from its command line.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Coordinator address (`HOST:PORT`).
+    pub coordinator: String,
+    /// Engine threads per assignment (`0` = the engine's default).
+    pub threads: usize,
+    /// Claim-poll interval while idle.
+    pub poll: Duration,
+    /// Fault injection: claim an assignment, then hang without
+    /// heartbeats (testing only — exercises coordinator re-dispatch).
+    pub fault_hang: bool,
+}
+
+impl WorkerConfig {
+    /// A worker joining `coordinator` with default knobs.
+    pub fn new(coordinator: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            coordinator: coordinator.into(),
+            threads: 0,
+            poll: Duration::from_millis(250),
+            fault_hang: false,
+        }
+    }
+}
+
+/// One blocking HTTP exchange: connect, send, read the full response.
+/// Returns the status code and body.
+fn call(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body)?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other(format!("bad status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            }
+        }
+    }
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| io::Error::other(format!("bad chunk size {size_line:?}")))?;
+            let mut chunk = vec![0u8; size + 2]; // data + CRLF
+            reader.read_exact(&mut chunk)?;
+            if size == 0 {
+                break;
+            }
+            body.extend_from_slice(&chunk[..size]);
+        }
+    } else if let Some(n) = content_length {
+        body.resize(n, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+    Ok((status, body))
+}
+
+fn parse_json(body: &[u8]) -> io::Result<Json> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| io::Error::other("non-UTF-8 response body"))?;
+    Json::parse(text).map_err(io::Error::other)
+}
+
+fn register(addr: &str) -> io::Result<String> {
+    let (status, body) = call(addr, "POST", "/v1/workers/register", b"{}")?;
+    if status != 200 {
+        return Err(io::Error::other(format!(
+            "register failed with status {status} (is the server running with --fleet?)"
+        )));
+    }
+    parse_json(&body)?
+        .get("worker_id")
+        .and_then(|j| j.as_str().map(String::from))
+        .ok_or_else(|| io::Error::other("register response carried no worker_id"))
+}
+
+/// Runs one assignment and uploads its journal in batches.
+fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> {
+    let job = claim
+        .get("job")
+        .and_then(Json::as_str)
+        .ok_or_else(|| io::Error::other("claim carried no job id"))?
+        .to_string();
+    let epoch = claim.get("epoch").and_then(Json::as_u64).unwrap_or(0);
+    let tasks: Vec<usize> = claim
+        .get("tasks")
+        .map(|t| {
+            t.as_list()
+                .iter()
+                .filter_map(|j| j.as_u64().map(|v| v as usize))
+                .collect()
+        })
+        .unwrap_or_default();
+    println!(
+        "work: claimed job {job} epoch {epoch} ({} task(s))",
+        tasks.len()
+    );
+    io::stdout().flush().ok();
+
+    if cfg.fault_hang {
+        println!("work: injected fault: hanging without heartbeats");
+        io::stdout().flush().ok();
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    let request = claim
+        .get("request")
+        .ok_or_else(|| io::Error::other("claim carried no request document"))?;
+    let spec = SweepRequest::from_json(request)
+        .map_err(io::Error::other)?
+        .build_spec();
+
+    // heartbeat while the sweep runs so the coordinator keeps us live
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let stop = stop.clone();
+        let addr = cfg.coordinator.clone();
+        let path = format!("/v1/workers/{id}/heartbeat");
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let _ = call(&addr, "POST", &path, b"{}");
+                std::thread::sleep(HEARTBEAT_EVERY);
+            }
+        })
+    };
+
+    let mut engine = Engine::new().task_subset(tasks.iter().copied());
+    if cfg.threads > 0 {
+        engine = engine.threads(cfg.threads);
+    }
+    // the job's observers are fixed (see JobManager::execute) — a worker
+    // must measure identically or the merged rows would differ
+    let result = engine.run(&spec, &[Observer::TerminalStats]);
+
+    let header = {
+        let mut h = header_line(spec_fingerprint(&spec), spec.task_count());
+        h.push('\n');
+        h
+    };
+    let path = format!("/v1/jobs/{job}/journal?worker={id}&epoch={epoch}");
+    let mut batch = header.clone();
+    let mut uploaded = 0usize;
+    let flush_batch = |batch: &mut String, uploaded: &mut usize, n: usize| -> io::Result<()> {
+        let (status, body) = call(&cfg.coordinator, "POST", &path, batch.as_bytes())?;
+        if status != 200 {
+            return Err(io::Error::other(format!(
+                "journal upload rejected with status {status}: {}",
+                String::from_utf8_lossy(&body)
+            )));
+        }
+        *uploaded += n;
+        batch.clear();
+        batch.push_str(&header);
+        Ok(())
+    };
+    let mut in_batch = 0usize;
+    for rec in result.records() {
+        batch.push_str(&record_line(rec));
+        batch.push('\n');
+        in_batch += 1;
+        if batch.len() >= UPLOAD_BATCH_BYTES {
+            flush_batch(&mut batch, &mut uploaded, in_batch)?;
+            in_batch = 0;
+        }
+    }
+    flush_batch(&mut batch, &mut uploaded, in_batch)?;
+    stop.store(true, Ordering::Relaxed);
+    beat.join().ok();
+    println!("work: uploaded {uploaded} record(s) for job {job} epoch {epoch}");
+    io::stdout().flush().ok();
+    Ok(())
+}
+
+/// The worker main loop: register, then claim/run/upload until the
+/// coordinator goes away.
+///
+/// Prints one line per lifecycle step to stdout (`work: registered…`,
+/// `work: claimed…`, `work: uploaded…`) so tests and operators can
+/// follow along. Exits `Ok` once `MAX_CONSECUTIVE_FAILURES`
+/// coordinator calls in a row fail — the coordinator shut down, which
+/// is the normal end of a worker's life.
+///
+/// # Errors
+///
+/// Registration failures (e.g. the server is not in `--fleet` mode) and
+/// non-transient protocol errors (a rejected upload, a malformed claim).
+pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
+    let mut id = register(&cfg.coordinator)?;
+    println!("work: registered as {id} with http://{}", cfg.coordinator);
+    io::stdout().flush().ok();
+    let mut failures = 0u32;
+    loop {
+        let claim_path = format!("/v1/workers/{id}/claim");
+        match call(&cfg.coordinator, "POST", &claim_path, b"{}") {
+            Err(_) => {
+                failures += 1;
+                if failures >= MAX_CONSECUTIVE_FAILURES {
+                    println!("work: coordinator unreachable, exiting");
+                    return Ok(());
+                }
+                std::thread::sleep(cfg.poll);
+            }
+            Ok((404, _)) => {
+                // the coordinator restarted and forgot us: re-register
+                failures = 0;
+                id = register(&cfg.coordinator)?;
+                println!("work: re-registered as {id}");
+                io::stdout().flush().ok();
+            }
+            Ok((200, body)) => {
+                failures = 0;
+                let claim = parse_json(&body)?;
+                if claim.get("idle").is_some() {
+                    std::thread::sleep(cfg.poll);
+                } else {
+                    run_assignment(cfg, &id, &claim)?;
+                }
+            }
+            Ok((status, body)) => {
+                return Err(io::Error::other(format!(
+                    "claim failed with status {status}: {}",
+                    String::from_utf8_lossy(&body)
+                )));
+            }
+        }
+    }
+}

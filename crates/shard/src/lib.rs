@@ -19,7 +19,11 @@
 //!   [`std::process`], monitors them, respawns a dead worker (the
 //!   respawned process resumes from the journals and re-runs only the
 //!   dead worker's unfinished tasks), and reports aggregate wall-clock
-//!   so throughput across shards is visible.
+//!   so throughput across shards is visible;
+//! - [`repartition`] / [`ingest_journal`] — the dynamic (work-stealing)
+//!   half used by the `segsim serve --fleet` coordinator: re-split a
+//!   run's *missing* task set among whatever workers are live, and
+//!   absorb the shard journals they stream back over any transport.
 //!
 //! `segsim shard --workers M ...` is the command-line face of the
 //! coordinator; `examples/shard_quickstart.rs` is the library template.
@@ -53,7 +57,9 @@
 pub mod coordinator;
 pub mod merge;
 pub mod plan;
+pub mod steal;
 
 pub use coordinator::{Coordinator, CoordinatorReport, ShardError};
 pub use merge::{merge, merge_status, MergeStatus};
 pub use plan::ShardPlan;
+pub use steal::{ingest_journal, repartition};

@@ -52,6 +52,19 @@
 //! rows (byte-identical to `segsim sweep --stream --out`), and a killed
 //! server resumes unfinished jobs from their checkpoint journals on the
 //! next start. See `docs/SERVING.md`.
+//!
+//! Distributed serve fleet (the [`seg_serve::fleet`] mode):
+//!
+//! ```text
+//! segsim serve --fleet [--fleet-timeout SECS] ...
+//! segsim work --join HOST:PORT [--threads N] [--poll-ms MS]
+//! ```
+//!
+//! With `--fleet` the server becomes a coordinator: each job's missing
+//! tasks are re-partitioned among the live `segsim work` processes, the
+//! shard journals they upload merge into the job's checkpoint, and the
+//! rows stay byte-identical even when workers are killed mid-job. See
+//! `docs/FLEET.md`.
 
 use self_organized_segregation::prelude::*;
 use self_organized_segregation::seg_analysis::csv::write_csv_file;
@@ -62,6 +75,7 @@ use self_organized_segregation::seg_core::trace::trace_run;
 use self_organized_segregation::seg_engine::{
     spec_fingerprint, write_summary_csv, EngineArgs, SweepResult, ENGINE_USAGE,
 };
+use self_organized_segregation::seg_serve::{run_worker, WorkerConfig};
 use self_organized_segregation::seg_shard::{merge, Coordinator};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -157,7 +171,9 @@ const USAGE: &str = "usage: segsim --side N --horizon W --tau T \
 [--variant V,..] [--max-events N] [--snapshots DIR] [--summary FILE.csv] <engine flags>\n\
        segsim shard --workers M <sweep flags>\n\
        segsim serve [--addr HOST:PORT] [--workers N] [--threads T] [--data DIR] \
-[--conn-threads C] [--max-body BYTES] [--trace-out FILE.jsonl]\n\
+[--conn-threads C] [--max-body BYTES] [--trace-out FILE.jsonl] \
+[--fleet] [--fleet-timeout SECS]\n\
+       segsim work --join HOST:PORT [--threads N] [--poll-ms MS]\n\
 \n\
 variants: paper | flip-when-unhappy | noise:EPS | kawasaki | ring-glauber | \
 ring-kawasaki | two-sided:TAU_HI | multi:K\n\
@@ -173,7 +189,12 @@ byte-identical to a single-process `sweep`.\n\
 POST /v1/sweeps submits the JSON equivalent of `sweep` flags, jobs are \
 cached by spec fingerprint under --data, GET /v1/jobs/ID/rows streams rows \
 byte-identical to `sweep --stream --out`, POST /v1/shutdown drains. \
-See docs/SERVING.md.";
+See docs/SERVING.md.\n\
+`serve --fleet` turns the server into a coordinator that dispatches each \
+job's tasks to `segsim work` processes and re-partitions a dead worker's \
+share among the survivors; `work --join` registers with such a \
+coordinator, runs claimed task shares, and uploads shard journals. The \
+merged rows stay byte-identical to a single-process sweep. See docs/FLEET.md.";
 
 /// Options of the `sweep` subcommand not covered by [`EngineArgs`].
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -362,12 +383,16 @@ fn run_sweep(args: &[String]) -> Result<(), String> {
         t.replicas_per_sec, t.events_per_sec, t.threads, t.wall_secs
     );
     if !result.is_complete() {
+        // an auto worker's claimed index lives inside the run; name the
+        // flag it came from instead
+        let shard = engine_args
+            .shard
+            .map(|s| s.to_string())
+            .or_else(|| engine_args.shard_auto.map(|m| format!("auto/{m}")))
+            .expect("partial results only from --shard");
         println!(
-            "shard {}: partial result ({} of {} tasks journaled); run the other \
+            "shard {shard}: partial result ({} of {} tasks journaled); run the other \
              shards, then rerun without --shard (or use `segsim shard`) to merge",
-            engine_args
-                .shard
-                .expect("partial results only from --shard"),
             result.records().len(),
             spec.task_count(),
         );
@@ -546,15 +571,67 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--max-body: {e}"))?
             }
             "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--fleet" => config.fleet = true,
+            "--fleet-timeout" => {
+                let secs: f64 = value("--fleet-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--fleet-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--fleet-timeout must be positive".into());
+                }
+                config.fleet_timeout = std::time::Duration::from_secs_f64(secs);
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
+    }
+    if !config.fleet && config.fleet_timeout != ServeConfig::default().fleet_timeout {
+        return Err("--fleet-timeout only makes sense with --fleet".into());
     }
     serve(config).map_err(|e| format!("serve: {e}"))
 }
 
+/// Parses the `work` subcommand flags and joins a fleet coordinator.
+fn run_work(args: &[String]) -> Result<(), String> {
+    let mut join: Option<String> = None;
+    let mut config = WorkerConfig::new(String::new());
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--join" => join = Some(value("--join")?.clone()),
+            "--threads" => {
+                config.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--poll-ms" => {
+                let ms: u64 = value("--poll-ms")?
+                    .parse()
+                    .map_err(|e| format!("--poll-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--poll-ms must be at least 1".into());
+                }
+                config.poll = std::time::Duration::from_millis(ms);
+            }
+            // undocumented on purpose: fault injection for the fleet
+            // integration tests (claim, then hang without heartbeats)
+            "--fault" => match value("--fault")?.as_str() {
+                "hang" => config.fault_hang = true,
+                other => return Err(format!("unknown fault {other:?} (supported: hang)")),
+            },
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    config.coordinator =
+        join.ok_or_else(|| format!("work mode needs --join HOST:PORT\n{USAGE}"))?;
+    run_worker(&config).map_err(|e| format!("work: {e}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(mode @ ("sweep" | "shard" | "serve")) = args.first().map(String::as_str) {
+    if let Some(mode @ ("sweep" | "shard" | "serve" | "work")) = args.first().map(String::as_str) {
         if args[1..].iter().any(|a| a == "--help" || a == "-h") {
             println!("{USAGE}\nengine flags: {ENGINE_USAGE}");
             return ExitCode::SUCCESS;
@@ -562,6 +639,7 @@ fn main() -> ExitCode {
         let run = match mode {
             "sweep" => run_sweep,
             "shard" => run_shard,
+            "work" => run_work,
             _ => run_serve,
         };
         return match run(&args[1..]) {

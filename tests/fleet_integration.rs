@@ -1,0 +1,234 @@
+//! The fleet guarantee, tested with real processes under fault
+//! injection: a coordinator (`segsim serve --fleet`) plus three
+//! `segsim work` workers — one killed with SIGKILL mid-job, one hanging
+//! after its claim without heartbeats — must still finish the job with
+//! result rows **byte-identical** to `segsim sweep --stream --out`,
+//! re-dispatching the dead workers' shares to the survivor
+//! (`fleet_shard_redispatch_total ≥ 1`), with no duplicate
+//! (point, replica) row.
+//!
+//! Server stderr and worker stdout go under `SERVE_TEST_LOG_DIR` (CI
+//! uploads them on failure).
+
+mod support;
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use support::{
+    http, json_str_field, log_path, poll_until_state, run_sweep, sample_value, tmp_dir,
+    validate_exposition, wait_for_log, ServerProc, SEGSIM,
+};
+
+/// A running `segsim work` process with its stdout in a log file.
+struct WorkerProc {
+    child: Child,
+    log: PathBuf,
+}
+
+impl WorkerProc {
+    fn start(tag: &str, n: usize, coordinator: &str, extra: &[&str]) -> WorkerProc {
+        let log = log_path(&format!("{tag}-worker{n}"));
+        let log_file = fs::File::options()
+            .create(true)
+            .append(true)
+            .open(&log)
+            .unwrap();
+        let child = Command::new(SEGSIM)
+            .args([
+                "work",
+                "--join",
+                coordinator,
+                "--poll-ms",
+                "50",
+                "--threads",
+                "1",
+            ])
+            .args(extra)
+            .stdout(Stdio::from(log_file))
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn segsim work");
+        WorkerProc { child, log }
+    }
+
+    /// SIGKILL — the worker gets no chance to upload or say goodbye.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        self.kill9();
+    }
+}
+
+/// Polls `GET /v1/workers` until `n` workers are registered.
+fn wait_for_workers(addr: &str, n: usize, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, _, body) = http(addr, "GET", "/v1/workers", "");
+        assert_eq!(status, 200, "worker listing failed");
+        let count = String::from_utf8_lossy(&body).matches("\"id\":").count();
+        if count >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {count}/{n} workers registered in time: {}",
+            String::from_utf8_lossy(&body)
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// A job big enough that workers are reliably mid-share when one is
+/// killed: 120 tasks, a few seconds of debug-build compute.
+const JOB_BODY: &str = r#"{"side": 32, "horizon": 1, "tau": 0.42, "replicas": 120,
+    "seed": 7, "max_events": 1500}"#;
+
+fn job_sweep_flags(out: &std::path::Path) -> Vec<String> {
+    [
+        "--side",
+        "32",
+        "--horizon",
+        "1",
+        "--tau",
+        "0.42",
+        "--replicas",
+        "120",
+        "--seed",
+        "7",
+        "--max-events",
+        "1500",
+        "--stream",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain(["--out".to_string(), out.display().to_string()])
+    .collect()
+}
+
+#[test]
+fn fleet_with_killed_and_hung_workers_stays_byte_identical() {
+    let dir = tmp_dir("fleet");
+    let reference = dir.join("ref.jsonl");
+    run_sweep(&job_sweep_flags(&reference));
+    let reference = fs::read(&reference).unwrap();
+
+    let mut server = ServerProc::start_with(
+        "fleet",
+        &dir.join("data"),
+        1,
+        &["--fleet", "--fleet-timeout", "2"],
+    );
+    let addr = server.addr.clone();
+
+    // fleet endpoints are live; a bogus worker id is told to re-register
+    let (status, _, _) = http(&addr, "POST", "/v1/workers/w999/heartbeat", "{}");
+    assert_eq!(status, 404);
+
+    // three workers: one will hang after claiming (no heartbeats), one
+    // will be SIGKILLed mid-share, one survives and finishes the job
+    let _hung = WorkerProc::start("fleet", 1, &addr, &["--fault", "hang"]);
+    let mut victim = WorkerProc::start("fleet", 2, &addr, &[]);
+    let survivor = WorkerProc::start("fleet", 3, &addr, &[]);
+    wait_for_workers(&addr, 3, Duration::from_secs(10));
+
+    let (status, _, body) = http(&addr, "POST", "/v1/sweeps", JOB_BODY);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let id = json_str_field(&body, "id").expect("job id");
+
+    // SIGKILL the victim as soon as it has claimed a share — its tasks
+    // must be re-dispatched, never lost
+    wait_for_log(&victim.log, "work: claimed job", Duration::from_secs(30));
+    victim.kill9();
+
+    poll_until_state(&addr, &id, "done", Duration::from_secs(300));
+
+    // the merged rows are byte-identical to the single-process CLI run
+    let (status, _, rows) = http(&addr, "GET", &format!("/v1/jobs/{id}/rows"), "");
+    assert_eq!(status, 200);
+    assert_eq!(rows, reference, "fleet rows differ from CLI rows");
+
+    // belt and braces on top of byte-identity: every (point, replica)
+    // pair appears exactly once — no dead worker's share ran twice into
+    // the output
+    let text = std::str::from_utf8(&rows).expect("utf-8 rows");
+    let mut seen = HashSet::new();
+    for line in text.lines() {
+        let point = line.split("\"point\":").nth(1).and_then(|s| {
+            s.split(&[',', '}'][..])
+                .next()
+                .map(|v| v.trim().to_string())
+        });
+        let replica = line.split("\"replica\":").nth(1).and_then(|s| {
+            s.split(&[',', '}'][..])
+                .next()
+                .map(|v| v.trim().to_string())
+        });
+        let key = (point.expect("point field"), replica.expect("replica field"));
+        assert!(seen.insert(key.clone()), "duplicate row for {key:?}");
+    }
+    assert_eq!(seen.len(), 120, "expected one row per task");
+
+    // the survivor did real fleet work, and the dead/hung shares were
+    // re-dispatched at least once
+    wait_for_log(&survivor.log, "work: uploaded", Duration::from_secs(30));
+    let (_, _, body) = http(&addr, "GET", "/metrics", "");
+    let samples = validate_exposition(&String::from_utf8(body).expect("utf-8 exposition"));
+    let (_, _, redispatched) = sample_value(&samples, "fleet_shard_redispatch_total", &[])
+        .expect("redispatch counter exported");
+    assert!(
+        *redispatched >= 1.0,
+        "no share was re-dispatched (counter {redispatched})"
+    );
+    let (_, _, uploaded) =
+        sample_value(&samples, "fleet_journal_records_total", &[]).expect("upload counter");
+    assert!(*uploaded >= 1.0, "no fleet upload was accepted");
+
+    // clean shutdown with workers still attached
+    let (status, _, _) = http(&addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(
+        server.wait_exit(Duration::from_secs(30)),
+        "coordinator did not drain after /v1/shutdown"
+    );
+}
+
+#[test]
+fn fleet_endpoints_are_404_when_fleet_mode_is_off() {
+    let dir = tmp_dir("fleet_off");
+    let server = ServerProc::start("fleet_off", &dir.join("data"), 1);
+    for (method, path) in [
+        ("POST", "/v1/workers/register"),
+        ("POST", "/v1/workers/w1/heartbeat"),
+        ("POST", "/v1/workers/w1/claim"),
+        ("GET", "/v1/workers"),
+        ("POST", "/v1/jobs/abcd/journal"),
+    ] {
+        let (status, _, body) = http(&server.addr, method, path, "{}");
+        assert_eq!(
+            status,
+            404,
+            "{method} {path}: {}",
+            String::from_utf8_lossy(&body)
+        );
+    }
+    // and a worker pointed at a non-fleet server fails fast with a
+    // useful message instead of looping
+    let out = Command::new(SEGSIM)
+        .args(["work", "--join", &server.addr])
+        .output()
+        .expect("spawn segsim work");
+    assert!(!out.status.success(), "worker should refuse a 404 register");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--fleet"),
+        "unhelpful error: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -7,196 +7,15 @@
 //! Server stderr goes to `serve-<tag>.log` under `SERVE_TEST_LOG_DIR`
 //! (or the test temp dir), which CI uploads on failure.
 
+mod support;
+
 use std::fs;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
-use std::path::{Path, PathBuf};
-use std::process::{Child, Command, Stdio};
+use std::path::Path;
 use std::time::{Duration, Instant};
-
-const SEGSIM: &str = env!("CARGO_BIN_EXE_segsim");
-
-fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir()
-        .join("segsim_serve_integration")
-        .join(tag);
-    let _ = fs::remove_dir_all(&dir);
-    fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-fn log_path(tag: &str) -> PathBuf {
-    let dir = std::env::var_os("SERVE_TEST_LOG_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| std::env::temp_dir().join("segsim_serve_integration"));
-    fs::create_dir_all(&dir).unwrap();
-    dir.join(format!("serve-{tag}.log"))
-}
-
-/// A running `segsim serve` process bound to an ephemeral port.
-struct ServerProc {
-    child: Child,
-    addr: String,
-    log: PathBuf,
-}
-
-impl ServerProc {
-    /// Starts the server on port 0 and reads the bound address off its
-    /// first stdout line. Stderr appends to the per-tag log so restarts
-    /// of one scenario share a file.
-    fn start(tag: &str, data_dir: &Path, workers: u32) -> ServerProc {
-        let log = log_path(tag);
-        let log_file = fs::File::options()
-            .create(true)
-            .append(true)
-            .open(&log)
-            .unwrap();
-        let mut child = Command::new(SEGSIM)
-            .args([
-                "serve",
-                "--addr",
-                "127.0.0.1:0",
-                "--workers",
-                &workers.to_string(),
-                "--data",
-                &data_dir.display().to_string(),
-            ])
-            .stdout(Stdio::piped())
-            .stderr(Stdio::from(log_file))
-            .spawn()
-            .expect("spawn segsim serve");
-        let stdout = child.stdout.take().expect("stdout piped");
-        let mut lines = BufReader::new(stdout).lines();
-        let first = lines
-            .next()
-            .expect("server printed nothing")
-            .expect("read server stdout");
-        let addr = first
-            .strip_prefix("serve: listening on http://")
-            .unwrap_or_else(|| panic!("unexpected first line: {first}"))
-            .to_string();
-        ServerProc { child, addr, log }
-    }
-
-    fn kill(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-
-    /// Waits (bounded) for the process to exit on its own, returning
-    /// whether it exited successfully.
-    fn wait_exit(&mut self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        loop {
-            match self.child.try_wait().expect("try_wait") {
-                Some(status) => return status.success(),
-                None if Instant::now() > deadline => return false,
-                None => std::thread::sleep(Duration::from_millis(20)),
-            }
-        }
-    }
-}
-
-impl Drop for ServerProc {
-    fn drop(&mut self) {
-        self.kill();
-    }
-}
-
-/// A one-shot HTTP exchange (`Connection: close`), returning
-/// `(status, headers, body)` with chunked bodies decoded.
-fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, Vec<u8>) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
-    stream
-        .set_read_timeout(Some(Duration::from_secs(120)))
-        .unwrap();
-    write!(
-        stream,
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
-        body.len()
-    )
-    .unwrap();
-    // best-effort: a server rejecting an oversized body responds and
-    // closes without reading it, which makes this write fail with EPIPE
-    let _ = stream.write_all(body.as_bytes());
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).expect("read response");
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .expect("response head")
-        + 4;
-    let head = String::from_utf8(raw[..head_end].to_vec()).unwrap();
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .expect("status code")
-        .parse()
-        .expect("numeric status");
-    let payload = &raw[head_end..];
-    let body = if head
-        .to_ascii_lowercase()
-        .contains("transfer-encoding: chunked")
-    {
-        decode_chunked(payload)
-    } else {
-        payload.to_vec()
-    };
-    (status, head, body)
-}
-
-fn decode_chunked(mut raw: &[u8]) -> Vec<u8> {
-    let mut out = Vec::new();
-    loop {
-        let line_end = raw
-            .windows(2)
-            .position(|w| w == b"\r\n")
-            .expect("chunk size line");
-        let size = usize::from_str_radix(
-            std::str::from_utf8(&raw[..line_end]).expect("ascii size"),
-            16,
-        )
-        .expect("hex chunk size");
-        raw = &raw[line_end + 2..];
-        if size == 0 {
-            return out;
-        }
-        out.extend_from_slice(&raw[..size]);
-        assert_eq!(&raw[size..size + 2], b"\r\n", "chunk not CRLF-terminated");
-        raw = &raw[size + 2..];
-    }
-}
-
-/// Pulls `"field":"value"` out of a JSON response without a parser.
-fn json_str_field(body: &[u8], field: &str) -> Option<String> {
-    let text = std::str::from_utf8(body).ok()?;
-    let key = format!("\"{field}\":\"");
-    let start = text.find(&key)? + key.len();
-    let end = text[start..].find('"')? + start;
-    Some(text[start..end].to_string())
-}
-
-fn poll_until_state(addr: &str, id: &str, want: &str, timeout: Duration) {
-    let deadline = Instant::now() + timeout;
-    loop {
-        let (status, _, body) = http(addr, "GET", &format!("/v1/jobs/{id}"), "");
-        assert_eq!(status, 200, "status poll failed");
-        let state = json_str_field(&body, "state").expect("state field");
-        if state == want {
-            return;
-        }
-        assert!(
-            state != "failed",
-            "job failed while waiting for {want}: {}",
-            String::from_utf8_lossy(&body)
-        );
-        assert!(
-            Instant::now() < deadline,
-            "timed out waiting for state {want} (currently {state})"
-        );
-        std::thread::sleep(Duration::from_millis(20));
-    }
-}
+use support::{
+    http, json_str_field, poll_until_state, run_sweep, sample_value, tmp_dir, validate_exposition,
+    wait_for_log, ServerProc,
+};
 
 /// The request body mirroring `sweep_flags` below.
 const SMALL_BODY: &str = r#"{"side": 24, "horizon": 1, "tau": [0.4, 0.45],
@@ -224,20 +43,6 @@ fn small_sweep_flags(out: &Path) -> Vec<String> {
     .map(String::from)
     .chain(["--out".to_string(), out.display().to_string()])
     .collect()
-}
-
-fn run_sweep(flags: &[String]) {
-    let out = Command::new(SEGSIM)
-        .arg("sweep")
-        .args(flags)
-        .output()
-        .expect("spawn segsim sweep");
-    assert!(
-        out.status.success(),
-        "segsim sweep failed:\nstdout: {}\nstderr: {}",
-        String::from_utf8_lossy(&out.stdout),
-        String::from_utf8_lossy(&out.stderr)
-    );
 }
 
 #[test]
@@ -359,12 +164,10 @@ fn killed_server_resumes_the_job_from_its_journal() {
     poll_until_state(&server.addr, &id, "done", Duration::from_secs(120));
     let (_, _, rows) = http(&server.addr, "GET", &format!("/v1/jobs/{id}/rows"), "");
     assert_eq!(rows, reference, "post-restart rows differ from CLI rows");
-    let log = fs::read_to_string(&server.log).unwrap();
-    assert!(
-        log.contains("resuming from"),
-        "server log shows no checkpoint resume:\n{log}"
-    );
-    assert!(log.contains("recovered"), "no recovery note:\n{log}");
+    // stderr lands asynchronously: poll with a deadline instead of
+    // asserting on a single racy read
+    wait_for_log(&server.log, "resuming from", Duration::from_secs(30));
+    wait_for_log(&server.log, "recovered", Duration::from_secs(30));
 }
 
 #[test]
@@ -455,70 +258,6 @@ fn eight_concurrent_clients_stream_identical_rows_live() {
         assert_eq!(rows, reference, "client {i} got different bytes");
     }
     poll_until_state(&addr, &id, "done", Duration::from_secs(60));
-}
-
-/// Splits one Prometheus sample line into `(name, labels, value)`.
-fn parse_sample(line: &str) -> (String, String, f64) {
-    let (head, value) = line.rsplit_once(' ').expect("sample has a value");
-    let value: f64 = value
-        .parse()
-        .unwrap_or_else(|e| panic!("bad sample value in {line:?}: {e}"));
-    match head.split_once('{') {
-        Some((name, rest)) => {
-            let labels = rest.strip_suffix('}').expect("labels close");
-            (name.to_string(), labels.to_string(), value)
-        }
-        None => (head.to_string(), String::new(), value),
-    }
-}
-
-/// Validates a full exposition document line by line and returns every
-/// sample as `(name, labels, value)`.
-fn validate_exposition(text: &str) -> Vec<(String, String, f64)> {
-    let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
-    let mut samples = Vec::new();
-    for line in text.lines() {
-        if line.is_empty() {
-            continue;
-        }
-        if let Some(rest) = line.strip_prefix("# ") {
-            let mut parts = rest.splitn(3, ' ');
-            let kind = parts.next().expect("comment kind");
-            let name = parts
-                .next()
-                .unwrap_or_else(|| panic!("bare comment: {line:?}"));
-            assert!(parts.next().is_some(), "HELP/TYPE without text: {line:?}");
-            match kind {
-                "HELP" => {}
-                "TYPE" => {
-                    assert!(typed.insert(name.to_string()), "duplicate TYPE for {name}");
-                }
-                other => panic!("unknown comment kind {other} in {line:?}"),
-            }
-            continue;
-        }
-        let (name, labels, value) = parse_sample(line);
-        // every sample belongs to a TYPEd family (histogram samples get
-        // _bucket/_sum/_count suffixes on the family name)
-        let family = ["_bucket", "_sum", "_count"]
-            .iter()
-            .find_map(|s| name.strip_suffix(s))
-            .filter(|f| typed.contains(*f))
-            .unwrap_or(&name);
-        assert!(typed.contains(family), "sample {name} precedes its # TYPE");
-        samples.push((name, labels, value));
-    }
-    samples
-}
-
-fn sample_value<'a>(
-    samples: &'a [(String, String, f64)],
-    name: &str,
-    labels_contain: &[&str],
-) -> Option<&'a (String, String, f64)> {
-    samples
-        .iter()
-        .find(|(n, l, _)| n == name && labels_contain.iter().all(|want| l.contains(want)))
 }
 
 #[test]
