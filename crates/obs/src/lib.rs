@@ -10,7 +10,11 @@
 //!   [`Registry::render`] of [`metrics()`]);
 //! - [`trace`] — a lock-cheap span/event [`Tracer`] writing into a
 //!   bounded in-memory ring, with optional JSONL export
-//!   (`segsim serve --trace-out FILE`).
+//!   (`segsim serve --trace-out FILE`, `segsim work --trace-out FILE`)
+//!   and cross-process correlation: bind a [`TraceContext`] around a
+//!   unit of work and every record carries its `trace_id` (plus a
+//!   wall-clock `unix_us` column so JSONL from several processes
+//!   merges into one timeline — see `docs/OBSERVABILITY.md`).
 //!
 //! Everything is updated through atomics or a single short-lived mutex,
 //! so instrumenting a hot seam (the engine's per-replica completion
@@ -45,4 +49,4 @@ pub mod metrics;
 pub mod trace;
 
 pub use metrics::{metrics, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
-pub use trace::{tracer, Span, TraceEvent, Tracer};
+pub use trace::{mint_trace_id, tracer, ContextGuard, Span, TraceContext, TraceEvent, Tracer};

@@ -144,6 +144,20 @@ impl Histogram {
         10.0,
     ];
 
+    /// Default payload-size buckets in bytes: 256 B … 4 MiB in powers
+    /// of four — sized for NDJSON journal uploads, whose batches cap at
+    /// 512 KiB and whose request bodies cap at 1 MiB by default.
+    pub const SIZE_BUCKETS: &'static [f64] = &[
+        256.0,
+        1_024.0,
+        4_096.0,
+        16_384.0,
+        65_536.0,
+        262_144.0,
+        1_048_576.0,
+        4_194_304.0,
+    ];
+
     /// A histogram over the given finite upper bounds (must be sorted,
     /// strictly increasing, and non-empty).
     ///

@@ -9,16 +9,20 @@
 //! | `/v1/sweeps` | POST | submit a sweep (JSON body); dedup by spec fingerprint |
 //! | `/v1/jobs/:id` | GET | status, progress, live replicas/s, queue/cache figures |
 //! | `/v1/jobs/:id/rows` | GET | NDJSON result rows, chunked, in task order; `?from=K` skips the first K rows |
+//! | `/v1/jobs/:id/trace` | GET | the job's cross-process span timeline (coordinator + worker spans, merged by `unix_us`) |
 //! | `/v1/shutdown` | POST | graceful drain: stop accepting, journal in-flight work, exit |
 //! | `/v1/workers/register` | POST | fleet only: a `segsim work` process joins, gets a worker id |
-//! | `/v1/workers/:id/heartbeat` | POST | fleet only: keep the worker live (404 = re-register) |
-//! | `/v1/workers/:id/claim` | POST | fleet only: ask for an assignment (doubles as a heartbeat) |
-//! | `/v1/workers` | GET | fleet only: every known worker with heartbeat age and claim state |
-//! | `/v1/jobs/:id/journal` | POST | fleet only: upload a shard journal (`?worker=ID&epoch=N`, NDJSON body) |
+//! | `/v1/workers/:id/heartbeat` | POST | fleet only: keep the worker live (404 = re-register); body may carry throughput stats |
+//! | `/v1/workers/:id/claim` | POST | fleet only: ask for an assignment (doubles as a heartbeat); claims carry the job's trace id |
+//! | `/v1/workers` | GET | fleet only: every known worker with heartbeat age, claim state and reported replicas/s |
+//! | `/v1/jobs/:id/journal` | POST | fleet only: upload a shard journal (`?worker=ID&epoch=N`, NDJSON body, trace lines pass through) |
 //!
 //! The `/v1/workers*` and journal endpoints answer 404 unless the
 //! server runs with `--fleet`; the protocol is documented in
-//! `docs/FLEET.md`.
+//! `docs/FLEET.md`. Worker-reported stats in heartbeat/claim bodies are
+//! federated into `fleet_worker_*{worker=...}` gauges (see
+//! `docs/OBSERVABILITY.md`), and a submit may pin the job's distributed
+//! trace id with an `X-Seg-Trace` header.
 //!
 //! Every request is counted into
 //! `serve_http_requests_total{endpoint,method,status}` and timed into
@@ -65,6 +69,19 @@ fn error_body(msg: &str) -> String {
     format!("{{\"error\":{}}}", escape_str(msg))
 }
 
+/// The throughput figures a worker reports in its heartbeat/claim body
+/// (`{"replicas_per_sec":X,"events_per_sec":Y}`). `None` when the body
+/// is not a JSON object (older workers send nothing); absent fields
+/// read as zero, which is also what an idle worker reports.
+fn worker_stats(body: &[u8]) -> Option<(f64, f64)> {
+    let json = Json::parse(std::str::from_utf8(body).ok()?).ok()?;
+    if !matches!(json, Json::Obj(_)) {
+        return None;
+    }
+    let field = |k: &str| json.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    Some((field("replicas_per_sec"), field("events_per_sec")))
+}
+
 /// The route *pattern* a path matches — the bounded-cardinality
 /// `endpoint` label of the request metrics.
 fn endpoint_label(segments: &[&str]) -> &'static str {
@@ -75,6 +92,7 @@ fn endpoint_label(segments: &[&str]) -> &'static str {
         ["v1", "sweeps"] => "/v1/sweeps",
         ["v1", "jobs", _] => "/v1/jobs/:id",
         ["v1", "jobs", _, "rows"] => "/v1/jobs/:id/rows",
+        ["v1", "jobs", _, "trace"] => "/v1/jobs/:id/trace",
         ["v1", "jobs", _, "journal"] => "/v1/jobs/:id/journal",
         ["v1", "shutdown"] => "/v1/shutdown",
         ["v1", "workers"] => "/v1/workers",
@@ -189,7 +207,7 @@ fn route<W: Write>(
                 write_json(out, 503, &error_body("server is draining"), false)?;
                 return Ok(false);
             }
-            let (job, outcome) = match ctx.manager.submit(request) {
+            let (job, outcome) = match ctx.manager.submit(request, req.header("x-seg-trace")) {
                 Ok(x) => x,
                 Err(e) => {
                     write_json(out, 500, &error_body(&e.to_string()), keep)?;
@@ -207,6 +225,16 @@ fn route<W: Write>(
             Some(job) => {
                 let body = job.status_json_with_scheduling(None, &ctx.manager.scheduling());
                 write_json(out, 200, &body, keep)?;
+                Ok(keep)
+            }
+            None => {
+                write_json(out, 404, &error_body("no such job"), keep)?;
+                Ok(keep)
+            }
+        },
+        ("GET", ["v1", "jobs", id, "trace"]) => match ctx.manager.get(id) {
+            Some(job) => {
+                write_json(out, 200, &job.trace_json(), keep)?;
                 Ok(keep)
             }
             None => {
@@ -261,6 +289,9 @@ fn route<W: Write>(
                 Ok(keep)
             }
             Some(fleet) if fleet.heartbeat(id) => {
+                if let Some((r, ev)) = worker_stats(&req.body) {
+                    fleet.note_stats(id, r, ev);
+                }
                 write_json(out, 200, "{\"ok\":true}", keep)?;
                 Ok(keep)
             }
@@ -280,15 +311,24 @@ fn route<W: Write>(
                     Ok(keep)
                 }
                 Some(None) => {
+                    if let Some((r, ev)) = worker_stats(&req.body) {
+                        fleet.note_stats(id, r, ev);
+                    }
                     write_json(out, 200, "{\"idle\":true}", keep)?;
                     Ok(keep)
                 }
                 Some(Some(a)) => {
                     let tasks: Vec<String> = a.tasks.iter().map(usize::to_string).collect();
+                    let parent = a
+                        .parent_span_id
+                        .as_deref()
+                        .map(|p| format!(",\"parent_span\":{}", escape_str(p)))
+                        .unwrap_or_default();
                     let body = format!(
-                        "{{\"job\":{},\"epoch\":{},\"request\":{},\"tasks\":[{}]}}",
+                        "{{\"job\":{},\"epoch\":{},\"trace\":{}{parent},\"request\":{},\"tasks\":[{}]}}",
                         escape_str(&a.job_id),
                         a.epoch,
+                        escape_str(&a.trace_id),
                         a.request_json,
                         tasks.join(",")
                     );
@@ -331,8 +371,28 @@ fn route<W: Write>(
             };
             let worker = req.query_param("worker").unwrap_or("unknown");
             match seg_shard::ingest_journal(&req.body[..], &job.spec) {
-                Ok(records) => {
-                    let accepted = fleet.accept_upload(worker, &job.id, records);
+                Ok(ingested) => {
+                    seg_obs::metrics()
+                        .histogram(
+                            "fleet_journal_upload_bytes",
+                            "size of accepted shard-journal upload bodies",
+                            &[],
+                            seg_obs::Histogram::SIZE_BUCKETS,
+                        )
+                        .observe(req.body.len() as f64);
+                    if !ingested.spans.is_empty() {
+                        job.add_worker_spans(worker, &ingested.spans);
+                    }
+                    let accepted = fleet.accept_upload(worker, &job.id, ingested.records);
+                    {
+                        // record the upload into the job's own trace so the
+                        // merged timeline shows when results landed
+                        let _ctx = seg_obs::TraceContext::new(job.trace_id.clone()).bind();
+                        seg_obs::tracer().event(
+                            "fleet.upload",
+                            format!("worker {worker}: {accepted} record(s) for job {}", job.id),
+                        );
+                    }
                     eprintln!(
                         "serve: fleet worker {worker} uploaded {accepted} record(s) for job {}",
                         job.id

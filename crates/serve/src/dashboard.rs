@@ -61,6 +61,10 @@ pub fn render(ctx: &ApiContext) -> String {
     let summary: Vec<String> = counts.iter().map(|(k, v)| format!("{v} {k}")).collect();
     let _ = writeln!(page, "<p>jobs: {}</p>", summary.join(", "));
 
+    if let Some(fleet) = &ctx.fleet {
+        render_fleet(&mut page, fleet);
+    }
+
     let jobs = ctx.manager.jobs_snapshot();
     if jobs.is_empty() {
         page.push_str("<p><em>No jobs yet. POST a sweep to /v1/sweeps.</em></p>\n");
@@ -127,6 +131,63 @@ pub fn render(ctx: &ApiContext) -> String {
     }
     page.push_str("</div>\n</body>\n</html>\n");
     page
+}
+
+/// The fleet panel: one table row per known worker (federated from
+/// heartbeat/claim stats) plus two charts over the workers' retained
+/// sample rings — replicas/s and heartbeat age, one series per worker.
+fn render_fleet(page: &mut String, fleet: &crate::fleet::FleetRegistry) {
+    fleet.live_workers(); // refresh ages and append a sample
+    let workers = fleet.worker_summaries();
+    page.push_str("<h2>fleet</h2>\n");
+    if workers.is_empty() {
+        page.push_str("<p><em>No fleet workers yet. Start one with segsim work --join.</em></p>\n");
+        return;
+    }
+    page.push_str(
+        "<table>\n<tr><th>worker</th><th>state</th><th>heartbeat age</th>\
+         <th>replicas/s</th><th>events/s</th></tr>\n",
+    );
+    for w in &workers {
+        let _ = writeln!(
+            page,
+            "<tr><td><code>{}</code></td><td>{}</td><td>{:.1}s</td>\
+             <td>{:.1}</td><td>{:.2e}</td></tr>",
+            escape_html(&w.id),
+            if w.busy { "busy" } else { "idle" },
+            w.age_secs,
+            w.replicas_per_sec,
+            w.events_per_sec,
+        );
+    }
+    page.push_str("</table>\n<div class=\"charts\">\n");
+    let histories = fleet.worker_histories();
+    let mut replicas_chart = LineChart::new("fleet replicas/s", "uptime s", "replicas/s");
+    let mut age_chart = LineChart::new("fleet heartbeat age", "uptime s", "age s");
+    let mut plotted = false;
+    for (i, (id, samples)) in histories.iter().enumerate() {
+        if samples.is_empty() {
+            continue;
+        }
+        plotted = true;
+        let replicas: Vec<(f64, f64)> = samples
+            .iter()
+            .map(|s| (s.t_secs, s.replicas_per_sec))
+            .collect();
+        let ages: Vec<(f64, f64)> = samples
+            .iter()
+            .map(|s| (s.t_secs, s.heartbeat_age_secs))
+            .collect();
+        replicas_chart.series(Series::new(id.clone(), replicas, i));
+        age_chart.series(Series::new(id.clone(), ages, i));
+    }
+    if plotted {
+        page.push_str(&replicas_chart.render());
+        page.push('\n');
+        page.push_str(&age_chart.render());
+        page.push('\n');
+    }
+    page.push_str("</div>\n");
 }
 
 #[cfg(test)]

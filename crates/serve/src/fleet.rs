@@ -44,12 +44,64 @@ pub struct Assignment {
     pub request_json: String,
     /// The task indices to run.
     pub tasks: Vec<usize>,
+    /// The job's distributed trace id — carried to the worker in the
+    /// claim response so its spans correlate with the coordinator's.
+    pub trace_id: String,
+    /// The coordinator-side span the worker's spans should parent
+    /// under (the job's `serve.job` span).
+    pub parent_span_id: Option<String>,
+}
+
+/// One federated telemetry sample of a worker, kept in a bounded ring
+/// for the dashboard's fleet sparklines.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerSample {
+    /// Seconds since the registry was created.
+    pub t_secs: f64,
+    /// The worker's last reported engine throughput.
+    pub replicas_per_sec: f64,
+    /// Seconds since the worker's last heartbeat at sampling time.
+    pub heartbeat_age_secs: f64,
+}
+
+/// Samples each worker's history ring retains (at the scheduling loop's
+/// cadence that is roughly the last dozen seconds).
+pub const WORKER_HISTORY_CAP: usize = 240;
+
+/// A point-in-time row about one worker — the dashboard's fleet table.
+#[derive(Clone, Debug)]
+pub struct WorkerSummary {
+    /// The worker id the coordinator minted at registration.
+    pub id: String,
+    /// Seconds since the worker's last heartbeat.
+    pub age_secs: f64,
+    /// Whether the worker currently holds an assignment.
+    pub busy: bool,
+    /// The worker's last reported engine replicas/s.
+    pub replicas_per_sec: f64,
+    /// The worker's last reported engine events/s.
+    pub events_per_sec: f64,
 }
 
 #[derive(Debug)]
 struct WorkerEntry {
     last_seen: Instant,
     assignment: Option<(String, u64)>, // (job_id, epoch) claimed
+    replicas_per_sec: f64,             // last heartbeat-reported stats
+    events_per_sec: f64,
+    history: VecDeque<WorkerSample>,
+}
+
+impl WorkerEntry {
+    fn fresh() -> WorkerEntry {
+        WorkerEntry {
+            last_seen: Instant::now(),
+            assignment: None,
+            replicas_per_sec: 0.0,
+            events_per_sec: 0.0,
+            history: VecDeque::new(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -85,6 +137,7 @@ struct FleetMetrics {
     live: std::sync::Arc<seg_obs::Gauge>,
     redispatch: std::sync::Arc<seg_obs::Counter>,
     uploads: std::sync::Arc<seg_obs::Counter>,
+    claim_latency: std::sync::Arc<seg_obs::Histogram>,
 }
 
 impl FleetMetrics {
@@ -106,6 +159,12 @@ impl FleetMetrics {
                 "replica records accepted from worker journal uploads",
                 &[],
             ),
+            claim_latency: m.histogram(
+                "fleet_claim_seconds",
+                "time a share sat offered before a worker claimed it",
+                &[],
+                seg_obs::Histogram::LATENCY_BUCKETS,
+            ),
         }
     }
 }
@@ -115,6 +174,7 @@ impl FleetMetrics {
 #[derive(Debug)]
 pub struct FleetRegistry {
     timeout: Duration,
+    started: Instant,
     state: Mutex<FleetState>,
     obs: FleetMetrics,
 }
@@ -125,6 +185,7 @@ impl FleetRegistry {
     pub fn new(timeout: Duration) -> FleetRegistry {
         FleetRegistry {
             timeout,
+            started: Instant::now(),
             state: Mutex::new(FleetState::default()),
             obs: FleetMetrics::register(),
         }
@@ -144,13 +205,7 @@ impl FleetRegistry {
         let mut st = self.lock();
         st.next_id += 1;
         let id = format!("w{}", st.next_id);
-        st.workers.insert(
-            id.clone(),
-            WorkerEntry {
-                last_seen: Instant::now(),
-                assignment: None,
-            },
-        );
+        st.workers.insert(id.clone(), WorkerEntry::fresh());
         id
     }
 
@@ -179,11 +234,47 @@ impl FleetRegistry {
         match offered {
             None => Some(None),
             Some(o) => {
+                // offer-to-claim latency: how long the share waited for
+                // a worker — the transport half of an epoch's wall time
+                self.obs.claim_latency.observe(o.at.elapsed().as_secs_f64());
                 let key = (o.assignment.job_id.clone(), o.assignment.epoch);
                 st.workers.get_mut(id).expect("checked above").assignment = Some(key);
                 Some(Some(o.assignment))
             }
         }
+    }
+
+    /// Ingests a worker's heartbeat-reported engine stats and re-exports
+    /// them as `fleet_worker_*{worker=...}` gauges — the federation half
+    /// of `GET /metrics` on the coordinator. Label cardinality is
+    /// bounded by the number of worker registrations in the process
+    /// lifetime (worker ids are coordinator-minted, never
+    /// client-chosen). `false` when the id is unknown.
+    pub fn note_stats(&self, id: &str, replicas_per_sec: f64, events_per_sec: f64) -> bool {
+        {
+            let mut st = self.lock();
+            match st.workers.get_mut(id) {
+                None => return false,
+                Some(w) => {
+                    w.replicas_per_sec = replicas_per_sec;
+                    w.events_per_sec = events_per_sec;
+                }
+            }
+        }
+        let m = seg_obs::metrics();
+        m.gauge(
+            "fleet_worker_replicas_per_sec",
+            "this worker's last reported engine replica throughput",
+            &[("worker", id)],
+        )
+        .set(replicas_per_sec);
+        m.gauge(
+            "fleet_worker_events_per_sec",
+            "this worker's last reported engine event throughput",
+            &[("worker", id)],
+        )
+        .set(events_per_sec);
+        true
     }
 
     /// Accepts a worker's uploaded records for a job (already parsed and
@@ -211,8 +302,9 @@ impl FleetRegistry {
 
     /// The ids of workers with a fresh heartbeat, ascending. Also the
     /// metrics sweep: updates the live-worker gauge and each worker's
-    /// heartbeat-age gauge, and forgets workers dead for over ten
-    /// timeouts.
+    /// heartbeat-age gauge, appends one [`WorkerSample`] to each
+    /// worker's bounded history ring (the dashboard's fleet
+    /// sparklines), and forgets workers dead for over ten timeouts.
     pub fn live_workers(&self) -> Vec<String> {
         let mut st = self.lock();
         let now = Instant::now();
@@ -220,8 +312,9 @@ impl FleetRegistry {
         st.workers
             .retain(|_, w| now.duration_since(w.last_seen) < forget);
         let m = seg_obs::metrics();
+        let t_secs = now.duration_since(self.started).as_secs_f64();
         let mut live = Vec::new();
-        for (id, w) in &st.workers {
+        for (id, w) in &mut st.workers {
             let age = now.duration_since(w.last_seen);
             m.gauge(
                 "fleet_worker_heartbeat_seconds",
@@ -229,12 +322,47 @@ impl FleetRegistry {
                 &[("worker", id)],
             )
             .set(age.as_secs_f64());
+            if w.history.len() == WORKER_HISTORY_CAP {
+                w.history.pop_front();
+            }
+            w.history.push_back(WorkerSample {
+                t_secs,
+                replicas_per_sec: w.replicas_per_sec,
+                heartbeat_age_secs: age.as_secs_f64(),
+            });
             if age < self.timeout {
                 live.push(id.clone());
             }
         }
         self.obs.live.set(live.len() as f64);
         live
+    }
+
+    /// Every known worker's retained [`WorkerSample`] history, oldest
+    /// first, keyed by worker id — what the dashboard's fleet panel
+    /// plots.
+    pub fn worker_histories(&self) -> Vec<(String, Vec<WorkerSample>)> {
+        self.lock()
+            .workers
+            .iter()
+            .map(|(id, w)| (id.clone(), w.history.iter().copied().collect()))
+            .collect()
+    }
+
+    /// One row per known worker for the dashboard's fleet table.
+    pub fn worker_summaries(&self) -> Vec<WorkerSummary> {
+        let st = self.lock();
+        let now = Instant::now();
+        st.workers
+            .iter()
+            .map(|(id, w)| WorkerSummary {
+                id: id.clone(),
+                age_secs: now.duration_since(w.last_seen).as_secs_f64(),
+                busy: w.assignment.is_some(),
+                replicas_per_sec: w.replicas_per_sec,
+                events_per_sec: w.events_per_sec,
+            })
+            .collect()
     }
 
     /// Whether any worker has ever registered and not been forgotten.
@@ -261,8 +389,18 @@ impl FleetRegistry {
     /// Replaces the job's offered shares with a fresh epoch's partition.
     /// Claimed shares are untouched — their workers either upload (the
     /// records dedupe) or go stale (the next health check catches them).
-    /// Empty shares are skipped.
-    pub fn dispatch(&self, job_id: &str, epoch: u64, request_json: &str, shares: Vec<Vec<usize>>) {
+    /// Empty shares are skipped. `trace_id` (and the coordinator-side
+    /// parent span, when known) ride on every share so workers bind the
+    /// job's distributed trace.
+    pub fn dispatch(
+        &self,
+        job_id: &str,
+        epoch: u64,
+        request_json: &str,
+        shares: Vec<Vec<usize>>,
+        trace_id: &str,
+        parent_span_id: Option<&str>,
+    ) {
         let mut st = self.lock();
         st.offered.retain(|o| o.assignment.job_id != job_id);
         let at = Instant::now();
@@ -276,6 +414,8 @@ impl FleetRegistry {
                     epoch,
                     request_json: request_json.to_string(),
                     tasks,
+                    trace_id: trace_id.to_string(),
+                    parent_span_id: parent_span_id.map(str::to_string),
                 },
                 at,
             });
@@ -328,10 +468,11 @@ impl FleetRegistry {
             .iter()
             .map(|(id, w)| {
                 let mut s = format!(
-                    "{{\"id\":{},\"age_secs\":{:.3},\"busy\":{}",
+                    "{{\"id\":{},\"age_secs\":{:.3},\"busy\":{},\"replicas_per_sec\":{}",
                     crate::json::escape_str(id),
                     now.duration_since(w.last_seen).as_secs_f64(),
                     w.assignment.is_some(),
+                    crate::json::format_f64(w.replicas_per_sec),
                 );
                 if let Some((job, epoch)) = &w.assignment {
                     s.push_str(&format!(
@@ -369,10 +510,12 @@ mod tests {
         assert!(!f.heartbeat("w99"));
         assert!(f.claim(&id).unwrap().is_none());
         assert!(f.claim("w99").is_none());
-        f.dispatch("job", 1, "{}", vec![vec![0, 2], vec![1]]);
+        f.dispatch("job", 1, "{}", vec![vec![0, 2], vec![1]], "t1", None);
         let a = f.claim(&id).unwrap().unwrap();
         assert_eq!(a.tasks, vec![0, 2]);
         assert_eq!(a.epoch, 1);
+        assert_eq!(a.trace_id, "t1");
+        assert_eq!(a.parent_span_id, None);
         assert_eq!(f.epoch_health("job", 1), EpochHealth::Working);
         assert_eq!(f.live_workers(), vec!["w1".to_string()]);
     }
@@ -381,7 +524,7 @@ mod tests {
     fn stale_claim_holder_stalls_the_epoch() {
         let f = registry(50);
         let id = f.register();
-        f.dispatch("job", 1, "{}", vec![vec![0]]);
+        f.dispatch("job", 1, "{}", vec![vec![0]], "t1", None);
         let _ = f.claim(&id).unwrap().unwrap();
         assert_eq!(f.epoch_health("job", 1), EpochHealth::Working);
         std::thread::sleep(Duration::from_millis(80));
@@ -393,10 +536,10 @@ mod tests {
     fn unclaimed_offer_goes_stale_and_dispatch_replaces_offers() {
         let f = registry(50);
         let _ = f.register();
-        f.dispatch("job", 1, "{}", vec![vec![0], vec![]]);
+        f.dispatch("job", 1, "{}", vec![vec![0], vec![]], "t1", None);
         std::thread::sleep(Duration::from_millis(80));
         assert_eq!(f.epoch_health("job", 1), EpochHealth::Stalled);
-        f.dispatch("job", 2, "{}", vec![vec![0]]);
+        f.dispatch("job", 2, "{}", vec![vec![0]], "t1", None);
         assert_eq!(f.epoch_health("job", 2), EpochHealth::Working);
         // epoch 1's offers are gone; with nothing offered or claimed it
         // reads complete
@@ -407,11 +550,59 @@ mod tests {
     fn uploads_queue_and_drain_and_clear_the_claim() {
         let f = registry(200);
         let id = f.register();
-        f.dispatch("job", 1, "{}", vec![vec![0]]);
+        f.dispatch("job", 1, "{}", vec![vec![0]], "t1", None);
         let _ = f.claim(&id).unwrap().unwrap();
         assert_eq!(f.accept_upload(&id, "job", Vec::new()), 0);
         assert_eq!(f.epoch_health("job", 1), EpochHealth::Complete);
         assert!(f.take_uploads("job").is_empty());
         assert!(f.workers_json().contains("\"busy\":false"));
+    }
+
+    #[test]
+    fn worker_stats_federate_into_gauges_and_history() {
+        let f = registry(200);
+        let id = f.register();
+        assert!(!f.note_stats("w99", 1.0, 2.0));
+        assert!(f.note_stats(&id, 12.5, 4_000.0));
+        let rendered = seg_obs::metrics().render();
+        assert!(
+            rendered.contains(&format!(
+                "fleet_worker_replicas_per_sec{{worker=\"{id}\"}} 12.5"
+            )),
+            "missing federated gauge in:\n{rendered}"
+        );
+        assert!(f.workers_json().contains("\"replicas_per_sec\":12.5"));
+        // each live_workers sweep appends one bounded history sample
+        f.live_workers();
+        f.live_workers();
+        let histories = f.worker_histories();
+        let (hid, samples) = &histories[0];
+        assert_eq!(hid, &id);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[1].replicas_per_sec, 12.5);
+        assert!(samples[1].t_secs >= samples[0].t_secs);
+        // claim latency lands in the fleet_claim_seconds histogram
+        let before = seg_obs::metrics()
+            .histogram(
+                "fleet_claim_seconds",
+                "time a share sat offered before a worker claimed it",
+                &[],
+                seg_obs::Histogram::LATENCY_BUCKETS,
+            )
+            .snapshot()
+            .count;
+        f.dispatch("job", 1, "{}", vec![vec![0]], "t1", Some("sp"));
+        let a = f.claim(&id).unwrap().unwrap();
+        assert_eq!(a.parent_span_id.as_deref(), Some("sp"));
+        let after = seg_obs::metrics()
+            .histogram(
+                "fleet_claim_seconds",
+                "time a share sat offered before a worker claimed it",
+                &[],
+                seg_obs::Histogram::LATENCY_BUCKETS,
+            )
+            .snapshot()
+            .count;
+        assert_eq!(after, before + 1);
     }
 }

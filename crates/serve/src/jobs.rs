@@ -31,6 +31,7 @@ use crate::json::{escape_str, format_f64, Json};
 use seg_engine::{
     spec_fingerprint, Checkpoint, Engine, Observer, Sink, SweepProgress, SweepSpec, Variant,
 };
+use seg_obs::TraceContext;
 use seg_shard::repartition;
 use std::collections::{BTreeMap, VecDeque};
 use std::io;
@@ -45,6 +46,10 @@ pub const MAX_SIDE: u32 = 4096;
 pub const MAX_TASKS: usize = 1_000_000;
 /// Progress samples each job retains for the dashboard sparklines.
 pub const HISTORY_CAP: usize = 240;
+/// Worker-reported trace lines each job retains for
+/// `GET /v1/jobs/:id/trace` (oldest kept — the claim/run/upload shape
+/// of a job is in its first spans).
+pub const WORKER_SPANS_CAP: usize = 2048;
 
 /// A validated, normalized sweep request — the JSON-body counterpart of
 /// `segsim sweep`'s flags, mapping onto the identical [`SweepSpec`] (so
@@ -332,9 +337,16 @@ pub struct Job {
     pub spec: SweepSpec,
     /// The job's directory under `data_dir/jobs/`.
     pub dir: PathBuf,
+    /// The distributed trace id every span of this job carries —
+    /// accepted from the submitter's `X-Seg-Trace` header or minted at
+    /// submission, and propagated to fleet workers on every claim.
+    pub trace_id: String,
     state: Mutex<JobState>,
     progress: Mutex<SweepProgress>,
     history: Mutex<VecDeque<SweepProgress>>,
+    /// Trace lines uploaded by fleet workers (already tagged with their
+    /// `proc`), merged into [`Job::trace_json`].
+    worker_spans: Mutex<Vec<String>>,
 }
 
 impl Job {
@@ -373,6 +385,49 @@ impl Job {
         h.push_back(p);
     }
 
+    /// Absorbs trace lines a fleet worker shipped on a journal upload,
+    /// tagging each with the worker's id as its `proc` so the merged
+    /// timeline says which process recorded what. Bounded at
+    /// [`WORKER_SPANS_CAP`]; excess lines are dropped.
+    pub fn add_worker_spans(&self, proc_tag: &str, lines: &[String]) {
+        let mut spans = self.worker_spans.lock().expect("worker spans poisoned");
+        for line in lines {
+            if spans.len() >= WORKER_SPANS_CAP {
+                break;
+            }
+            spans.push(tag_proc(line, proc_tag));
+        }
+    }
+
+    /// The `GET /v1/jobs/:id/trace` document: the coordinator's own
+    /// ring records for this job's trace merged with every
+    /// worker-uploaded line, sorted by `unix_us` — one cross-process
+    /// timeline. Bounded by the tracer ring ([`seg_obs::Tracer::CAPACITY`])
+    /// plus [`WORKER_SPANS_CAP`].
+    pub fn trace_json(&self) -> String {
+        let mut entries: Vec<(u64, String)> = Vec::new();
+        for ev in seg_obs::tracer().snapshot_trace(&self.trace_id) {
+            let line = tag_proc(&ev.to_json(), "coordinator");
+            entries.push((ev.unix_us, line));
+        }
+        for line in self
+            .worker_spans
+            .lock()
+            .expect("worker spans poisoned")
+            .iter()
+        {
+            entries.push((extract_unix_us(line).unwrap_or(0), line.clone()));
+        }
+        entries.sort_by_key(|(unix_us, _)| *unix_us);
+        let spans: Vec<String> = entries.into_iter().map(|(_, line)| line).collect();
+        format!(
+            "{{\"job\":{},\"trace_id\":{},\"spans\":[{}]}}",
+            escape_str(&self.id),
+            escape_str(&self.trace_id),
+            spans.join(",")
+        )
+    }
+
     /// The status document `GET /v1/jobs/:id` returns. `cached` is set
     /// on submit responses to say whether the finished artifact was
     /// served from the fingerprint cache.
@@ -380,8 +435,9 @@ impl Job {
         let state = self.state();
         let p = self.progress();
         let mut s = format!(
-            "{{\"id\":{},\"state\":{},\"points\":{},\"replicas\":{},\"tasks\":{}",
+            "{{\"id\":{},\"trace_id\":{},\"state\":{},\"points\":{},\"replicas\":{},\"tasks\":{}",
             escape_str(&self.id),
+            escape_str(&self.trace_id),
             escape_str(state.label()),
             self.spec.points().len(),
             self.spec.replicas(),
@@ -423,6 +479,43 @@ impl Job {
             s.queue_depth, s.active_jobs, s.cache_hits, s.cache_misses
         ));
         doc
+    }
+}
+
+/// Tags a trace JSONL line with the process that recorded it by
+/// splicing a `proc` field in right after the opening brace. A line
+/// that is not an object passes through unchanged.
+fn tag_proc(line: &str, proc_tag: &str) -> String {
+    match line.strip_prefix('{') {
+        Some(rest) => format!("{{\"proc\":{},{rest}", escape_str(proc_tag)),
+        None => line.to_string(),
+    }
+}
+
+/// The `unix_us` column of a trace line — the sort key that merges
+/// several processes' clocks into one timeline.
+fn extract_unix_us(line: &str) -> Option<u64> {
+    let rest = &line[line.find("\"unix_us\":")? + 10..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The trace id a job runs under: the submitter's `X-Seg-Trace` value
+/// when it is plausible (1-64 ascii alphanumeric/`-`/`_` bytes — no
+/// quoting surprises in JSON or logs), a minted id otherwise.
+fn accept_trace_hint(hint: Option<&str>) -> String {
+    match hint {
+        Some(h)
+            if !h.is_empty()
+                && h.len() <= 64
+                && h.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') =>
+        {
+            h.to_string()
+        }
+        _ => seg_obs::mint_trace_id(),
     }
 }
 
@@ -600,6 +693,7 @@ impl JobManager {
                 request,
                 spec,
                 dir,
+                trace_id: seg_obs::mint_trace_id(),
                 state: Mutex::new(if done {
                     JobState::Done
                 } else {
@@ -614,6 +708,7 @@ impl JobManager {
                     events_per_sec: 0.0,
                 }),
                 history: Mutex::new(VecDeque::new()),
+                worker_spans: Mutex::new(Vec::new()),
             });
             self.jobs
                 .lock()
@@ -634,11 +729,20 @@ impl JobManager {
     /// this returns, so a crash right after the response never loses
     /// the submission.
     ///
+    /// `trace_hint` is the submitter's `X-Seg-Trace` header, if any: a
+    /// fresh job adopts it as its trace id (so a caller's trace spans
+    /// the whole fleet), a pre-existing job keeps the id it already
+    /// runs under.
+    ///
     /// # Errors
     ///
     /// Any I/O error creating the job directory or writing
     /// `request.json`.
-    pub fn submit(&self, request: SweepRequest) -> io::Result<(Arc<Job>, SubmitOutcome)> {
+    pub fn submit(
+        &self,
+        request: SweepRequest,
+        trace_hint: Option<&str>,
+    ) -> io::Result<(Arc<Job>, SubmitOutcome)> {
         let spec = request.build_spec();
         let id = format!("{:016x}", spec_fingerprint(&spec));
         let mut jobs = self.jobs.lock().expect("jobs poisoned");
@@ -672,6 +776,7 @@ impl JobManager {
             request,
             spec,
             dir,
+            trace_id: accept_trace_hint(trace_hint),
             state: Mutex::new(JobState::Queued),
             progress: Mutex::new(SweepProgress {
                 done: 0,
@@ -682,6 +787,7 @@ impl JobManager {
                 events_per_sec: 0.0,
             }),
             history: Mutex::new(VecDeque::new()),
+            worker_spans: Mutex::new(Vec::new()),
         });
         jobs.insert(id, job.clone());
         drop(jobs);
@@ -758,7 +864,15 @@ impl JobManager {
             job.spec.task_count()
         );
         self.obs.active_jobs.inc();
-        let _span = seg_obs::tracer().span("serve.job", job.id.clone());
+        // bind the job's trace id, open the root span under it, then
+        // re-bind with the span as parent so everything recorded while
+        // the job runs (including on this thread's engine callbacks)
+        // nests under `serve.job`; guards drop in reverse order
+        let _ctx = TraceContext::new(job.trace_id.clone()).bind();
+        let span = seg_obs::tracer().span("serve.job", job.id.clone());
+        let _ctx_nested = TraceContext::new(job.trace_id.clone())
+            .with_parent(span.id())
+            .bind();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute(job)));
         self.obs.active_jobs.dec();
         let state = match outcome {
@@ -895,7 +1009,24 @@ impl JobManager {
             }
             epoch += 1;
             let shares = repartition(&missing, live.len());
-            fleet.dispatch(&job.id, epoch, &request_json, shares);
+            let parent = TraceContext::current().and_then(|c| c.parent_span_id);
+            fleet.dispatch(
+                &job.id,
+                epoch,
+                &request_json,
+                shares,
+                &job.trace_id,
+                parent.as_deref(),
+            );
+            seg_obs::tracer().event(
+                "fleet.dispatch",
+                format!(
+                    "job {} epoch {epoch}: {} task(s) over {} worker(s)",
+                    job.id,
+                    missing.len(),
+                    live.len()
+                ),
+            );
             eprintln!(
                 "serve: job {} epoch {epoch}: {} missing task(s) over {} live worker(s)",
                 job.id,
@@ -1017,15 +1148,15 @@ mod tests {
     fn submit_deduplicates_by_fingerprint() {
         let mgr = JobManager::new(tmp("dedup"), 1).unwrap();
         let req = SweepRequest::from_json(&request_json(r#", "max_events": 100"#)).unwrap();
-        let (a, outcome_a) = mgr.submit(req.clone()).unwrap();
+        let (a, outcome_a) = mgr.submit(req.clone(), None).unwrap();
         assert_eq!(outcome_a, SubmitOutcome::Fresh);
-        let (b, outcome_b) = mgr.submit(req.clone()).unwrap();
+        let (b, outcome_b) = mgr.submit(req.clone(), None).unwrap();
         assert_eq!(outcome_b, SubmitOutcome::InFlight);
         assert_eq!(a.id, b.id);
         // a different seed is a different job
         let mut other = req;
         other.seed = 1;
-        let (c, _) = mgr.submit(other).unwrap();
+        let (c, _) = mgr.submit(other, None).unwrap();
         assert_ne!(a.id, c.id);
         assert!(a.dir.join("request.json").exists());
     }
@@ -1038,7 +1169,7 @@ mod tests {
         let id;
         {
             let mgr = JobManager::new(dir.clone(), 2).unwrap();
-            let (job, _) = mgr.submit(req.clone()).unwrap();
+            let (job, _) = mgr.submit(req.clone(), None).unwrap();
             id = job.id.clone();
             // run the queue inline: drain first so the loop exits once idle
             mgr.run_job(&job);
@@ -1051,7 +1182,7 @@ mod tests {
         let mgr = JobManager::new(dir, 2).unwrap();
         let (finished, requeued) = mgr.recover().unwrap();
         assert_eq!((finished, requeued), (1, 0));
-        let (job, outcome) = mgr.submit(req).unwrap();
+        let (job, outcome) = mgr.submit(req, None).unwrap();
         assert_eq!(job.id, id);
         assert_eq!(outcome, SubmitOutcome::Cached);
         assert!(job.status_json(Some(true)).contains("\"cached\":true"));
@@ -1064,7 +1195,7 @@ mod tests {
         {
             let mgr = JobManager::new(dir.clone(), 1).unwrap();
             // drain before running: the worker claims nothing
-            let (job, _) = mgr.submit(req.clone()).unwrap();
+            let (job, _) = mgr.submit(req.clone(), None).unwrap();
             mgr.drain();
             mgr.run_job(&job);
             assert_eq!(job.state(), JobState::Queued);
@@ -1078,10 +1209,64 @@ mod tests {
     }
 
     #[test]
+    fn trace_hints_are_adopted_only_when_plausible() {
+        let mgr = JobManager::new(tmp("trace_hint"), 1).unwrap();
+        let req = SweepRequest::from_json(&request_json("")).unwrap();
+        let (job, _) = mgr.submit(req.clone(), Some("client-trace_7")).unwrap();
+        assert_eq!(job.trace_id, "client-trace_7");
+        // resubmission keeps the id the job already runs under
+        let (again, _) = mgr.submit(req, Some("other")).unwrap();
+        assert_eq!(again.trace_id, "client-trace_7");
+        for bad in ["", "has space", "x\"y", &"a".repeat(65)] {
+            let mut other = SweepRequest::from_json(&request_json("")).unwrap();
+            other.seed = 1 + bad.len() as u64;
+            let (job, _) = mgr.submit(other, Some(bad)).unwrap();
+            assert_ne!(job.trace_id, bad, "implausible hint {bad:?} adopted");
+            assert_eq!(job.trace_id.len(), 16, "expected a minted id");
+        }
+    }
+
+    #[test]
+    fn trace_json_merges_worker_spans_in_unix_us_order() {
+        let mgr = JobManager::new(tmp("trace_json"), 1).unwrap();
+        let req = SweepRequest::from_json(&request_json("")).unwrap();
+        let (job, _) = mgr.submit(req, Some("merge-test-trace")).unwrap();
+        job.add_worker_spans(
+            "w1",
+            &[
+                "{\"t_us\":2,\"unix_us\":200,\"kind\":\"span\",\"name\":\"work.run\",\"detail\":\"\"}"
+                    .to_string(),
+                "{\"t_us\":1,\"unix_us\":100,\"kind\":\"event\",\"name\":\"work.claim\",\"detail\":\"\"}"
+                    .to_string(),
+            ],
+        );
+        let doc = Json::parse(&job.trace_json()).unwrap();
+        assert_eq!(
+            doc.get("trace_id").unwrap().as_str(),
+            Some("merge-test-trace")
+        );
+        let spans = doc.get("spans").unwrap().as_list();
+        assert_eq!(spans.len(), 2);
+        // sorted by unix_us, not upload order, and tagged with the worker
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("work.claim"));
+        assert_eq!(spans[0].get("proc").unwrap().as_str(), Some("w1"));
+        assert_eq!(spans[1].get("unix_us").unwrap().as_u64(), Some(200));
+        // the cap holds
+        let many: Vec<String> = (0..2 * WORKER_SPANS_CAP)
+            .map(|i| {
+                format!("{{\"unix_us\":{i},\"kind\":\"event\",\"name\":\"x\",\"detail\":\"\"}}")
+            })
+            .collect();
+        job.add_worker_spans("w2", &many);
+        let doc = Json::parse(&job.trace_json()).unwrap();
+        assert_eq!(doc.get("spans").unwrap().as_list().len(), WORKER_SPANS_CAP);
+    }
+
+    #[test]
     fn status_json_is_wellformed() {
         let mgr = JobManager::new(tmp("status"), 1).unwrap();
         let req = SweepRequest::from_json(&request_json("")).unwrap();
-        let (job, _) = mgr.submit(req).unwrap();
+        let (job, _) = mgr.submit(req, None).unwrap();
         let doc = Json::parse(&job.status_json(None)).unwrap();
         assert_eq!(doc.get("state").unwrap().as_str(), Some("queued"));
         assert_eq!(doc.get("tasks").unwrap().as_u64(), Some(2));

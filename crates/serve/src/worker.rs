@@ -19,12 +19,25 @@
 //! [`UPLOAD_BATCH_BYTES`] batches (each a self-contained journal with
 //! its own header line) so they stay under the server's request-body
 //! cap.
+//!
+//! Observability (see `docs/OBSERVABILITY.md`): a worker adopts the
+//! trace id each claim carries, records its `work.claim`/`work.run`
+//! spans under it, and ships them with the journal upload so the
+//! coordinator can merge one cross-process timeline per job
+//! (`GET /v1/jobs/:id/trace`). Heartbeat and claim bodies report the
+//! engine's throughput gauges, which the coordinator re-exports as
+//! `fleet_worker_*{worker=...}`; `--metrics-addr` additionally exposes
+//! the worker's own `/metrics` + `/healthz`, and `--trace-out` exports
+//! its trace ring as JSONL.
 
+use crate::http::{read_request, write_json as http_write_json, write_response};
 use crate::jobs::SweepRequest;
-use crate::json::Json;
+use crate::json::{format_f64, Json};
 use seg_engine::{header_line, record_line, spec_fingerprint, Engine, Observer};
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use seg_obs::TraceContext;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -53,6 +66,11 @@ pub struct WorkerConfig {
     /// Fault injection: claim an assignment, then hang without
     /// heartbeats (testing only — exercises coordinator re-dispatch).
     pub fault_hang: bool,
+    /// Address to expose the worker's own `/metrics` + `/healthz` on
+    /// (`--metrics-addr`); `None` = no listener.
+    pub metrics_addr: Option<String>,
+    /// JSONL trace export (`--trace-out`); `None` = in-memory ring only.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl WorkerConfig {
@@ -63,20 +81,34 @@ impl WorkerConfig {
             threads: 0,
             poll: Duration::from_millis(250),
             fault_hang: false,
+            metrics_addr: None,
+            trace_out: None,
         }
     }
 }
 
 /// One blocking HTTP exchange: connect, send, read the full response.
+/// `extra_headers` are appended to the request head verbatim — the
+/// fleet uses this to carry `x-seg-trace` on every in-trace request.
 /// Returns the status code and body.
-fn call(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<(u16, Vec<u8>)> {
+fn call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> io::Result<(u16, Vec<u8>)> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
     let mut writer = stream.try_clone()?;
+    let extra: String = extra_headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n{extra}content-length: {}\r\n\r\n",
         body.len()
     )?;
     writer.write_all(body)?;
@@ -137,8 +169,78 @@ fn parse_json(body: &[u8]) -> io::Result<Json> {
     Json::parse(text).map_err(io::Error::other)
 }
 
+/// The throughput report a worker sends as its heartbeat/claim body:
+/// the `engine_replicas_per_sec` / `engine_events_per_sec` gauges the
+/// engine sets on every replica completion, read back from the
+/// process-wide registry. The coordinator federates these into
+/// `fleet_worker_*{worker=...}`.
+fn stats_body() -> String {
+    let m = seg_obs::metrics();
+    let replicas = m.gauge(
+        "engine_replicas_per_sec",
+        "fresh replicas per second of the most recent progress sample",
+        &[],
+    );
+    let events = m.gauge(
+        "engine_events_per_sec",
+        "dynamics events per second of the most recent progress sample",
+        &[],
+    );
+    format!(
+        "{{\"replicas_per_sec\":{},\"events_per_sec\":{}}}",
+        format_f64(replicas.get()),
+        format_f64(events.get())
+    )
+}
+
+/// Serves one connection of the worker's own observability listener:
+/// `GET /metrics` (Prometheus text) and `GET /healthz`, same contract as
+/// the coordinator's endpoints, minus everything job-related.
+fn serve_metrics_conn(stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    // small cap: nothing legitimate POSTs bodies at this listener
+    while let Ok(Some(req)) = read_request(&mut reader, 16 * 1024) {
+        let keep = req.keep_alive;
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/metrics") => write_response(
+                &mut writer,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                seg_obs::metrics().render().as_bytes(),
+                keep,
+            )?,
+            ("GET", "/healthz") => http_write_json(&mut writer, 200, "{\"status\":\"ok\"}", keep)?,
+            _ => http_write_json(&mut writer, 404, "{\"error\":\"no such endpoint\"}", keep)?,
+        }
+        writer.flush()?;
+        if !keep {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Binds the worker's `/metrics`+`/healthz` listener and serves it on a
+/// background thread forever. Prints the bound address (`--metrics-addr
+/// 127.0.0.1:0` picks an ephemeral port; the printed line is how tests
+/// and operators learn it).
+fn spawn_metrics_listener(addr: &str) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    println!("work: metrics on http://{}", listener.local_addr()?);
+    io::stdout().flush().ok();
+    std::thread::spawn(move || {
+        for stream in listener.incoming().flatten() {
+            std::thread::spawn(move || {
+                let _ = serve_metrics_conn(stream);
+            });
+        }
+    });
+    Ok(())
+}
+
 fn register(addr: &str) -> io::Result<String> {
-    let (status, body) = call(addr, "POST", "/v1/workers/register", b"{}")?;
+    let (status, body) = call(addr, "POST", "/v1/workers/register", b"{}", &[])?;
     if status != 200 {
         return Err(io::Error::other(format!(
             "register failed with status {status} (is the server running with --fleet?)"
@@ -167,6 +269,21 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
                 .collect()
         })
         .unwrap_or_default();
+    // adopt the coordinator's trace context: everything recorded while
+    // this assignment runs carries the job's trace id, parented under
+    // the coordinator's serve.job span
+    let trace = claim.get("trace").and_then(Json::as_str).map(String::from);
+    let _ctx = trace.as_ref().map(|t| {
+        let mut ctx = TraceContext::new(t.clone());
+        if let Some(p) = claim.get("parent_span").and_then(Json::as_str) {
+            ctx = ctx.with_parent(p);
+        }
+        ctx.bind()
+    });
+    seg_obs::tracer().event(
+        "work.claim",
+        format!("job {job} epoch {epoch}: {} task(s)", tasks.len()),
+    );
     println!(
         "work: claimed job {job} epoch {epoch} ({} task(s))",
         tasks.len()
@@ -188,15 +305,22 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
         .map_err(io::Error::other)?
         .build_spec();
 
-    // heartbeat while the sweep runs so the coordinator keeps us live
+    // heartbeat while the sweep runs so the coordinator keeps us live;
+    // each beat carries the engine's current throughput gauges for the
+    // coordinator to federate
     let stop = Arc::new(AtomicBool::new(false));
     let beat = {
         let stop = stop.clone();
         let addr = cfg.coordinator.clone();
         let path = format!("/v1/workers/{id}/heartbeat");
+        let trace = trace.clone();
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                let _ = call(&addr, "POST", &path, b"{}");
+                let headers: Vec<(&str, &str)> = trace
+                    .as_deref()
+                    .map(|t| vec![("x-seg-trace", t)])
+                    .unwrap_or_default();
+                let _ = call(&addr, "POST", &path, stats_body().as_bytes(), &headers);
                 std::thread::sleep(HEARTBEAT_EVERY);
             }
         })
@@ -208,7 +332,12 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
     }
     // the job's observers are fixed (see JobManager::execute) — a worker
     // must measure identically or the merged rows would differ
-    let result = engine.run(&spec, &[Observer::TerminalStats]);
+    let result = {
+        // scoped so the span's record lands in the ring before the
+        // trace snapshot below ships with the final upload batch
+        let _span = seg_obs::tracer().span("work.run", format!("job {job} epoch {epoch}"));
+        engine.run(&spec, &[Observer::TerminalStats])
+    };
 
     let header = {
         let mut h = header_line(spec_fingerprint(&spec), spec.task_count());
@@ -219,7 +348,11 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
     let mut batch = header.clone();
     let mut uploaded = 0usize;
     let flush_batch = |batch: &mut String, uploaded: &mut usize, n: usize| -> io::Result<()> {
-        let (status, body) = call(&cfg.coordinator, "POST", &path, batch.as_bytes())?;
+        let headers: Vec<(&str, &str)> = trace
+            .as_deref()
+            .map(|t| vec![("x-seg-trace", t)])
+            .unwrap_or_default();
+        let (status, body) = call(&cfg.coordinator, "POST", &path, batch.as_bytes(), &headers)?;
         if status != 200 {
             return Err(io::Error::other(format!(
                 "journal upload rejected with status {status}: {}",
@@ -239,6 +372,19 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
         if batch.len() >= UPLOAD_BATCH_BYTES {
             flush_batch(&mut batch, &mut uploaded, in_batch)?;
             in_batch = 0;
+        }
+    }
+    // ship this assignment's slice of the distributed trace with the
+    // final batch — the coordinator passes span/event lines through to
+    // the job's merged timeline
+    if let Some(t) = &trace {
+        for ev in seg_obs::tracer().snapshot_trace(t) {
+            batch.push_str(&ev.to_json());
+            batch.push('\n');
+            if batch.len() >= UPLOAD_BATCH_BYTES {
+                flush_batch(&mut batch, &mut uploaded, in_batch)?;
+                in_batch = 0;
+            }
         }
     }
     flush_batch(&mut batch, &mut uploaded, in_batch)?;
@@ -263,13 +409,32 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
 /// Registration failures (e.g. the server is not in `--fleet` mode) and
 /// non-transient protocol errors (a rejected upload, a malformed claim).
 pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
+    if let Some(path) = &cfg.trace_out {
+        seg_obs::tracer().set_output(path)?;
+        println!("work: tracing to {}", path.display());
+        io::stdout().flush().ok();
+    }
+    if let Some(addr) = &cfg.metrics_addr {
+        spawn_metrics_listener(addr)?;
+    }
+    let assignments = seg_obs::metrics().counter(
+        "work_assignments_total",
+        "fleet assignments this worker has claimed",
+        &[],
+    );
     let mut id = register(&cfg.coordinator)?;
     println!("work: registered as {id} with http://{}", cfg.coordinator);
     io::stdout().flush().ok();
     let mut failures = 0u32;
     loop {
         let claim_path = format!("/v1/workers/{id}/claim");
-        match call(&cfg.coordinator, "POST", &claim_path, b"{}") {
+        match call(
+            &cfg.coordinator,
+            "POST",
+            &claim_path,
+            stats_body().as_bytes(),
+            &[],
+        ) {
             Err(_) => {
                 failures += 1;
                 if failures >= MAX_CONSECUTIVE_FAILURES {
@@ -291,6 +456,7 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
                 if claim.get("idle").is_some() {
                     std::thread::sleep(cfg.poll);
                 } else {
+                    assignments.inc();
                     run_assignment(cfg, &id, &claim)?;
                 }
             }

@@ -62,4 +62,4 @@ pub mod steal;
 pub use coordinator::{Coordinator, CoordinatorReport, ShardError};
 pub use merge::{merge, merge_status, MergeStatus};
 pub use plan::ShardPlan;
-pub use steal::{ingest_journal, repartition};
+pub use steal::{ingest_journal, repartition, IngestedJournal};

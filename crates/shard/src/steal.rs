@@ -15,7 +15,11 @@
 //! journal from any [`BufRead`] (an HTTP upload body, a pipe, a file)
 //! and returns its records, validated against the spec — exactly what
 //! [`Checkpoint::resume`](seg_engine::Checkpoint::resume) does per file,
-//! minus the filesystem.
+//! minus the filesystem. Uploads may also interleave `seg_obs` trace
+//! lines (`"kind":"span"` / `"kind":"event"`, the tracer's JSONL
+//! schema) between records; they are passed through verbatim in
+//! [`IngestedJournal::spans`] so a fleet coordinator can merge worker
+//! spans into the job's cross-process timeline.
 
 use seg_engine::{
     parse_header_line, parse_record_line, spec_fingerprint, ReplicaRecord, SweepSpec,
@@ -44,13 +48,35 @@ pub fn repartition(missing: &[usize], parts: usize) -> Vec<Vec<usize>> {
     shares
 }
 
+/// What [`ingest_journal`] read out of one upload body.
+#[derive(Clone, Debug, Default)]
+pub struct IngestedJournal {
+    /// The replica records, spec-validated, in upload order.
+    pub records: Vec<ReplicaRecord>,
+    /// Trace lines (`seg_obs` span/event JSONL) interleaved with the
+    /// records, verbatim — the worker's slice of the job's distributed
+    /// trace, riding along on the same upload.
+    pub spans: Vec<String>,
+}
+
+/// The `"kind":"..."` discriminator of a journal line. Safe on this
+/// format because `kind` always precedes the free-form `detail` field,
+/// and string escaping means a literal `"kind":"` cannot appear inside
+/// an earlier value.
+fn line_kind(line: &str) -> Option<&str> {
+    let rest = &line[line.find("\"kind\":\"")? + 8..];
+    Some(&rest[..rest.find('"')?])
+}
+
 /// Reads one shard journal from `reader` and returns its records,
 /// validated against `spec`: the first line must be a header carrying
 /// the spec's fingerprint and task count, every further complete line a
-/// record with an in-range task index. A torn trailing fragment (no
-/// final newline) is dropped, matching the engine's file-journal
-/// tolerance — an upload cut off mid-line loses at most that record.
-/// Records carry `wall_secs: 0.0` like any resumed record.
+/// record with an in-range task index — or a `seg_obs` trace line
+/// (`"kind":"span"` / `"kind":"event"`), collected verbatim into
+/// [`IngestedJournal::spans`]. A torn trailing fragment (no final
+/// newline) is dropped, matching the engine's file-journal tolerance —
+/// an upload cut off mid-line loses at most that line. Records carry
+/// `wall_secs: 0.0` like any resumed record.
 ///
 /// # Errors
 ///
@@ -59,7 +85,7 @@ pub fn repartition(missing: &[usize], parts: usize) -> Vec<Vec<usize>> {
 pub fn ingest_journal<R: BufRead>(
     mut reader: R,
     spec: &SweepSpec,
-) -> Result<Vec<ReplicaRecord>, String> {
+) -> Result<IngestedJournal, String> {
     let mut text = String::new();
     reader
         .read_to_string(&mut text)
@@ -71,7 +97,7 @@ pub fn ingest_journal<R: BufRead>(
         None => return Err("journal has no complete header line".into()),
     };
     let tasks = spec.tasks();
-    let mut records = Vec::new();
+    let mut out = IngestedJournal::default();
     for (lineno, line) in complete.lines().enumerate() {
         let at = |reason: String| format!("journal line {}: {reason}", lineno + 1);
         if lineno == 0 {
@@ -81,11 +107,15 @@ pub fn ingest_journal<R: BufRead>(
             }
             continue;
         }
+        if matches!(line_kind(line), Some("span" | "event")) {
+            out.spans.push(line.to_string());
+            continue;
+        }
         let (index, events, metrics) = parse_record_line(line).map_err(at)?;
         let task = *tasks
             .get(index)
             .ok_or_else(|| at(format!("task index {index} out of range")))?;
-        records.push(ReplicaRecord {
+        out.records.push(ReplicaRecord {
             task,
             events,
             wall_secs: 0.0,
@@ -95,7 +125,7 @@ pub fn ingest_journal<R: BufRead>(
     if complete.is_empty() && !text.is_empty() {
         return Err("journal has no complete header line".into());
     }
-    Ok(records)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -156,7 +186,9 @@ mod tests {
             body.push_str(&record_line(rec));
             body.push('\n');
         }
-        let records = ingest_journal(body.as_bytes(), &spec).unwrap();
+        let ingested = ingest_journal(body.as_bytes(), &spec).unwrap();
+        assert!(ingested.spans.is_empty());
+        let records = ingested.records;
         assert_eq!(records.len(), result.records().len());
         for (a, b) in records.iter().zip(result.records()) {
             assert_eq!(a.task.task_index, b.task.task_index);
@@ -174,9 +206,35 @@ mod tests {
         body.push('\n');
         body.push_str("{\"kind\":\"record\",\"task\":0,\"events\":7,\"metrics\":{}}\n");
         body.push_str("{\"kind\":\"record\",\"task\":1,\"ev"); // torn
-        let records = ingest_journal(body.as_bytes(), &spec).unwrap();
-        assert_eq!(records.len(), 1);
-        assert_eq!(records[0].task.task_index, 0);
+        let ingested = ingest_journal(body.as_bytes(), &spec).unwrap();
+        assert_eq!(ingested.records.len(), 1);
+        assert_eq!(ingested.records[0].task.task_index, 0);
+    }
+
+    #[test]
+    fn ingest_passes_trace_lines_through_verbatim() {
+        let spec = spec();
+        let span = "{\"t_us\":5,\"unix_us\":99,\"kind\":\"span\",\"name\":\"work.run\",\
+                    \"detail\":\"job x\",\"dur_us\":3,\"trace_id\":\"abc\"}";
+        let event =
+            "{\"t_us\":1,\"unix_us\":95,\"kind\":\"event\",\"name\":\"work.claim\",\"detail\":\"\"}";
+        let mut body = header_line(spec_fingerprint(&spec), spec.task_count());
+        body.push('\n');
+        body.push_str(event);
+        body.push('\n');
+        body.push_str("{\"kind\":\"record\",\"task\":0,\"events\":7,\"metrics\":{}}\n");
+        body.push_str(span);
+        body.push('\n');
+        let ingested = ingest_journal(body.as_bytes(), &spec).unwrap();
+        assert_eq!(ingested.records.len(), 1);
+        assert_eq!(ingested.spans, vec![event.to_string(), span.to_string()]);
+        // a record whose *detail-free* fields look fine still parses as
+        // a record, not a span: kind drives the split
+        assert_eq!(super::line_kind(span), Some("span"));
+        assert_eq!(
+            super::line_kind("{\"kind\":\"record\",\"task\":0}"),
+            Some("record")
+        );
     }
 
     #[test]
@@ -196,6 +254,7 @@ mod tests {
             .contains("different spec"));
         assert!(ingest_journal(&b"not a journal\n"[..], &spec).is_err());
         assert!(ingest_journal(&b"{\"kind\":\"header\""[..], &spec).is_err());
-        assert!(ingest_journal(&b""[..], &spec).unwrap().is_empty());
+        let empty = ingest_journal(&b""[..], &spec).unwrap();
+        assert!(empty.records.is_empty() && empty.spans.is_empty());
     }
 }

@@ -152,7 +152,7 @@ proptest! {
                 if first_round && w == killed {
                     body = kill_upload(&body, keep, torn);
                 }
-                let records = ingest_journal(body.as_bytes(), &spec).unwrap();
+                let records = ingest_journal(body.as_bytes(), &spec).unwrap().records;
                 for rec in records {
                     let i = rec.task.task_index;
                     // dedupe by task index against the journal, so a
@@ -211,7 +211,7 @@ fn duplicate_uploads_are_deduplicated_by_task_index() {
     let share: Vec<usize> = (0..total).collect();
     let body = worker_upload(&spec, &share, 1);
     for _ in 0..2 {
-        for rec in ingest_journal(body.as_bytes(), &spec).unwrap() {
+        for rec in ingest_journal(body.as_bytes(), &spec).unwrap().records {
             let i = rec.task.task_index;
             if i < total && !done[i] {
                 journal.append(&rec).unwrap();

@@ -173,7 +173,8 @@ const USAGE: &str = "usage: segsim --side N --horizon W --tau T \
        segsim serve [--addr HOST:PORT] [--workers N] [--threads T] [--data DIR] \
 [--conn-threads C] [--max-body BYTES] [--trace-out FILE.jsonl] \
 [--fleet] [--fleet-timeout SECS]\n\
-       segsim work --join HOST:PORT [--threads N] [--poll-ms MS]\n\
+       segsim work --join HOST:PORT [--threads N] [--poll-ms MS] \
+[--metrics-addr HOST:PORT] [--trace-out FILE.jsonl]\n\
 \n\
 variants: paper | flip-when-unhappy | noise:EPS | kawasaki | ring-glauber | \
 ring-kawasaki | two-sided:TAU_HI | multi:K\n\
@@ -615,6 +616,8 @@ fn run_work(args: &[String]) -> Result<(), String> {
                 }
                 config.poll = std::time::Duration::from_millis(ms);
             }
+            "--metrics-addr" => config.metrics_addr = Some(value("--metrics-addr")?.clone()),
+            "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             // undocumented on purpose: fault injection for the fleet
             // integration tests (claim, then hang without heartbeats)
             "--fault" => match value("--fault")?.as_str() {

@@ -8,7 +8,13 @@
 //! (point, replica) row.
 //!
 //! Server stderr and worker stdout go under `SERVE_TEST_LOG_DIR` (CI
-//! uploads them on failure).
+//! uploads them on failure), as do both processes' `--trace-out` JSONL
+//! files — the fleet run also asserts the *observability* contract:
+//! one trace id spans coordinator and worker, `GET /v1/jobs/:id/trace`
+//! merges spans from at least two processes, the worker's own
+//! `--metrics-addr` listener answers `/metrics` + `/healthz` mid-run,
+//! and the coordinator federates worker throughput into
+//! `fleet_worker_*{worker=...}` gauges.
 
 mod support;
 
@@ -120,11 +126,22 @@ fn fleet_with_killed_and_hung_workers_stays_byte_identical() {
     run_sweep(&job_sweep_flags(&reference));
     let reference = fs::read(&reference).unwrap();
 
+    let coord_trace = log_path("fleet-trace-coordinator");
+    let survivor_trace = log_path("fleet-trace-survivor");
+    for p in [&coord_trace, &survivor_trace] {
+        let _ = fs::remove_file(p);
+    }
     let mut server = ServerProc::start_with(
         "fleet",
         &dir.join("data"),
         1,
-        &["--fleet", "--fleet-timeout", "2"],
+        &[
+            "--fleet",
+            "--fleet-timeout",
+            "2",
+            "--trace-out",
+            &coord_trace.display().to_string(),
+        ],
     );
     let addr = server.addr.clone();
 
@@ -136,19 +153,124 @@ fn fleet_with_killed_and_hung_workers_stays_byte_identical() {
     // will be SIGKILLed mid-share, one survives and finishes the job
     let _hung = WorkerProc::start("fleet", 1, &addr, &["--fault", "hang"]);
     let mut victim = WorkerProc::start("fleet", 2, &addr, &[]);
-    let survivor = WorkerProc::start("fleet", 3, &addr, &[]);
+    // worker logs append across runs; a stale "metrics on" line from an
+    // earlier run would point at a dead port
+    let _ = fs::remove_file(log_path("fleet-worker3"));
+    let survivor = WorkerProc::start(
+        "fleet",
+        3,
+        &addr,
+        &[
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--trace-out",
+            &survivor_trace.display().to_string(),
+        ],
+    );
     wait_for_workers(&addr, 3, Duration::from_secs(10));
+
+    // the survivor's own observability listener answers on the
+    // ephemeral port it printed at startup
+    let metrics_line = wait_for_log(
+        &survivor.log,
+        "work: metrics on http://",
+        Duration::from_secs(10),
+    );
+    let worker_metrics_addr = metrics_line
+        .lines()
+        .filter_map(|l| l.strip_prefix("work: metrics on http://"))
+        .next_back()
+        .expect("metrics address line")
+        .trim()
+        .to_string();
+    let (status, _, body) = http(&worker_metrics_addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let (status, _, body) = http(&worker_metrics_addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let worker_metrics = String::from_utf8(body).expect("utf-8 exposition");
+    validate_exposition(&worker_metrics);
+    assert!(
+        worker_metrics.contains("work_assignments_total"),
+        "worker /metrics misses its own families:\n{worker_metrics}"
+    );
 
     let (status, _, body) = http(&addr, "POST", "/v1/sweeps", JOB_BODY);
     assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
     let id = json_str_field(&body, "id").expect("job id");
+    let trace_id = json_str_field(&body, "trace_id").expect("job trace id");
 
     // SIGKILL the victim as soon as it has claimed a share — its tasks
     // must be re-dispatched, never lost
     wait_for_log(&victim.log, "work: claimed job", Duration::from_secs(30));
     victim.kill9();
 
+    // mid-run: worker claim/heartbeat stats are federated into
+    // per-worker gauges on the coordinator's exposition
+    let (_, _, body) = http(&addr, "GET", "/metrics", "");
+    let text = String::from_utf8(body).expect("utf-8 exposition");
+    let samples = validate_exposition(&text);
+    assert!(
+        samples
+            .iter()
+            .any(|(n, l, _)| n == "fleet_worker_replicas_per_sec" && l.contains("worker=")),
+        "no federated fleet_worker_replicas_per_sec gauge:\n{text}"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|(n, l, _)| n == "fleet_worker_events_per_sec" && l.contains("worker=")),
+        "no federated fleet_worker_events_per_sec gauge:\n{text}"
+    );
+
     poll_until_state(&addr, &id, "done", Duration::from_secs(300));
+
+    // the correlated timeline: spans from both sides of the fleet under
+    // the job's single trace id, merged in wall-clock order
+    let (status, _, body) = http(&addr, "GET", &format!("/v1/jobs/{id}/trace"), "");
+    assert_eq!(status, 200);
+    let trace_doc = String::from_utf8(body).expect("utf-8 trace");
+    assert!(
+        trace_doc.contains(&format!("\"trace_id\":\"{trace_id}\"")),
+        "trace document carries the wrong id: {trace_doc}"
+    );
+    assert!(
+        trace_doc.contains("\"proc\":\"coordinator\""),
+        "no coordinator spans in {trace_doc}"
+    );
+    let worker_procs: HashSet<&str> = trace_doc
+        .split("\"proc\":\"")
+        .skip(1)
+        .filter_map(|s| s.split('"').next())
+        .filter(|p| *p != "coordinator")
+        .collect();
+    assert!(
+        !worker_procs.is_empty(),
+        "no worker-side spans in {trace_doc}"
+    );
+    let stamps: Vec<u64> = trace_doc
+        .split("\"unix_us\":")
+        .skip(1)
+        .filter_map(|s| {
+            s.split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|d| d.parse().ok())
+        })
+        .collect();
+    assert!(stamps.len() >= 2, "too few spans in {trace_doc}");
+    assert!(
+        stamps.windows(2).all(|w| w[0] <= w[1]),
+        "trace timeline not sorted by unix_us"
+    );
+
+    // both processes exported the shared trace id to their JSONL files
+    for (proc, path) in [("coordinator", &coord_trace), ("survivor", &survivor_trace)] {
+        let text = fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("{proc} trace file {}: {e}", path.display()));
+        assert!(
+            text.contains(&trace_id),
+            "{proc} trace JSONL never mentions trace id {trace_id}:\n{text}"
+        );
+    }
 
     // the merged rows are byte-identical to the single-process CLI run
     let (status, _, rows) = http(&addr, "GET", &format!("/v1/jobs/{id}/rows"), "");
