@@ -31,6 +31,11 @@
 //! 3. **row re-streams** — K clients re-stream every job's NDJSON rows
 //!    → `rows_streamed_per_s`.
 //!
+//! In local mode a fourth, ungated *overload probe* follows: a tiny
+//! one-worker instance with `max_queue: 4` takes a 16-submit burst and
+//! must shed with `429` + `Retry-After` (recorded under `"admission"`
+//! in the JSON, never compared by `--check`).
+//!
 //! See `docs/PERFORMANCE.md` for how the baseline is tracked across PRs.
 
 use std::io::{Read, Write};
@@ -149,6 +154,13 @@ impl Workload {
 /// A one-shot HTTP exchange (`Connection: close`), returning
 /// `(status, body)` with chunked bodies decoded.
 fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, Vec<u8>) {
+    let (status, _, body) = http_full(addr, method, path, body);
+    (status, body)
+}
+
+/// [`http`], but also returning the raw response head — the overload
+/// probe inspects `Retry-After`.
+fn http_full(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
@@ -183,7 +195,7 @@ fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, Vec<u8>) {
     } else {
         payload.to_vec()
     };
-    (status, body)
+    (status, head, body)
 }
 
 fn decode_chunked(mut raw: &[u8]) -> Vec<u8> {
@@ -366,6 +378,63 @@ fn main() {
             .expect("server run failed");
     }
 
+    // overload probe (local mode only, not gated): a deliberately tiny
+    // instance — one job worker, a 4-deep queue — must shed a burst of
+    // slow submits with 429 + Retry-After instead of accepting without
+    // bound. Separate from the measured phases so admission control
+    // never perturbs the throughput numbers above.
+    let admission = args.addr.is_none().then(|| {
+        let data = std::env::temp_dir().join(format!("serve_bench_probe_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data);
+        let server = seg_serve::Server::bind(seg_serve::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            data_dir: data,
+            workers: 1,
+            max_queue: 4,
+            ..Default::default()
+        })
+        .expect("bind probe server");
+        let probe_addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+        let burst = 16;
+        let shed = AtomicUsize::new(0);
+        fan_out(8, burst, |i| {
+            let body = format!(
+                "{{\"side\": 24, \"horizon\": 1, \"tau\": 0.42, \"replicas\": 128, \
+                 \"seed\": {}, \"max_events\": 20000}}",
+                9000 + i
+            );
+            let (status, head, body) = http_full(&probe_addr, "POST", "/v1/sweeps", &body);
+            match status {
+                202 => {}
+                429 => {
+                    assert!(
+                        head.to_ascii_lowercase().contains("retry-after:"),
+                        "429 without Retry-After:\n{head}"
+                    );
+                    shed.fetch_add(1, Ordering::Relaxed);
+                }
+                other => panic!(
+                    "probe submit got {other}: {}",
+                    String::from_utf8_lossy(&body)
+                ),
+            }
+        });
+        let shed = shed.into_inner();
+        assert!(
+            shed >= 1,
+            "a {burst}-deep burst against a 4-deep queue shed nothing"
+        );
+        let (status, _) = http(&probe_addr, "POST", "/v1/shutdown", "");
+        assert_eq!(status, 200, "probe shutdown failed");
+        handle
+            .join()
+            .expect("probe thread")
+            .expect("probe run failed");
+        println!("  overload probe   {shed:>5}/{burst} submits shed with 429 + Retry-After");
+        (burst, shed)
+    });
+
     let metrics: Vec<(&str, f64)> = vec![
         ("jobs_per_s", jobs_per_s),
         ("cache_hit_per_s", cache_hit_per_s),
@@ -381,6 +450,12 @@ fn main() {
          \"clients\": {}, \"replicas\": {}, \"max_events\": {}}},\n",
         w.jobs, w.resubmits, w.restreams, w.clients, w.replicas, w.max_events
     ));
+    if let Some((burst, shed)) = admission {
+        // informational, not gated: --check only reads "metrics"
+        json.push_str(&format!(
+            "  \"admission\": {{\"burst\": {burst}, \"shed\": {shed}}},\n"
+        ));
+    }
     json.push_str("  \"metrics\": {\n");
     for (i, (k, v)) in metrics.iter().enumerate() {
         let sep = if i + 1 == metrics.len() { "" } else { "," };

@@ -6,8 +6,9 @@
 //! | `/healthz` | GET | liveness + per-state job counts |
 //! | `/metrics` | GET | Prometheus text exposition of the process-wide [`seg_obs`] registry |
 //! | `/dashboard` | GET | self-contained HTML status page with per-job throughput charts |
-//! | `/v1/sweeps` | POST | submit a sweep (JSON body); dedup by spec fingerprint |
+//! | `/v1/sweeps` | POST | submit a sweep (JSON body); dedup by spec fingerprint; admission-gated (429 + `Retry-After` under overload, 401 for unknown API keys) |
 //! | `/v1/jobs/:id` | GET | status, progress, live replicas/s, queue/cache figures |
+//! | `/v1/jobs/:id` | DELETE | remove a finished job and its artifacts (409 while queued/running) |
 //! | `/v1/jobs/:id/rows` | GET | NDJSON result rows, chunked, in task order; `?from=K` skips the first K rows |
 //! | `/v1/jobs/:id/trace` | GET | the job's cross-process span timeline (coordinator + worker spans, merged by `unix_us`) |
 //! | `/v1/shutdown` | POST | graceful drain: stop accepting, journal in-flight work, exit |
@@ -37,9 +38,10 @@
 //! finish, and the stream terminates when the job completes (or fails —
 //! check the status endpoint when a stream ends short).
 
-use crate::http::{write_json, write_response, ChunkedBody, Request};
+use crate::http::{write_json, write_response, write_response_with, ChunkedBody, Request};
 use crate::jobs::{Job, JobManager, JobState, SubmitOutcome, SweepRequest};
 use crate::json::{escape_str, Json};
+use crate::lifecycle::DeleteOutcome;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -160,17 +162,21 @@ fn route<W: Write>(
     };
     match (req.method.as_str(), segments) {
         ("GET", ["healthz"]) => {
+            // a draining instance reports 503 so load balancers rotate
+            // it out before the socket actually closes
+            let draining = ctx.shutdown.load(Ordering::Relaxed);
             let counts = ctx.manager.counts();
             let jobs: Vec<String> = counts
                 .iter()
                 .map(|(k, v)| format!("{}:{v}", escape_str(k)))
                 .collect();
             let body = format!(
-                "{{\"status\":\"ok\",\"uptime_secs\":{:.1},\"jobs\":{{{}}}}}",
+                "{{\"status\":{},\"uptime_secs\":{:.1},\"jobs\":{{{}}}}}",
+                if draining { "\"draining\"" } else { "\"ok\"" },
                 ctx.started.elapsed().as_secs_f64(),
                 jobs.join(",")
             );
-            write_json(out, 200, &body, keep)?;
+            write_json(out, if draining { 503 } else { 200 }, &body, keep)?;
             Ok(keep)
         }
         ("GET", ["metrics"]) => {
@@ -204,13 +210,47 @@ fn route<W: Write>(
                 }
             };
             if ctx.shutdown.load(Ordering::Relaxed) {
-                write_json(out, 503, &error_body("server is draining"), false)?;
+                status.set(503);
+                write_response_with(
+                    out,
+                    503,
+                    "application/json",
+                    &[("retry-after", "10".to_string())],
+                    error_body("server is draining").as_bytes(),
+                    false,
+                )?;
                 return Ok(false);
             }
-            let (job, outcome) = match ctx.manager.submit(request, req.header("x-seg-trace")) {
-                Ok(x) => x,
-                Err(e) => {
-                    write_json(out, 500, &error_body(&e.to_string()), keep)?;
+            let client = match ctx.manager.admission().resolve(req.header("x-api-key")) {
+                Ok(c) => c,
+                Err(crate::admission::UnknownKey) => {
+                    write_json(out, 401, &error_body("unknown API key"), keep)?;
+                    return Ok(keep);
+                }
+            };
+            let admitted =
+                match ctx
+                    .manager
+                    .submit_as(request, req.header("x-seg-trace"), Some(&client))
+                {
+                    Ok(x) => x,
+                    Err(e) => {
+                        write_json(out, 500, &error_body(&e.to_string()), keep)?;
+                        return Ok(keep);
+                    }
+                };
+            let (job, outcome) = match admitted {
+                Ok(pair) => pair,
+                Err(rejection) => {
+                    status.set(429);
+                    write_response_with(
+                        out,
+                        429,
+                        "application/json",
+                        &[("retry-after", rejection.retry_after().to_string())],
+                        error_body(&rejection.message()).as_bytes(),
+                        keep,
+                    )?;
                     return Ok(keep);
                 }
             };
@@ -229,6 +269,25 @@ fn route<W: Write>(
             }
             None => {
                 write_json(out, 404, &error_body("no such job"), keep)?;
+                Ok(keep)
+            }
+        },
+        ("DELETE", ["v1", "jobs", id]) => match ctx.manager.delete(id) {
+            DeleteOutcome::Deleted => {
+                write_json(out, 200, "{\"deleted\":true}", keep)?;
+                Ok(keep)
+            }
+            DeleteOutcome::NotFound => {
+                write_json(out, 404, &error_body("no such job"), keep)?;
+                Ok(keep)
+            }
+            DeleteOutcome::Busy => {
+                write_json(
+                    out,
+                    409,
+                    &error_body("job is queued or running; wait for it to finish"),
+                    keep,
+                )?;
                 Ok(keep)
             }
         },
@@ -459,6 +518,7 @@ fn stream_rows<W: Write>(
     shutdown: &AtomicBool,
 ) -> io::Result<()> {
     let total = job.spec.task_count();
+    job.touch(); // streaming counts as use for LRU eviction
     let path = job.rows_path();
     let rows_streamed = seg_obs::metrics().counter(
         "serve_rows_streamed_total",

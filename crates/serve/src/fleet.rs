@@ -86,8 +86,11 @@ pub struct WorkerSummary {
 #[derive(Debug)]
 struct WorkerEntry {
     last_seen: Instant,
-    assignment: Option<(String, u64)>, // (job_id, epoch) claimed
-    replicas_per_sec: f64,             // last heartbeat-reported stats
+    /// The full claimed assignment, kept until its upload lands so a
+    /// re-poll after a lost claim *response* gets the same share again
+    /// (see [`FleetRegistry::claim`]).
+    assignment: Option<Assignment>,
+    replicas_per_sec: f64, // last heartbeat-reported stats
     events_per_sec: f64,
     history: VecDeque<WorkerSample>,
 }
@@ -224,11 +227,25 @@ impl FleetRegistry {
     /// A worker asks for work (doubling as a heartbeat). `None` = the
     /// id is unknown; `Some(None)` = nothing offered right now;
     /// `Some(Some(a))` = the share is now claimed by this worker.
+    ///
+    /// Claims are **idempotent**: a worker that already holds a share
+    /// gets the same share again. This matters on lossy networks — if
+    /// the claim *response* is lost in transit the registry has marked
+    /// the share claimed but the worker never saw it; without re-issue
+    /// the epoch would read `Working` until the worker's heartbeats
+    /// went stale too (they don't — heartbeats keep flowing), wedging
+    /// the job. Re-running a share a second time is harmless: uploaded
+    /// records dedupe by task index.
     pub fn claim(&self, id: &str) -> Option<Option<Assignment>> {
         let mut st = self.lock();
         match st.workers.get_mut(id) {
             None => return None,
-            Some(w) => w.last_seen = Instant::now(),
+            Some(w) => {
+                w.last_seen = Instant::now();
+                if let Some(held) = &w.assignment {
+                    return Some(Some(held.clone()));
+                }
+            }
         }
         let offered = st.offered.pop_front();
         match offered {
@@ -237,8 +254,8 @@ impl FleetRegistry {
                 // offer-to-claim latency: how long the share waited for
                 // a worker — the transport half of an epoch's wall time
                 self.obs.claim_latency.observe(o.at.elapsed().as_secs_f64());
-                let key = (o.assignment.job_id.clone(), o.assignment.epoch);
-                st.workers.get_mut(id).expect("checked above").assignment = Some(key);
+                st.workers.get_mut(id).expect("checked above").assignment =
+                    Some(o.assignment.clone());
                 Some(Some(o.assignment))
             }
         }
@@ -439,7 +456,10 @@ impl FleetRegistry {
         }
         let mut claimed = false;
         for w in st.workers.values() {
-            if w.assignment.as_ref() == Some(&(job_id.to_string(), epoch)) {
+            if w.assignment
+                .as_ref()
+                .is_some_and(|a| a.job_id == job_id && a.epoch == epoch)
+            {
                 if now.duration_since(w.last_seen) >= self.timeout {
                     return EpochHealth::Stalled; // holder went dark
                 }
@@ -474,10 +494,11 @@ impl FleetRegistry {
                     w.assignment.is_some(),
                     crate::json::format_f64(w.replicas_per_sec),
                 );
-                if let Some((job, epoch)) = &w.assignment {
+                if let Some(a) = &w.assignment {
                     s.push_str(&format!(
-                        ",\"job\":{},\"epoch\":{epoch}",
-                        crate::json::escape_str(job)
+                        ",\"job\":{},\"epoch\":{}",
+                        crate::json::escape_str(&a.job_id),
+                        a.epoch
                     ));
                 }
                 s.push('}');
@@ -544,6 +565,23 @@ mod tests {
         // epoch 1's offers are gone; with nothing offered or claimed it
         // reads complete
         assert_eq!(f.epoch_health("job", 1), EpochHealth::Complete);
+    }
+
+    #[test]
+    fn reclaim_after_a_lost_response_returns_the_held_share() {
+        let f = registry(200);
+        let id = f.register();
+        f.dispatch("job", 1, "{}", vec![vec![0, 1]], "t1", None);
+        let first = f.claim(&id).unwrap().unwrap();
+        // the response was lost: the worker polls again and must get
+        // the same share back, not idle, or the epoch wedges
+        let again = f.claim(&id).unwrap().unwrap();
+        assert_eq!(again.tasks, first.tasks);
+        assert_eq!(again.epoch, first.epoch);
+        assert_eq!(again.job_id, first.job_id);
+        // the upload clears it; the next claim is genuinely idle
+        f.accept_upload(&id, "job", Vec::new());
+        assert!(f.claim(&id).unwrap().is_none());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! Everything here is transport; routing and semantics live in
 //! [`crate::api`].
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 /// Hard cap on the request line + headers, bytes.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -224,10 +226,12 @@ pub fn reason(status: u16) -> &'static str {
         200 => "OK",
         202 => "Accepted",
         400 => "Bad Request",
+        401 => "Unauthorized",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Content Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -246,13 +250,34 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(w, status, content_type, &[], body, keep_alive)
+}
+
+/// Writes a fixed-length response with extra headers (name must already
+/// be lower-case; used for `retry-after` on 429/503 rejections).
+///
+/// # Errors
+///
+/// Any I/O error from the socket.
+pub fn write_response_with<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -269,6 +294,52 @@ pub fn write_json<W: Write>(
     keep_alive: bool,
 ) -> io::Result<()> {
     write_response(w, status, "application/json", body.as_bytes(), keep_alive)
+}
+
+/// The read side of a connection with a whole-request deadline.
+///
+/// A plain per-read socket timeout lets a slow-loris client dribble one
+/// byte per 29 seconds forever and pin a connection thread. This
+/// wrapper instead budgets the *entire* request head + body: the server
+/// calls [`DeadlineStream::arm`] before each request, and every read
+/// re-derives its socket timeout from the time remaining. Once the
+/// budget is spent, reads fail with `TimedOut` and the connection is
+/// dropped.
+pub struct DeadlineStream {
+    inner: TcpStream,
+    deadline: Option<Instant>,
+}
+
+impl DeadlineStream {
+    /// Wraps a stream with no deadline armed yet.
+    pub fn new(inner: TcpStream) -> Self {
+        DeadlineStream {
+            inner,
+            deadline: None,
+        }
+    }
+
+    /// Starts a fresh per-request budget: all reads must complete
+    /// within `timeout` from now.
+    pub fn arm(&mut self, timeout: Duration) {
+        self.deadline = Some(Instant::now() + timeout);
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "request deadline exceeded",
+                ));
+            }
+            self.inner.set_read_timeout(Some(remaining))?;
+        }
+        self.inner.read(buf)
+    }
 }
 
 /// A chunked-transfer response body: call [`ChunkedBody::chunk`] any
@@ -404,6 +475,56 @@ mod tests {
             "y".repeat(MAX_HEAD_BYTES)
         );
         assert!(matches!(parse(&huge), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn extra_headers_land_between_head_and_body() {
+        let mut out = Vec::new();
+        write_response_with(
+            &mut out,
+            429,
+            "application/json",
+            &[("retry-after", "3".to_string())],
+            b"{}",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("\r\nretry-after: 3\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        assert_eq!(reason(401), "Unauthorized");
+    }
+
+    #[test]
+    fn deadline_stream_times_out_a_dribbling_peer() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            // one early byte, then silence — never a full request
+            s.write_all(b"G").unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(400));
+            drop(s);
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let mut stream = DeadlineStream::new(conn);
+        stream.arm(std::time::Duration::from_millis(100));
+        let started = std::time::Instant::now();
+        let err = read_request(&mut BufReader::new(&mut stream), 1024).unwrap_err();
+        assert!(
+            matches!(err, HttpError::Io(ref e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            )),
+            "want a timeout, got {err:?}"
+        );
+        assert!(
+            started.elapsed() < std::time::Duration::from_millis(350),
+            "deadline did not cut the read short"
+        );
+        client.join().unwrap();
     }
 
     #[test]

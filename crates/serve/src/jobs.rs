@@ -26,6 +26,7 @@
 //! plus partial journals; the next start re-enqueues it and the engine
 //! resumes from `ck.jsonl`, skipping every journaled replica.
 
+use crate::admission::{AdmissionControl, Rejection};
 use crate::fleet::{EpochHealth, FleetRegistry, FLEET_POLL};
 use crate::json::{escape_str, format_f64, Json};
 use seg_engine::{
@@ -38,6 +39,7 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Caps on a single request, so one client cannot park the service on a
 /// sweep that never finishes (documented in `docs/SERVING.md`).
@@ -341,12 +343,18 @@ pub struct Job {
     /// accepted from the submitter's `X-Seg-Trace` header or minted at
     /// submission, and propagated to fleet workers on every claim.
     pub trace_id: String,
-    state: Mutex<JobState>,
+    pub(crate) state: Mutex<JobState>,
     progress: Mutex<SweepProgress>,
     history: Mutex<VecDeque<SweepProgress>>,
     /// Trace lines uploaded by fleet workers (already tagged with their
     /// `proc`), merged into [`Job::trace_json`].
     worker_spans: Mutex<Vec<String>>,
+    /// The client whose admission slot this job holds (fresh jobs
+    /// only); taken back when the job leaves the queued/running states.
+    pub(crate) client: Mutex<Option<String>>,
+    /// When the job was last submitted, streamed, or finished — the
+    /// LRU eviction order of `--data-max-bytes`.
+    pub(crate) last_used: Mutex<Instant>,
 }
 
 impl Job {
@@ -363,6 +371,19 @@ impl Job {
     /// The path row streams read from.
     pub fn rows_path(&self) -> PathBuf {
         self.dir.join("rows.jsonl")
+    }
+
+    /// Marks the job recently used, deferring its LRU eviction.
+    pub fn touch(&self) {
+        *self.last_used.lock().expect("job last_used poisoned") = Instant::now();
+    }
+
+    /// How long ago the job was last touched.
+    pub fn idle_for(&self) -> Duration {
+        self.last_used
+            .lock()
+            .expect("job last_used poisoned")
+            .elapsed()
     }
 
     /// The retained progress samples, oldest first (bounded at
@@ -550,24 +571,32 @@ pub enum SubmitOutcome {
 /// handlers.
 #[derive(Debug)]
 pub struct JobManager {
-    data_dir: PathBuf,
+    pub(crate) data_dir: PathBuf,
     engine_threads: usize,
     drain: Arc<AtomicBool>,
-    jobs: Mutex<BTreeMap<String, Arc<Job>>>,
+    pub(crate) jobs: Mutex<BTreeMap<String, Arc<Job>>>,
     queue: Mutex<VecDeque<Arc<Job>>>,
     cvar: Condvar,
-    obs: ManagerMetrics,
+    pub(crate) obs: ManagerMetrics,
     fleet: Option<Arc<FleetRegistry>>,
+    admission: Arc<AdmissionControl>,
+    /// Evict finished jobs idle past this (`--job-ttl`).
+    pub(crate) job_ttl: Option<Duration>,
+    /// Evict oldest finished jobs once the data dir exceeds this
+    /// (`--data-max-bytes`).
+    pub(crate) data_max_bytes: Option<u64>,
 }
 
 /// The manager's handles into the process-wide [`seg_obs`] registry.
 #[derive(Debug)]
-struct ManagerMetrics {
+pub(crate) struct ManagerMetrics {
     queue_depth: Arc<seg_obs::Gauge>,
     active_jobs: Arc<seg_obs::Gauge>,
     cache_hits: Arc<seg_obs::Counter>,
     cache_misses: Arc<seg_obs::Counter>,
     cache_inflight: Arc<seg_obs::Counter>,
+    pub(crate) jobs_evicted: Arc<seg_obs::Counter>,
+    pub(crate) data_bytes: Arc<seg_obs::Gauge>,
 }
 
 impl ManagerMetrics {
@@ -595,6 +624,16 @@ impl ManagerMetrics {
                 "submissions that joined an already queued or running job",
                 &[],
             ),
+            jobs_evicted: m.counter(
+                "serve_jobs_evicted_total",
+                "finished jobs evicted by the TTL sweep or the data-dir byte bound",
+                &[],
+            ),
+            data_bytes: m.gauge(
+                "serve_data_bytes",
+                "bytes held by job directories under the data dir",
+                &[],
+            ),
         }
     }
 }
@@ -617,6 +656,9 @@ impl JobManager {
             cvar: Condvar::new(),
             obs: ManagerMetrics::register(),
             fleet: None,
+            admission: Arc::new(AdmissionControl::default()),
+            job_ttl: None,
+            data_max_bytes: None,
         })
     }
 
@@ -627,6 +669,31 @@ impl JobManager {
     pub fn with_fleet(mut self, fleet: Arc<FleetRegistry>) -> JobManager {
         self.fleet = Some(fleet);
         self
+    }
+
+    /// Replaces the default (open) admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, admission: Arc<AdmissionControl>) -> JobManager {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the cache lifecycle bounds enforced by
+    /// [`JobManager::enforce_lifecycle`].
+    #[must_use]
+    pub fn with_lifecycle(
+        mut self,
+        job_ttl: Option<Duration>,
+        data_max_bytes: Option<u64>,
+    ) -> JobManager {
+        self.job_ttl = job_ttl;
+        self.data_max_bytes = data_max_bytes;
+        self
+    }
+
+    /// The admission policy, for the API layer's key resolution.
+    pub fn admission(&self) -> &Arc<AdmissionControl> {
+        &self.admission
     }
 
     /// The scheduling figures the status endpoint embeds — queue depth
@@ -709,6 +776,8 @@ impl JobManager {
                 }),
                 history: Mutex::new(VecDeque::new()),
                 worker_spans: Mutex::new(Vec::new()),
+                client: Mutex::new(None),
+                last_used: Mutex::new(Instant::now()),
             });
             self.jobs
                 .lock()
@@ -743,18 +812,50 @@ impl JobManager {
         request: SweepRequest,
         trace_hint: Option<&str>,
     ) -> io::Result<(Arc<Job>, SubmitOutcome)> {
+        match self.submit_as(request, trace_hint, None)? {
+            Ok(pair) => Ok(pair),
+            Err(_) => unreachable!("admission gates only apply to attributed clients"),
+        }
+    }
+
+    /// [`JobManager::submit`] with admission control: when `client` is
+    /// set, a submission that would create fresh work (a new job, or a
+    /// failed job's retry) runs through the quota and queue-depth gates
+    /// first — atomically with the job-table check, so a rejected
+    /// client cannot slip a job in between the two. Cache hits and
+    /// joins of in-flight jobs are always admitted.
+    ///
+    /// # Errors
+    ///
+    /// The outer `io::Result` is disk failure; the inner `Result` is
+    /// the admission verdict (`Err` becomes the API's 429).
+    pub fn submit_as(
+        &self,
+        request: SweepRequest,
+        trace_hint: Option<&str>,
+        client: Option<&str>,
+    ) -> io::Result<Result<(Arc<Job>, SubmitOutcome), Rejection>> {
         let spec = request.build_spec();
         let id = format!("{:016x}", spec_fingerprint(&spec));
         let mut jobs = self.jobs.lock().expect("jobs poisoned");
         if let Some(job) = jobs.get(&id) {
             let outcome = match job.state() {
                 JobState::Done => {
+                    job.touch();
                     self.obs.cache_hits.inc();
                     SubmitOutcome::Cached
                 }
-                // a failed job is retried on resubmit: back into the queue
+                // a failed job is retried on resubmit: back into the
+                // queue — fresh work, so it must pass admission
                 JobState::Failed(_) => {
+                    if let Some(client) = client {
+                        if let Err(r) = self.admission.admit_fresh(client, self.queue_len()) {
+                            return Ok(Err(r));
+                        }
+                        *job.client.lock().expect("job client poisoned") = Some(client.into());
+                    }
                     *job.state.lock().expect("job state poisoned") = JobState::Queued;
+                    job.touch();
                     self.enqueue(job.clone());
                     self.obs.cache_misses.inc();
                     SubmitOutcome::Fresh
@@ -764,12 +865,24 @@ impl JobManager {
                     SubmitOutcome::InFlight
                 }
             };
-            return Ok((job.clone(), outcome));
+            return Ok(Ok((job.clone(), outcome)));
+        }
+        if let Some(client) = client {
+            if let Err(r) = self.admission.admit_fresh(client, self.queue_len()) {
+                return Ok(Err(r));
+            }
         }
         self.obs.cache_misses.inc();
         let dir = self.data_dir.join("jobs").join(&id);
-        std::fs::create_dir_all(&dir)?;
-        std::fs::write(dir.join("request.json"), request.to_json())?;
+        let created = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(dir.join("request.json"), request.to_json()));
+        if let Err(e) = created {
+            // hand the admission slot back: the job never existed
+            if let Some(client) = client {
+                self.admission.release(client);
+            }
+            return Err(e);
+        }
         let total = spec.task_count();
         let job = Arc::new(Job {
             id: id.clone(),
@@ -788,11 +901,17 @@ impl JobManager {
             }),
             history: Mutex::new(VecDeque::new()),
             worker_spans: Mutex::new(Vec::new()),
+            client: Mutex::new(client.map(String::from)),
+            last_used: Mutex::new(Instant::now()),
         });
         jobs.insert(id, job.clone());
         drop(jobs);
         self.enqueue(job.clone());
-        Ok((job, SubmitOutcome::Fresh))
+        Ok(Ok((job, SubmitOutcome::Fresh)))
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.lock().expect("queue poisoned").len()
     }
 
     fn enqueue(&self, job: Arc<Job>) {
@@ -856,6 +975,13 @@ impl JobManager {
         }
     }
 
+    /// Runs one job synchronously on the calling thread — the
+    /// in-process test harness for modules outside this one.
+    #[cfg(test)]
+    pub(crate) fn run_job_for_test(&self, job: &Arc<Job>) {
+        self.run_job(job);
+    }
+
     fn run_job(&self, job: &Arc<Job>) {
         *job.state.lock().expect("job state poisoned") = JobState::Running;
         eprintln!(
@@ -896,7 +1022,19 @@ impl JobManager {
             JobState::Failed(e) => eprintln!("serve: job {} failed: {e}", job.id),
             JobState::Running => unreachable!(),
         }
+        let finished = !matches!(state, JobState::Queued);
         *job.state.lock().expect("job state poisoned") = state;
+        job.touch();
+        // the job left the queued/running states (or the process is
+        // draining): its admission slot goes back to the client
+        if finished {
+            if let Some(client) = job.client.lock().expect("job client poisoned").take() {
+                self.admission.release(&client);
+            }
+            // completions are when the data dir grows: a good moment to
+            // apply the TTL/byte bounds without waiting for the sweeper
+            self.enforce_lifecycle();
+        }
     }
 
     /// Runs the sweep with checkpoint + streaming sink. `Ok(true)` means

@@ -49,19 +49,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod api;
 pub mod dashboard;
 pub mod fleet;
 pub mod http;
 pub mod jobs;
 pub mod json;
+pub mod lifecycle;
 pub mod server;
 pub mod worker;
 
+pub use admission::{AdmissionControl, Rejection};
 pub use api::ApiContext;
 pub use fleet::{Assignment, EpochHealth, FleetRegistry};
-pub use http::{ChunkedBody, HttpError, Request};
+pub use http::{ChunkedBody, DeadlineStream, HttpError, Request};
 pub use jobs::{Job, JobManager, JobState, SchedulingSnapshot, SubmitOutcome, SweepRequest};
 pub use json::Json;
+pub use lifecycle::DeleteOutcome;
 pub use server::{serve, ServeConfig, Server};
 pub use worker::{run_worker, WorkerConfig};

@@ -1,0 +1,264 @@
+//! Job lifecycle: explicit deletion, the TTL sweep, and the LRU byte
+//! bound on the data directory.
+//!
+//! The fingerprint cache ([`crate::jobs`]) only ever grows; this module
+//! is what keeps a long-lived server's `--data` dir bounded:
+//!
+//! - `DELETE /v1/jobs/:id` removes a finished job on request;
+//! - `--job-ttl SECS` evicts finished jobs nobody has touched for that
+//!   long;
+//! - `--data-max-bytes N` evicts the least-recently-used finished jobs
+//!   until the job directories fit the bound.
+//!
+//! All three share one invariant: **queued and running jobs are never
+//! removed** — eviction only touches `done`/`failed` jobs, whose
+//! artifacts are reproducible by construction (a resubmit of the same
+//! spec recomputes byte-identical rows, it is simply a cache miss
+//! instead of a hit). [`JobManager::enforce_lifecycle`] runs after
+//! every job completion and from the server's background sweeper, and
+//! keeps `serve_data_bytes` / `serve_jobs_evicted_total` current.
+
+use crate::jobs::{Job, JobManager, JobState};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What `DELETE /v1/jobs/:id` found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeleteOutcome {
+    /// The job and its directory are gone (200).
+    Deleted,
+    /// No such job (404).
+    NotFound,
+    /// The job is queued or running — finish or drain first (409).
+    Busy,
+}
+
+/// Bytes held by the files directly inside a job directory (the layout
+/// is flat: `request.json`, `ck.jsonl`, `rows.jsonl`, `done.json`).
+fn dir_bytes(dir: &Path) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .filter(|m| m.is_file())
+        .map(|m| m.len())
+        .sum()
+}
+
+/// Only finished jobs may leave: a queued job is still owed to its
+/// submitter and a running job's journals are live file handles.
+fn evictable(job: &Job) -> bool {
+    matches!(job.state(), JobState::Done | JobState::Failed(_))
+}
+
+impl JobManager {
+    /// Removes a finished job and its directory. Queued/running jobs
+    /// are refused ([`DeleteOutcome::Busy`]) — they hold admission
+    /// slots and live file handles.
+    pub fn delete(&self, id: &str) -> DeleteOutcome {
+        let mut jobs = self.jobs.lock().expect("jobs poisoned");
+        let Some(job) = jobs.get(id).cloned() else {
+            return DeleteOutcome::NotFound;
+        };
+        if !evictable(&job) {
+            return DeleteOutcome::Busy;
+        }
+        jobs.remove(id);
+        // deleting while holding the lock keeps a concurrent resubmit
+        // from recreating the directory under our feet
+        if let Err(e) = std::fs::remove_dir_all(&job.dir) {
+            eprintln!("serve: deleting job {}: {e}", job.id);
+        }
+        let total: u64 = jobs.values().map(|j| dir_bytes(&j.dir)).sum();
+        self.obs.data_bytes.set(total as f64);
+        eprintln!("serve: job {} deleted", job.id);
+        DeleteOutcome::Deleted
+    }
+
+    /// Applies the TTL sweep and the byte bound, and refreshes the
+    /// `serve_data_bytes` gauge. Called after every job completion and
+    /// periodically from the server's sweeper thread; cheap when no
+    /// bound is configured (one directory walk).
+    pub fn enforce_lifecycle(&self) {
+        let mut jobs = self.jobs.lock().expect("jobs poisoned");
+        let mut sized: Vec<(Arc<Job>, u64)> = jobs
+            .values()
+            .map(|j| (j.clone(), dir_bytes(&j.dir)))
+            .collect();
+        let mut total: u64 = sized.iter().map(|(_, b)| b).sum();
+        self.obs.data_bytes.set(total as f64);
+
+        let mut evicted: Vec<Arc<Job>> = Vec::new();
+        if let Some(ttl) = self.job_ttl {
+            sized.retain(|(job, bytes)| {
+                if evictable(job) && job.idle_for() > ttl {
+                    total -= bytes;
+                    evicted.push(job.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if let Some(bound) = self.data_max_bytes {
+            // least recently used goes first; ties keep map order
+            let mut candidates: Vec<(Arc<Job>, u64, Duration)> = sized
+                .iter()
+                .filter(|(job, _)| evictable(job))
+                .map(|(job, bytes)| (job.clone(), *bytes, job.idle_for()))
+                .collect();
+            candidates.sort_by_key(|(_, _, idle)| std::cmp::Reverse(*idle));
+            let mut next = candidates.into_iter();
+            while total > bound {
+                let Some((job, bytes, _)) = next.next() else {
+                    break; // everything left is queued or running
+                };
+                total -= bytes;
+                evicted.push(job);
+            }
+        }
+        for job in &evicted {
+            jobs.remove(&job.id);
+            if let Err(e) = std::fs::remove_dir_all(&job.dir) {
+                eprintln!("serve: evicting job {}: {e}", job.id);
+            }
+            self.obs.jobs_evicted.inc();
+            eprintln!("serve: job {} evicted ({})", job.id, job.state().label());
+        }
+        if !evicted.is_empty() {
+            self.obs.data_bytes.set(total as f64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{SubmitOutcome, SweepRequest};
+    use crate::json::Json;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("seg_serve_lifecycle").join(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn request(seed: u64) -> SweepRequest {
+        SweepRequest::from_json(
+            &Json::parse(&format!(
+                r#"{{"side": 24, "horizon": 1, "tau": 0.4, "replicas": 2,
+                    "seed": {seed}, "max_events": 150}}"#
+            ))
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Submit + run one job to completion, returning its id and rows.
+    fn run_one(mgr: &JobManager, seed: u64) -> (String, Vec<u8>) {
+        let (job, outcome) = mgr.submit(request(seed), None).unwrap();
+        assert_eq!(outcome, SubmitOutcome::Fresh);
+        mgr.run_job_for_test(&job);
+        assert_eq!(job.state(), JobState::Done);
+        (job.id.clone(), std::fs::read(job.rows_path()).unwrap())
+    }
+
+    #[test]
+    fn delete_refuses_live_jobs_and_removes_finished_ones() {
+        let mgr = JobManager::new(tmp("delete"), 1).unwrap();
+        let (queued, _) = mgr.submit(request(1), None).unwrap();
+        assert_eq!(mgr.delete(&queued.id), DeleteOutcome::Busy);
+        assert_eq!(mgr.delete("ffffffffffffffff"), DeleteOutcome::NotFound);
+
+        let (id, rows) = run_one(&mgr, 2);
+        let dir = mgr.get(&id).unwrap().dir.clone();
+        assert_eq!(mgr.delete(&id), DeleteOutcome::Deleted);
+        assert!(mgr.get(&id).is_none());
+        assert!(!dir.exists());
+
+        // a resubmit is a plain cache miss that recomputes identically
+        let (job, outcome) = mgr.submit(request(2), None).unwrap();
+        assert_eq!(outcome, SubmitOutcome::Fresh);
+        mgr.run_job_for_test(&job);
+        assert_eq!(std::fs::read(job.rows_path()).unwrap(), rows);
+    }
+
+    #[test]
+    fn byte_bound_evicts_lru_done_jobs_but_never_live_ones() {
+        let dir = tmp("byte_bound");
+        // size one finished job, then bound the dir to roughly three
+        let probe = JobManager::new(dir.clone(), 1).unwrap();
+        let (first_id, first_rows) = run_one(&probe, 0);
+        let job_bytes = dir_bytes(&probe.get(&first_id).unwrap().dir);
+        assert!(job_bytes > 0);
+        drop(probe);
+
+        let bound = job_bytes * 3 + job_bytes / 2;
+        let mgr = JobManager::new(dir.clone(), 1)
+            .unwrap()
+            .with_lifecycle(None, Some(bound));
+        mgr.recover().unwrap();
+
+        // a queued job sits in the dir the whole time and must survive
+        let (queued, _) = mgr.submit(request(100), None).unwrap();
+
+        for seed in 1..6 {
+            // touch order = seed order, so eviction order is too
+            std::thread::sleep(Duration::from_millis(5));
+            run_one(&mgr, seed);
+        }
+        let survivors: Vec<String> = mgr.jobs_snapshot().iter().map(|j| j.id.clone()).collect();
+        let total: u64 = mgr.jobs_snapshot().iter().map(|j| dir_bytes(&j.dir)).sum();
+        assert!(
+            total <= bound,
+            "data dir holds {total} bytes, bound is {bound}"
+        );
+        assert!(
+            survivors.contains(&queued.id),
+            "queued job was evicted: {survivors:?}"
+        );
+        assert!(
+            !survivors.contains(&first_id),
+            "oldest done job survived: {survivors:?}"
+        );
+
+        // a running job is untouchable even when it breaks the bound
+        let running = mgr.jobs_snapshot()[0].clone();
+        *running.state.lock().unwrap() = JobState::Running;
+        mgr.enforce_lifecycle();
+        assert!(
+            mgr.get(&running.id).is_some(),
+            "running job evicted by the byte bound"
+        );
+        *running.state.lock().unwrap() = JobState::Done;
+
+        // the evicted first job recomputes byte-identically
+        let (job, outcome) = mgr.submit(request(0), None).unwrap();
+        assert_eq!(outcome, SubmitOutcome::Fresh, "evicted job still cached");
+        mgr.run_job_for_test(&job);
+        assert_eq!(
+            std::fs::read(job.rows_path()).unwrap(),
+            first_rows,
+            "recomputed rows differ"
+        );
+    }
+
+    #[test]
+    fn ttl_sweep_reaps_idle_finished_jobs() {
+        let mgr = JobManager::new(tmp("ttl"), 1)
+            .unwrap()
+            .with_lifecycle(Some(Duration::from_millis(30)), None);
+        let (id, _) = run_one(&mgr, 7);
+        let (fresh_queued, _) = mgr.submit(request(8), None).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        mgr.enforce_lifecycle();
+        assert!(mgr.get(&id).is_none(), "idle done job survived its TTL");
+        assert!(
+            mgr.get(&fresh_queued.id).is_some(),
+            "queued job reaped by TTL"
+        );
+    }
+}

@@ -17,9 +17,10 @@
 //! queued and half-done jobs resume from their journals on the next
 //! start.
 
+use crate::admission::AdmissionControl;
 use crate::api::{self, ApiContext};
 use crate::fleet::FleetRegistry;
-use crate::http::{read_request, write_json, HttpError};
+use crate::http::{read_request, write_json, DeadlineStream, HttpError};
 use crate::jobs::JobManager;
 use crate::json::escape_str;
 use seg_analysis::parallel::default_threads;
@@ -59,6 +60,21 @@ pub struct ServeConfig {
     /// re-dispatched (`--fleet-timeout SECS`); also how long a job waits
     /// for a first worker before running locally.
     pub fleet_timeout: Duration,
+    /// Whole-request read deadline (`--request-timeout SECS`): head +
+    /// body must arrive within this, so a slow-loris client cannot pin
+    /// a connection handler by dribbling bytes.
+    pub request_timeout: Duration,
+    /// API-key file for per-client admission quotas (`--api-keys FILE`,
+    /// format in `docs/SERVING.md`); `None` leaves one open anonymous
+    /// tier.
+    pub api_keys: Option<PathBuf>,
+    /// Queue-depth backpressure threshold (`--max-queue N`): fresh
+    /// submissions beyond this get 429 + `Retry-After`.
+    pub max_queue: usize,
+    /// Evict finished jobs idle past this (`--job-ttl SECS`).
+    pub job_ttl: Option<Duration>,
+    /// LRU byte bound on the data dir (`--data-max-bytes N`).
+    pub data_max_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +89,11 @@ impl Default for ServeConfig {
             trace_out: None,
             fleet: false,
             fleet_timeout: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(30),
+            api_keys: None,
+            max_queue: crate::admission::DEFAULT_MAX_QUEUE,
+            job_ttl: None,
+            data_max_bytes: None,
         }
     }
 }
@@ -115,7 +136,16 @@ impl Server {
         let fleet = config
             .fleet
             .then(|| Arc::new(FleetRegistry::new(config.fleet_timeout)));
-        let mut manager = JobManager::new(config.data_dir.clone(), engine_threads)?;
+        let admission = AdmissionControl::new(config.max_queue, config.api_keys.as_deref())?;
+        if config.api_keys.is_some() {
+            eprintln!(
+                "serve: admission quotas from {}",
+                config.api_keys.as_deref().expect("is_some").display()
+            );
+        }
+        let mut manager = JobManager::new(config.data_dir.clone(), engine_threads)?
+            .with_admission(Arc::new(admission))
+            .with_lifecycle(config.job_ttl, config.data_max_bytes);
         if let Some(f) = &fleet {
             eprintln!(
                 "serve: fleet mode on (worker timeout {:.0?})",
@@ -131,6 +161,9 @@ impl Server {
                 config.data_dir.display()
             );
         }
+        // trim whatever a previous (unbounded) process left behind and
+        // seed the serve_data_bytes gauge
+        manager.enforce_lifecycle();
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         Ok(Server {
@@ -196,6 +229,22 @@ impl Server {
             );
         }
 
+        // the lifecycle sweeper: TTL and byte-bound eviction also run
+        // between completions, so an idle server still honors its bounds
+        let sweeper = {
+            let manager = manager.clone();
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("lifecycle-sweeper".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(500));
+                        manager.enforce_lifecycle();
+                    }
+                })
+                .expect("spawn lifecycle sweeper")
+        };
+
         // connections flow through a bounded queue: when every handler is
         // busy and the queue is full, the accept loop itself blocks, and
         // further clients wait in the OS backlog
@@ -206,10 +255,11 @@ impl Server {
             let rx = rx.clone();
             let ctx = ctx.clone();
             let max_body = config.max_body;
+            let request_timeout = config.request_timeout;
             conn_workers.push(
                 std::thread::Builder::new()
                     .name(format!("conn-{i}"))
-                    .spawn(move || connection_worker(&rx, &ctx, max_body))
+                    .spawn(move || connection_worker(&rx, &ctx, max_body, request_timeout))
                     .expect("spawn connection handler"),
             );
         }
@@ -239,12 +289,18 @@ impl Server {
         for w in job_workers {
             let _ = w.join();
         }
+        let _ = sweeper.join();
         eprintln!("serve: drained, journals flushed");
         Ok(())
     }
 }
 
-fn connection_worker(rx: &Mutex<Receiver<TcpStream>>, ctx: &ApiContext, max_body: usize) {
+fn connection_worker(
+    rx: &Mutex<Receiver<TcpStream>>,
+    ctx: &ApiContext,
+    max_body: usize,
+    request_timeout: Duration,
+) {
     let active = seg_obs::metrics().gauge(
         "serve_active_connections",
         "connections currently held by a handler",
@@ -256,7 +312,7 @@ fn connection_worker(rx: &Mutex<Receiver<TcpStream>>, ctx: &ApiContext, max_body
             Err(_) => return, // accept loop hung up and the queue is empty
         };
         active.inc();
-        let outcome = handle_connection(stream, ctx, max_body);
+        let outcome = handle_connection(stream, ctx, max_body, request_timeout);
         active.dec();
         if let Err(e) = outcome {
             eprintln!("serve: connection error: {e}");
@@ -265,13 +321,20 @@ fn connection_worker(rx: &Mutex<Receiver<TcpStream>>, ctx: &ApiContext, max_body
 }
 
 /// Runs the keep-alive request loop of one connection.
-fn handle_connection(stream: TcpStream, ctx: &ApiContext, max_body: usize) -> io::Result<()> {
-    // generous, but bounded: a dead peer must not pin a handler forever
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+fn handle_connection(
+    stream: TcpStream,
+    ctx: &ApiContext,
+    max_body: usize,
+    request_timeout: Duration,
+) -> io::Result<()> {
+    // writes stay on a generous per-write timeout (row streams follow
+    // live jobs and may run for minutes); reads get a whole-request
+    // deadline below so a slow-loris client cannot pin this handler
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut reader = BufReader::new(DeadlineStream::new(stream.try_clone()?));
     let mut writer = stream;
     loop {
+        reader.get_mut().arm(request_timeout);
         match read_request(&mut reader, max_body) {
             Ok(None) => return Ok(()), // clean close between requests
             Ok(Some(req)) => {

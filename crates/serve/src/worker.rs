@@ -12,7 +12,12 @@
 //!
 //! The client is deliberately thin: a blocking `Connection: close` HTTP
 //! call per interaction on [`std::net::TcpStream`], no state beyond the
-//! worker id. Crash-safety falls out of the server protocol — a worker
+//! worker id. Every exchange carries connect/read/write deadlines and
+//! rides a jittered-exponential retry loop (`call_retrying`) that
+//! honors `Retry-After` on 429/503 and counts
+//! `work_retries_total{op=...}`, so flaky networks and coordinator
+//! backpressure degrade throughput instead of killing workers.
+//! Crash-safety falls out of the server protocol — a worker
 //! that dies or hangs mid-assignment simply stops heartbeating, and the
 //! coordinator re-partitions its share among the survivors
 //! ([`seg_shard::repartition`]). Uploads are split into
@@ -35,12 +40,13 @@ use crate::jobs::SweepRequest;
 use crate::json::{format_f64, Json};
 use seg_engine::{header_line, record_line, spec_fingerprint, Engine, Observer};
 use seg_obs::TraceContext;
+use std::cell::Cell;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 /// Upload bodies are flushed at this size so a big share never trips
 /// the server's `--max-body` cap (default 1 MiB). Each batch is a
@@ -48,11 +54,29 @@ use std::time::Duration;
 pub const UPLOAD_BATCH_BYTES: usize = 512 * 1024;
 
 /// How often the heartbeat thread stamps while an assignment runs.
+/// Each sleep is jittered ±10% so a fleet of workers started together
+/// does not beat in lockstep against the coordinator.
 const HEARTBEAT_EVERY: Duration = Duration::from_millis(300);
 
-/// Consecutive failed coordinator calls before the worker gives up and
-/// exits cleanly (the coordinator is gone, not coming back).
-const MAX_CONSECUTIVE_FAILURES: u32 = 40;
+/// Consecutive failed coordinator *exchanges* before the worker gives
+/// up and exits cleanly (the coordinator is gone, not coming back).
+/// Each exchange already retries [`RETRY_ATTEMPTS`] times internally,
+/// so this only trips on a sustained outage.
+const MAX_CONSECUTIVE_FAILURES: u32 = 5;
+
+/// Per-exchange transport deadlines: a coordinator that cannot accept
+/// a connection within [`CONNECT_TIMEOUT`] or move bytes within
+/// [`IO_TIMEOUT`] counts as a failed attempt and the call is retried.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+const IO_TIMEOUT: Duration = Duration::from_secs(15);
+
+/// Attempts per exchange in [`call_retrying`]: transport errors and
+/// backpressure responses (429/503) back off exponentially with full
+/// jitter, `BACKOFF_START_MS << attempt` capped at [`BACKOFF_CAP_MS`],
+/// honoring a server-sent `Retry-After` when one is present.
+const RETRY_ATTEMPTS: u32 = 8;
+const BACKOFF_START_MS: u64 = 50;
+const BACKOFF_CAP_MS: u64 = 2_000;
 
 /// What `segsim work` parsed from its command line.
 #[derive(Clone, Debug)]
@@ -87,20 +111,35 @@ impl WorkerConfig {
     }
 }
 
+/// What one coordinator exchange came back with. `retry_after` is the
+/// server's `Retry-After` header in seconds, when it sent one — the
+/// retry loop prefers it over its own backoff schedule.
+struct Response {
+    status: u16,
+    retry_after: Option<u64>,
+    body: Vec<u8>,
+}
+
 /// One blocking HTTP exchange: connect, send, read the full response.
 /// `extra_headers` are appended to the request head verbatim — the
 /// fleet uses this to carry `x-seg-trace` on every in-trace request.
-/// Returns the status code and body.
+/// Connect and per-read/write deadlines bound the exchange so a
+/// wedged coordinator (or a fault-injection proxy swallowing bytes)
+/// surfaces as a timeout error instead of a hang.
 fn call(
     addr: &str,
     method: &str,
     path: &str,
     body: &[u8],
     extra_headers: &[(&str, &str)],
-) -> io::Result<(u16, Vec<u8>)> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+) -> io::Result<Response> {
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::other(format!("{addr} resolved to no address")))?;
+    let stream = TcpStream::connect_timeout(&sock, CONNECT_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut writer = stream.try_clone()?;
     let extra: String = extra_headers
         .iter()
@@ -122,6 +161,7 @@ fn call(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::other(format!("bad status line {status_line:?}")))?;
     let mut content_length: Option<usize> = None;
+    let mut retry_after: Option<u64> = None;
     let mut chunked = false;
     loop {
         let mut line = String::new();
@@ -135,6 +175,8 @@ fn call(
             let value = value.trim();
             if name == "content-length" {
                 content_length = value.parse().ok();
+            } else if name == "retry-after" {
+                retry_after = value.parse().ok();
             } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
                 chunked = true;
             }
@@ -160,7 +202,85 @@ fn call(
     } else {
         reader.read_to_end(&mut body)?;
     }
-    Ok((status, body))
+    Ok(Response {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+/// Full-jitter milliseconds in `[0, ms]` from a thread-local xorshift
+/// state (no external RNG crates; seeded from the clock once per
+/// thread). Randomness here only de-synchronizes retry storms — it
+/// never touches simulation results, which stay seed-deterministic.
+fn jitter_ms(ms: u64) -> u64 {
+    thread_local! {
+        static STATE: Cell<u64> = Cell::new(
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x9e37_79b9)
+                | 1,
+        );
+    }
+    let x = STATE.with(|s| {
+        let mut x = s.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x
+    });
+    if ms == 0 {
+        0
+    } else {
+        x % (ms + 1)
+    }
+}
+
+/// [`call`] wrapped in bounded retries: transport errors and
+/// backpressure responses (429/503) sleep — `Retry-After` if the server
+/// sent one, else full-jittered exponential backoff — and try again, up
+/// to [`RETRY_ATTEMPTS`] times. Every retry increments
+/// `work_retries_total{op=...}` so chaos (and real overload) is visible
+/// on the worker's own `/metrics`. Any other status returns
+/// immediately: protocol outcomes like 404 (re-register) are the
+/// caller's business, not the transport layer's.
+fn call_retrying(
+    op: &'static str,
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    extra_headers: &[(&str, &str)],
+) -> io::Result<Response> {
+    let retries = seg_obs::metrics().counter(
+        "work_retries_total",
+        "coordinator exchanges retried after a transport error or 429/503 backpressure",
+        &[("op", op)],
+    );
+    let mut backoff_ms = BACKOFF_START_MS;
+    let mut attempt = 1;
+    loop {
+        let outcome = call(addr, method, path, body, extra_headers);
+        let wait = match &outcome {
+            Ok(resp) if resp.status == 429 || resp.status == 503 => resp
+                .retry_after
+                .map(|s| Duration::from_secs(s.min(60)))
+                .unwrap_or_else(|| Duration::from_millis(jitter_ms(backoff_ms))),
+            Ok(_) => return outcome,
+            Err(_) => Duration::from_millis(jitter_ms(backoff_ms)),
+        };
+        if attempt >= RETRY_ATTEMPTS {
+            // out of attempts: surface the last outcome as-is (the
+            // caller sees the final 429/503 or the transport error)
+            return outcome;
+        }
+        retries.inc();
+        std::thread::sleep(wait);
+        backoff_ms = (backoff_ms * 2).min(BACKOFF_CAP_MS);
+        attempt += 1;
+    }
 }
 
 fn parse_json(body: &[u8]) -> io::Result<Json> {
@@ -240,7 +360,11 @@ fn spawn_metrics_listener(addr: &str) -> io::Result<()> {
 }
 
 fn register(addr: &str) -> io::Result<String> {
-    let (status, body) = call(addr, "POST", "/v1/workers/register", b"{}", &[])?;
+    // retried for transport errors and backpressure only — a 404 comes
+    // back immediately and stays fatal, so a worker pointed at a
+    // non-fleet server fails fast with a useful message
+    let Response { status, body, .. } =
+        call_retrying("register", addr, "POST", "/v1/workers/register", b"{}", &[])?;
     if status != 200 {
         return Err(io::Error::other(format!(
             "register failed with status {status} (is the server running with --fleet?)"
@@ -320,8 +444,19 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
                     .as_deref()
                     .map(|t| vec![("x-seg-trace", t)])
                     .unwrap_or_default();
-                let _ = call(&addr, "POST", &path, stats_body().as_bytes(), &headers);
-                std::thread::sleep(HEARTBEAT_EVERY);
+                let _ = call_retrying(
+                    "heartbeat",
+                    &addr,
+                    "POST",
+                    &path,
+                    stats_body().as_bytes(),
+                    &headers,
+                );
+                // ±10% jitter so a fleet's heartbeats spread out instead
+                // of arriving in lockstep every interval
+                let base = HEARTBEAT_EVERY.as_millis() as u64;
+                let low = base - base / 10;
+                std::thread::sleep(Duration::from_millis(low + jitter_ms(base / 5)));
             }
         })
     };
@@ -352,7 +487,14 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
             .as_deref()
             .map(|t| vec![("x-seg-trace", t)])
             .unwrap_or_default();
-        let (status, body) = call(&cfg.coordinator, "POST", &path, batch.as_bytes(), &headers)?;
+        let Response { status, body, .. } = call_retrying(
+            "upload",
+            &cfg.coordinator,
+            "POST",
+            &path,
+            batch.as_bytes(),
+            &headers,
+        )?;
         if status != 200 {
             return Err(io::Error::other(format!(
                 "journal upload rejected with status {status}: {}",
@@ -400,14 +542,22 @@ fn run_assignment(cfg: &WorkerConfig, id: &str, claim: &Json) -> io::Result<()> 
 ///
 /// Prints one line per lifecycle step to stdout (`work: registered…`,
 /// `work: claimed…`, `work: uploaded…`) so tests and operators can
-/// follow along. Exits `Ok` once `MAX_CONSECUTIVE_FAILURES`
-/// coordinator calls in a row fail — the coordinator shut down, which
-/// is the normal end of a worker's life.
+/// follow along. Every coordinator exchange rides `call_retrying`, so
+/// transient faults (dropped connections, 429/503 backpressure) are
+/// absorbed with jittered backoff and show up as
+/// `work_retries_total{op=...}` rather than as failures. Exits `Ok`
+/// once `MAX_CONSECUTIVE_FAILURES` exchanges in a row exhaust their
+/// retries — the coordinator shut down, which is the normal end of a
+/// worker's life. A failed assignment (upload retries exhausted, a
+/// malformed claim) is abandoned, not fatal: the coordinator's
+/// staleness re-dispatch hands the share to another worker, and this
+/// one goes back to polling.
 ///
 /// # Errors
 ///
-/// Registration failures (e.g. the server is not in `--fleet` mode) and
-/// non-transient protocol errors (a rejected upload, a malformed claim).
+/// Registration failures (e.g. the server is not in `--fleet` mode —
+/// the 404 is deliberately not retried so misconfiguration fails fast)
+/// and claim responses outside the protocol.
 pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
     if let Some(path) = &cfg.trace_out {
         seg_obs::tracer().set_output(path)?;
@@ -428,7 +578,8 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
     let mut failures = 0u32;
     loop {
         let claim_path = format!("/v1/workers/{id}/claim");
-        match call(
+        match call_retrying(
+            "claim",
             &cfg.coordinator,
             "POST",
             &claim_path,
@@ -443,29 +594,126 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
                 }
                 std::thread::sleep(cfg.poll);
             }
-            Ok((404, _)) => {
+            Ok(resp) if resp.status == 404 => {
                 // the coordinator restarted and forgot us: re-register
                 failures = 0;
                 id = register(&cfg.coordinator)?;
                 println!("work: re-registered as {id}");
                 io::stdout().flush().ok();
             }
-            Ok((200, body)) => {
+            Ok(resp) if resp.status == 200 => {
                 failures = 0;
-                let claim = parse_json(&body)?;
+                let claim = parse_json(&resp.body)?;
                 if claim.get("idle").is_some() {
                     std::thread::sleep(cfg.poll);
                 } else {
                     assignments.inc();
-                    run_assignment(cfg, &id, &claim)?;
+                    // an assignment that dies mid-flight (upload retries
+                    // exhausted, malformed claim) is not the end of the
+                    // worker: abandon it — staleness re-dispatch gets the
+                    // share to someone else — and keep polling
+                    if let Err(err) = run_assignment(cfg, &id, &claim) {
+                        eprintln!("work: assignment abandoned: {err}");
+                        std::thread::sleep(cfg.poll);
+                    }
                 }
             }
-            Ok((status, body)) => {
+            Ok(resp) => {
                 return Err(io::Error::other(format!(
-                    "claim failed with status {status}: {}",
-                    String::from_utf8_lossy(&body)
+                    "claim failed with status {}: {}",
+                    resp.status,
+                    String::from_utf8_lossy(&resp.body)
                 )));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-shot canned server: each accepted connection reads the
+    /// request head and answers with the next scripted response.
+    fn scripted_server(responses: Vec<String>) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            for response in responses {
+                let (stream, _) = match listener.accept() {
+                    Ok(pair) => pair,
+                    Err(_) => return,
+                };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).is_ok() {
+                    if line == "\r\n" || line.is_empty() {
+                        break;
+                    }
+                    line.clear();
+                }
+                let mut w = stream;
+                let _ = w.write_all(response.as_bytes());
+            }
+        });
+        addr
+    }
+
+    fn retries_for(op: &'static str) -> u64 {
+        seg_obs::metrics()
+            .counter(
+                "work_retries_total",
+                "coordinator exchanges retried after a transport error or 429/503 backpressure",
+                &[("op", op)],
+            )
+            .get()
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        for ms in [0u64, 1, 7, 1000] {
+            for _ in 0..64 {
+                assert!(jitter_ms(ms) <= ms);
+            }
+        }
+    }
+
+    #[test]
+    fn backpressure_is_retried_until_the_server_relents() {
+        let addr = scripted_server(vec![
+            "HTTP/1.1 429 Too Many Requests\r\nretry-after: 0\r\ncontent-length: 0\r\n\r\n"
+                .to_string(),
+            "HTTP/1.1 503 Service Unavailable\r\ncontent-length: 0\r\n\r\n".to_string(),
+            "HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok".to_string(),
+        ]);
+        let before = retries_for("test_backpressure");
+        let resp = call_retrying("test_backpressure", &addr, "POST", "/x", b"{}", &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok");
+        assert_eq!(retries_for("test_backpressure") - before, 2);
+    }
+
+    #[test]
+    fn protocol_statuses_are_not_retried() {
+        let addr = scripted_server(vec![
+            "HTTP/1.1 404 Not Found\r\nretry-after: 30\r\ncontent-length: 0\r\n\r\n".to_string(),
+        ]);
+        let before = retries_for("test_protocol");
+        let resp = call_retrying("test_protocol", &addr, "POST", "/x", b"{}", &[]).unwrap();
+        assert_eq!(resp.status, 404, "404 must come back to the caller");
+        assert_eq!(
+            retries_for("test_protocol"),
+            before,
+            "a protocol status must not burn retry attempts"
+        );
+    }
+
+    #[test]
+    fn surfaced_retry_after_rides_the_response() {
+        let addr = scripted_server(vec![
+            "HTTP/1.1 200 OK\r\nretry-after: 7\r\ncontent-length: 0\r\n\r\n".to_string(),
+        ]);
+        let resp = call_retrying("test_header", &addr, "GET", "/x", b"", &[]).unwrap();
+        assert_eq!(resp.retry_after, Some(7));
     }
 }

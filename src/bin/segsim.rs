@@ -172,7 +172,8 @@ const USAGE: &str = "usage: segsim --side N --horizon W --tau T \
        segsim shard --workers M <sweep flags>\n\
        segsim serve [--addr HOST:PORT] [--workers N] [--threads T] [--data DIR] \
 [--conn-threads C] [--max-body BYTES] [--trace-out FILE.jsonl] \
-[--fleet] [--fleet-timeout SECS]\n\
+[--api-keys FILE] [--max-queue N] [--job-ttl SECS] [--data-max-bytes BYTES] \
+[--request-timeout SECS] [--fleet] [--fleet-timeout SECS]\n\
        segsim work --join HOST:PORT [--threads N] [--poll-ms MS] \
 [--metrics-addr HOST:PORT] [--trace-out FILE.jsonl]\n\
 \n\
@@ -190,7 +191,9 @@ byte-identical to a single-process `sweep`.\n\
 POST /v1/sweeps submits the JSON equivalent of `sweep` flags, jobs are \
 cached by spec fingerprint under --data, GET /v1/jobs/ID/rows streams rows \
 byte-identical to `sweep --stream --out`, POST /v1/shutdown drains. \
-See docs/SERVING.md.\n\
+--api-keys/--max-queue gate admission (429 + Retry-After when over quota \
+or queue), --job-ttl/--data-max-bytes bound the cache (finished jobs are \
+evicted oldest-idle first, never a running one). See docs/SERVING.md.\n\
 `serve --fleet` turns the server into a coordinator that dispatches each \
 job's tasks to `segsim work` processes and re-partitions a dead worker's \
 share among the survivors; `work --join` registers with such a \
@@ -533,9 +536,8 @@ fn run_shard(args: &[String]) -> Result<(), String> {
     write_sinks(&o, &engine_args, &result)
 }
 
-/// Parses the `serve` subcommand flags into a [`ServeConfig`] and runs
-/// the service until it is drained via `POST /v1/shutdown`.
-fn run_serve(args: &[String]) -> Result<(), String> {
+/// Parses the `serve` subcommand flags into a [`ServeConfig`].
+fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
     let mut config = ServeConfig::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -582,13 +584,55 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 }
                 config.fleet_timeout = std::time::Duration::from_secs_f64(secs);
             }
+            "--api-keys" => config.api_keys = Some(PathBuf::from(value("--api-keys")?)),
+            "--max-queue" => {
+                config.max_queue = value("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?;
+                if config.max_queue == 0 {
+                    return Err("--max-queue must be at least 1".into());
+                }
+            }
+            "--job-ttl" => {
+                let secs: f64 = value("--job-ttl")?
+                    .parse()
+                    .map_err(|e| format!("--job-ttl: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--job-ttl must be positive".into());
+                }
+                config.job_ttl = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--data-max-bytes" => {
+                let bytes: u64 = value("--data-max-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--data-max-bytes: {e}"))?;
+                if bytes == 0 {
+                    return Err("--data-max-bytes must be at least 1".into());
+                }
+                config.data_max_bytes = Some(bytes);
+            }
+            "--request-timeout" => {
+                let secs: f64 = value("--request-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--request-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--request-timeout must be positive".into());
+                }
+                config.request_timeout = std::time::Duration::from_secs_f64(secs);
+            }
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
     if !config.fleet && config.fleet_timeout != ServeConfig::default().fleet_timeout {
         return Err("--fleet-timeout only makes sense with --fleet".into());
     }
-    serve(config).map_err(|e| format!("serve: {e}"))
+    Ok(config)
+}
+
+/// Parses the `serve` subcommand flags and runs the service until it is
+/// drained via `POST /v1/shutdown`.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    serve(parse_serve_args(args)?).map_err(|e| format!("serve: {e}"))
 }
 
 /// Parses the `work` subcommand flags and joins a fleet coordinator.
@@ -858,6 +902,39 @@ mod tests {
         let (wo, we) = parse_sweep_args(&wargs[1..]).unwrap();
         let wspec = build_spec(&wo, &we);
         assert_eq!(spec_fingerprint(&wspec), spec_fingerprint(&spec));
+    }
+
+    #[test]
+    fn serve_parses_the_hardening_flags() {
+        let c = parse_serve_args(&args(
+            "--addr 127.0.0.1:0 --workers 3 --api-keys keys.txt --max-queue 16 \
+             --job-ttl 3600 --data-max-bytes 1048576 --request-timeout 10",
+        ))
+        .unwrap();
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.api_keys, Some(PathBuf::from("keys.txt")));
+        assert_eq!(c.max_queue, 16);
+        assert_eq!(c.job_ttl, Some(std::time::Duration::from_secs(3600)));
+        assert_eq!(c.data_max_bytes, Some(1_048_576));
+        assert_eq!(c.request_timeout, std::time::Duration::from_secs(10));
+    }
+
+    #[test]
+    fn serve_defaults_leave_hardening_off() {
+        let c = parse_serve_args(&[]).unwrap();
+        assert_eq!(c.api_keys, None);
+        assert_eq!(c.job_ttl, None);
+        assert_eq!(c.data_max_bytes, None);
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_hardening_values() {
+        assert!(parse_serve_args(&args("--max-queue 0")).is_err());
+        assert!(parse_serve_args(&args("--data-max-bytes 0")).is_err());
+        assert!(parse_serve_args(&args("--job-ttl -1")).is_err());
+        assert!(parse_serve_args(&args("--request-timeout 0")).is_err());
+        assert!(parse_serve_args(&args("--fleet-timeout 2")).is_err());
     }
 
     #[test]

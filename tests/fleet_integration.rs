@@ -20,77 +20,12 @@ mod support;
 
 use std::collections::HashSet;
 use std::fs;
-use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
-use std::time::{Duration, Instant};
+use std::process::Command;
+use std::time::Duration;
 use support::{
     http, json_str_field, log_path, poll_until_state, run_sweep, sample_value, tmp_dir,
-    validate_exposition, wait_for_log, ServerProc, SEGSIM,
+    validate_exposition, wait_for_log, wait_for_workers, ServerProc, WorkerProc, SEGSIM,
 };
-
-/// A running `segsim work` process with its stdout in a log file.
-struct WorkerProc {
-    child: Child,
-    log: PathBuf,
-}
-
-impl WorkerProc {
-    fn start(tag: &str, n: usize, coordinator: &str, extra: &[&str]) -> WorkerProc {
-        let log = log_path(&format!("{tag}-worker{n}"));
-        let log_file = fs::File::options()
-            .create(true)
-            .append(true)
-            .open(&log)
-            .unwrap();
-        let child = Command::new(SEGSIM)
-            .args([
-                "work",
-                "--join",
-                coordinator,
-                "--poll-ms",
-                "50",
-                "--threads",
-                "1",
-            ])
-            .args(extra)
-            .stdout(Stdio::from(log_file))
-            .stderr(Stdio::null())
-            .spawn()
-            .expect("spawn segsim work");
-        WorkerProc { child, log }
-    }
-
-    /// SIGKILL — the worker gets no chance to upload or say goodbye.
-    fn kill9(&mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
-}
-
-impl Drop for WorkerProc {
-    fn drop(&mut self) {
-        self.kill9();
-    }
-}
-
-/// Polls `GET /v1/workers` until `n` workers are registered.
-fn wait_for_workers(addr: &str, n: usize, timeout: Duration) {
-    let deadline = Instant::now() + timeout;
-    loop {
-        let (status, _, body) = http(addr, "GET", "/v1/workers", "");
-        assert_eq!(status, 200, "worker listing failed");
-        let count = String::from_utf8_lossy(&body).matches("\"id\":").count();
-        if count >= n {
-            return;
-        }
-        assert!(
-            Instant::now() < deadline,
-            "only {count}/{n} workers registered in time: {}",
-            String::from_utf8_lossy(&body)
-        );
-        std::thread::sleep(Duration::from_millis(25));
-    }
-}
 
 /// A job big enough that workers are reliably mid-share when one is
 /// killed: 120 tasks, a few seconds of debug-build compute.

@@ -10,11 +10,13 @@
 mod support;
 
 use std::fs;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 use support::{
-    http, json_str_field, poll_until_state, run_sweep, sample_value, tmp_dir, validate_exposition,
-    wait_for_log, ServerProc,
+    http, http_with, json_str_field, poll_until_state, run_sweep, sample_value, tmp_dir,
+    validate_exposition, wait_for_log, ServerProc,
 };
 
 /// The request body mirroring `sweep_flags` below.
@@ -337,6 +339,313 @@ fn metrics_endpoint_exposes_valid_prometheus_text_under_load() {
     .expect("histogram count");
     assert_eq!(*inf, *count, "+Inf bucket must equal the sample count");
     assert!(*count >= 2.0, "both submits should be timed");
+}
+
+/// Reads one `Content-Length`-framed response off a held keep-alive
+/// connection, returning `(status, head, body)`.
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> (u16, String, Vec<u8>) {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read head line") > 0,
+            "connection closed mid-head (head so far: {head:?})"
+        );
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric content-length"))
+        })
+        .expect("content-length header");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("read body");
+    (status, head, body)
+}
+
+/// A slow fresh job for admission/lifecycle tests: enough replicas that
+/// it is reliably still running while the test pokes the server.
+fn slow_body(seed: u64) -> String {
+    format!(
+        r#"{{"side": 32, "horizon": 1, "tau": 0.42, "replicas": 200, "seed": {seed}, "max_events": 300}}"#
+    )
+}
+
+#[test]
+fn healthz_reports_draining_once_shutdown_begins() {
+    let dir = tmp_dir("draining");
+    let mut server = ServerProc::start("draining", &dir.join("data"), 1);
+    let addr = server.addr.clone();
+
+    // a held keep-alive connection straddles the shutdown
+    let stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write!(
+        writer,
+        "GET /healthz HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\n\r\n"
+    )
+    .unwrap();
+    let (status, _, body) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(
+        String::from_utf8_lossy(&body).contains("\"status\":\"ok\""),
+        "pre-drain healthz: {}",
+        String::from_utf8_lossy(&body)
+    );
+
+    let (status, _, _) = http(&addr, "POST", "/v1/shutdown", "");
+    assert_eq!(status, 200);
+
+    // the same connection now sees the drain: 503 + "draining", so a
+    // load balancer rotates the instance out while it finishes
+    write!(
+        writer,
+        "GET /healthz HTTP/1.1\r\nhost: {addr}\r\ncontent-length: 0\r\n\r\n"
+    )
+    .unwrap();
+    let (status, _, body) = read_one_response(&mut reader);
+    assert_eq!(status, 503, "draining healthz must be unready");
+    assert!(
+        String::from_utf8_lossy(&body).contains("\"status\":\"draining\""),
+        "draining healthz: {}",
+        String::from_utf8_lossy(&body)
+    );
+    assert!(
+        server.wait_exit(Duration::from_secs(30)),
+        "server did not drain after /v1/shutdown"
+    );
+}
+
+#[test]
+fn admission_enforces_quotas_keys_and_queue_backpressure() {
+    let dir = tmp_dir("admission");
+    let keys = dir.join("keys.txt");
+    fs::write(&keys, "# test tiers\nalpha 10\nanonymous 1\n").unwrap();
+    let server = ServerProc::start_with(
+        "admission",
+        &dir.join("data"),
+        1,
+        &[
+            "--api-keys",
+            &keys.display().to_string(),
+            "--max-queue",
+            "1",
+        ],
+    );
+    let addr = &server.addr;
+
+    // an unknown key is refused outright
+    let (status, _, body) = http_with(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        &[("x-api-key", "nope")],
+        &slow_body(1),
+    );
+    assert_eq!(status, 401, "{}", String::from_utf8_lossy(&body));
+
+    // the anonymous tier holds 1 in-flight job: the first is admitted,
+    // a second fresh spec bounces with 429 + Retry-After
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", &slow_body(1));
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let (status, head, body) = http(addr, "POST", "/v1/sweeps", &slow_body(2));
+    assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after:"),
+        "429 without Retry-After:\n{head}"
+    );
+    assert!(
+        String::from_utf8_lossy(&body).contains("quota"),
+        "unexpected rejection body: {}",
+        String::from_utf8_lossy(&body)
+    );
+
+    // joining the job already in flight is not a fresh admission
+    let (status, _, _) = http(addr, "POST", "/v1/sweeps", &slow_body(1));
+    assert!(
+        status == 200 || status == 202,
+        "in-flight join was rejected with {status}"
+    );
+
+    // a keyed client has its own tier; with the single worker busy the
+    // first keyed job queues (depth 1), and the next hits --max-queue
+    let (status, _, body) = http_with(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        &[("x-api-key", "alpha")],
+        &slow_body(3),
+    );
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let (status, head, body) = http_with(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        &[("x-api-key", "alpha")],
+        &slow_body(4),
+    );
+    assert_eq!(status, 429, "{}", String::from_utf8_lossy(&body));
+    assert!(
+        head.to_ascii_lowercase().contains("retry-after:"),
+        "queue-full 429 without Retry-After:\n{head}"
+    );
+    assert!(
+        String::from_utf8_lossy(&body).contains("queue"),
+        "unexpected rejection body: {}",
+        String::from_utf8_lossy(&body)
+    );
+
+    // rejections are visible per reason on /metrics
+    let (_, _, body) = http(addr, "GET", "/metrics", "");
+    let samples = validate_exposition(&String::from_utf8(body).expect("utf-8 exposition"));
+    for reason in ["quota", "queue_full", "unknown_key"] {
+        let label = format!("reason=\"{reason}\"");
+        let (_, _, v) = sample_value(&samples, "serve_admission_rejected_total", &[&label])
+            .unwrap_or_else(|| panic!("no {label} sample"));
+        assert!(*v >= 1.0, "{reason} rejection not counted");
+    }
+}
+
+#[test]
+fn delete_removes_finished_jobs_but_refuses_running_ones() {
+    let dir = tmp_dir("delete");
+    let reference = dir.join("ref.jsonl");
+    run_sweep(&small_sweep_flags(&reference));
+    let reference = fs::read(&reference).unwrap();
+
+    let server = ServerProc::start("delete", &dir.join("data"), 2);
+    let addr = &server.addr;
+
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", SMALL_BODY);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let id = json_str_field(&body, "id").expect("job id");
+    poll_until_state(addr, &id, "done", Duration::from_secs(60));
+
+    // a running job cannot be deleted out from under its worker
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", &slow_body(5));
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let running = json_str_field(&body, "id").expect("job id");
+    let (status, _, body) = http(addr, "DELETE", &format!("/v1/jobs/{running}"), "");
+    assert_eq!(status, 409, "{}", String::from_utf8_lossy(&body));
+
+    // the finished job deletes cleanly and is forgotten
+    let (status, _, body) = http(addr, "DELETE", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("\"deleted\":true"));
+    assert_eq!(http(addr, "GET", &format!("/v1/jobs/{id}"), "").0, 404);
+    assert_eq!(http(addr, "DELETE", &format!("/v1/jobs/{id}"), "").0, 404);
+
+    // deletion is cache-miss-on-resubmit: the same spec recomputes the
+    // identical bytes
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", SMALL_BODY);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("\"cached\":false"));
+    poll_until_state(addr, &id, "done", Duration::from_secs(60));
+    let (_, _, rows) = http(addr, "GET", &format!("/v1/jobs/{id}/rows"), "");
+    assert_eq!(rows, reference, "recomputed rows differ from CLI rows");
+}
+
+#[test]
+fn data_max_bytes_evicts_oldest_done_jobs_and_keeps_the_bound() {
+    let dir = tmp_dir("evict");
+
+    // probe pass: measure one finished job's on-disk footprint
+    let probe_data = dir.join("probe");
+    {
+        let server = ServerProc::start("evict-probe", &probe_data, 1);
+        let (status, _, body) = http(&server.addr, "POST", "/v1/sweeps", &job_body(101));
+        assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+        let id = json_str_field(&body, "id").expect("job id");
+        poll_until_state(&server.addr, &id, "done", Duration::from_secs(60));
+    }
+    let probe_jobs = probe_data.join("jobs");
+    let job_dir = fs::read_dir(&probe_jobs)
+        .unwrap()
+        .next()
+        .expect("one probe job")
+        .unwrap()
+        .path();
+    let job_bytes: u64 = fs::read_dir(&job_dir)
+        .unwrap()
+        .filter_map(|e| e.ok()?.metadata().ok())
+        .filter(|m| m.is_file())
+        .map(|m| m.len())
+        .sum();
+    assert!(job_bytes > 0, "probe job left no bytes");
+    let bound = job_bytes * 7 / 2; // room for ~3 finished jobs
+
+    let server = ServerProc::start_with(
+        "evict",
+        &dir.join("data"),
+        1,
+        &["--data-max-bytes", &bound.to_string()],
+    );
+    let addr = &server.addr;
+
+    // first job: grab its rows before anything can evict it
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", &job_body(101));
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let first_id = json_str_field(&body, "id").expect("job id");
+    poll_until_state(addr, &first_id, "done", Duration::from_secs(60));
+    let (_, _, first_rows) = http(addr, "GET", &format!("/v1/jobs/{first_id}/rows"), "");
+    assert!(!first_rows.is_empty());
+
+    // five more distinct finished jobs push the dir well past the bound
+    for seed in 102..=106 {
+        let (status, _, body) = http(addr, "POST", "/v1/sweeps", &job_body(seed));
+        assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+        let id = json_str_field(&body, "id").expect("job id");
+        poll_until_state(addr, &id, "done", Duration::from_secs(60));
+        std::thread::sleep(Duration::from_millis(10)); // distinct idle ages
+    }
+
+    let (_, _, body) = http(addr, "GET", "/metrics", "");
+    let samples = validate_exposition(&String::from_utf8(body).expect("utf-8 exposition"));
+    let (_, _, evicted) =
+        sample_value(&samples, "serve_jobs_evicted_total", &[]).expect("eviction counter");
+    assert!(*evicted >= 1.0, "nothing was evicted under the byte bound");
+    let (_, _, data_bytes) =
+        sample_value(&samples, "serve_data_bytes", &[]).expect("data-bytes gauge");
+    assert!(
+        *data_bytes <= bound as f64,
+        "data dir at {data_bytes} bytes exceeds the {bound}-byte bound"
+    );
+
+    // the oldest-idle job is gone — and resubmitting it recomputes the
+    // byte-identical rows (eviction is a cache miss, not data loss)
+    assert_eq!(
+        http(addr, "GET", &format!("/v1/jobs/{first_id}"), "").0,
+        404
+    );
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", &job_body(101));
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    assert!(String::from_utf8_lossy(&body).contains("\"cached\":false"));
+    poll_until_state(addr, &first_id, "done", Duration::from_secs(60));
+    let (_, _, rows) = http(addr, "GET", &format!("/v1/jobs/{first_id}/rows"), "");
+    assert_eq!(rows, first_rows, "recomputed rows differ after eviction");
+}
+
+/// A small distinct-by-seed job for the eviction test.
+fn job_body(seed: u64) -> String {
+    format!(
+        r#"{{"side": 24, "horizon": 1, "tau": 0.4, "replicas": 2, "seed": {seed}, "max_events": 150}}"#
+    )
 }
 
 #[test]

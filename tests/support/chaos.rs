@@ -1,0 +1,143 @@
+//! A deterministic fault-injection TCP proxy for the chaos tests.
+//!
+//! [`ChaosProxy`] listens on an ephemeral port and forwards each
+//! accepted connection to a fixed upstream, injecting one fault per
+//! connection according to a seeded xorshift schedule: most
+//! connections pass clean, some are delayed before any byte moves,
+//! some are dropped on accept, and some have the upstream's response
+//! truncated mid-body. The schedule is drawn in accept order from the
+//! seed, so a run's fault *sequence* is reproducible; which client
+//! lands on which fault depends only on connection order.
+//!
+//! The point is to prove the worker transport's retry loop: every
+//! fault surfaces to the client as a connect/read/write error on one
+//! exchange, which `segsim work` must absorb (visible as
+//! `work_retries_total`) without ever changing the merged result rows.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What happens to one proxied connection.
+#[derive(Clone, Copy, Debug)]
+enum Fault {
+    /// Forward both directions untouched.
+    Pass,
+    /// Sleep this long before forwarding anything.
+    Delay(u64),
+    /// Close the client connection without contacting the upstream.
+    Drop,
+    /// Forward the request, but close after this many response bytes.
+    Truncate(u64),
+}
+
+/// A running fault-injection proxy. Lives until the test process
+/// exits; connections are handled on detached threads.
+pub struct ChaosProxy {
+    /// `HOST:PORT` clients should connect to instead of the upstream.
+    pub addr: String,
+    injected: Arc<AtomicU64>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral port and proxies every connection to
+    /// `upstream`, drawing faults from `seed`.
+    pub fn start(upstream: String, seed: u64) -> ChaosProxy {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind chaos proxy");
+        let addr = listener.local_addr().expect("proxy addr").to_string();
+        let injected = Arc::new(AtomicU64::new(0));
+        let count = injected.clone();
+        std::thread::spawn(move || {
+            let mut state = seed | 1;
+            for client in listener.incoming().flatten() {
+                let fault = draw(&mut state);
+                if !matches!(fault, Fault::Pass) {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+                let upstream = upstream.clone();
+                std::thread::spawn(move || relay(client, &upstream, fault));
+            }
+        });
+        ChaosProxy { addr, injected }
+    }
+
+    /// How many connections got a non-`Pass` fault so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// xorshift64 — the schedule needs no statistical quality, only
+/// determinism from the seed.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The fault mix: 65% pass, 15% delay 100–400 ms, 10% drop,
+/// 10% truncate within the first KiB of the response. Lossy enough
+/// that a multi-second fleet job sees dozens of faults, gentle enough
+/// that no single exchange plausibly exhausts the worker's retries.
+fn draw(state: &mut u64) -> Fault {
+    match next(state) % 100 {
+        0..=64 => Fault::Pass,
+        65..=79 => Fault::Delay(100 + next(state) % 300),
+        80..=89 => Fault::Drop,
+        _ => Fault::Truncate(next(state) % 1024),
+    }
+}
+
+/// Copies `from` into `to` until EOF or error, stopping early after
+/// `cap` bytes when one is set, then propagates the write-side EOF.
+fn pump(mut from: TcpStream, mut to: TcpStream, cap: Option<u64>) {
+    let mut buf = [0u8; 16 * 1024];
+    let mut total = 0u64;
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n as u64,
+        };
+        let n = cap.map_or(n, |c| n.min(c.saturating_sub(total)));
+        if n > 0 && to.write_all(&buf[..n as usize]).is_err() {
+            break;
+        }
+        total += n;
+        if cap.is_some_and(|c| total >= c) {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}
+
+fn relay(client: TcpStream, upstream: &str, fault: Fault) {
+    let cap = match fault {
+        Fault::Drop => {
+            let _ = client.shutdown(Shutdown::Both);
+            return;
+        }
+        Fault::Delay(ms) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            None
+        }
+        Fault::Truncate(bytes) => Some(bytes),
+        Fault::Pass => None,
+    };
+    let Ok(upstream) = TcpStream::connect(upstream) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let up = (
+        client.try_clone().expect("clone client"),
+        upstream.try_clone().expect("clone upstream"),
+    );
+    let request = std::thread::spawn(move || pump(up.0, up.1, None));
+    pump(upstream, client, cap);
+    let _ = request.join();
+}

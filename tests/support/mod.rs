@@ -4,6 +4,8 @@
 //! parsing. Each test binary uses a subset, hence the allow.
 #![allow(dead_code)]
 
+pub mod chaos;
+
 use std::fs;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -111,6 +113,72 @@ impl Drop for ServerProc {
     }
 }
 
+/// A running `segsim work` process with its stdout in a log file.
+pub struct WorkerProc {
+    pub child: Child,
+    pub log: PathBuf,
+}
+
+impl WorkerProc {
+    /// Starts a worker joined to `coordinator` with a fast 50 ms claim
+    /// poll; `extra` appends further `segsim work` flags.
+    pub fn start(tag: &str, n: usize, coordinator: &str, extra: &[&str]) -> WorkerProc {
+        let log = log_path(&format!("{tag}-worker{n}"));
+        let log_file = fs::File::options()
+            .create(true)
+            .append(true)
+            .open(&log)
+            .unwrap();
+        let child = Command::new(SEGSIM)
+            .args([
+                "work",
+                "--join",
+                coordinator,
+                "--poll-ms",
+                "50",
+                "--threads",
+                "1",
+            ])
+            .args(extra)
+            .stdout(Stdio::from(log_file))
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn segsim work");
+        WorkerProc { child, log }
+    }
+
+    /// SIGKILL — the worker gets no chance to upload or say goodbye.
+    pub fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for WorkerProc {
+    fn drop(&mut self) {
+        self.kill9();
+    }
+}
+
+/// Polls `GET /v1/workers` until `n` workers are registered.
+pub fn wait_for_workers(addr: &str, n: usize, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, _, body) = http(addr, "GET", "/v1/workers", "");
+        assert_eq!(status, 200, "worker listing failed");
+        let count = String::from_utf8_lossy(&body).matches("\"id\":").count();
+        if count >= n {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {count}/{n} workers registered in time: {}",
+            String::from_utf8_lossy(&body)
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
 /// Polls `path` until its content contains `needle`, with a deadline —
 /// log lines land asynchronously (stderr buffering, scheduler delays),
 /// so a single read races the writer. Returns the content that matched;
@@ -134,13 +202,28 @@ pub fn wait_for_log(path: &Path, needle: &str, timeout: Duration) -> String {
 /// A one-shot HTTP exchange (`Connection: close`), returning
 /// `(status, headers, body)` with chunked bodies decoded.
 pub fn http(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, Vec<u8>) {
+    http_with(addr, method, path, &[], body)
+}
+
+/// [`http`] with extra request headers (e.g. `x-api-key`).
+pub fn http_with(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &str,
+) -> (u16, String, Vec<u8>) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
         .unwrap();
+    let extra: String = headers
+        .iter()
+        .map(|(k, v)| format!("{k}: {v}\r\n"))
+        .collect();
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n{extra}content-length: {}\r\n\r\n",
         body.len()
     )
     .unwrap();
