@@ -14,7 +14,18 @@
 //!   and cross-process correlation: bind a [`TraceContext`] around a
 //!   unit of work and every record carries its `trace_id` (plus a
 //!   wall-clock `unix_us` column so JSONL from several processes
-//!   merges into one timeline — see `docs/OBSERVABILITY.md`).
+//!   merges into one timeline — see `docs/OBSERVABILITY.md`);
+//! - [`mod@history`] — a tiered time-series store: a scraper thread
+//!   snapshots the registry at a fixed cadence into per-series
+//!   fixed-capacity rings (1s×300 → 10s×360 → 60s×360 at the default
+//!   cadence), with optional append-only JSONL persistence that
+//!   replays on restart (`segsim serve --metrics-history-out FILE`,
+//!   `GET /v1/metrics/history`);
+//! - [`alerts`] — threshold and SLO rules (`segsim serve --alerts
+//!   FILE`, `GET /alerts`) evaluated against history after each
+//!   scrape, with `for`-duration hysteresis, firing/resolved trace
+//!   events, `obs_alerts_transitions_total{rule,state}`, and
+//!   per-SLO burn-rate gauges.
 //!
 //! Everything is updated through atomics or a single short-lived mutex,
 //! so instrumenting a hot seam (the engine's per-replica completion
@@ -45,8 +56,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
+pub mod history;
 pub mod metrics;
 pub mod trace;
 
-pub use metrics::{metrics, Counter, Gauge, Histogram, HistogramSnapshot, Registry};
+pub use alerts::AlertEngine;
+pub use history::{history, History};
+pub use metrics::{
+    metrics, register_process_metrics, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+    SeriesSnapshot, SeriesValue,
+};
 pub use trace::{mint_trace_id, tracer, ContextGuard, Span, TraceContext, TraceEvent, Tracer};

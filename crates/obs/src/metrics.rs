@@ -264,6 +264,30 @@ impl HistogramSnapshot {
 /// instrument alongside its name.
 type LabelSet = Vec<(String, String)>;
 
+/// A point-in-time value of one series, by instrument kind — what
+/// [`Registry::snapshot`] hands the history scraper.
+#[derive(Clone, Debug)]
+pub enum SeriesValue {
+    /// A counter's cumulative total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(f64),
+    /// A histogram's full bucket snapshot (quantiles derivable).
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(name, labels)` series with its current value — the read-only
+/// unit [`Registry::snapshot`] returns.
+#[derive(Clone, Debug)]
+pub struct SeriesSnapshot {
+    /// The family name (`serve_queue_depth`, ...).
+    pub name: String,
+    /// The sorted label pairs identifying the series within its family.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: SeriesValue,
+}
+
 enum Instrument {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
@@ -401,6 +425,31 @@ impl Registry {
         )
     }
 
+    /// A read-only point-in-time copy of every registered series —
+    /// counters as totals, gauges as values, histograms as full bucket
+    /// snapshots. This is what the [`history`](mod@crate::history) scraper
+    /// consumes each tick; it never mutates any instrument, so the
+    /// [`Registry::render`] exposition is unaffected by scraping.
+    pub fn snapshot(&self) -> Vec<SeriesSnapshot> {
+        let families = self.families.lock().unwrap();
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, instrument) in family.series.iter() {
+                let value = match instrument {
+                    Instrument::Counter(c) => SeriesValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SeriesValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SeriesValue::Histogram(h.snapshot()),
+                };
+                out.push(SeriesSnapshot {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        out
+    }
+
     /// Renders every registered instrument in the Prometheus text
     /// exposition format (`# HELP` / `# TYPE` headers, one sample per
     /// line, histograms as cumulative `_bucket{le=...}` plus `_sum` and
@@ -468,6 +517,26 @@ impl Registry {
         }
         out
     }
+}
+
+/// Registers the process anchor series every long-running binary
+/// should expose: `segsim_build_info{version}` (constant 1, the idiom
+/// dashboards join against to spot restarts and mixed-version fleets)
+/// and `process_uptime_seconds` (kept fresh by the
+/// [`history`](mod@crate::history) scraper). Idempotent.
+pub fn register_process_metrics(version: &str) {
+    let m = metrics();
+    m.gauge(
+        "segsim_build_info",
+        "build metadata as labels; the value is always 1",
+        &[("version", version)],
+    )
+    .set(1.0);
+    m.gauge(
+        "process_uptime_seconds",
+        "seconds since this process started",
+        &[],
+    );
 }
 
 /// `{a="x",le="0.5"}` — or the empty string for a bare sample.

@@ -111,7 +111,9 @@ impl TraceEvent {
     }
 }
 
-fn escape(v: &str) -> String {
+/// JSON string escaping shared by the tracer and the history/alerts
+/// JSONL writers.
+pub(crate) fn escape(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for c in v.chars() {
         match c {
@@ -192,6 +194,20 @@ impl Drop for ContextGuard {
             c.borrow_mut().pop();
         });
     }
+}
+
+/// The `obs_trace_dropped_total` counter, registered once and cached —
+/// `record` is on the request path, so the registry lookup must not
+/// repeat per record.
+fn dropped_total() -> &'static std::sync::Arc<crate::metrics::Counter> {
+    static DROPPED: OnceLock<std::sync::Arc<crate::metrics::Counter>> = OnceLock::new();
+    DROPPED.get_or_init(|| {
+        crate::metrics::metrics().counter(
+            "obs_trace_dropped_total",
+            "trace records overwritten in the bounded in-memory ring",
+            &[],
+        )
+    })
 }
 
 /// A per-process salt so ids minted by different processes never
@@ -340,6 +356,10 @@ impl Tracer {
         }
         if inner.ring.len() == Self::CAPACITY {
             inner.ring.pop_front();
+            // an overwritten record truncates the in-memory timeline —
+            // count it so `/metrics` makes the truncation visible
+            // instead of silently serving a hole
+            dropped_total().inc();
         }
         inner.ring.push_back(ev);
     }
@@ -439,7 +459,8 @@ mod tests {
     }
 
     #[test]
-    fn ring_is_bounded() {
+    fn ring_is_bounded_and_drops_are_counted() {
+        let before = dropped_total().get();
         let t = Tracer::new();
         for i in 0..(Tracer::CAPACITY + 10) {
             t.event("test.flood", format!("{i}"));
@@ -448,6 +469,9 @@ mod tests {
         let snap = t.snapshot();
         // Oldest 10 evicted: the first surviving record is #10.
         assert_eq!(snap[0].detail, "10");
+        // every overwrite was counted (the counter is process-global,
+        // so other tests may have added more)
+        assert!(dropped_total().get() >= before + 10);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! |---|---|---|
 //! | `/healthz` | GET | liveness + per-state job counts |
 //! | `/metrics` | GET | Prometheus text exposition of the process-wide [`seg_obs`] registry |
-//! | `/dashboard` | GET | self-contained HTML status page with per-job throughput charts |
+//! | `/v1/metrics/history` | GET | JSON time series from the [`mod@seg_obs::history`] store; `?name=FAMILY` (required), `&labels=k=v,k2=v2`, `&res=1s\|10s\|60s` |
+//! | `/alerts` | GET | every `--alerts` rule with its state (inactive/pending/firing) and last value |
+//! | `/dashboard` | GET | self-contained HTML status page with per-job throughput charts; `?refresh=SECS` tunes the meta refresh (clamped 1–300) |
 //! | `/v1/sweeps` | POST | submit a sweep (JSON body); dedup by spec fingerprint; admission-gated (429 + `Retry-After` under overload, 401 for unknown API keys) |
 //! | `/v1/jobs/:id` | GET | status, progress, live replicas/s, queue/cache figures |
 //! | `/v1/jobs/:id` | DELETE | remove a finished job and its artifacts (409 while queued/running) |
@@ -84,13 +86,51 @@ fn worker_stats(body: &[u8]) -> Option<(f64, f64)> {
     Some((field("replicas_per_sec"), field("events_per_sec")))
 }
 
+/// Answers a `GET /v1/metrics/history` query against the process-wide
+/// [`mod@seg_obs::history`] store — shared by the coordinator route and the
+/// worker's own metrics listener. `?name=FAMILY` is required;
+/// `&labels=k=v,k2=v2` narrows to series carrying all the pairs;
+/// `&res=1s|10s|60s` picks the downsampling tier (default `1s`).
+///
+/// # Errors
+///
+/// A human-readable message for the 400 body when a parameter is
+/// missing or malformed.
+pub(crate) fn metrics_history_body(req: &Request) -> Result<String, String> {
+    let name = match req.query_param("name") {
+        Some(n) if !n.is_empty() => n,
+        _ => return Err("name query parameter is required".to_string()),
+    };
+    let labels: Option<Vec<(String, String)>> = match req.query_param("labels") {
+        None | Some("") => None,
+        Some(spec) => {
+            let mut pairs = Vec::new();
+            for part in spec.split(',') {
+                match part.split_once('=') {
+                    Some((k, v)) if !k.is_empty() => pairs.push((k.to_string(), v.to_string())),
+                    _ => return Err("labels must be k=v pairs separated by commas".to_string()),
+                }
+            }
+            Some(pairs)
+        }
+    };
+    let tier = match req.query_param("res") {
+        None | Some("") => 0,
+        Some(res) => seg_obs::history::tier_for_res(res)
+            .ok_or_else(|| "res must be 1s, 10s or 60s".to_string())?,
+    };
+    Ok(seg_obs::history().query_json(name, labels.as_deref(), tier))
+}
+
 /// The route *pattern* a path matches — the bounded-cardinality
 /// `endpoint` label of the request metrics.
 fn endpoint_label(segments: &[&str]) -> &'static str {
     match segments {
         ["healthz"] => "/healthz",
         ["metrics"] => "/metrics",
+        ["alerts"] => "/alerts",
         ["dashboard"] => "/dashboard",
+        ["v1", "metrics", "history"] => "/v1/metrics/history",
         ["v1", "sweeps"] => "/v1/sweeps",
         ["v1", "jobs", _] => "/v1/jobs/:id",
         ["v1", "jobs", _, "rows"] => "/v1/jobs/:id/rows",
@@ -191,9 +231,25 @@ fn route<W: Write>(
             )?;
             Ok(keep)
         }
+        ("GET", ["alerts"]) => {
+            write_json(out, 200, &seg_obs::history().alerts_json(), keep)?;
+            Ok(keep)
+        }
+        ("GET", ["v1", "metrics", "history"]) => {
+            match metrics_history_body(req) {
+                Ok(body) => write_json(out, 200, &body, keep)?,
+                Err(e) => write_json(out, 400, &error_body(&e), keep)?,
+            }
+            Ok(keep)
+        }
         ("GET", ["dashboard"]) => {
+            let refresh = req
+                .query_param("refresh")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(crate::dashboard::DEFAULT_REFRESH_SECS)
+                .clamp(1, 300);
             status.set(200);
-            let body = crate::dashboard::render(ctx);
+            let body = crate::dashboard::render(ctx, refresh);
             write_response(out, 200, "text/html; charset=utf-8", body.as_bytes(), keep)?;
             Ok(keep)
         }
@@ -475,9 +531,11 @@ fn route<W: Write>(
         }
         (_, ["healthz"])
         | (_, ["metrics"])
+        | (_, ["alerts"])
         | (_, ["dashboard"])
         | (_, ["v1", "sweeps"])
         | (_, ["v1", "shutdown"])
+        | (_, ["v1", "metrics", "history"])
         | (_, ["v1", "jobs", ..])
         | (_, ["v1", "workers", ..]) => {
             write_json(out, 405, &error_body("method not allowed"), keep)?;

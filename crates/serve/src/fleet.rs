@@ -52,22 +52,6 @@ pub struct Assignment {
     pub parent_span_id: Option<String>,
 }
 
-/// One federated telemetry sample of a worker, kept in a bounded ring
-/// for the dashboard's fleet sparklines.
-#[derive(Clone, Copy, Debug)]
-pub struct WorkerSample {
-    /// Seconds since the registry was created.
-    pub t_secs: f64,
-    /// The worker's last reported engine throughput.
-    pub replicas_per_sec: f64,
-    /// Seconds since the worker's last heartbeat at sampling time.
-    pub heartbeat_age_secs: f64,
-}
-
-/// Samples each worker's history ring retains (at the scheduling loop's
-/// cadence that is roughly the last dozen seconds).
-pub const WORKER_HISTORY_CAP: usize = 240;
-
 /// A point-in-time row about one worker — the dashboard's fleet table.
 #[derive(Clone, Debug)]
 pub struct WorkerSummary {
@@ -92,7 +76,6 @@ struct WorkerEntry {
     assignment: Option<Assignment>,
     replicas_per_sec: f64, // last heartbeat-reported stats
     events_per_sec: f64,
-    history: VecDeque<WorkerSample>,
 }
 
 impl WorkerEntry {
@@ -102,7 +85,6 @@ impl WorkerEntry {
             assignment: None,
             replicas_per_sec: 0.0,
             events_per_sec: 0.0,
-            history: VecDeque::new(),
         }
     }
 }
@@ -177,7 +159,6 @@ impl FleetMetrics {
 #[derive(Debug)]
 pub struct FleetRegistry {
     timeout: Duration,
-    started: Instant,
     state: Mutex<FleetState>,
     obs: FleetMetrics,
 }
@@ -188,7 +169,6 @@ impl FleetRegistry {
     pub fn new(timeout: Duration) -> FleetRegistry {
         FleetRegistry {
             timeout,
-            started: Instant::now(),
             state: Mutex::new(FleetState::default()),
             obs: FleetMetrics::register(),
         }
@@ -319,9 +299,10 @@ impl FleetRegistry {
 
     /// The ids of workers with a fresh heartbeat, ascending. Also the
     /// metrics sweep: updates the live-worker gauge and each worker's
-    /// heartbeat-age gauge, appends one [`WorkerSample`] to each
-    /// worker's bounded history ring (the dashboard's fleet
-    /// sparklines), and forgets workers dead for over ten timeouts.
+    /// heartbeat-age gauge (the [`mod@seg_obs::history`] scraper picks both
+    /// up — the dashboard's fleet sparklines read them back from the
+    /// unified history store), and forgets workers dead for over ten
+    /// timeouts.
     pub fn live_workers(&self) -> Vec<String> {
         let mut st = self.lock();
         let now = Instant::now();
@@ -329,7 +310,6 @@ impl FleetRegistry {
         st.workers
             .retain(|_, w| now.duration_since(w.last_seen) < forget);
         let m = seg_obs::metrics();
-        let t_secs = now.duration_since(self.started).as_secs_f64();
         let mut live = Vec::new();
         for (id, w) in &mut st.workers {
             let age = now.duration_since(w.last_seen);
@@ -339,31 +319,12 @@ impl FleetRegistry {
                 &[("worker", id)],
             )
             .set(age.as_secs_f64());
-            if w.history.len() == WORKER_HISTORY_CAP {
-                w.history.pop_front();
-            }
-            w.history.push_back(WorkerSample {
-                t_secs,
-                replicas_per_sec: w.replicas_per_sec,
-                heartbeat_age_secs: age.as_secs_f64(),
-            });
             if age < self.timeout {
                 live.push(id.clone());
             }
         }
         self.obs.live.set(live.len() as f64);
         live
-    }
-
-    /// Every known worker's retained [`WorkerSample`] history, oldest
-    /// first, keyed by worker id — what the dashboard's fleet panel
-    /// plots.
-    pub fn worker_histories(&self) -> Vec<(String, Vec<WorkerSample>)> {
-        self.lock()
-            .workers
-            .iter()
-            .map(|(id, w)| (id.clone(), w.history.iter().copied().collect()))
-            .collect()
     }
 
     /// One row per known worker for the dashboard's fleet table.
@@ -610,15 +571,31 @@ mod tests {
             "missing federated gauge in:\n{rendered}"
         );
         assert!(f.workers_json().contains("\"replicas_per_sec\":12.5"));
-        // each live_workers sweep appends one bounded history sample
+        // the live_workers sweep refreshes the heartbeat-age gauge, and
+        // a history scrape then retains it as a time series — the path
+        // the dashboard's fleet sparklines read
         f.live_workers();
-        f.live_workers();
-        let histories = f.worker_histories();
-        let (hid, samples) = &histories[0];
-        assert_eq!(hid, &id);
-        assert_eq!(samples.len(), 2);
-        assert_eq!(samples[1].replicas_per_sec, 12.5);
-        assert!(samples[1].t_secs >= samples[0].t_secs);
+        let h = seg_obs::History::new();
+        h.scrape_once(seg_obs::metrics());
+        let series = h.query(
+            "fleet_worker_replicas_per_sec",
+            Some(&[("worker".to_string(), id.clone())]),
+            0,
+        );
+        assert_eq!(series.len(), 1);
+        assert!(matches!(
+            series[0].1.last().unwrap().value,
+            seg_obs::history::Value::Gauge(v) if v == 12.5
+        ));
+        assert_eq!(
+            h.query(
+                "fleet_worker_heartbeat_seconds",
+                Some(&[("worker".to_string(), id.clone())]),
+                0,
+            )
+            .len(),
+            1
+        );
         // claim latency lands in the fleet_claim_seconds histogram
         let before = seg_obs::metrics()
             .histogram(

@@ -46,8 +46,6 @@ use std::time::{Duration, Instant};
 pub const MAX_SIDE: u32 = 4096;
 /// Maximum points × replicas of one request.
 pub const MAX_TASKS: usize = 1_000_000;
-/// Progress samples each job retains for the dashboard sparklines.
-pub const HISTORY_CAP: usize = 240;
 /// Worker-reported trace lines each job retains for
 /// `GET /v1/jobs/:id/trace` (oldest kept — the claim/run/upload shape
 /// of a job is in its first spans).
@@ -345,7 +343,6 @@ pub struct Job {
     pub trace_id: String,
     pub(crate) state: Mutex<JobState>,
     progress: Mutex<SweepProgress>,
-    history: Mutex<VecDeque<SweepProgress>>,
     /// Trace lines uploaded by fleet workers (already tagged with their
     /// `proc`), merged into [`Job::trace_json`].
     worker_spans: Mutex<Vec<String>>,
@@ -386,24 +383,19 @@ impl Job {
             .elapsed()
     }
 
-    /// The retained progress samples, oldest first (bounded at
-    /// [`HISTORY_CAP`] — long sweeps keep their most recent window).
-    /// This is what `GET /dashboard` plots.
-    pub fn history(&self) -> Vec<SweepProgress> {
-        self.history
-            .lock()
-            .expect("job history poisoned")
-            .iter()
-            .copied()
-            .collect()
-    }
-
+    /// Feeds one progress sample into the process-wide
+    /// [`mod@seg_obs::history`] store, as *history-only* series
+    /// (`serve_job_replicas_per_sec{job}` and
+    /// `serve_job_events_per_sec{job}`): they never touch the
+    /// `/metrics` registry, because job ids would grow its label space
+    /// without bound. `GET /dashboard` and
+    /// `GET /v1/metrics/history?name=serve_job_replicas_per_sec`
+    /// read them back.
     fn push_history(&self, p: SweepProgress) {
-        let mut h = self.history.lock().expect("job history poisoned");
-        if h.len() == HISTORY_CAP {
-            h.pop_front();
-        }
-        h.push_back(p);
+        let h = seg_obs::history();
+        let labels = [("job", self.id.as_str())];
+        h.record_gauge("serve_job_replicas_per_sec", &labels, p.replicas_per_sec);
+        h.record_gauge("serve_job_events_per_sec", &labels, p.events_per_sec);
     }
 
     /// Absorbs trace lines a fleet worker shipped on a journal upload,
@@ -774,7 +766,6 @@ impl JobManager {
                     replicas_per_sec: 0.0,
                     events_per_sec: 0.0,
                 }),
-                history: Mutex::new(VecDeque::new()),
                 worker_spans: Mutex::new(Vec::new()),
                 client: Mutex::new(None),
                 last_used: Mutex::new(Instant::now()),
@@ -899,7 +890,6 @@ impl JobManager {
                 replicas_per_sec: 0.0,
                 events_per_sec: 0.0,
             }),
-            history: Mutex::new(VecDeque::new()),
             worker_spans: Mutex::new(Vec::new()),
             client: Mutex::new(client.map(String::from)),
             last_used: Mutex::new(Instant::now()),

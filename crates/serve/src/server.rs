@@ -75,6 +75,17 @@ pub struct ServeConfig {
     pub job_ttl: Option<Duration>,
     /// LRU byte bound on the data dir (`--data-max-bytes N`).
     pub data_max_bytes: Option<u64>,
+    /// Persist metrics history as append-only JSONL
+    /// (`--metrics-history-out FILE`); replayed on restart so
+    /// `/v1/metrics/history` and the dashboard charts survive a bounce.
+    pub metrics_history_out: Option<PathBuf>,
+    /// Alert-rule file (`--alerts FILE`, grammar in
+    /// `docs/OBSERVABILITY.md`); rules are evaluated after each history
+    /// scrape and exposed on `GET /alerts`.
+    pub alerts: Option<PathBuf>,
+    /// History scrape cadence (`--history-scrape-ms MS`). The tier
+    /// labels (`1s`/`10s`/`60s`) describe the default 1 s cadence.
+    pub history_scrape: Duration,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +105,9 @@ impl Default for ServeConfig {
             max_queue: crate::admission::DEFAULT_MAX_QUEUE,
             job_ttl: None,
             data_max_bytes: None,
+            metrics_history_out: None,
+            alerts: None,
+            history_scrape: Duration::from_secs(1),
         }
     }
 }
@@ -127,6 +141,25 @@ impl Server {
             seg_obs::tracer().set_output(path)?;
             eprintln!("serve: tracing to {}", path.display());
         }
+        seg_obs::register_process_metrics(env!("CARGO_PKG_VERSION"));
+        if let Some(path) = &config.metrics_history_out {
+            let replayed = seg_obs::history().set_output(path)?;
+            eprintln!(
+                "serve: metrics history to {} ({replayed} sample(s) replayed)",
+                path.display()
+            );
+        }
+        if let Some(path) = &config.alerts {
+            let engine = seg_obs::AlertEngine::from_file(path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            eprintln!(
+                "serve: {} alert rule(s) from {}",
+                engine.len(),
+                path.display()
+            );
+            seg_obs::history().set_alerts(engine);
+        }
+        seg_obs::history().start(config.history_scrape);
         let workers = config.workers.max(1);
         let engine_threads = if config.engine_threads == 0 {
             (default_threads() / workers as usize).max(1)
@@ -344,9 +377,19 @@ fn handle_connection(
                 match outcome {
                     // a draining server closes even willing keep-alive
                     // connections between requests, or a steady poller
-                    // could stall the drain indefinitely
+                    // could stall the drain indefinitely — but the peer
+                    // may have sent another request before it could see
+                    // the drain, so serve at most one more on a short
+                    // deadline instead of resetting it mid-flight
                     Ok(Ok(true)) => {
                         if ctx.shutdown.load(Ordering::Relaxed) {
+                            reader.get_mut().arm(Duration::from_millis(200));
+                            if let Ok(Some(req)) = read_request(&mut reader, max_body) {
+                                let _ =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        api::handle(&req, &mut writer, ctx)
+                                    }));
+                            }
                             return Ok(());
                         }
                         continue;

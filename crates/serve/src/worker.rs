@@ -32,8 +32,9 @@
 //! (`GET /v1/jobs/:id/trace`). Heartbeat and claim bodies report the
 //! engine's throughput gauges, which the coordinator re-exports as
 //! `fleet_worker_*{worker=...}`; `--metrics-addr` additionally exposes
-//! the worker's own `/metrics` + `/healthz`, and `--trace-out` exports
-//! its trace ring as JSONL.
+//! the worker's own `/metrics` + `/healthz` + `/v1/metrics/history`
+//! (and starts the [`mod@seg_obs::history`] scraper feeding the latter),
+//! and `--trace-out` exports its trace ring as JSONL.
 
 use crate::http::{read_request, write_json as http_write_json, write_response};
 use crate::jobs::SweepRequest;
@@ -314,8 +315,11 @@ fn stats_body() -> String {
 }
 
 /// Serves one connection of the worker's own observability listener:
-/// `GET /metrics` (Prometheus text) and `GET /healthz`, same contract as
-/// the coordinator's endpoints, minus everything job-related.
+/// `GET /metrics` (Prometheus text), `GET /healthz`, and the same
+/// `GET /v1/metrics/history` the coordinator answers — the worker runs
+/// its own [`mod@seg_obs::history`] scraper, so its engine gauges are
+/// queryable as time series too. Same contracts as the coordinator's
+/// endpoints, minus everything job-related.
 fn serve_metrics_conn(stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -331,6 +335,15 @@ fn serve_metrics_conn(stream: TcpStream) -> io::Result<()> {
                 keep,
             )?,
             ("GET", "/healthz") => http_write_json(&mut writer, 200, "{\"status\":\"ok\"}", keep)?,
+            ("GET", "/v1/metrics/history") => match crate::api::metrics_history_body(&req) {
+                Ok(body) => http_write_json(&mut writer, 200, &body, keep)?,
+                Err(e) => http_write_json(
+                    &mut writer,
+                    400,
+                    &format!("{{\"error\":{}}}", crate::json::escape_str(&e)),
+                    keep,
+                )?,
+            },
             _ => http_write_json(&mut writer, 404, "{\"error\":\"no such endpoint\"}", keep)?,
         }
         writer.flush()?;
@@ -565,6 +578,10 @@ pub fn run_worker(cfg: &WorkerConfig) -> io::Result<()> {
         io::stdout().flush().ok();
     }
     if let Some(addr) = &cfg.metrics_addr {
+        // the worker's history endpoint needs the scraper running;
+        // build info + uptime anchor the series like on the coordinator
+        seg_obs::register_process_metrics(env!("CARGO_PKG_VERSION"));
+        seg_obs::history().start(Duration::from_secs(1));
         spawn_metrics_listener(addr)?;
     }
     let assignments = seg_obs::metrics().counter(

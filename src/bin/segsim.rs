@@ -172,6 +172,7 @@ const USAGE: &str = "usage: segsim --side N --horizon W --tau T \
        segsim shard --workers M <sweep flags>\n\
        segsim serve [--addr HOST:PORT] [--workers N] [--threads T] [--data DIR] \
 [--conn-threads C] [--max-body BYTES] [--trace-out FILE.jsonl] \
+[--metrics-history-out FILE.jsonl] [--alerts FILE] [--history-scrape-ms MS] \
 [--api-keys FILE] [--max-queue N] [--job-ttl SECS] [--data-max-bytes BYTES] \
 [--request-timeout SECS] [--fleet] [--fleet-timeout SECS]\n\
        segsim work --join HOST:PORT [--threads N] [--poll-ms MS] \
@@ -193,7 +194,9 @@ cached by spec fingerprint under --data, GET /v1/jobs/ID/rows streams rows \
 byte-identical to `sweep --stream --out`, POST /v1/shutdown drains. \
 --api-keys/--max-queue gate admission (429 + Retry-After when over quota \
 or queue), --job-ttl/--data-max-bytes bound the cache (finished jobs are \
-evicted oldest-idle first, never a running one). See docs/SERVING.md.\n\
+evicted oldest-idle first, never a running one). GET /v1/metrics/history \
+serves scraped time series (persist/replay with --metrics-history-out), \
+GET /alerts the state of --alerts rules. See docs/SERVING.md.\n\
 `serve --fleet` turns the server into a coordinator that dispatches each \
 job's tasks to `segsim work` processes and re-partitions a dead worker's \
 share among the survivors; `work --join` registers with such a \
@@ -574,6 +577,19 @@ fn parse_serve_args(args: &[String]) -> Result<ServeConfig, String> {
                     .map_err(|e| format!("--max-body: {e}"))?
             }
             "--trace-out" => config.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-history-out" => {
+                config.metrics_history_out = Some(PathBuf::from(value("--metrics-history-out")?))
+            }
+            "--alerts" => config.alerts = Some(PathBuf::from(value("--alerts")?)),
+            "--history-scrape-ms" => {
+                let ms: u64 = value("--history-scrape-ms")?
+                    .parse()
+                    .map_err(|e| format!("--history-scrape-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--history-scrape-ms must be at least 1".into());
+                }
+                config.history_scrape = std::time::Duration::from_millis(ms);
+            }
             "--fleet" => config.fleet = true,
             "--fleet-timeout" => {
                 let secs: f64 = value("--fleet-timeout")?

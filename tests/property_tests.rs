@@ -167,6 +167,98 @@ proptest! {
         }
     }
 
+    /// The metrics-history tier roll-up (seg_obs::history): every ring
+    /// stays within its capacity, per-tier timestamps never go
+    /// backwards, the cumulative counter total in every tier equals
+    /// the raw total at that tier's latest roll-up boundary (no
+    /// increments lost by downsampling), and gauges keep their
+    /// boundary value.
+    #[test]
+    fn history_downsampling_invariants(increments in prop::collection::vec(0u64..100, 1..700)) {
+        use self_organized_segregation::seg_obs::history::{History, SeriesId, Value, TIERS};
+        let h = History::new();
+        let counter_id = SeriesId { name: "prop_total".to_string(), labels: vec![] };
+        let gauge_id = SeriesId { name: "prop_gauge".to_string(), labels: vec![] };
+        let mut totals = Vec::with_capacity(increments.len());
+        let mut sum = 0u64;
+        for inc in &increments {
+            sum += inc;
+            totals.push(sum);
+            h.record(counter_id.clone(), Value::Counter { total: sum, rate: *inc as f64 });
+            h.record(gauge_id.clone(), Value::Gauge(sum as f64));
+        }
+        let k = increments.len() as u64;
+        for (tier, (every, cap)) in TIERS.iter().enumerate() {
+            let series = h.query("prop_total", None, tier);
+            let boundary = k - k % every; // latest raw index copied into this tier
+            if boundary == 0 {
+                prop_assert!(series.is_empty() || series[0].1.is_empty());
+                continue;
+            }
+            let samples = &series[0].1;
+            prop_assert!(samples.len() <= *cap, "tier {} over capacity", tier);
+            prop_assert!(
+                samples.windows(2).all(|w| w[0].unix_us <= w[1].unix_us),
+                "tier {} timestamps went backwards", tier
+            );
+            let expected = totals[boundary as usize - 1];
+            match samples.last().unwrap().value {
+                Value::Counter { total, .. } =>
+                    prop_assert_eq!(total, expected, "tier {} lost counter increments", tier),
+                v => prop_assert!(false, "tier {} not a counter: {:?}", tier, v),
+            }
+            match h.query("prop_gauge", None, tier)[0].1.last().unwrap().value {
+                Value::Gauge(v) =>
+                    prop_assert!((v - expected as f64).abs() < 1e-9,
+                        "tier {} gauge is not last-value", tier),
+                v => prop_assert!(false, "tier {} not a gauge: {:?}", tier, v),
+            }
+        }
+    }
+
+    /// Replaying the JSONL persistence log reconstructs every tier of
+    /// every series exactly (the roll-up is keyed on raw-sample count,
+    /// not wall time, so a restarted process continues the same tiers).
+    #[test]
+    fn history_jsonl_replay_reconstructs_tiers(values in prop::collection::vec(0u64..1000, 1..150)) {
+        use self_organized_segregation::seg_obs::history::{History, SeriesId, Value, TIERS};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "seg_hist_replay_{}_{}.jsonl",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_file(&path);
+
+        let first = History::new();
+        prop_assert_eq!(first.set_output(&path).unwrap(), 0);
+        let counter_id = SeriesId { name: "replay_total".to_string(), labels: vec![] };
+        let gauge_id = SeriesId {
+            name: "replay_gauge".to_string(),
+            labels: vec![("k".to_string(), "v".to_string())],
+        };
+        let mut sum = 0u64;
+        for v in &values {
+            sum += v;
+            first.record(counter_id.clone(), Value::Counter { total: sum, rate: *v as f64 });
+            first.record(gauge_id.clone(), Value::Gauge(*v as f64));
+        }
+
+        let second = History::new();
+        prop_assert_eq!(second.set_output(&path).unwrap(), 2 * values.len());
+        for name in ["replay_total", "replay_gauge"] {
+            for tier in 0..TIERS.len() {
+                prop_assert_eq!(
+                    first.query(name, None, tier),
+                    second.query(name, None, tier),
+                    "tier {} of {} diverged after replay", tier, name
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
     /// Intolerance integer arithmetic: is_flippable ⇔ definition, and
     /// τ < 1/2 ⇒ unhappy = flippable.
     #[test]

@@ -15,7 +15,7 @@ use std::net::TcpStream;
 use std::path::Path;
 use std::time::{Duration, Instant};
 use support::{
-    http, http_with, json_str_field, poll_until_state, run_sweep, sample_value, tmp_dir,
+    http, http_with, json_str_field, log_path, poll_until_state, run_sweep, sample_value, tmp_dir,
     validate_exposition, wait_for_log, ServerProc,
 };
 
@@ -680,4 +680,141 @@ fn dashboard_serves_html_with_charts_for_jobs_with_history() {
         "want the job's replicas/s and events/s charts, found {svgs} <svg>"
     );
     assert!(text.contains("</html>"), "page truncated");
+}
+
+/// Polls `GET /alerts` until the rule table reports `want`, returning
+/// the matching body.
+fn poll_alert_state(addr: &str, want: &str, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, _, body) = http(addr, "GET", "/alerts", "");
+        assert_eq!(status, 200, "alerts poll failed");
+        let text = String::from_utf8(body).expect("utf-8 alerts");
+        if text.contains(&format!("\"state\":\"{want}\"")) {
+            return text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for alert state {want}: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Extracts the `(unix_us, total)` sequence from a counter series in a
+/// `/v1/metrics/history` response.
+fn counter_points(text: &str) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for chunk in text.split("{\"unix_us\":").skip(1) {
+        let us: u64 = chunk[..chunk.find(',').expect("point fields")]
+            .parse()
+            .expect("unix_us");
+        let rest = &chunk[chunk.find("\"total\":").expect("counter point") + 8..];
+        let end = rest.find([',', '}']).expect("total delimiter");
+        out.push((us, rest[..end].parse().expect("total")));
+    }
+    out
+}
+
+#[test]
+fn alerts_fire_and_resolve_while_history_tiers_stay_consistent() {
+    let dir = tmp_dir("alerts");
+    let rules = dir.join("alerts.rules");
+    fs::write(
+        &rules,
+        "# deliberately fires whenever a job is active\n\
+         serve_active_jobs value >= 1 for 200ms\n",
+    )
+    .unwrap();
+    // the history JSONL sits next to the server log so CI uploads it as
+    // an artifact when this test fails
+    let history_out = log_path("alerts").with_file_name("alerts-history.jsonl");
+    let _ = fs::remove_file(&history_out);
+
+    let server = ServerProc::start_with(
+        "alerts",
+        &dir.join("data"),
+        2,
+        &[
+            "--history-scrape-ms",
+            "50",
+            "--alerts",
+            &rules.display().to_string(),
+            "--metrics-history-out",
+            &history_out.display().to_string(),
+        ],
+    );
+    let addr = &server.addr;
+
+    // the rule loads inactive: nothing is running yet
+    let text = poll_alert_state(addr, "inactive", Duration::from_secs(10));
+    assert!(text.contains("serve_active_jobs"), "rule missing: {text}");
+
+    // a long job holds serve_active_jobs >= 1 well past the 200ms hold
+    // (the slow_body jobs finish faster than the hold on a warm build)
+    let long_body = r#"{"side": 32, "horizon": 1, "tau": 0.42, "replicas": 4000,
+        "seed": 9, "max_events": 300}"#;
+    let (status, _, body) = http(addr, "POST", "/v1/sweeps", long_body);
+    assert_eq!(status, 202, "{}", String::from_utf8_lossy(&body));
+    let id = json_str_field(&body, "id").expect("job id");
+    poll_alert_state(addr, "firing", Duration::from_secs(30));
+
+    // the job drains, the gauge falls back to zero, the alert resolves
+    poll_until_state(addr, &id, "done", Duration::from_secs(120));
+    poll_alert_state(addr, "inactive", Duration::from_secs(30));
+
+    // both transitions are counted in the exposition
+    let (_, _, body) = http(addr, "GET", "/metrics", "");
+    let samples = validate_exposition(&String::from_utf8(body).expect("utf-8 exposition"));
+    for state in ["firing", "resolved"] {
+        let (_, _, v) = sample_value(
+            &samples,
+            "obs_alerts_transitions_total",
+            &[&format!("state=\"{state}\"")],
+        )
+        .unwrap_or_else(|| panic!("no {state} transition sample"));
+        assert!(*v >= 1.0, "{state} transitions not counted: {v}");
+    }
+
+    // tier-0 history of the request counter the alert polling drove:
+    // monotone timestamps, non-decreasing totals
+    let path = "/v1/metrics/history?name=serve_http_requests_total&labels=endpoint=/alerts&res=1s";
+    let (status, _, body) = http(addr, "GET", path, "");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let fine = counter_points(&String::from_utf8(body).expect("utf-8 history"));
+    assert!(fine.len() >= 10, "too few tier-0 samples: {}", fine.len());
+    for w in fine.windows(2) {
+        assert!(w[1].0 > w[0].0, "tier-0 timestamps not monotone: {w:?}");
+        assert!(w[1].1 >= w[0].1, "tier-0 counter total decreased: {w:?}");
+    }
+
+    // the 10s tier is an exact subsample: wherever the tiers overlap in
+    // time the counter totals agree, so roll-up conserves them
+    let path = "/v1/metrics/history?name=serve_http_requests_total&labels=endpoint=/alerts&res=10s";
+    let (status, _, body) = http(addr, "GET", path, "");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let coarse = counter_points(&String::from_utf8(body).expect("utf-8 history"));
+    assert!(!coarse.is_empty(), "10s tier never rolled up");
+    for w in coarse.windows(2) {
+        assert!(w[1].0 > w[0].0, "tier-1 timestamps not monotone: {w:?}");
+        assert!(w[1].1 >= w[0].1, "tier-1 counter total decreased: {w:?}");
+    }
+    let fine_at: std::collections::HashMap<u64, u64> = fine.iter().copied().collect();
+    let mut overlapped = 0;
+    for (us, total) in &coarse {
+        if let Some(t) = fine_at.get(us) {
+            overlapped += 1;
+            assert_eq!(t, total, "tiers disagree on the total at {us}");
+        }
+    }
+    assert!(overlapped >= 1, "the tiers share no timestamps");
+
+    // every scraped sample was also persisted for restart replay
+    let jsonl = fs::read_to_string(&history_out).expect("history JSONL");
+    assert!(
+        jsonl
+            .lines()
+            .any(|l| l.contains("serve_http_requests_total")),
+        "history JSONL missing the scraped request counter"
+    );
 }
